@@ -1,0 +1,232 @@
+//! Deep Compression (Han et al. 2015) — pruning + codebook quantization +
+//! Huffman coding, as characterized in the paper's §4.3 and Tables 4/5.
+//!
+//! The pruning stage is shared with DeepSZ (both start from the same pruned
+//! network); this module implements the downstream stages: k-means codebook
+//! quantization of surviving weights at `b` bits per weight, and Huffman
+//! coding of both the codebook-index stream and the 8-bit position-gap
+//! stream.
+
+use crate::kmeans::kmeans_1d;
+use dsz_lossless::bits::{read_varint, write_varint};
+use dsz_lossless::{huffman, CodecError};
+use dsz_sparse::{PairArray, PAD_MARKER};
+
+/// Configuration for Deep Compression encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct DcConfig {
+    /// Bits per quantized weight (codebook has `2^bits` entries). The
+    /// paper's Deep Compression uses 5 for fc layers.
+    pub bits: u8,
+    /// Lloyd iterations for the codebook fit.
+    pub kmeans_iters: usize,
+}
+
+impl Default for DcConfig {
+    fn default() -> Self {
+        Self { bits: 5, kmeans_iters: 25 }
+    }
+}
+
+/// One encoded layer.
+#[derive(Debug, Clone)]
+pub struct DcLayer {
+    /// Serialized bytes (self-describing).
+    pub bytes: Vec<u8>,
+}
+
+/// Encodes a pruned dense layer.
+pub fn encode_layer(dense: &[f32], rows: usize, cols: usize, cfg: &DcConfig) -> DcLayer {
+    let pa = PairArray::from_dense(dense, rows, cols);
+    // Quantize only the real weights; padding entries carry a PAD symbol.
+    let real: Vec<f32> = pa
+        .index
+        .iter()
+        .zip(&pa.data)
+        .filter(|(&g, _)| g != PAD_MARKER)
+        .map(|(_, &v)| v)
+        .collect();
+    let k = 1usize << cfg.bits;
+    let km = kmeans_1d(&real, k, cfg.kmeans_iters);
+    let pad_symbol = k as u32;
+
+    let mut symbols = Vec::with_capacity(pa.stored_entries());
+    let mut ri = 0usize;
+    for &g in &pa.index {
+        if g == PAD_MARKER {
+            symbols.push(pad_symbol);
+        } else {
+            symbols.push(km.assignment[ri]);
+            ri += 1;
+        }
+    }
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"DCL1");
+    write_varint(&mut bytes, rows as u64);
+    write_varint(&mut bytes, cols as u64);
+    bytes.push(cfg.bits);
+    write_varint(&mut bytes, km.centroids.len() as u64);
+    for &c in &km.centroids {
+        bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    // Huffman-coded codebook indices (incl. PAD symbol) and gap bytes.
+    let idx_blob = huffman::encode_stream(&symbols, k + 1);
+    write_varint(&mut bytes, idx_blob.len() as u64);
+    bytes.extend_from_slice(&idx_blob);
+    let gaps: Vec<u32> = pa.index.iter().map(|&g| u32::from(g)).collect();
+    let gap_blob = huffman::encode_stream(&gaps, 256);
+    write_varint(&mut bytes, gap_blob.len() as u64);
+    bytes.extend_from_slice(&gap_blob);
+    DcLayer { bytes }
+}
+
+/// Decodes a layer back to its dense matrix.
+pub fn decode_layer(layer: &DcLayer) -> Result<(Vec<f32>, usize, usize), CodecError> {
+    let bytes = &layer.bytes;
+    if bytes.len() < 4 || &bytes[..4] != b"DCL1" {
+        return Err(CodecError::corrupt("bad DC magic"));
+    }
+    let mut pos = 4usize;
+    let rows = read_varint(bytes, &mut pos)? as usize;
+    let cols = read_varint(bytes, &mut pos)? as usize;
+    let bits = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+    pos += 1;
+    let k = read_varint(bytes, &mut pos)? as usize;
+    if k > 1 << bits {
+        return Err(CodecError::corrupt("codebook larger than 2^bits"));
+    }
+    let mut centroids = Vec::with_capacity(k);
+    for _ in 0..k {
+        let c = f32::from_le_bytes(
+            bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?.try_into().expect("len 4"),
+        );
+        centroids.push(c);
+        pos += 4;
+    }
+    let idx_len = read_varint(bytes, &mut pos)? as usize;
+    let mut ip = pos;
+    let symbols = huffman::decode_stream(bytes, &mut ip)?;
+    if ip - pos != idx_len {
+        return Err(CodecError::corrupt("index stream length mismatch"));
+    }
+    pos = ip;
+    let gap_len = read_varint(bytes, &mut pos)? as usize;
+    let mut gp = pos;
+    let gaps = huffman::decode_stream(bytes, &mut gp)?;
+    if gp - pos != gap_len {
+        return Err(CodecError::corrupt("gap stream length mismatch"));
+    }
+    if gaps.len() != symbols.len() {
+        return Err(CodecError::corrupt("stream length disagreement"));
+    }
+
+    let pad_symbol = 1u32 << bits;
+    let mut data = Vec::with_capacity(symbols.len());
+    let mut index = Vec::with_capacity(symbols.len());
+    for (&s, &g) in symbols.iter().zip(&gaps) {
+        if g > 255 {
+            return Err(CodecError::corrupt("gap out of byte range"));
+        }
+        index.push(g as u8);
+        if s >= pad_symbol {
+            data.push(0.0);
+        } else {
+            data.push(
+                *centroids.get(s as usize).ok_or_else(|| CodecError::corrupt("symbol out of codebook"))?,
+            );
+        }
+    }
+    let pa = PairArray { rows, cols, data, index };
+    let dense = pa.to_dense().map_err(|e| CodecError::corrupt(e.to_string()))?;
+    Ok((dense, rows, cols))
+}
+
+/// Compressed size in bytes.
+pub fn compressed_bytes(layer: &DcLayer) -> usize {
+    layer.bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pruned_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+                if u < density {
+                    (((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5) * 0.2
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_sparsity_pattern() {
+        let dense = pruned_matrix(64, 100, 0.1, 3);
+        let enc = encode_layer(&dense, 64, 100, &DcConfig::default());
+        let (back, r, c) = decode_layer(&enc).unwrap();
+        assert_eq!((r, c), (64, 100));
+        for (i, (&orig, &dec)) in dense.iter().zip(&back).enumerate() {
+            if orig == 0.0 {
+                assert_eq!(dec, 0.0, "zero weight {i} became nonzero");
+            } else {
+                assert_ne!(dec, 0.0, "nonzero weight {i} vanished");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_codebook_granularity() {
+        let dense = pruned_matrix(100, 100, 0.1, 5);
+        let enc = encode_layer(&dense, 100, 100, &DcConfig { bits: 5, kmeans_iters: 30 });
+        let (back, ..) = decode_layer(&enc).unwrap();
+        let max_err = dense
+            .iter()
+            .zip(&back)
+            .filter(|(&o, _)| o != 0.0)
+            .map(|(&o, &d)| (o - d).abs())
+            .fold(0f32, f32::max);
+        // Range ≈ 0.2 over 32 clusters → worst-case error well under range/16.
+        assert!(max_err < 0.02, "max err {max_err}");
+    }
+
+    #[test]
+    fn fewer_bits_smaller_but_lossier() {
+        let dense = pruned_matrix(128, 128, 0.1, 7);
+        let e5 = encode_layer(&dense, 128, 128, &DcConfig { bits: 5, kmeans_iters: 20 });
+        let e2 = encode_layer(&dense, 128, 128, &DcConfig { bits: 2, kmeans_iters: 20 });
+        assert!(compressed_bytes(&e2) < compressed_bytes(&e5));
+        let err = |enc: &DcLayer| -> f64 {
+            let (back, ..) = decode_layer(enc).unwrap();
+            dense
+                .iter()
+                .zip(&back)
+                .map(|(&o, &d)| (o as f64 - d as f64).powi(2))
+                .sum::<f64>()
+        };
+        assert!(err(&e2) > 4.0 * err(&e5), "2-bit must be much lossier");
+    }
+
+    #[test]
+    fn five_bits_beats_forty_bit_csr() {
+        let dense = pruned_matrix(256, 256, 0.1, 9);
+        let pa = dsz_sparse::PairArray::from_dense(&dense, 256, 256);
+        let enc = encode_layer(&dense, 256, 256, &DcConfig::default());
+        // Huffman-coded 5-bit indices ≪ 40-bit pair entries.
+        assert!(compressed_bytes(&enc) < pa.size_bytes() / 2);
+    }
+
+    #[test]
+    fn corrupt_stream_errors() {
+        let dense = pruned_matrix(16, 16, 0.2, 11);
+        let mut enc = encode_layer(&dense, 16, 16, &DcConfig::default());
+        enc.bytes[0] = b'X';
+        assert!(decode_layer(&enc).is_err());
+    }
+}

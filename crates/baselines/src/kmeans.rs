@@ -1,0 +1,138 @@
+//! 1-D k-means (Lloyd's algorithm) for codebook weight quantization.
+//!
+//! Deep Compression quantizes the surviving weights of each layer to a
+//! 2^b-entry codebook; Weightless quantizes before Bloomier encoding. Both
+//! use linear (range-spanning) initialization, which Han et al. found best
+//! for preserving the long tails of the weight distribution.
+
+/// Result of a 1-D k-means run.
+#[derive(Debug, Clone)]
+pub struct Kmeans1d {
+    /// Cluster centroids, ascending.
+    pub centroids: Vec<f32>,
+    /// Per-input cluster assignment.
+    pub assignment: Vec<u32>,
+}
+
+/// Runs Lloyd's algorithm with linear initialization over `values`.
+/// `k` is clamped to the number of distinct inputs; `iters` bounds the
+/// refinement sweeps.
+pub fn kmeans_1d(values: &[f32], k: usize, iters: usize) -> Kmeans1d {
+    assert!(k >= 1, "k must be positive");
+    if values.is_empty() {
+        return Kmeans1d { centroids: vec![0.0; k.max(1)], assignment: Vec::new() };
+    }
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let k = k.max(1);
+    let mut centroids: Vec<f32> = if hi > lo {
+        (0..k)
+            .map(|i| lo + (hi - lo) * (i as f32 + 0.5) / k as f32)
+            .collect()
+    } else {
+        vec![lo; k]
+    };
+
+    let mut assignment = vec![0u32; values.len()];
+    for _ in 0..iters {
+        // Assign: centroids are sorted, so the nearest is found by binary
+        // search over midpoints.
+        let mids: Vec<f32> = centroids.windows(2).map(|w| (w[0] + w[1]) * 0.5).collect();
+        for (a, &v) in assignment.iter_mut().zip(values) {
+            *a = mids.partition_point(|&m| m < v) as u32;
+        }
+        // Update.
+        let mut sums = vec![0f64; k];
+        let mut counts = vec![0usize; k];
+        for (&a, &v) in assignment.iter().zip(values) {
+            sums[a as usize] += v as f64;
+            counts[a as usize] += 1;
+        }
+        let mut moved = false;
+        for i in 0..k {
+            if counts[i] > 0 {
+                let c = (sums[i] / counts[i] as f64) as f32;
+                if c != centroids[i] {
+                    moved = true;
+                }
+                centroids[i] = c;
+            }
+        }
+        centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite centroids"));
+        if !moved {
+            break;
+        }
+    }
+    // Final assignment against the converged centroids.
+    let mids: Vec<f32> = centroids.windows(2).map(|w| (w[0] + w[1]) * 0.5).collect();
+    for (a, &v) in assignment.iter_mut().zip(values) {
+        *a = mids.partition_point(|&m| m < v) as u32;
+    }
+    Kmeans1d { centroids, assignment }
+}
+
+/// Mean squared quantization error of a fitted codebook.
+pub fn quantization_mse(values: &[f32], km: &Kmeans1d) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values
+        .iter()
+        .zip(&km.assignment)
+        .map(|(&v, &a)| {
+            let d = v as f64 - km.centroids[a as usize] as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut values = Vec::new();
+        for i in 0..300 {
+            values.push(-1.0 + 0.01 * ((i % 7) as f32 - 3.0));
+            values.push(0.5 + 0.01 * ((i % 5) as f32 - 2.0));
+            values.push(2.0 + 0.01 * ((i % 3) as f32 - 1.0));
+        }
+        let km = kmeans_1d(&values, 3, 30);
+        let mut c = km.centroids.clone();
+        c.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((c[0] + 1.0).abs() < 0.05, "{c:?}");
+        assert!((c[1] - 0.5).abs() < 0.05, "{c:?}");
+        assert!((c[2] - 2.0).abs() < 0.05, "{c:?}");
+    }
+
+    #[test]
+    fn more_clusters_reduce_mse() {
+        let values: Vec<f32> = (0..2000).map(|i| ((i * 37 % 997) as f32 / 997.0) - 0.5).collect();
+        let mse4 = quantization_mse(&values, &kmeans_1d(&values, 4, 25));
+        let mse32 = quantization_mse(&values, &kmeans_1d(&values, 32, 25));
+        assert!(mse32 < mse4 / 4.0, "mse4={mse4} mse32={mse32}");
+    }
+
+    #[test]
+    fn assignment_maps_to_nearest_centroid() {
+        let values: Vec<f32> = (0..500).map(|i| (i as f32 * 0.613).sin()).collect();
+        let km = kmeans_1d(&values, 8, 20);
+        for (&v, &a) in values.iter().zip(&km.assignment) {
+            let da = (v - km.centroids[a as usize]).abs();
+            for &c in &km.centroids {
+                assert!(da <= (v - c).abs() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let km = kmeans_1d(&[], 4, 10);
+        assert!(km.assignment.is_empty());
+        let km1 = kmeans_1d(&[0.7; 100], 4, 10);
+        assert!(km1.assignment.iter().all(|&a| (a as usize) < 4));
+        assert!((km1.centroids[km1.assignment[0] as usize] - 0.7).abs() < 1e-6);
+    }
+}

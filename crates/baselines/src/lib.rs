@@ -1,0 +1,20 @@
+//! The two state-of-the-art comparison systems the paper evaluates against.
+//!
+//! * [`deep_compression`] — Han et al.'s Deep Compression: shared pruning,
+//!   k-means codebook weight quantization (2^b clusters), Huffman coding of
+//!   the index streams. Closed-form reimplementation of the storage format
+//!   the paper sizes in Table 4/5.
+//! * [`weightless`] — Reagen et al.'s Weightless: lossy weight encoding in a
+//!   [`bloomier`] filter. Closed source upstream; rebuilt here from the
+//!   paper's description (4 hash evaluations per query, O(n·log n)
+//!   construction via peeling, single-layer scope, checksum-controlled
+//!   false positives).
+//!
+//! Both expose `encode`/`decode`/`apply` so the benchmark harness can
+//! compare compression ratio, accuracy degradation, and encode/decode time
+//! against DeepSZ on identical pruned networks.
+
+pub mod bloomier;
+pub mod deep_compression;
+pub mod kmeans;
+pub mod weightless;

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks: compressor throughput (SZ compress /
+//! decompress, ZFP, lossless codecs) on pruned-weight workloads. These are
+//! the building blocks behind the paper's encode/decode timing claims
+//! (Fig. 7); absolute numbers are machine-specific, relative order is the
+//! reproducible part.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsz_datagen::weights;
+use dsz_lossless::LosslessKind;
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig};
+
+fn sz_throughput(c: &mut Criterion) {
+    let (values, _) = weights::pruned_nonzeros(1024, 4096, 0.09, 3);
+    let bytes = (values.len() * 4) as u64;
+    let mut g = c.benchmark_group("sz");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-2f64, 1e-3] {
+        g.bench_with_input(BenchmarkId::new("compress", format!("{eb:.0e}")), &eb, |b, &eb| {
+            b.iter(|| SzConfig::default().compress(&values, ErrorBound::Abs(eb)).unwrap())
+        });
+        let blob = SzConfig::default().compress(&values, ErrorBound::Abs(eb)).unwrap();
+        g.bench_with_input(BenchmarkId::new("decompress", format!("{eb:.0e}")), &blob, |b, blob| {
+            b.iter(|| dsz_sz::decompress(blob).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn zfp_throughput(c: &mut Criterion) {
+    let (values, _) = weights::pruned_nonzeros(1024, 4096, 0.09, 5);
+    let bytes = (values.len() * 4) as u64;
+    let mut g = c.benchmark_group("zfp");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("compress/1e-3", |b| {
+        b.iter(|| dsz_zfp::compress(&values, 1e-3).unwrap())
+    });
+    let blob = dsz_zfp::compress(&values, 1e-3).unwrap();
+    g.bench_function("decompress/1e-3", |b| b.iter(|| dsz_zfp::decompress(&blob).unwrap()));
+    g.finish();
+}
+
+fn lossless_codecs(c: &mut Criterion) {
+    let dense = weights::trained_fc_weights(1024, 1024, 7);
+    let mut pruned = dense;
+    dsz_prune::prune_to_density(&mut pruned, 0.09);
+    let pair = PairArray::from_dense(&pruned, 1024, 1024);
+    let bytes = pair.index.len() as u64;
+    let mut g = c.benchmark_group("lossless_index");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for kind in LosslessKind::ALL {
+        g.bench_function(BenchmarkId::new("compress", kind.name()), |b| {
+            b.iter(|| kind.codec().compress(&pair.index))
+        });
+        let blob = kind.codec().compress(&pair.index);
+        g.bench_function(BenchmarkId::new("decompress", kind.name()), |b| {
+            b.iter(|| kind.codec().decompress(&blob).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, sz_throughput, zfp_throughput, lossless_codecs);
+criterion_main!(benches);

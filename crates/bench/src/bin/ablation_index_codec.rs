@@ -1,0 +1,41 @@
+//! Ablation: ratio *and* speed of each lossless codec on index arrays —
+//! the Figure 4 companion that shows why a best-fit selection (rather than
+//! a fixed codec) is worth having.
+
+use dsz_bench::tables::print_table;
+use dsz_bench::workloads::full_size_pruned_layers;
+use dsz_lossless::LosslessKind;
+use dsz_nn::Arch;
+use dsz_sparse::PairArray;
+use std::time::Instant;
+
+fn main() {
+    let layers = full_size_pruned_layers(Arch::AlexNet);
+    let (name, rows_dim, cols, _, dense) = &layers[0]; // fc6
+    let pair = PairArray::from_dense(dense, *rows_dim, *cols);
+    println!("layer {name}: {} index bytes", pair.index.len());
+    let mut rows = Vec::new();
+    for kind in LosslessKind::ALL {
+        let codec = kind.codec();
+        let t0 = Instant::now();
+        let blob = codec.compress(&pair.index);
+        let c_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let back = codec.decompress(&blob).expect("roundtrip");
+        let d_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(back, pair.index);
+        let mbps = pair.index.len() as f64 / 1e6;
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:.2}x", pair.index.len() as f64 / blob.len() as f64),
+            format!("{c_ms:.0} ms ({:.0} MB/s)", mbps / (c_ms / 1e3)),
+            format!("{d_ms:.0} ms ({:.0} MB/s)", mbps / (d_ms / 1e3)),
+        ]);
+    }
+    print_table(
+        "Ablation: lossless codec ratio vs speed on the AlexNet fc6 index array",
+        &["codec", "ratio", "compress", "decompress"],
+        &rows,
+    );
+    println!("\nexpectation: blosc-class is fastest but weakest; zstd-class best ratio");
+}

@@ -1,0 +1,66 @@
+//! Ablation: compressing the pruned layer as a condensed 1-D data array
+//! (DeepSZ's choice) vs compressing the dense 2-D weight matrix directly.
+//!
+//! The paper reports that lossy-compressing the pruned *matrices*
+//! collapses inference accuracy to ~20% (§3.2, footnote on sparse
+//! representation): every pruned-away zero gets perturbed by up to eb,
+//! silently re-activating millions of dead connections. This harness
+//! reproduces both sides: ratio and accuracy.
+
+use dsz_bench::tables::print_table;
+use dsz_bench::workloads::workload;
+use dsz_core::{AccuracyEvaluator, DatasetEvaluator};
+use dsz_nn::Arch;
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig};
+
+fn main() {
+    let w = workload(Arch::LeNet300);
+    let eval = DatasetEvaluator::new(w.test.clone());
+    println!("baseline top-1: {:.2}%", w.base_top1 * 100.0);
+    let mut rows = Vec::new();
+    for eb in [1e-3f64, 1e-2, 3e-2] {
+        // --- condensed 1-D route (DeepSZ) ---
+        let mut net_1d = w.net.clone();
+        let mut bytes_1d = 0usize;
+        let mut raw = 0usize;
+        for fc in w.net.fc_layers() {
+            let d = w.net.dense(fc.layer_index);
+            let pair = PairArray::from_dense(&d.w.data, d.w.rows, d.w.cols);
+            let blob = SzConfig::default()
+                .compress(&pair.data, ErrorBound::Abs(eb))
+                .expect("sz compress");
+            bytes_1d += blob.len() + pair.index.len(); // index shipped raw here
+            raw += d.w.data.len() * 4;
+            let restored = dsz_sz::decompress(&blob).expect("roundtrip");
+            net_1d.dense_mut(fc.layer_index).w.data =
+                pair.with_data(restored).expect("structure").to_dense().expect("pair");
+        }
+        let acc_1d = eval.evaluate(&net_1d);
+
+        // --- dense 2-D route (what the paper warns against) ---
+        let mut net_2d = w.net.clone();
+        let mut bytes_2d = 0usize;
+        for fc in w.net.fc_layers() {
+            let d = w.net.dense(fc.layer_index);
+            let blob = SzConfig::default()
+                .compress(&d.w.data, ErrorBound::Abs(eb))
+                .expect("sz compress");
+            bytes_2d += blob.len();
+            net_2d.dense_mut(fc.layer_index).w.data = dsz_sz::decompress(&blob).expect("roundtrip");
+        }
+        let acc_2d = eval.evaluate(&net_2d);
+
+        rows.push(vec![
+            format!("{eb:.0e}"),
+            format!("{:.1}x / {:.2}%", raw as f64 / bytes_1d as f64, acc_1d * 100.0),
+            format!("{:.1}x / {:.2}%", raw as f64 / bytes_2d as f64, acc_2d * 100.0),
+        ]);
+    }
+    print_table(
+        "Ablation: condensed 1-D arrays vs dense 2-D matrices (ratio / top-1)",
+        &["error bound", "1-D condensed (DeepSZ)", "2-D dense"],
+        &rows,
+    );
+    println!("\npaper: the 2-D route wrecks accuracy (≈20%) because pruned zeros get reactivated");
+}

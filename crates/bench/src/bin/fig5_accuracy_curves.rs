@@ -1,0 +1,56 @@
+//! Figures 3 & 5 — inference accuracy vs per-layer error bound for all four
+//! networks, with exactly one fc layer compressed per test (the paper's
+//! single-layer reconstruction methodology, §3.3).
+//!
+//! Expected shape: accuracy is flat up to a per-layer threshold bound, then
+//! collapses; earlier (larger) layers tolerate smaller bounds.
+
+use dsz_bench::tables::print_table;
+use dsz_bench::workloads::workload;
+use dsz_core::{AccuracyEvaluator, DatasetEvaluator};
+use dsz_nn::Arch;
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig};
+
+fn main() {
+    let bounds: Vec<f64> = vec![1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1];
+    for arch in Arch::ALL {
+        let w = workload(arch);
+        let eval = DatasetEvaluator::new(w.test.clone());
+        let mut rows = Vec::new();
+        for fc in w.net.fc_layers() {
+            let d = w.net.dense(fc.layer_index);
+            let pair = PairArray::from_dense(&d.w.data, d.w.rows, d.w.cols);
+            let mut cells = vec![fc.name.clone()];
+            for &eb in &bounds {
+                let blob = SzConfig::default()
+                    .compress(&pair.data, ErrorBound::Abs(eb))
+                    .expect("sz compress");
+                let restored = dsz_sz::decompress(&blob).expect("sz roundtrip");
+                let dense = pair
+                    .with_data(restored)
+                    .expect("structure preserved")
+                    .to_dense()
+                    .expect("valid pair array");
+                let mut candidate = w.net.clone();
+                candidate.dense_mut(fc.layer_index).w.data = dense;
+                let acc = eval.evaluate(&candidate);
+                cells.push(format!("{:.2}%", acc * 100.0));
+            }
+            rows.push(cells);
+        }
+        let mut headers: Vec<String> = vec!["layer".into()];
+        headers.extend(bounds.iter().map(|b| format!("{b:.0e}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!(
+                "Figure 5 ({}): top-1 accuracy vs error bound (baseline {:.2}%)",
+                arch.name(),
+                w.base_top1 * 100.0
+            ),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!("\npaper: accuracy holds to a per-layer threshold then collapses; 1e-1 is ruinous");
+}

@@ -1,0 +1,88 @@
+//! Table 5 — accuracy degradation at *comparable* compression ratios:
+//! Deep Compression's codebook is shrunk to DeepSZ's effective bits per
+//! weight (2–3 bits), and Weightless runs with a loose checksum, so all
+//! systems land near the same size while their accuracy cost diverges.
+//!
+//! Expected shape: DeepSZ stays within its expected-loss budget while
+//! codebook quantization at matched bits degrades sharply.
+
+use dsz_baselines::deep_compression::{self, DcConfig};
+use dsz_baselines::weightless::{self, WlConfig};
+use dsz_bench::tables::print_table;
+use dsz_bench::workloads::workload;
+use dsz_core::{
+    apply_decoded, assess_network, decode_model, encode_with_plan, optimize_for_accuracy,
+    AccuracyEvaluator, AssessmentConfig, DatasetEvaluator,
+};
+use dsz_nn::Arch;
+
+fn main() {
+    let mut rows = Vec::new();
+    for arch in Arch::ALL {
+        let expected_loss = match arch {
+            Arch::LeNet300 | Arch::LeNet5 => 0.002,
+            Arch::AlexNet | Arch::Vgg16 => 0.004,
+        };
+        let w = workload(arch);
+        let eval = DatasetEvaluator::new(w.test.clone());
+
+        // --- DeepSZ at its optimized configuration ---
+        let cfg = AssessmentConfig { expected_loss, ..Default::default() };
+        let (assessments, _) = assess_network(&w.net, &cfg, &eval).expect("assessment");
+        let plan = optimize_for_accuracy(&assessments, expected_loss).expect("plan");
+        let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+        let (decoded, _) = decode_model(&model).expect("decode");
+        let mut dsz_net = w.net.clone();
+        apply_decoded(&mut dsz_net, &decoded).expect("apply");
+        let dsz_drop = w.base_top1 - eval.evaluate(&dsz_net);
+
+        // Effective bits per surviving weight under DeepSZ.
+        let nnz: usize = assessments.iter().map(|a| a.pair.nnz()).sum();
+        let bits_per_weight = report.total_bytes as f64 * 8.0 / nnz.max(1) as f64;
+        let dc_bits = (bits_per_weight.round() as u8).clamp(2, 5);
+
+        // --- Deep Compression at the matched bit width ---
+        let mut dc_net = w.net.clone();
+        for fc in w.net.fc_layers() {
+            let d = w.net.dense(fc.layer_index);
+            let enc = deep_compression::encode_layer(
+                &d.w.data,
+                d.w.rows,
+                d.w.cols,
+                &DcConfig { bits: dc_bits, kmeans_iters: 25 },
+            );
+            let (dense, ..) = deep_compression::decode_layer(&enc).expect("dc decode");
+            dc_net.dense_mut(fc.layer_index).w.data = dense;
+        }
+        let dc_drop = w.base_top1 - eval.evaluate(&dc_net);
+
+        // --- Weightless on every layer with a small checksum ---
+        let mut wl_net = w.net.clone();
+        for fc in w.net.fc_layers() {
+            let d = w.net.dense(fc.layer_index);
+            let enc = weightless::encode_layer(
+                &d.w.data,
+                d.w.rows,
+                d.w.cols,
+                &WlConfig { quant_bits: 4, check_bits: 4, ..Default::default() },
+            )
+            .expect("bloomier build");
+            wl_net.dense_mut(fc.layer_index).w.data = weightless::decode_layer(&enc);
+        }
+        let wl_drop = w.base_top1 - eval.evaluate(&wl_net);
+
+        rows.push(vec![
+            arch.name().to_string(),
+            format!("{bits_per_weight:.1} ({dc_bits}-bit DC)"),
+            format!("{:+.2}%", dc_drop * 100.0),
+            format!("{:+.2}%", wl_drop * 100.0),
+            format!("{:+.2}%", dsz_drop * 100.0),
+        ]);
+    }
+    print_table(
+        "Table 5: top-1 degradation at comparable compression ratios",
+        &["network", "bits/weight", "Deep Compression", "Weightless", "DeepSZ (SZ)"],
+        &rows,
+    );
+    println!("\npaper: DC at DeepSZ's bit width drops 1.56% (AlexNet) / 2.81% (VGG-16); DeepSZ ≤ 0.25%");
+}

@@ -1,0 +1,33 @@
+//! Shared infrastructure for the table/figure harnesses.
+//!
+//! Every binary in this crate regenerates one table or figure from the
+//! paper's evaluation (§5). Trained networks are expensive to produce on a
+//! laptop-class CPU, so [`workloads`] trains each evaluation network once
+//! and caches it under `target/dsz-cache/`; all harnesses share the cache.
+
+pub mod tables;
+pub mod workloads;
+
+/// Formats a byte count the way the paper's tables do (KB / MB).
+pub fn fmt_bytes(b: usize) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let b = b as f64;
+    if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Formats a ratio like the paper ("45.5x").
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.1}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}

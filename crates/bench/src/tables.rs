@@ -1,0 +1,46 @@
+//! Plain-text aligned table rendering for harness output.
+
+use std::io::Write;
+
+/// Prints a titled, column-aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line_len = widths.iter().sum::<usize>() + widths.len() * 3;
+    let _ = writeln!(out, "\n=== {title} ===");
+    let mut header_line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        header_line.push_str(&format!("{h:<w$} | ", w = w));
+    }
+    let _ = writeln!(out, "{header_line}");
+    let _ = writeln!(out, "{}", "-".repeat(line_len));
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{c:<w$} | ", w = w));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "extra".into()]],
+        );
+    }
+}

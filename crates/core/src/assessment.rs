@@ -1,0 +1,247 @@
+//! Error bound assessment — Algorithm 1 (§3.3).
+//!
+//! For every fc layer, find the feasible error-bound range and sample
+//! `(eb → accuracy degradation Δ, compressed size σ)` points:
+//!
+//! * The outer scan walks β ∈ {start, 10·start, …} until a bound first
+//!   distorts the network (Δ > the 0.1% distortion criterion); the range
+//!   then starts at β/10.
+//! * `Check` walks the range in steps of the current decade (8e-3, 9e-3,
+//!   1e-2, 2e-2, …) and stops at the first bound whose Δ exceeds the user's
+//!   expected accuracy loss ε★ — the range's end point.
+//!
+//! Each test compresses *one* layer's condensed data array with SZ,
+//! reconstructs the network with only that layer replaced, and measures
+//! inference accuracy — linear in layers instead of exponential in the
+//! brute-force combination search. Tests for different layers are
+//! independent and run through a work queue ([`dsz_tensor::parallel`]),
+//! the thread-level analogue of the paper's multi-GPU encoding.
+
+use crate::evaluator::AccuracyEvaluator;
+use crate::DeepSzError;
+use dsz_lossless::best_fit;
+use dsz_nn::{FcLayerRef, Network};
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig};
+use dsz_tensor::parallel::parallel_map;
+
+/// Assessment parameters (defaults mirror §3.3/§5.1).
+#[derive(Debug, Clone, Copy)]
+pub struct AssessmentConfig {
+    /// First error bound of the outer scan (paper default 10⁻³; push to
+    /// 10⁻⁴ for very sensitive nets).
+    pub start_eb: f64,
+    /// Largest decade scanned (paper stops at 10⁻¹, where accuracy
+    /// collapses for weight-scale data).
+    pub max_eb: f64,
+    /// Distortion criterion: Δ above this marks the range start (0.1%).
+    pub distortion_criterion: f64,
+    /// ε★ — the user's expected accuracy loss (absolute fraction).
+    pub expected_loss: f64,
+    /// SZ configuration used for every compression test.
+    pub sz: SzConfig,
+}
+
+impl Default for AssessmentConfig {
+    fn default() -> Self {
+        Self {
+            start_eb: 1e-3,
+            max_eb: 1e-1,
+            distortion_criterion: 0.001,
+            expected_loss: 0.004,
+            sz: SzConfig::default(),
+        }
+    }
+}
+
+/// One sampled error bound for one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EbPoint {
+    /// Absolute error bound tested.
+    pub eb: f64,
+    /// Accuracy degradation Δ(ℓ; eb) = baseline − accuracy (may be
+    /// slightly negative when noise helps).
+    pub degradation: f64,
+    /// SZ-compressed size of the layer's data array at this bound.
+    pub data_bytes: usize,
+}
+
+/// Assessment result for one fc layer.
+#[derive(Debug, Clone)]
+pub struct LayerAssessment {
+    /// Which layer.
+    pub fc: FcLayerRef,
+    /// The layer's sparse two-array form (shared by later pipeline steps).
+    pub pair: PairArray,
+    /// Best-fit lossless codec and compressed size of the index array
+    /// (independent of the error bound).
+    pub index_codec: dsz_lossless::LosslessKind,
+    /// Compressed index-array bytes.
+    pub index_bytes: usize,
+    /// Sampled `(eb, Δ, σ)` points, ascending in eb.
+    pub points: Vec<EbPoint>,
+}
+
+impl LayerAssessment {
+    /// Total compressed layer size at point `i` (data + index streams).
+    pub fn total_bytes(&self, i: usize) -> usize {
+        self.points[i].data_bytes + self.index_bytes
+    }
+}
+
+/// Tests Δ and σ for `layer` at `eb`: SZ-compress the data array, rebuild
+/// the network with only this layer reconstructed, and evaluate.
+fn test_point(
+    net: &Network,
+    baseline: f64,
+    fc: &FcLayerRef,
+    pair: &PairArray,
+    eb: f64,
+    cfg: &AssessmentConfig,
+    eval: &dyn AccuracyEvaluator,
+) -> Result<EbPoint, DeepSzError> {
+    let blob = cfg.sz.compress(&pair.data, ErrorBound::Abs(eb))?;
+    let data_bytes = blob.len();
+    let restored = dsz_sz::decompress(&blob)?;
+    let dense = pair.with_data(restored)?.to_dense()?;
+    let mut candidate = net.clone();
+    candidate.dense_mut(fc.layer_index).w.data = dense;
+    let acc = eval.evaluate(&candidate);
+    Ok(EbPoint { eb, degradation: baseline - acc, data_bytes })
+}
+
+/// Decade-stepped successor of `eb` (8e-3 → 9e-3 → 1e-2 → 2e-2 → …),
+/// matching Algorithm 1's `eb += base; base ×= 10 at decade boundaries`.
+fn next_eb(eb: f64, base: f64) -> (f64, f64) {
+    let next = eb + base;
+    // Floating-point-safe decade check.
+    if next >= 10.0 * base * (1.0 - 1e-9) {
+        (next, base * 10.0)
+    } else {
+        (next, base)
+    }
+}
+
+/// Runs Algorithm 1 for one layer.
+fn assess_layer(
+    net: &Network,
+    baseline: f64,
+    fc: &FcLayerRef,
+    cfg: &AssessmentConfig,
+    eval: &dyn AccuracyEvaluator,
+) -> Result<LayerAssessment, DeepSzError> {
+    let dense = &net.dense(fc.layer_index).w;
+    let pair = PairArray::from_dense(&dense.data, dense.rows, dense.cols);
+    let index_blob_input = pair.index.clone();
+    let (index_codec, index_blob) = best_fit(&index_blob_input);
+
+    // Outer scan: find the decade where distortion first appears.
+    let mut points: Vec<EbPoint> = Vec::new();
+    let mut range_start = None;
+    let mut beta = cfg.start_eb;
+    while beta <= cfg.max_eb * (1.0 + 1e-9) {
+        let p = test_point(net, baseline, fc, &pair, beta, cfg, eval)?;
+        let distorted = p.degradation > cfg.distortion_criterion;
+        points.push(p);
+        if distorted {
+            range_start = Some(beta / 10.0);
+            break;
+        }
+        beta *= 10.0;
+    }
+
+    match range_start {
+        None => {
+            // Even the loosest bound keeps accuracy: the feasible range is
+            // the whole scan; the collected decade points suffice.
+        }
+        Some(start) => {
+            // Check procedure: walk from the range start in decade steps
+            // until Δ exceeds ε★ (the range end).
+            let mut eb = start;
+            let mut base = start;
+            loop {
+                // Skip bounds already tested in the outer scan.
+                if !points.iter().any(|p| (p.eb - eb).abs() < 1e-12) {
+                    let p = test_point(net, baseline, fc, &pair, eb, cfg, eval)?;
+                    let stop = p.degradation > cfg.expected_loss;
+                    points.push(p);
+                    if stop {
+                        break;
+                    }
+                } else if points
+                    .iter()
+                    .find(|p| (p.eb - eb).abs() < 1e-12)
+                    .is_some_and(|p| p.degradation > cfg.expected_loss)
+                {
+                    break;
+                }
+                let (e2, b2) = next_eb(eb, base);
+                eb = e2;
+                base = b2;
+                if eb > cfg.max_eb * (1.0 + 1e-9) {
+                    break;
+                }
+            }
+        }
+    }
+
+    points.sort_by(|a, b| a.eb.partial_cmp(&b.eb).expect("finite eb"));
+    points.dedup_by(|a, b| (a.eb - b.eb).abs() < 1e-12);
+    Ok(LayerAssessment {
+        fc: fc.clone(),
+        pair,
+        index_codec,
+        index_bytes: index_blob.len(),
+        points,
+    })
+}
+
+/// Runs Algorithm 1 over every fc layer of `net` (already pruned).
+/// Returns per-layer assessments plus the measured baseline accuracy.
+pub fn assess_network(
+    net: &Network,
+    cfg: &AssessmentConfig,
+    eval: &dyn AccuracyEvaluator,
+) -> Result<(Vec<LayerAssessment>, f64), DeepSzError> {
+    let baseline = eval.evaluate(net);
+    let fcs = net.fc_layers();
+    let results = parallel_map(&fcs, |fc| assess_layer(net, baseline, fc, cfg, eval));
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok((out, baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_eb_walks_decades_like_the_paper() {
+        // 8e-3 → 9e-3 → 1e-2 → 2e-2 → 3e-2 (the paper's §3.3 example).
+        let (e1, b1) = next_eb(8e-3, 1e-3);
+        assert!((e1 - 9e-3).abs() < 1e-12 && b1 == 1e-3);
+        let (e2, b2) = next_eb(e1, b1);
+        assert!((e2 - 1e-2).abs() < 1e-12 && b2 == 1e-2, "{e2} {b2}");
+        let (e3, b3) = next_eb(e2, b2);
+        assert!((e3 - 2e-2).abs() < 1e-12 && b3 == 1e-2);
+    }
+
+    #[test]
+    fn next_eb_from_decade_start() {
+        // 1e-3 with base 1e-3 → 2e-3 … 9e-3 → 1e-2 (base 1e-2).
+        let mut eb = 1e-3;
+        let mut base = 1e-3;
+        let mut seen = vec![eb];
+        for _ in 0..9 {
+            let (e, b) = next_eb(eb, base);
+            eb = e;
+            base = b;
+            seen.push(eb);
+        }
+        assert!((seen[8] - 9e-3).abs() < 1e-12);
+        assert!((seen[9] - 1e-2).abs() < 1e-12);
+    }
+}

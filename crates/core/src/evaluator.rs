@@ -1,0 +1,111 @@
+//! Accuracy evaluation plumbing.
+//!
+//! Algorithm 1 needs many forward-pass accuracy tests. Because DeepSZ never
+//! touches conv layers, the conv features of the test set can be computed
+//! once and cached; every subsequent test only runs the fc head. This is the
+//! same reason the paper's per-test cost is a forward pass, not a retrain.
+
+use dsz_nn::{accuracy, Dataset, Network};
+
+/// Something that can score a network's top-1 accuracy on the test set.
+pub trait AccuracyEvaluator: Sync {
+    /// Top-1 accuracy in `[0, 1]`.
+    fn evaluate(&self, net: &Network) -> f64;
+
+    /// Top-1 and top-k accuracy (k = 5 by default, like the paper).
+    fn evaluate_topk(&self, net: &Network) -> (f64, f64);
+}
+
+/// Evaluates on a held-out [`Dataset`] in fixed-size batches.
+#[derive(Debug, Clone)]
+pub struct DatasetEvaluator {
+    /// Test data (inputs must match the network's input shape).
+    pub data: Dataset,
+    /// Evaluation batch size.
+    pub batch: usize,
+    /// k for the top-k metric.
+    pub topk: usize,
+}
+
+impl DatasetEvaluator {
+    /// Standard configuration: batch 256, top-5.
+    pub fn new(data: Dataset) -> Self {
+        Self { data, batch: 256, topk: 5 }
+    }
+}
+
+impl AccuracyEvaluator for DatasetEvaluator {
+    fn evaluate(&self, net: &Network) -> f64 {
+        accuracy(net, &self.data, self.batch, self.topk).0
+    }
+
+    fn evaluate_topk(&self, net: &Network) -> (f64, f64) {
+        accuracy(net, &self.data, self.batch, self.topk)
+    }
+}
+
+/// Splits `net` into conv prefix + fc head, runs the prefix over `data`
+/// once, and returns the head network together with the cached feature
+/// dataset. Evaluating the head on the features equals evaluating the full
+/// network on the images.
+pub fn cache_features(net: &Network, data: &Dataset, batch: usize) -> (Network, Dataset) {
+    let (prefix, head) = net.split_feature_head();
+    if prefix.layers.is_empty() {
+        return (head, data.clone());
+    }
+    let feat_dim = prefix.output_shape();
+    let mut x = Vec::with_capacity(data.len() * feat_dim.len());
+    let mut lo = 0usize;
+    while lo < data.len() {
+        let hi = (lo + batch).min(data.len());
+        let out = prefix.forward(&data.batch(lo, hi));
+        x.extend_from_slice(&out.data);
+        lo = hi;
+    }
+    let features = Dataset { shape: feat_dim, x, labels: data.labels.clone() };
+    (head, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsz_nn::{zoo, Arch, Scale};
+
+    #[test]
+    fn cached_features_reproduce_full_network_accuracy() {
+        let net = zoo::build(Arch::LeNet5, Scale::Full, 3);
+        let data = dsz_datagen_digits(200);
+        let full_eval = DatasetEvaluator::new(data.clone());
+        let (a_full, k_full) = full_eval.evaluate_topk(&net);
+        let (head, features) = cache_features(&net, &data, 64);
+        let head_eval = DatasetEvaluator::new(features);
+        let (a_head, k_head) = head_eval.evaluate_topk(&head);
+        assert!((a_full - a_head).abs() < 1e-9, "{a_full} vs {a_head}");
+        assert!((k_full - k_head).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlp_prefix_is_identity() {
+        let net = zoo::build(Arch::LeNet300, Scale::Full, 5);
+        let data = dsz_datagen_digits(50);
+        let (head, features) = cache_features(&net, &data, 32);
+        assert_eq!(features.x, data.x);
+        assert_eq!(head.layers.len(), net.layers.len() - 1); // Flatten peeled off
+    }
+
+    // Tiny local digit generator to avoid a dev-dependency cycle.
+    fn dsz_datagen_digits(n: usize) -> Dataset {
+        use dsz_tensor::VolShape;
+        let mut s = 42u64;
+        let mut x = Vec::with_capacity(n * 784);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            for _ in 0..784 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x.push(((s >> 33) as f32 / (1u64 << 31) as f32).abs().min(1.0));
+            }
+            labels.push((i % 10) as u16);
+        }
+        Dataset { shape: VolShape { c: 1, h: 28, w: 28 }, x, labels }
+    }
+}

@@ -1,0 +1,86 @@
+//! DeepSZ — the paper's primary contribution.
+//!
+//! An *accuracy-loss expected* DNN compression framework (§3) with four
+//! steps:
+//!
+//! 1. **Network pruning** (delegated to [`dsz_prune`]).
+//! 2. **Error bound assessment** ([`assessment`], Algorithm 1): per fc
+//!    layer, find the feasible error-bound range by testing inference
+//!    accuracy with only that layer reconstructed from SZ, and collect
+//!    `(error bound → accuracy degradation, compressed size)` samples.
+//! 3. **Optimization of the error-bound configuration** ([`optimizer`],
+//!    Algorithm 2): a knapsack-style dynamic program picks per-layer error
+//!    bounds minimizing total size under the user's expected accuracy loss
+//!    (or maximizing accuracy under a size budget — the expected-ratio
+//!    mode), justified by the approximate additivity of per-layer
+//!    degradations (Eq. 1, [`linearity`]).
+//! 4. **Compressed model generation** ([`pipeline`]): SZ on each layer's
+//!    `data` array at its chosen bound, best-fit lossless coding of the
+//!    `index` array, packed into a self-describing container. Decoding
+//!    reverses the three stages with per-stage timing (Fig. 7b).
+
+pub mod assessment;
+pub mod evaluator;
+pub mod linearity;
+pub mod optimizer;
+pub mod pipeline;
+pub mod streaming;
+
+pub use assessment::{assess_network, AssessmentConfig, EbPoint, LayerAssessment};
+pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator};
+pub use linearity::{linearity_experiment, LinearityPoint};
+pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
+pub use pipeline::{
+    apply_decoded, decode_model, encode_with_plan, CompressedModel, DecodeTiming, DecodedLayer,
+    EncodeReport,
+};
+pub use streaming::{CompressedFcModel, StreamingStats};
+
+use std::fmt;
+
+/// Errors surfaced by the framework.
+#[derive(Debug)]
+pub enum DeepSzError {
+    /// Underlying SZ codec failure.
+    Sz(dsz_sz::SzError),
+    /// Underlying lossless codec failure.
+    Codec(dsz_lossless::CodecError),
+    /// Underlying sparse-format failure.
+    Sparse(dsz_sparse::SparseError),
+    /// Invalid container bytes.
+    BadContainer(String),
+    /// No feasible configuration under the requested constraint.
+    Infeasible(String),
+}
+
+impl fmt::Display for DeepSzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepSzError::Sz(e) => write!(f, "sz: {e}"),
+            DeepSzError::Codec(e) => write!(f, "lossless: {e}"),
+            DeepSzError::Sparse(e) => write!(f, "sparse: {e}"),
+            DeepSzError::BadContainer(m) => write!(f, "container: {m}"),
+            DeepSzError::Infeasible(m) => write!(f, "infeasible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeepSzError {}
+
+impl From<dsz_sz::SzError> for DeepSzError {
+    fn from(e: dsz_sz::SzError) -> Self {
+        DeepSzError::Sz(e)
+    }
+}
+
+impl From<dsz_lossless::CodecError> for DeepSzError {
+    fn from(e: dsz_lossless::CodecError) -> Self {
+        DeepSzError::Codec(e)
+    }
+}
+
+impl From<dsz_sparse::SparseError> for DeepSzError {
+    fn from(e: dsz_sparse::SparseError) -> Self {
+        DeepSzError::Sparse(e)
+    }
+}

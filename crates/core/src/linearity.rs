@@ -1,0 +1,141 @@
+//! The accuracy-loss linearity experiment (Eq. 1, §3.4, Figure 6).
+//!
+//! DeepSZ's optimizer rests on the observation that per-layer accuracy
+//! degradations add approximately linearly when every fc layer is
+//! compressed simultaneously (for overall loss ≲ 2%). This module measures
+//! both sides: the *expected* loss (Σ of single-layer degradations) and the
+//! *actual* loss (all layers reconstructed at once), for arbitrary
+//! error-bound combinations.
+
+use crate::evaluator::AccuracyEvaluator;
+use crate::DeepSzError;
+use dsz_nn::Network;
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig};
+
+/// One (expected, actual) accuracy-loss sample — a point in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearityPoint {
+    /// Σ of the measured single-layer degradations.
+    pub expected: f64,
+    /// Measured degradation with all layers compressed together.
+    pub actual: f64,
+    /// The per-layer error bounds that produced this point.
+    pub eb_index: usize,
+}
+
+/// Reconstructs one layer of `net` through an SZ round trip at `eb`.
+fn reconstructed_dense(
+    net: &Network,
+    layer_index: usize,
+    eb: f64,
+    sz: &SzConfig,
+) -> Result<Vec<f32>, DeepSzError> {
+    let d = net.dense(layer_index);
+    let pair = PairArray::from_dense(&d.w.data, d.w.rows, d.w.cols);
+    let blob = sz.compress(&pair.data, ErrorBound::Abs(eb))?;
+    let data = dsz_sz::decompress(&blob)?;
+    Ok(pair.with_data(data)?.to_dense()?)
+}
+
+/// Runs the Figure-6 experiment: for each combination (one error bound per
+/// fc layer), measure expected vs actual loss.
+///
+/// `combos[i]` holds one eb per fc layer (ordered like `net.fc_layers()`).
+pub fn linearity_experiment(
+    net: &Network,
+    eval: &dyn AccuracyEvaluator,
+    combos: &[Vec<f64>],
+    sz: &SzConfig,
+) -> Result<Vec<LinearityPoint>, DeepSzError> {
+    let fcs = net.fc_layers();
+    let baseline = eval.evaluate(net);
+
+    // Memoize single-layer degradations per (layer, eb).
+    let mut single: Vec<Vec<(f64, f64)>> = vec![Vec::new(); fcs.len()];
+    let mut points = Vec::with_capacity(combos.len());
+    for (ci, combo) in combos.iter().enumerate() {
+        assert_eq!(combo.len(), fcs.len(), "one eb per fc layer");
+        let mut expected = 0f64;
+        let mut joint = net.clone();
+        for (li, (&eb, fc)) in combo.iter().zip(&fcs).enumerate() {
+            let dense = reconstructed_dense(net, fc.layer_index, eb, sz)?;
+            // Single-layer degradation (cached).
+            let cached = single[li].iter().find(|(e, _)| (*e - eb).abs() < 1e-15);
+            let delta = match cached {
+                Some(&(_, d)) => d,
+                None => {
+                    let mut solo = net.clone();
+                    solo.dense_mut(fc.layer_index).w.data = dense.clone();
+                    let d = baseline - eval.evaluate(&solo);
+                    single[li].push((eb, d));
+                    d
+                }
+            };
+            expected += delta.max(0.0);
+            joint.dense_mut(fc.layer_index).w.data = dense;
+        }
+        let actual = baseline - eval.evaluate(&joint);
+        points.push(LinearityPoint { expected, actual, eb_index: ci });
+    }
+    Ok(points)
+}
+
+/// Least-squares slope and R² of actual vs expected — the Figure 6 check
+/// that the relationship is ≈ the identity line.
+pub fn fit_line(points: &[LinearityPoint]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mx = points.iter().map(|p| p.expected).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.actual).sum::<f64>() / n;
+    let mut sxx = 0f64;
+    let mut sxy = 0f64;
+    let mut syy = 0f64;
+    for p in points {
+        let dx = p.expected - mx;
+        let dy = p.actual - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    // Degenerate spreads (including identical points whose variance is
+    // only rounding noise) have no meaningful fit.
+    let scale = (mx * mx + my * my).max(1e-30);
+    if sxx <= 1e-12 * scale || syy <= 1e-12 * scale {
+        return (0.0, 0.0);
+    }
+    let slope = sxy / sxx;
+    let r2 = (sxy * sxy) / (sxx * syy);
+    (slope, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_line_on_perfect_identity() {
+        let pts: Vec<LinearityPoint> = (0..10)
+            .map(|i| LinearityPoint {
+                expected: i as f64 * 0.001,
+                actual: i as f64 * 0.001,
+                eb_index: i,
+            })
+            .collect();
+        let (slope, r2) = fit_line(&pts);
+        assert!((slope - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_line_degenerate() {
+        assert_eq!(fit_line(&[]), (0.0, 0.0));
+        let flat = vec![
+            LinearityPoint { expected: 0.1, actual: 0.1, eb_index: 0 };
+            3
+        ];
+        assert_eq!(fit_line(&flat), (0.0, 0.0));
+    }
+}

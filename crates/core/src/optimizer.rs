@@ -1,0 +1,383 @@
+//! Optimization of the error-bound configuration — Algorithm 2 (§3.4).
+//!
+//! A knapsack-style dynamic program over a discretized accuracy-loss budget
+//! (the paper's `[0..100]·ε★` grid): choose one assessed error bound per fc
+//! layer so the summed per-layer degradations stay within ε★ while the
+//! total compressed size is minimal, then trace back the per-layer choices.
+//! The additivity of degradations is the linearity property of Eq. (1).
+//!
+//! [`optimize_for_size`] is the paper's *expected-ratio* mode: the same DP
+//! with size and degradation swapped — minimize total degradation subject
+//! to a size budget.
+
+use crate::assessment::LayerAssessment;
+use crate::DeepSzError;
+use dsz_nn::FcLayerRef;
+
+/// Budget grid resolution (the paper iterates ϵ over `[0..100]·ε★`).
+const GRID: usize = 100;
+
+/// The error bound chosen for one layer.
+#[derive(Debug, Clone)]
+pub struct ChosenLayer {
+    /// Which layer.
+    pub fc: FcLayerRef,
+    /// Chosen absolute error bound.
+    pub eb: f64,
+    /// Measured single-layer degradation at this bound.
+    pub degradation: f64,
+    /// SZ-compressed data-array bytes at this bound.
+    pub data_bytes: usize,
+    /// Lossless-compressed index-array bytes.
+    pub index_bytes: usize,
+    /// Index of the chosen point in the layer's assessment.
+    pub point_index: usize,
+}
+
+impl ChosenLayer {
+    /// Total compressed bytes for this layer.
+    pub fn total_bytes(&self) -> usize {
+        self.data_bytes + self.index_bytes
+    }
+}
+
+/// A complete per-layer error-bound configuration.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Per-layer choices, in fc order.
+    pub layers: Vec<ChosenLayer>,
+    /// Predicted total accuracy loss (Σ per-layer Δ, clamped at 0).
+    pub predicted_loss: f64,
+    /// Total compressed bytes across layers.
+    pub total_bytes: usize,
+}
+
+fn clamp_degradation(d: f64) -> f64 {
+    d.max(0.0)
+}
+
+/// Expected-accuracy mode: minimize total size subject to
+/// `Σ Δ ≤ expected_loss`.
+pub fn optimize_for_accuracy(
+    assessments: &[LayerAssessment],
+    expected_loss: f64,
+) -> Result<Plan, DeepSzError> {
+    if assessments.is_empty() {
+        return Ok(Plan { layers: Vec::new(), predicted_loss: 0.0, total_bytes: 0 });
+    }
+    if expected_loss <= 0.0 || expected_loss.is_nan() {
+        return Err(DeepSzError::Infeasible(
+            "expected accuracy loss must be positive; use a tiny value for 'zero loss'".into(),
+        ));
+    }
+    let step = expected_loss / GRID as f64;
+    let cost_of = |d: f64| -> Option<usize> {
+        let c = (clamp_degradation(d) / step).ceil() as usize;
+        (c <= GRID).then_some(c)
+    };
+
+    // dp[g] = min total size with cumulative cost ≤ g; usize::MAX = ∞.
+    // Zero layers cost nothing at any budget.
+    let mut dp = vec![0usize; GRID + 1];
+    let mut choices: Vec<Vec<u16>> = Vec::with_capacity(assessments.len());
+    for a in assessments {
+        let mut ndp = vec![usize::MAX; GRID + 1];
+        let mut choice = vec![u16::MAX; GRID + 1];
+        for (pi, p) in a.points.iter().enumerate() {
+            let Some(c) = cost_of(p.degradation) else { continue };
+            let size = p.data_bytes + a.index_bytes;
+            for g in c..=GRID {
+                let prev = dp[g - c];
+                if prev == usize::MAX {
+                    continue;
+                }
+                let total = prev + size;
+                if total < ndp[g] {
+                    ndp[g] = total;
+                    choice[g] = pi as u16;
+                }
+            }
+        }
+        // Make dp monotone: budget g can always fall back to g-1's best.
+        for g in 1..=GRID {
+            if ndp[g - 1] < ndp[g] {
+                ndp[g] = ndp[g - 1];
+                choice[g] = choice[g - 1];
+            }
+        }
+        if ndp[GRID] == usize::MAX {
+            return Err(DeepSzError::Infeasible(format!(
+                "layer {} has no assessed error bound within the loss budget; \
+                 lower AssessmentConfig::start_eb",
+                a.fc.name
+            )));
+        }
+        dp = ndp;
+        choices.push(choice);
+    }
+
+    // Trace back from the full budget.
+    let mut g = GRID;
+    let mut picked: Vec<usize> = vec![0; assessments.len()];
+    for (li, a) in assessments.iter().enumerate().rev() {
+        let pi = choices[li][g] as usize;
+        picked[li] = pi;
+        let c = (clamp_degradation(a.points[pi].degradation) / step).ceil() as usize;
+        g -= c.min(g);
+    }
+
+    Ok(build_plan(assessments, &picked))
+}
+
+/// Expected-ratio mode: minimize total degradation subject to
+/// `Σ size ≤ target_bytes`.
+pub fn optimize_for_size(
+    assessments: &[LayerAssessment],
+    target_bytes: usize,
+) -> Result<Plan, DeepSzError> {
+    if assessments.is_empty() {
+        return Ok(Plan { layers: Vec::new(), predicted_loss: 0.0, total_bytes: 0 });
+    }
+    let grid = 200usize;
+    let bucket = (target_bytes as f64 / grid as f64).max(1.0);
+    let cost_of = |bytes: usize| -> Option<usize> {
+        let c = (bytes as f64 / bucket).ceil() as usize;
+        (c <= grid).then_some(c)
+    };
+
+    let mut dp = vec![0f64; grid + 1];
+    let mut choices: Vec<Vec<u16>> = Vec::with_capacity(assessments.len());
+    for a in assessments {
+        let mut ndp = vec![f64::INFINITY; grid + 1];
+        let mut choice = vec![u16::MAX; grid + 1];
+        for (pi, p) in a.points.iter().enumerate() {
+            let Some(c) = cost_of(p.data_bytes + a.index_bytes) else { continue };
+            let d = clamp_degradation(p.degradation);
+            for g in c..=grid {
+                if !dp[g - c].is_finite() {
+                    continue;
+                }
+                let total = dp[g - c] + d;
+                if total < ndp[g] {
+                    ndp[g] = total;
+                    choice[g] = pi as u16;
+                }
+            }
+        }
+        for g in 1..=grid {
+            if ndp[g - 1] < ndp[g] {
+                ndp[g] = ndp[g - 1];
+                choice[g] = choice[g - 1];
+            }
+        }
+        if !ndp[grid].is_finite() {
+            return Err(DeepSzError::Infeasible(format!(
+                "layer {} cannot fit the size budget at any assessed bound",
+                a.fc.name
+            )));
+        }
+        dp = ndp;
+        choices.push(choice);
+    }
+
+    let mut g = grid;
+    let mut picked: Vec<usize> = vec![0; assessments.len()];
+    for (li, a) in assessments.iter().enumerate().rev() {
+        let pi = choices[li][g] as usize;
+        picked[li] = pi;
+        let c = ((a.points[pi].data_bytes + a.index_bytes) as f64 / bucket).ceil() as usize;
+        g -= c.min(g);
+    }
+
+    Ok(build_plan(assessments, &picked))
+}
+
+fn build_plan(assessments: &[LayerAssessment], picked: &[usize]) -> Plan {
+    let mut layers = Vec::with_capacity(assessments.len());
+    let mut predicted = 0f64;
+    let mut total = 0usize;
+    for (a, &pi) in assessments.iter().zip(picked) {
+        let p = a.points[pi];
+        predicted += clamp_degradation(p.degradation);
+        total += p.data_bytes + a.index_bytes;
+        layers.push(ChosenLayer {
+            fc: a.fc.clone(),
+            eb: p.eb,
+            degradation: p.degradation,
+            data_bytes: p.data_bytes,
+            index_bytes: a.index_bytes,
+            point_index: pi,
+        });
+    }
+    Plan { layers, predicted_loss: predicted, total_bytes: total }
+}
+
+/// Exhaustive search over all point combinations — exponential; used by
+/// tests and the `ablation_knapsack` bench to certify DP optimality on
+/// small instances.
+pub fn brute_force_for_accuracy(
+    assessments: &[LayerAssessment],
+    expected_loss: f64,
+) -> Option<Plan> {
+    fn recurse(
+        assessments: &[LayerAssessment],
+        li: usize,
+        picked: &mut Vec<usize>,
+        best: &mut Option<(usize, Vec<usize>)>,
+        loss_left: f64,
+        size_so_far: usize,
+    ) {
+        if li == assessments.len() {
+            if best.as_ref().is_none_or(|(s, _)| size_so_far < *s) {
+                *best = Some((size_so_far, picked.clone()));
+            }
+            return;
+        }
+        for (pi, p) in assessments[li].points.iter().enumerate() {
+            let d = p.degradation.max(0.0);
+            if d <= loss_left {
+                picked.push(pi);
+                recurse(
+                    assessments,
+                    li + 1,
+                    picked,
+                    best,
+                    loss_left - d,
+                    size_so_far + p.data_bytes + assessments[li].index_bytes,
+                );
+                picked.pop();
+            }
+        }
+    }
+    let mut best = None;
+    recurse(assessments, 0, &mut Vec::new(), &mut best, expected_loss, 0);
+    best.map(|(_, picked)| build_plan(assessments, &picked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assessment::EbPoint;
+    use dsz_sparse::PairArray;
+
+    fn fake_layer(name: &str, index_bytes: usize, pts: &[(f64, f64, usize)]) -> LayerAssessment {
+        LayerAssessment {
+            fc: FcLayerRef { layer_index: 0, name: name.into(), rows: 4, cols: 4 },
+            pair: PairArray { rows: 4, cols: 4, data: vec![], index: vec![] },
+            index_codec: dsz_lossless::LosslessKind::Zstd,
+            index_bytes,
+            points: pts
+                .iter()
+                .map(|&(eb, degradation, data_bytes)| EbPoint { eb, degradation, data_bytes })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_feasible_combination() {
+        // Layer A: loose bound saves 900 bytes but costs 0.3% accuracy.
+        let a = fake_layer(
+            "a",
+            100,
+            &[(1e-3, 0.0005, 1000), (1e-2, 0.003, 100)],
+        );
+        // Layer B: loose bound saves 100 bytes at 0.25%.
+        let b = fake_layer("b", 50, &[(1e-3, 0.0002, 300), (1e-2, 0.0025, 200)]);
+        // Budget 0.4%: can afford exactly one of the two loose bounds —
+        // should take A's (bigger saving).
+        let plan = optimize_for_accuracy(&[a.clone(), b.clone()], 0.004).unwrap();
+        assert!((plan.layers[0].eb - 1e-2).abs() < 1e-12, "A should go loose");
+        assert!((plan.layers[1].eb - 1e-3).abs() < 1e-12, "B should stay tight");
+        let brute = brute_force_for_accuracy(&[a, b], 0.004).unwrap();
+        assert_eq!(plan.total_bytes, brute.total_bytes);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_random_instances() {
+        let mut s = 99u64;
+        let mut rand = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for trial in 0..30 {
+            let layers: Vec<LayerAssessment> = (0..3)
+                .map(|i| {
+                    // Like a real assessment, the tightest bound is nearly
+                    // lossless (so a feasible combination always exists);
+                    // looser bounds trade accuracy for size.
+                    let pts: Vec<(f64, f64, usize)> = (0..4)
+                        .map(|j| {
+                            let degradation =
+                                if j == 0 { rand() * 0.0003 } else { rand() * 0.004 };
+                            (
+                                10f64.powi(-(4 - j)),
+                                degradation,
+                                (rand() * 10_000.0) as usize + 100,
+                            )
+                        })
+                        .collect();
+                    fake_layer(&format!("l{i}"), (rand() * 500.0) as usize, &pts)
+                })
+                .collect();
+            let dp = optimize_for_accuracy(&layers, 0.004).unwrap();
+            let brute = brute_force_for_accuracy(&layers, 0.004).unwrap();
+            // DP discretizes Δ upward, so it may be slightly conservative,
+            // but can never beat brute force.
+            assert!(
+                dp.total_bytes >= brute.total_bytes,
+                "trial {trial}: dp {} < brute {}",
+                dp.total_bytes,
+                brute.total_bytes
+            );
+            // And must stay within the loss budget.
+            assert!(dp.predicted_loss <= 0.004 + 1e-12, "trial {trial}");
+            // Conservatism gap should be small (≤ one grid step per layer).
+            let gap = dp.total_bytes as f64 / brute.total_bytes.max(1) as f64;
+            assert!(gap < 1.6, "trial {trial}: gap {gap}");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_tightest_bound_already_too_lossy() {
+        let a = fake_layer("a", 10, &[(1e-3, 0.05, 1000)]);
+        assert!(matches!(
+            optimize_for_accuracy(&[a], 0.004),
+            Err(DeepSzError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn size_mode_minimizes_degradation_under_budget() {
+        let a = fake_layer("a", 100, &[(1e-3, 0.001, 1000), (1e-2, 0.01, 200)]);
+        let b = fake_layer("b", 100, &[(1e-3, 0.002, 800), (1e-2, 0.02, 150)]);
+        // Big budget: both layers stay tight (lowest degradation).
+        let plan = optimize_for_size(&[a.clone(), b.clone()], 10_000).unwrap();
+        assert!((plan.layers[0].eb - 1e-3).abs() < 1e-12);
+        assert!((plan.layers[1].eb - 1e-3).abs() < 1e-12);
+        // Tight budget (≤ 700): both must go loose.
+        let plan = optimize_for_size(&[a.clone(), b.clone()], 700).unwrap();
+        assert!((plan.layers[0].eb - 1e-2).abs() < 1e-12);
+        assert!((plan.layers[1].eb - 1e-2).abs() < 1e-12);
+        // Impossible budget errors.
+        assert!(matches!(
+            optimize_for_size(&[a, b], 100),
+            Err(DeepSzError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn zero_layers_trivial_plan() {
+        let plan = optimize_for_accuracy(&[], 0.01).unwrap();
+        assert!(plan.layers.is_empty());
+        assert_eq!(plan.total_bytes, 0);
+    }
+
+    #[test]
+    fn negative_degradations_are_free() {
+        // Accuracy that *improves* should never consume budget.
+        let a = fake_layer("a", 10, &[(1e-3, -0.002, 500), (1e-2, -0.001, 100)]);
+        let plan = optimize_for_accuracy(&[a], 0.001).unwrap();
+        assert_eq!(plan.layers[0].data_bytes, 100);
+        assert_eq!(plan.predicted_loss, 0.0);
+    }
+}

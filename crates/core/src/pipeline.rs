@@ -1,0 +1,246 @@
+//! Compressed model generation and decoding — step 4 (§3.5).
+//!
+//! Encoding takes the assessment + plan and emits a self-describing
+//! container: per fc layer, the SZ-compressed `data` array at the chosen
+//! error bound and the best-fit-lossless-compressed `index` array.
+//! Decoding reverses the stages — lossless decompression, SZ decompression,
+//! sparse-matrix reconstruction — and reports the time spent in each, which
+//! is exactly the breakdown of the paper's Figure 7b.
+
+use crate::assessment::LayerAssessment;
+use crate::optimizer::Plan;
+use crate::DeepSzError;
+use dsz_lossless::bits::{read_varint, write_varint};
+use dsz_lossless::{CodecError, LosslessKind};
+use dsz_nn::Network;
+use dsz_sparse::PairArray;
+use dsz_sz::ErrorBound;
+use std::time::Instant;
+
+const MAGIC: &[u8; 4] = b"DSZM";
+const VERSION: u8 = 1;
+
+/// A serialized compressed model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedModel {
+    /// Container bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Per-layer record of an encode run.
+#[derive(Debug, Clone)]
+pub struct EncodedLayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Chosen error bound.
+    pub eb: f64,
+    /// Lossless codec picked for the index array.
+    pub index_codec: LosslessKind,
+    /// SZ data-stream bytes.
+    pub data_bytes: usize,
+    /// Lossless index-stream bytes.
+    pub index_bytes: usize,
+    /// Dense (uncompressed f32) bytes of this layer.
+    pub dense_bytes: usize,
+    /// Two-array (40-bit/entry) bytes after pruning.
+    pub pair_bytes: usize,
+}
+
+impl EncodedLayerReport {
+    /// Compression ratio vs the dense layer.
+    pub fn ratio(&self) -> f64 {
+        self.dense_bytes as f64 / (self.data_bytes + self.index_bytes).max(1) as f64
+    }
+}
+
+/// Summary of an encode run.
+#[derive(Debug, Clone)]
+pub struct EncodeReport {
+    /// Per-layer records, in fc order.
+    pub layers: Vec<EncodedLayerReport>,
+    /// Container size in bytes.
+    pub total_bytes: usize,
+    /// Sum of dense fc bytes.
+    pub total_dense_bytes: usize,
+    /// Time spent in final SZ compression (ms).
+    pub compress_ms: f64,
+}
+
+impl EncodeReport {
+    /// Overall fc compression ratio.
+    pub fn ratio(&self) -> f64 {
+        self.total_dense_bytes as f64 / self.total_bytes.max(1) as f64
+    }
+}
+
+/// Encodes the assessed layers according to `plan` into a container.
+pub fn encode_with_plan(
+    assessments: &[LayerAssessment],
+    plan: &Plan,
+) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
+    assert_eq!(assessments.len(), plan.layers.len(), "plan/assessment mismatch");
+    let t0 = Instant::now();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.push(VERSION);
+    write_varint(&mut bytes, plan.layers.len() as u64);
+
+    let mut reports = Vec::with_capacity(plan.layers.len());
+    let mut total_dense = 0usize;
+    for (a, c) in assessments.iter().zip(&plan.layers) {
+        let sz_blob = dsz_sz::SzConfig::default().compress(&a.pair.data, ErrorBound::Abs(c.eb))?;
+        let idx_blob = a.index_codec.codec().compress(&a.pair.index);
+
+        write_varint(&mut bytes, a.fc.name.len() as u64);
+        bytes.extend_from_slice(a.fc.name.as_bytes());
+        write_varint(&mut bytes, a.fc.layer_index as u64);
+        write_varint(&mut bytes, a.pair.rows as u64);
+        write_varint(&mut bytes, a.pair.cols as u64);
+        bytes.extend_from_slice(&c.eb.to_le_bytes());
+        bytes.push(a.index_codec.id());
+        write_varint(&mut bytes, sz_blob.len() as u64);
+        bytes.extend_from_slice(&sz_blob);
+        write_varint(&mut bytes, idx_blob.len() as u64);
+        bytes.extend_from_slice(&idx_blob);
+
+        total_dense += a.pair.dense_bytes();
+        reports.push(EncodedLayerReport {
+            name: a.fc.name.clone(),
+            eb: c.eb,
+            index_codec: a.index_codec,
+            data_bytes: sz_blob.len(),
+            index_bytes: idx_blob.len(),
+            dense_bytes: a.pair.dense_bytes(),
+            pair_bytes: a.pair.size_bytes(),
+        });
+    }
+    let total = bytes.len();
+    Ok((
+        CompressedModel { bytes },
+        EncodeReport {
+            layers: reports,
+            total_bytes: total,
+            total_dense_bytes: total_dense,
+            compress_ms: t0.elapsed().as_secs_f64() * 1e3,
+        },
+    ))
+}
+
+/// One decoded fc layer.
+#[derive(Debug, Clone)]
+pub struct DecodedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Index into `Network::layers`.
+    pub layer_index: usize,
+    /// Reconstructed dense row-major weights.
+    pub dense: Vec<f32>,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix cols.
+    pub cols: usize,
+}
+
+/// Wall-clock breakdown of a decode run (the paper's Fig. 7b stages).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeTiming {
+    /// Lossless index-array decompression (ms).
+    pub lossless_ms: f64,
+    /// SZ data-array decompression (ms).
+    pub sz_ms: f64,
+    /// Sparse → dense matrix reconstruction (ms).
+    pub reconstruct_ms: f64,
+}
+
+impl DecodeTiming {
+    /// Total decode time (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.lossless_ms + self.sz_ms + self.reconstruct_ms
+    }
+}
+
+/// Decodes a container produced by [`encode_with_plan`].
+pub fn decode_model(model: &CompressedModel) -> Result<(Vec<DecodedLayer>, DecodeTiming), DeepSzError> {
+    let bytes = &model.bytes;
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(DeepSzError::BadContainer("bad magic".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(DeepSzError::BadContainer("unsupported version".into()));
+    }
+    let mut pos = 5usize;
+    let n_layers = read_varint(bytes, &mut pos)? as usize;
+    let mut layers = Vec::with_capacity(n_layers);
+    let mut timing = DecodeTiming::default();
+    for _ in 0..n_layers {
+        let name_len = read_varint(bytes, &mut pos)? as usize;
+        let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
+        let name = std::str::from_utf8(bytes.get(pos..name_end).ok_or(CodecError::Truncated)?)
+            .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?
+            .to_string();
+        pos = name_end;
+        let layer_index = read_varint(bytes, &mut pos)? as usize;
+        let rows = read_varint(bytes, &mut pos)? as usize;
+        let cols = read_varint(bytes, &mut pos)? as usize;
+        let _eb = f64::from_le_bytes(
+            bytes.get(pos..pos + 8).ok_or(CodecError::Truncated)?.try_into().expect("len 8"),
+        );
+        pos += 8;
+        let codec = LosslessKind::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)?;
+        pos += 1;
+        let sz_len = read_varint(bytes, &mut pos)? as usize;
+        let sz_end = pos.checked_add(sz_len).ok_or(CodecError::Truncated)?;
+        let sz_blob = bytes.get(pos..sz_end).ok_or(CodecError::Truncated)?;
+        pos = sz_end;
+        let idx_len = read_varint(bytes, &mut pos)? as usize;
+        let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
+        let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?;
+        pos = idx_end;
+
+        let t = Instant::now();
+        let index = codec.codec().decompress(idx_blob)?;
+        timing.lossless_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let data = dsz_sz::decompress(sz_blob)?;
+        timing.sz_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        if data.len() != index.len() {
+            return Err(DeepSzError::BadContainer("data/index length mismatch".into()));
+        }
+        let pair = PairArray { rows, cols, data, index };
+        let dense = pair.to_dense()?;
+        timing.reconstruct_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        layers.push(DecodedLayer { name, layer_index, dense, rows, cols });
+    }
+    Ok((layers, timing))
+}
+
+/// Installs decoded fc layers into `net` (matched by layer index, with the
+/// name and shape cross-checked).
+pub fn apply_decoded(net: &mut Network, layers: &[DecodedLayer]) -> Result<(), DeepSzError> {
+    for l in layers {
+        if l.layer_index >= net.layers.len() {
+            return Err(DeepSzError::BadContainer(format!(
+                "layer index {} out of range",
+                l.layer_index
+            )));
+        }
+        let dsz_nn::Layer::Dense(d) = &mut net.layers[l.layer_index] else {
+            return Err(DeepSzError::BadContainer(format!(
+                "network layer {} is not fully connected",
+                l.layer_index
+            )));
+        };
+        if d.name != l.name || d.w.rows != l.rows || d.w.cols != l.cols {
+            return Err(DeepSzError::BadContainer(format!(
+                "layer {} does not match network layer {} ({}×{})",
+                l.name, d.name, d.w.rows, d.w.cols
+            )));
+        }
+        d.w.data = l.dense.clone();
+    }
+    Ok(())
+}

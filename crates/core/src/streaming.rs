@@ -1,0 +1,205 @@
+//! Memory-bounded inference over a compressed model — the paper's stated
+//! future-work direction (§7: "use DeepSZ for improving GPU memory
+//! utilization").
+//!
+//! Instead of decoding every fc layer up front, [`CompressedFcModel`] keeps
+//! the container bytes resident and materializes one dense layer at a time
+//! during the forward pass, dropping it as soon as its matmul is done. Peak
+//! weight memory becomes `max(layer)` instead of `sum(layers)` — for
+//! VGG-16's fc stack that is a 411 MB high-water mark instead of 494 MB,
+//! and with the compressed container as the only persistent copy, resident
+//! model state shrinks by the full compression ratio.
+
+use crate::pipeline::{decode_model, CompressedModel, DecodedLayer};
+use crate::DeepSzError;
+use dsz_lossless::bits::read_varint;
+use dsz_lossless::{CodecError, LosslessKind};
+use dsz_nn::{Batch, Layer, Network};
+use dsz_sparse::PairArray;
+
+/// One fc layer kept in compressed form.
+#[derive(Debug, Clone)]
+struct CompressedLayer {
+    name: String,
+    layer_index: usize,
+    rows: usize,
+    cols: usize,
+    codec: LosslessKind,
+    sz_blob: Vec<u8>,
+    idx_blob: Vec<u8>,
+}
+
+impl CompressedLayer {
+    fn decode(&self) -> Result<DecodedLayer, DeepSzError> {
+        let index = self.codec.codec().decompress(&self.idx_blob)?;
+        let data = dsz_sz::decompress(&self.sz_blob)?;
+        if data.len() != index.len() {
+            return Err(DeepSzError::BadContainer("data/index length mismatch".into()));
+        }
+        let pair = PairArray { rows: self.rows, cols: self.cols, data, index };
+        Ok(DecodedLayer {
+            name: self.name.clone(),
+            layer_index: self.layer_index,
+            dense: pair.to_dense()?,
+            rows: self.rows,
+            cols: self.cols,
+        })
+    }
+
+    fn compressed_bytes(&self) -> usize {
+        self.sz_blob.len() + self.idx_blob.len()
+    }
+}
+
+/// A network whose fc weights live in DeepSZ-compressed form; dense
+/// weights are materialized per layer only while that layer executes.
+#[derive(Debug, Clone)]
+pub struct CompressedFcModel {
+    /// The non-fc skeleton (fc layers carry empty weight buffers).
+    skeleton: Network,
+    layers: Vec<CompressedLayer>,
+}
+
+/// Memory accounting from a streaming forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingStats {
+    /// Peak bytes of dense fc weights resident at any instant.
+    pub peak_dense_bytes: usize,
+    /// Sum of dense fc weights (what eager decoding would hold).
+    pub total_dense_bytes: usize,
+    /// Persistent compressed bytes.
+    pub compressed_bytes: usize,
+}
+
+impl CompressedFcModel {
+    /// Builds a streaming model from a network skeleton and its compressed
+    /// container. The skeleton's fc weights are discarded (replaced by
+    /// empty buffers) — only shapes and non-fc layers are kept.
+    pub fn new(net: &Network, model: &CompressedModel) -> Result<Self, DeepSzError> {
+        let mut skeleton = net.clone();
+        let layers = parse_layers(model)?;
+        for l in &layers {
+            if l.layer_index >= skeleton.layers.len() {
+                return Err(DeepSzError::BadContainer(format!(
+                    "layer index {} out of range",
+                    l.layer_index
+                )));
+            }
+            let Layer::Dense(d) = &mut skeleton.layers[l.layer_index] else {
+                return Err(DeepSzError::BadContainer(format!(
+                    "container layer {} targets a non-dense network layer",
+                    l.name
+                )));
+            };
+            if d.name != l.name || d.w.rows != l.rows || d.w.cols != l.cols {
+                return Err(DeepSzError::BadContainer(format!(
+                    "layer {} does not match network layer {}",
+                    l.name, d.name
+                )));
+            }
+            // Release the dense weights; the compressed blob is canonical.
+            d.w.data = Vec::new();
+        }
+        Ok(Self { skeleton, layers })
+    }
+
+    /// Forward pass, materializing one fc layer at a time. Returns the
+    /// output batch and the memory accounting.
+    pub fn forward(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
+        let mut stats = StreamingStats {
+            compressed_bytes: self.layers.iter().map(CompressedLayer::compressed_bytes).sum(),
+            ..Default::default()
+        };
+        let mut cur = x.clone();
+        for (i, layer) in self.skeleton.layers.iter().enumerate() {
+            match layer {
+                Layer::Dense(d) if d.w.data.is_empty() => {
+                    let c = self
+                        .layers
+                        .iter()
+                        .find(|l| l.layer_index == i)
+                        .ok_or_else(|| {
+                            DeepSzError::BadContainer(format!("no blob for fc layer {i}"))
+                        })?;
+                    let decoded = c.decode()?;
+                    let dense_bytes = decoded.dense.len() * 4;
+                    stats.peak_dense_bytes = stats.peak_dense_bytes.max(dense_bytes);
+                    stats.total_dense_bytes += dense_bytes;
+                    let mut live = d.clone();
+                    live.w.data = decoded.dense;
+                    let (next, _) = Layer::Dense(live).forward(&cur);
+                    cur = next; // dense weights dropped here
+                }
+                other => {
+                    let (next, _) = other.forward(&cur);
+                    cur = next;
+                }
+            }
+        }
+        Ok((cur, stats))
+    }
+
+    /// Eagerly decodes everything into a plain [`Network`] (the
+    /// conventional decode path, for comparison).
+    pub fn materialize(&self) -> Result<Network, DeepSzError> {
+        let mut net = self.skeleton.clone();
+        for c in &self.layers {
+            let decoded = c.decode()?;
+            let Layer::Dense(d) = &mut net.layers[c.layer_index] else {
+                unreachable!("validated at construction")
+            };
+            d.w.data = decoded.dense;
+        }
+        Ok(net)
+    }
+}
+
+/// Parses the container into per-layer compressed records without decoding
+/// the payloads (mirrors [`decode_model`]'s framing).
+fn parse_layers(model: &CompressedModel) -> Result<Vec<CompressedLayer>, DeepSzError> {
+    let bytes = &model.bytes;
+    if bytes.len() < 5 || &bytes[..4] != b"DSZM" {
+        return Err(DeepSzError::BadContainer("bad magic".into()));
+    }
+    let mut pos = 5usize;
+    let n_layers = read_varint(bytes, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let name_len = read_varint(bytes, &mut pos)? as usize;
+        let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
+        let name = std::str::from_utf8(bytes.get(pos..name_end).ok_or(CodecError::Truncated)?)
+            .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?
+            .to_string();
+        pos = name_end;
+        let layer_index = read_varint(bytes, &mut pos)? as usize;
+        let rows = read_varint(bytes, &mut pos)? as usize;
+        let cols = read_varint(bytes, &mut pos)? as usize;
+        pos += 8; // stored eb, not needed here
+        let codec = LosslessKind::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)?;
+        pos += 1;
+        let sz_len = read_varint(bytes, &mut pos)? as usize;
+        let sz_end = pos.checked_add(sz_len).ok_or(CodecError::Truncated)?;
+        let sz_blob = bytes.get(pos..sz_end).ok_or(CodecError::Truncated)?.to_vec();
+        pos = sz_end;
+        let idx_len = read_varint(bytes, &mut pos)? as usize;
+        let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
+        let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?.to_vec();
+        pos = idx_end;
+        out.push(CompressedLayer { name, layer_index, rows, cols, codec, sz_blob, idx_blob });
+    }
+    Ok(out)
+}
+
+/// Consistency check used by tests: streaming and eager decode agree.
+pub fn streaming_matches_eager(
+    net: &Network,
+    model: &CompressedModel,
+    probe: &Batch,
+) -> Result<bool, DeepSzError> {
+    let streaming = CompressedFcModel::new(net, model)?;
+    let (out_s, _) = streaming.forward(probe)?;
+    let mut eager = net.clone();
+    let (decoded, _) = decode_model(model)?;
+    crate::pipeline::apply_decoded(&mut eager, &decoded)?;
+    Ok(out_s == eager.forward(probe))
+}

@@ -1,0 +1,99 @@
+//! Synthesized "trained" fc-layer weights for full-size storage experiments.
+//!
+//! The compression-ratio experiments (Fig. 2, Fig. 4, Table 2's size
+//! columns) depend only on the *value distribution* of trained weights, not
+//! on what the network computes. Trained fc layers empirically have
+//! zero-centred, heavy-tailed weights; the paper notes values typically in
+//! [−0.3, 0.3] (§5.1). We synthesize a Laplace distribution scaled to that
+//! range, with mild column-wise scale variation so the data is not i.i.d.
+//! (real layers show per-neuron scale structure that SZ's block regression
+//! can exploit).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Laplace(0, b) sample via inverse CDF.
+fn laplace(rng: &mut StdRng, b: f64) -> f64 {
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Synthesizes a dense `rows × cols` trained-like weight matrix.
+///
+/// Values are Laplace-distributed with scale ≈ `0.35 / √cols` (matching the
+/// `std ≈ 1/√fan_in` magnitude regime of real trained fc layers — AlexNet
+/// fc6's weights have std ≈ 0.01), clamped to ±0.3 like the paper's
+/// observed range.
+pub fn trained_fc_weights(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-column (input-neuron) scale factors: mild structure.
+    let col_scale: Vec<f64> = (0..cols).map(|_| rng.gen_range(0.6..1.4)).collect();
+    let base = 0.35 / (cols as f64).sqrt();
+    let mut out = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        for cs in &col_scale {
+            let w = laplace(&mut rng, base * cs).clamp(-0.3, 0.3);
+            out.push(w as f32);
+        }
+    }
+    out
+}
+
+/// Convenience: the condensed nonzero-weight array of a pruned layer at the
+/// given kept `density` — i.e. the `data` stream SZ compresses, without
+/// building the full sparse structure. Returns `(values, threshold)`.
+pub fn pruned_nonzeros(rows: usize, cols: usize, density: f64, seed: u64) -> (Vec<f32>, f32) {
+    let dense = trained_fc_weights(rows, cols, seed);
+    let keep = ((rows * cols) as f64 * density).round() as usize;
+    let mut mags: Vec<f32> = dense.iter().map(|w| w.abs()).collect();
+    let k = (rows * cols).saturating_sub(keep).min(mags.len().saturating_sub(1));
+    mags.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite"));
+    let threshold = mags[k];
+    let values: Vec<f32> = dense.iter().copied().filter(|w| w.abs() >= threshold && *w != 0.0).collect();
+    (values, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_in_paper_range() {
+        let w = trained_fc_weights(100, 200, 3);
+        assert_eq!(w.len(), 20_000);
+        assert!(w.iter().all(|&v| (-0.3..=0.3).contains(&v)));
+        // Zero-centred.
+        let mean: f64 = w.iter().map(|&v| v as f64).sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 5e-3, "{mean}");
+    }
+
+    #[test]
+    fn distribution_is_heavy_tailed() {
+        // Laplace kurtosis ≈ 6 > Gaussian 3; check excess kurtosis > 0.5.
+        let w = trained_fc_weights(200, 500, 5);
+        let n = w.len() as f64;
+        let mean: f64 = w.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let m2: f64 = w.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let m4: f64 = w.iter().map(|&v| (v as f64 - mean).powi(4)).sum::<f64>() / n;
+        let kurt = m4 / (m2 * m2);
+        assert!(kurt > 3.5, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn pruned_nonzeros_hits_density() {
+        let (vals, thr) = pruned_nonzeros(300, 400, 0.1, 7);
+        let want = (300.0 * 400.0 * 0.1) as usize;
+        let got = vals.len();
+        assert!(
+            (got as i64 - want as i64).unsigned_abs() < want as u64 / 20,
+            "kept {got}, wanted ≈{want}"
+        );
+        assert!(vals.iter().all(|&v| v.abs() >= thr));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(trained_fc_weights(10, 10, 1), trained_fc_weights(10, 10, 1));
+        assert_ne!(trained_fc_weights(10, 10, 1), trained_fc_weights(10, 10, 2));
+    }
+}

@@ -1,0 +1,280 @@
+//! Bit-granular I/O used by the entropy coders.
+//!
+//! Bits are written LSB-first within each byte for fixed-width fields
+//! ([`BitWriter::write_bits`]); Huffman codes are emitted MSB-first through
+//! [`BitWriter::write_code`] so that the canonical decoder can consume them
+//! one bit at a time in code order. Both directions share the same physical
+//! bit order, so the two styles can be mixed freely in one stream as long as
+//! the reader mirrors the writer call-for-call.
+
+use crate::CodecError;
+
+/// Append-only bit sink backed by a `Vec<u8>`.
+#[derive(Default, Debug, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf` (0..=7; 0 means aligned).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with capacity for roughly `bytes` of output.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { buf: Vec::with_capacity(bytes), used: 0 }
+    }
+
+    /// Number of complete or partial bytes written so far.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first. `n` may be 0..=64.
+    pub fn write_bits(&mut self, mut value: u64, mut n: u8) {
+        debug_assert!(n <= 64);
+        if n < 64 {
+            value &= (1u64 << n) - 1;
+        }
+        while n > 0 {
+            if self.used == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.used;
+            let take = free.min(n);
+            let last = self.buf.last_mut().expect("buffer non-empty");
+            *last |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
+            self.used = (self.used + take) % 8;
+            value >>= take;
+            n -= take;
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Writes an `n`-bit Huffman code MSB-first (bit `n-1` of `code` first).
+    #[inline]
+    pub fn write_code(&mut self, code: u32, n: u8) {
+        debug_assert!(n <= 32);
+        for i in (0..n).rev() {
+            self.write_bits(((code >> i) & 1) as u64, 1);
+        }
+    }
+
+    /// Pads to the next byte boundary with zero bits.
+    pub fn align(&mut self) {
+        self.used = 0;
+    }
+
+    /// Consumes the writer and returns the written bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential bit source over a byte slice; mirrors [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit index within `buf` (absolute, 0-based).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Remaining bits available.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Reads `n` bits written by [`BitWriter::write_bits`].
+    pub fn read_bits(&mut self, n: u8) -> Result<u64, CodecError> {
+        debug_assert!(n <= 64);
+        if self.remaining_bits() < n as usize {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = 0u64;
+        let mut got = 0u8;
+        while got < n {
+            let byte = self.buf[self.pos / 8];
+            let off = (self.pos % 8) as u8;
+            let avail = 8 - off;
+            let take = avail.min(n - got);
+            let bits = (byte >> off) as u64 & ((1u64 << take) - 1);
+            out |= bits << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Skips ahead to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+/// Appends an unsigned LEB128 varint to `out`.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `data[*pos..]`, advancing `pos`.
+pub fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::corrupt("varint overflow"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zig-zag encodes a signed integer so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_width_fields() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(1, 1);
+        w.write_bits(0x3ff, 10);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xdead_beef);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(10).unwrap(), 0x3ff);
+    }
+
+    #[test]
+    fn roundtrip_64bit() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 64);
+        w.write_bits(0x0123_4567_89ab_cdef, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn msb_first_codes_interleave_with_lsb_fields() {
+        let mut w = BitWriter::new();
+        w.write_code(0b110, 3);
+        w.write_bits(0xab, 8);
+        w.write_code(0b01, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // write_code emits MSB first: 1, 1, 0.
+        assert!(r.read_bit().unwrap());
+        assert!(r.read_bit().unwrap());
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read_bits(8).unwrap(), 0xab);
+        assert!(!r.read_bit().unwrap());
+        assert!(r.read_bit().unwrap());
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align();
+        w.write_bits(0xff, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x01, 0xff]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        r.align();
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let bytes = vec![0u8; 2];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(16).unwrap(), 0);
+        assert!(matches!(r.read_bits(1), Err(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

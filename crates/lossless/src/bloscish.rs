@@ -1,0 +1,200 @@
+//! Blosc-like codec: optional byte shuffle + fast byte-aligned greedy LZ.
+//!
+//! Blosc's design point is throughput: a type-aware byte shuffle to expose
+//! repeated high-order bytes, a single-probe LZ (blosclz) and *no* entropy
+//! stage. This stand-in mirrors those choices, so it is the fastest and
+//! usually the weakest-ratio codec of the three — exactly the role Blosc
+//! plays in the paper's Figure 4.
+
+use crate::bits::{read_varint, write_varint};
+use crate::lz::LzParams;
+use crate::CodecError;
+
+/// Transposes `data` viewed as elements of `typesize` bytes so byte 0 of
+/// every element comes first, then byte 1, etc. A trailing partial element
+/// is copied through unchanged.
+pub fn shuffle(data: &[u8], typesize: usize) -> Vec<u8> {
+    if typesize <= 1 || data.len() < typesize * 2 {
+        return data.to_vec();
+    }
+    let nelem = data.len() / typesize;
+    let body = nelem * typesize;
+    let mut out = Vec::with_capacity(data.len());
+    for byte in 0..typesize {
+        for e in 0..nelem {
+            out.push(data[e * typesize + byte]);
+        }
+    }
+    out.extend_from_slice(&data[body..]);
+    out
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(data: &[u8], typesize: usize) -> Vec<u8> {
+    if typesize <= 1 || data.len() < typesize * 2 {
+        return data.to_vec();
+    }
+    let nelem = data.len() / typesize;
+    let body = nelem * typesize;
+    let mut out = vec![0u8; data.len()];
+    for byte in 0..typesize {
+        for e in 0..nelem {
+            out[e * typesize + byte] = data[byte * nelem + e];
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize, hash_log: u32) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    ((v.wrapping_mul(2654435761)) >> (32 - hash_log)) as usize
+}
+
+/// Byte-aligned single-probe LZ: `[lit_run varint][literals][len-4 varint][dist varint]…`
+fn lz_fast_compress(data: &[u8], p: &LzParams) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    write_varint(&mut out, n as u64);
+    let mut head = vec![usize::MAX; 1 << p.hash_log];
+    let window = 1usize << p.window_log;
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + 4 <= n {
+        let h = hash4(data, i, p.hash_log);
+        let cand = head[h];
+        head[h] = i;
+        if cand != usize::MAX && i - cand <= window && data[cand..cand + 4] == data[i..i + 4] {
+            let max = p.max_match.min(n - i);
+            let mut len = 4;
+            while len < max && data[cand + len] == data[i + len] {
+                len += 1;
+            }
+            // Flush pending literals, then the match.
+            write_varint(&mut out, (i - lit_start) as u64);
+            out.extend_from_slice(&data[lit_start..i]);
+            write_varint(&mut out, (len - p.min_match) as u64);
+            write_varint(&mut out, (i - cand) as u64);
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    if lit_start < n {
+        write_varint(&mut out, (n - lit_start) as u64);
+        out.extend_from_slice(&data[lit_start..]);
+    }
+    out
+}
+
+fn lz_fast_decompress(data: &[u8], min_match: usize) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let raw_len = read_varint(data, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    while out.len() < raw_len {
+        let lit = read_varint(data, &mut pos)? as usize;
+        let end = pos.checked_add(lit).ok_or(CodecError::Truncated)?;
+        let bytes = data.get(pos..end).ok_or(CodecError::Truncated)?;
+        out.extend_from_slice(bytes);
+        pos = end;
+        if out.len() >= raw_len {
+            break;
+        }
+        let len = read_varint(data, &mut pos)? as usize + min_match;
+        let dist = read_varint(data, &mut pos)? as usize;
+        if dist == 0 || dist > out.len() || out.len() + len > raw_len {
+            return Err(CodecError::corrupt("bad match in blosc stream"));
+        }
+        let start = out.len() - dist;
+        for k in 0..len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != raw_len {
+        return Err(CodecError::corrupt("blosc length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Compresses with shuffle + fast LZ. `typesize` is the element width used
+/// for the shuffle (4 for f32 arrays, 1 disables shuffling).
+pub fn compress(data: &[u8], typesize: usize) -> Vec<u8> {
+    let p = LzParams::blosc_like();
+    let shuffled = shuffle(data, typesize);
+    let body = lz_fast_compress(&shuffled, &p);
+    let mut out = Vec::with_capacity(body.len() + 2);
+    out.push(typesize as u8);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let typesize = *data.first().ok_or(CodecError::Truncated)? as usize;
+    if typesize == 0 || typesize > 64 {
+        return Err(CodecError::corrupt("bad blosc typesize"));
+    }
+    let body = lz_fast_decompress(&data[1..], LzParams::blosc_like().min_match)?;
+    Ok(unshuffle(&body, typesize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_roundtrip_all_sizes() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for t in [1usize, 2, 4, 8, 3, 7] {
+            assert_eq!(unshuffle(&shuffle(&data, t), t), data, "typesize {t}");
+        }
+    }
+
+    #[test]
+    fn shuffle_partial_tail() {
+        let data: Vec<u8> = (0..13u8).collect(); // 13 % 4 != 0
+        assert_eq!(unshuffle(&shuffle(&data, 4), 4), data);
+    }
+
+    #[test]
+    fn roundtrip_various_inputs() {
+        let inputs: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![42],
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![0u8; 10_000],
+            (0..5000u32).map(|i| (i * 7 % 256) as u8).collect(),
+        ];
+        for data in inputs {
+            for t in [1usize, 4] {
+                let blob = compress(&data, t);
+                assert_eq!(decompress(&blob).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_helps_on_f32_like_data() {
+        // Slowly varying floats share exponent/high-mantissa bytes.
+        let floats: Vec<f32> = (0..4096).map(|i| 0.1 + (i as f32) * 1e-6).collect();
+        let bytes: Vec<u8> = floats.iter().flat_map(|f| f.to_le_bytes()).collect();
+        let with = compress(&bytes, 4);
+        let without = compress(&bytes, 1);
+        assert!(with.len() < without.len());
+        assert_eq!(decompress(&with).unwrap(), bytes);
+    }
+
+    #[test]
+    fn corrupt_stream_is_error() {
+        let data = b"hello world hello world hello world".repeat(10);
+        let mut blob = compress(&data, 1);
+        for i in 0..blob.len().min(40) {
+            blob[i] ^= 0xa5;
+            let _ = decompress(&blob); // must not panic
+            blob[i] ^= 0xa5;
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Canonical Huffman coding.
+//!
+//! This is the entropy stage shared by the SZ quantization-code stream and
+//! the DEFLATE-like / Zstandard-like lossless codecs. Codes are canonical so
+//! only `(symbol, length)` pairs need to be serialized; the decoder derives
+//! the same code values independently.
+
+use crate::bits::{read_varint, write_varint, BitReader, BitWriter};
+use crate::CodecError;
+
+/// Longest permitted code. 24 bits keeps the decode loop tight while being
+/// ample for the ≤ 2^17-symbol alphabets used in this workspace.
+pub const MAX_CODE_LEN: u8 = 24;
+
+/// A canonical Huffman code book: the sorted `(symbol, code length)` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// Sorted by (length, symbol); lengths in 1..=MAX_CODE_LEN.
+    entries: Vec<(u32, u8)>,
+}
+
+impl HuffmanCode {
+    /// Builds an optimal (length-limited) code from dense symbol counts,
+    /// where `counts[sym]` is the frequency of symbol `sym`. Zero-count
+    /// symbols receive no code.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut scaled: Vec<u64> = counts.to_vec();
+        loop {
+            let lengths = build_lengths(&scaled);
+            let maxlen = lengths.iter().map(|&(_, l)| l).max().unwrap_or(0);
+            if maxlen <= MAX_CODE_LEN {
+                let mut entries = lengths;
+                entries.sort_unstable_by_key(|&(sym, len)| (len, sym));
+                return Self { entries };
+            }
+            // Flatten the distribution and retry; this converges quickly and
+            // costs at most a fraction of a bit per symbol in practice.
+            for c in scaled.iter_mut() {
+                if *c > 0 {
+                    *c = (*c >> 1).max(1);
+                }
+            }
+        }
+    }
+
+    /// Number of coded symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no symbol has a code (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the code book (delta-coded sorted symbols + lengths).
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.entries.len() as u64);
+        // Sort a copy by symbol for tight delta coding.
+        let mut by_sym = self.entries.clone();
+        by_sym.sort_unstable_by_key(|&(sym, _)| sym);
+        let mut prev = 0u64;
+        for &(sym, len) in &by_sym {
+            write_varint(out, u64::from(sym) - prev);
+            out.push(len);
+            prev = u64::from(sym);
+        }
+    }
+
+    /// Parses a code book written by [`HuffmanCode::serialize`].
+    pub fn deserialize(data: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
+        let n = read_varint(data, pos)? as usize;
+        if n > 1 << 26 {
+            return Err(CodecError::corrupt("huffman table too large"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let delta = read_varint(data, pos)?;
+            let sym = prev + delta;
+            if i > 0 && delta == 0 {
+                return Err(CodecError::corrupt("duplicate symbol in huffman table"));
+            }
+            prev = sym;
+            let len = *data.get(*pos).ok_or(CodecError::Truncated)?;
+            *pos += 1;
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(CodecError::corrupt("bad code length"));
+            }
+            let sym = u32::try_from(sym).map_err(|_| CodecError::corrupt("symbol overflow"))?;
+            entries.push((sym, len));
+        }
+        entries.sort_unstable_by_key(|&(sym, len)| (len, sym));
+        // Kraft check so a corrupt table cannot make the decoder ambiguous.
+        let kraft: u64 = entries
+            .iter()
+            .map(|&(_, len)| 1u64 << (MAX_CODE_LEN - len))
+            .sum();
+        if n > 1 && kraft > 1u64 << MAX_CODE_LEN {
+            return Err(CodecError::corrupt("huffman table violates Kraft inequality"));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Builds the encode-side dense lookup table.
+    pub fn encoder(&self) -> HuffmanEncoder {
+        let max_sym = self.entries.iter().map(|&(s, _)| s).max().map_or(0, |s| s + 1);
+        let mut codes = vec![(0u32, 0u8); max_sym as usize];
+        for (code, (sym, len)) in assign_codes(&self.entries) {
+            codes[sym as usize] = (code, len);
+        }
+        HuffmanEncoder { codes }
+    }
+
+    /// Builds the decode-side canonical tables.
+    pub fn decoder(&self) -> HuffmanDecoder {
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut first_rank = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut syms = Vec::with_capacity(self.entries.len());
+        for &(_, len) in &self.entries {
+            count[len as usize] += 1;
+        }
+        let mut code = 0u32;
+        let mut rank = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            first_code[len] = code;
+            first_rank[len] = rank;
+            code = (code + count[len]) << 1;
+            rank += count[len];
+        }
+        for &(sym, _) in &self.entries {
+            syms.push(sym);
+        }
+        HuffmanDecoder { first_code, first_rank, count, syms }
+    }
+}
+
+/// Pairs each canonical entry (sorted by length, then symbol) with its
+/// numeric code, using the same `first_code` recurrence as the decoder.
+fn assign_codes(entries: &[(u32, u8)]) -> Vec<(u32, (u32, u8))> {
+    let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+    for &(_, len) in entries {
+        count[len as usize] += 1;
+    }
+    let mut next_code = [0u32; MAX_CODE_LEN as usize + 1];
+    let mut code = 0u32;
+    for len in 1..=MAX_CODE_LEN as usize {
+        next_code[len] = code;
+        code = (code + count[len]) << 1;
+    }
+    entries
+        .iter()
+        .map(|&(sym, len)| {
+            let c = next_code[len as usize];
+            next_code[len as usize] += 1;
+            (c, (sym, len))
+        })
+        .collect()
+}
+
+/// Encode-side table: `codes[sym] = (code, len)`, len 0 for uncoded symbols.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    codes: Vec<(u32, u8)>,
+}
+
+impl HuffmanEncoder {
+    /// Emits the code for `sym`. Panics (debug) on symbols absent from the
+    /// code book; in release the zero-length write corrupts nothing but
+    /// produces an undecodable stream, so callers must only encode counted
+    /// symbols.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, sym: u32) {
+        let (code, len) = self.codes[sym as usize];
+        debug_assert!(len > 0, "symbol {sym} has no code");
+        w.write_code(code, len);
+    }
+
+    /// Code length in bits for `sym` (0 if uncoded).
+    pub fn code_len(&self, sym: u32) -> u8 {
+        self.codes.get(sym as usize).map_or(0, |&(_, l)| l)
+    }
+}
+
+/// Decode-side canonical tables.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    first_rank: [u32; MAX_CODE_LEN as usize + 1],
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    syms: Vec<u32>,
+}
+
+impl HuffmanDecoder {
+    /// Reads one symbol.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        // Degenerate book: a single symbol still consumes its 1-bit code.
+        let mut acc = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            acc = (acc << 1) | r.read_bits(1)? as u32;
+            let c = self.count[len];
+            if c > 0 && acc.wrapping_sub(self.first_code[len]) < c {
+                let rank = self.first_rank[len] + (acc - self.first_code[len]);
+                return Ok(self.syms[rank as usize]);
+            }
+        }
+        Err(CodecError::corrupt("invalid huffman code"))
+    }
+}
+
+/// Computes optimal code lengths via the standard two-queue Huffman merge.
+/// Returns `(symbol, length)` for every nonzero-count symbol.
+fn build_lengths(counts: &[u64]) -> Vec<(u32, u8)> {
+    let live: Vec<(u32, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(s, &c)| (s as u32, c))
+        .collect();
+    match live.len() {
+        0 => return Vec::new(),
+        1 => return vec![(live[0].0, 1)],
+        _ => {}
+    }
+
+    // Node arena: leaves first, then internal nodes.
+    let n = live.len();
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = live
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, c))| std::cmp::Reverse((c, i)))
+        .collect();
+    let mut next = n;
+    while heap.len() > 1 {
+        let std::cmp::Reverse((c1, a)) = heap.pop().expect("heap len > 1");
+        let std::cmp::Reverse((c2, b)) = heap.pop().expect("heap len > 1");
+        parent[a] = next;
+        parent[b] = next;
+        heap.push(std::cmp::Reverse((c1 + c2, next)));
+        next += 1;
+    }
+
+    live.iter()
+        .enumerate()
+        .map(|(i, &(sym, _))| {
+            let mut depth = 0u8;
+            let mut node = i;
+            while parent[node] != usize::MAX {
+                node = parent[node];
+                depth = depth.saturating_add(1);
+            }
+            (sym, depth.max(1))
+        })
+        .collect()
+}
+
+/// Convenience: Huffman-encodes a `u32` symbol stream (table + payload).
+pub fn encode_stream(symbols: &[u32], max_sym_hint: usize) -> Vec<u8> {
+    let mut counts = vec![0u64; max_sym_hint.max(1)];
+    for &s in symbols {
+        if s as usize >= counts.len() {
+            counts.resize(s as usize + 1, 0);
+        }
+        counts[s as usize] += 1;
+    }
+    let code = HuffmanCode::from_counts(&counts);
+    let enc = code.encoder();
+    let mut out = Vec::new();
+    write_varint(&mut out, symbols.len() as u64);
+    code.serialize(&mut out);
+    let mut w = BitWriter::with_capacity(symbols.len() / 2);
+    for &s in symbols {
+        enc.encode(&mut w, s);
+    }
+    let payload = w.into_bytes();
+    write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Inverse of [`encode_stream`].
+pub fn decode_stream(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> {
+    let n = read_varint(data, pos)? as usize;
+    let code = HuffmanCode::deserialize(data, pos)?;
+    let payload_len = read_varint(data, pos)? as usize;
+    let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
+    let payload = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let dec = code.decoder();
+    let mut r = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.decode(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let blob = encode_stream(symbols, 0);
+        let mut pos = 0;
+        let back = decode_stream(&blob, &mut pos).unwrap();
+        assert_eq!(back, symbols);
+        assert_eq!(pos, blob.len());
+    }
+
+    #[test]
+    fn empty_stream() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_repeated() {
+        roundtrip(&[7u32; 100]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% of symbols are `5`; entropy ≈ 0.7 bits/symbol.
+        let mut syms = vec![5u32; 9000];
+        for i in 0..1000 {
+            syms.push(i % 32);
+        }
+        let blob = encode_stream(&syms, 0);
+        assert!(blob.len() < syms.len()); // ≪ 4 bytes/symbol, < 1 byte/symbol
+        let mut pos = 0;
+        assert_eq!(decode_stream(&blob, &mut pos).unwrap(), syms);
+    }
+
+    #[test]
+    fn large_alphabet() {
+        let syms: Vec<u32> = (0..5000u32).map(|i| (i * i) % 4096).collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn sparse_symbol_space() {
+        let syms: Vec<u32> = (0..256u32).map(|i| i * 1000).collect();
+        roundtrip(&syms);
+    }
+
+    #[test]
+    fn code_lengths_are_optimal_for_uniform() {
+        // 4 equally likely symbols must all get 2-bit codes.
+        let code = HuffmanCode::from_counts(&[10, 10, 10, 10]);
+        for &(_, len) in &code.entries {
+            assert_eq!(len, 2);
+        }
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let code = HuffmanCode::from_counts(&[5, 0, 9, 1, 0, 0, 2]);
+        let mut buf = Vec::new();
+        code.serialize(&mut buf);
+        let mut pos = 0;
+        let back = HuffmanCode::deserialize(&buf, &mut pos).unwrap();
+        assert_eq!(back, code);
+    }
+
+    #[test]
+    fn corrupt_table_rejected() {
+        let code = HuffmanCode::from_counts(&[5, 9, 1, 2]);
+        let mut buf = Vec::new();
+        code.serialize(&mut buf);
+        buf[1] = 0xff; // clobber first delta
+        let mut pos = 0;
+        assert!(HuffmanCode::deserialize(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn length_limiting_kicks_in() {
+        // Fibonacci-like counts force deep trees without limiting.
+        let mut counts = vec![0u64; 64];
+        let (mut a, mut b) = (1u64, 1u64);
+        for c in counts.iter_mut() {
+            *c = a;
+            let t = a + b;
+            a = b;
+            b = t;
+        }
+        let code = HuffmanCode::from_counts(&counts);
+        assert!(code.entries.iter().all(|&(_, l)| l <= MAX_CODE_LEN));
+        // And it still decodes.
+        let syms: Vec<u32> = (0..64u32).flat_map(|s| std::iter::repeat_n(s, 3)).collect();
+        let enc = code.encoder();
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.into_bytes();
+        let dec = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+}

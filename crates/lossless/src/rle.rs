@@ -1,0 +1,64 @@
+//! Byte run-length encoding, used for highly repetitive side streams
+//! (e.g. block-predictor selector bytes in the SZ pipeline).
+
+use crate::bits::{read_varint, write_varint};
+use crate::CodecError;
+
+/// Encodes `data` as `(run_length, byte)` pairs.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, data.len() as u64);
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        let mut j = i + 1;
+        while j < data.len() && data[j] == b {
+            j += 1;
+        }
+        write_varint(&mut out, (j - i) as u64);
+        out.push(b);
+        i = j;
+    }
+    out
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let raw_len = read_varint(data, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    while out.len() < raw_len {
+        let run = read_varint(data, &mut pos)? as usize;
+        let b = *data.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        if run == 0 || out.len() + run > raw_len {
+            return Err(CodecError::corrupt("bad RLE run"));
+        }
+        out.extend(std::iter::repeat_n(b, run));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for data in [
+            vec![],
+            vec![1u8],
+            vec![0u8; 100_000],
+            b"aaabbbcccabc".to_vec(),
+            (0..=255u8).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_runs_shrink() {
+        let data = vec![7u8; 1 << 16];
+        assert!(compress(&data).len() < 16);
+    }
+}

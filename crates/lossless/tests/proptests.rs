@@ -1,0 +1,96 @@
+//! Property-based tests: every lossless codec must invert exactly on
+//! arbitrary byte strings, and the entropy coders must round-trip arbitrary
+//! symbol streams.
+
+use dsz_lossless::range::{RangeDecoder, RangeEncoder, StaticModel, TreeModel};
+use dsz_lossless::{huffman, LosslessKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gzipish_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = LosslessKind::Gzip.codec();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn zstdish_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = LosslessKind::Zstd.codec();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn bloscish_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = LosslessKind::Blosc.codec();
+        prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_structures_roundtrip(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..256,
+    ) {
+        // Highly repetitive inputs exercise long overlapping matches.
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        for kind in LosslessKind::ALL {
+            let c = kind.codec();
+            prop_assert_eq!(c.decompress(&c.compress(&data)).unwrap(), data.clone(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn huffman_stream_roundtrips(syms in proptest::collection::vec(0u32..5000, 0..2048)) {
+        let blob = huffman::encode_stream(&syms, 0);
+        let mut pos = 0;
+        prop_assert_eq!(huffman::decode_stream(&blob, &mut pos).unwrap(), syms);
+    }
+
+    #[test]
+    fn tree_model_roundtrips(syms in proptest::collection::vec(0u32..256, 1..2048)) {
+        let mut enc = RangeEncoder::new();
+        let mut m = TreeModel::<8>::default();
+        for &s in &syms {
+            m.encode(&mut enc, s);
+        }
+        let blob = enc.finish();
+        let mut dec = RangeDecoder::new(&blob).unwrap();
+        let mut m = TreeModel::<8>::default();
+        for &s in &syms {
+            prop_assert_eq!(m.decode(&mut dec), s);
+        }
+    }
+
+    #[test]
+    fn static_model_roundtrips(syms in proptest::collection::vec(0u32..64, 1..2048)) {
+        let mut counts = vec![0u64; 64];
+        for &s in &syms {
+            counts[s as usize] += 1;
+        }
+        let model = StaticModel::from_counts(&counts).unwrap();
+        let mut table = Vec::new();
+        model.serialize(&mut table);
+        let mut pos = 0;
+        let model2 = StaticModel::deserialize(&table, &mut pos).unwrap();
+
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            model.encode(&mut enc, s);
+        }
+        let blob = enc.finish();
+        let mut dec = RangeDecoder::new(&blob).unwrap();
+        for &s in &syms {
+            prop_assert_eq!(model2.decode(&mut dec), s);
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for kind in LosslessKind::ALL {
+            let _ = kind.codec().decompress(&data);
+        }
+        let mut pos = 0;
+        let _ = huffman::decode_stream(&data, &mut pos);
+    }
+}

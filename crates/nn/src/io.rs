@@ -1,0 +1,220 @@
+//! Binary model serialization (the stand-in for Caffe's `.caffemodel`).
+//!
+//! A simple self-describing little-endian format: layer-type tags followed
+//! by shapes and raw f32 parameter buffers. Used by the benchmark harness
+//! to train each evaluation network once and share it across table/figure
+//! binaries, and by the examples to demonstrate model shipping.
+
+use crate::{Batch, ConvLayer, DenseLayer, Layer, Network};
+use dsz_tensor::{Matrix, VolShape};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DSNN";
+const VERSION: u8 = 1;
+
+fn write_usize(w: &mut impl Write, v: usize) -> io::Result<()> {
+    w.write_all(&(v as u64).to_le_bytes())
+}
+
+fn read_usize(r: &mut impl Read) -> io::Result<usize> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf) as usize)
+}
+
+fn write_f32s(w: &mut impl Write, data: &[f32]) -> io::Result<()> {
+    write_usize(w, data.len())?;
+    for &v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let n = read_usize(r)?;
+    if n > 1 << 30 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "parameter buffer too large"));
+    }
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("len 4"))).collect())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_usize(w, s.len())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let n = read_usize(r)?;
+    if n > 1 << 16 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
+    }
+    let mut bytes = vec![0u8; n];
+    r.read_exact(&mut bytes)?;
+    String::from_utf8(bytes).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf8"))
+}
+
+/// Serializes `net` to `w`.
+pub fn save_network(net: &Network, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    write_usize(w, net.input_shape.c)?;
+    write_usize(w, net.input_shape.h)?;
+    write_usize(w, net.input_shape.w)?;
+    write_usize(w, net.layers.len())?;
+    for layer in &net.layers {
+        match layer {
+            Layer::Dense(d) => {
+                w.write_all(&[0u8])?;
+                write_str(w, &d.name)?;
+                write_usize(w, d.w.rows)?;
+                write_usize(w, d.w.cols)?;
+                write_f32s(w, &d.w.data)?;
+                write_f32s(w, &d.b)?;
+            }
+            Layer::Conv(c) => {
+                w.write_all(&[1u8])?;
+                write_str(w, &c.name)?;
+                write_usize(w, c.w.rows)?;
+                write_usize(w, c.w.cols)?;
+                write_f32s(w, &c.w.data)?;
+                write_f32s(w, &c.b)?;
+                for v in [c.in_c, c.kh, c.kw, c.stride, c.pad] {
+                    write_usize(w, v)?;
+                }
+            }
+            Layer::ReLU => w.write_all(&[2u8])?,
+            Layer::MaxPool2 { size } => {
+                w.write_all(&[3u8])?;
+                write_usize(w, *size)?;
+            }
+            Layer::Flatten => w.write_all(&[4u8])?,
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a network written by [`save_network`].
+pub fn load_network(r: &mut impl Read) -> io::Result<Network> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic[..4] != MAGIC || magic[4] != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model header"));
+    }
+    let c = read_usize(r)?;
+    let h = read_usize(r)?;
+    let wdim = read_usize(r)?;
+    let n_layers = read_usize(r)?;
+    if n_layers > 4096 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "too many layers"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        layers.push(match tag[0] {
+            0 => {
+                let name = read_str(r)?;
+                let rows = read_usize(r)?;
+                let cols = read_usize(r)?;
+                let data = read_f32s(r)?;
+                let b = read_f32s(r)?;
+                if data.len() != rows * cols || b.len() != rows {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "dense shape"));
+                }
+                Layer::Dense(DenseLayer { name, w: Matrix::from_vec(rows, cols, data), b })
+            }
+            1 => {
+                let name = read_str(r)?;
+                let rows = read_usize(r)?;
+                let cols = read_usize(r)?;
+                let data = read_f32s(r)?;
+                let b = read_f32s(r)?;
+                let in_c = read_usize(r)?;
+                let kh = read_usize(r)?;
+                let kw = read_usize(r)?;
+                let stride = read_usize(r)?;
+                let pad = read_usize(r)?;
+                if data.len() != rows * cols || b.len() != rows || cols != in_c * kh * kw {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "conv shape"));
+                }
+                Layer::Conv(ConvLayer {
+                    name,
+                    w: Matrix::from_vec(rows, cols, data),
+                    b,
+                    in_c,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                })
+            }
+            2 => Layer::ReLU,
+            3 => Layer::MaxPool2 { size: read_usize(r)? },
+            4 => Layer::Flatten,
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown layer tag {t}"),
+                ))
+            }
+        });
+    }
+    Ok(Network { input_shape: VolShape { c, h, w: wdim }, layers })
+}
+
+/// Convenience: save to a file path.
+pub fn save_to_file(net: &Network, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save_network(net, &mut f)?;
+    f.flush()
+}
+
+/// Convenience: load from a file path.
+pub fn load_from_file(path: &std::path::Path) -> io::Result<Network> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_network(&mut f)
+}
+
+/// Sanity check: two networks produce identical outputs on a probe batch.
+pub fn outputs_match(a: &Network, b: &Network, probe: &Batch) -> bool {
+    a.forward(probe) == b.forward(probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, Arch, Scale};
+
+    #[test]
+    fn roundtrip_all_layer_types() {
+        let net = zoo::build(Arch::LeNet5, Scale::Full, 7);
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let back = load_network(&mut buf.as_slice()).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn roundtrip_mlp() {
+        let net = zoo::build(Arch::LeNet300, Scale::Full, 9);
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        let back = load_network(&mut buf.as_slice()).unwrap();
+        let probe = Batch { n: 2, shape: net.input_shape, data: vec![0.3; 2 * 784] };
+        assert!(outputs_match(&net, &back, &probe));
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let net = zoo::build(Arch::LeNet300, Scale::Full, 9);
+        let mut buf = Vec::new();
+        save_network(&net, &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(load_network(&mut buf.as_slice()).is_err());
+        // Truncation.
+        let half = &buf[..buf.len() / 2];
+        assert!(load_network(&mut &half[1..]).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! A small DNN library (the workspace's Caffe substitute).
+//!
+//! Provides exactly what the DeepSZ framework needs from its DL framework:
+//! forward inference (to measure accuracy under reconstructed layers),
+//! SGD backprop (to train the LeNets and retrain after pruning), and
+//! introspection/mutation of fully-connected layers (to swap in
+//! decompressed weights).
+//!
+//! Networks are flat [`Layer`] sequences; activations flow as [`Batch`]es of
+//! CHW volumes. Dense layers store weights as an `out × in` row-major
+//! [`dsz_tensor::Matrix`], matching the paper's `ip/fc` dimension tables.
+
+pub mod io;
+pub mod layers;
+pub mod train;
+pub mod zoo;
+
+pub use layers::{ConvLayer, DenseLayer, Layer, LayerGrad, PoolAux};
+pub use train::{accuracy, softmax_xent, train, Dataset, Sgd, TrainConfig, TrainStats};
+pub use zoo::{Arch, Scale};
+
+use dsz_tensor::VolShape;
+
+/// A mini-batch of activations: `n` samples, each a CHW volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Sample count.
+    pub n: usize,
+    /// Per-sample volume shape.
+    pub shape: VolShape,
+    /// `n * shape.len()` values, sample-major.
+    pub data: Vec<f32>,
+}
+
+impl Batch {
+    /// Wraps flat feature vectors as a batch of `dim×1×1` volumes.
+    pub fn from_features(n: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * dim, "batch data length mismatch");
+        Self { n, shape: VolShape { c: dim, h: 1, w: 1 }, data }
+    }
+
+    /// Features per sample.
+    pub fn features(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Slice of one sample's volume.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let len = self.shape.len();
+        &self.data[i * len..(i + 1) * len]
+    }
+}
+
+/// Boolean keep-mask over a dense layer's weights (row-major, `out × in`).
+pub type WeightMask = Vec<bool>;
+
+/// Reference to a fully-connected layer inside a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FcLayerRef {
+    /// Index into `Network::layers`.
+    pub layer_index: usize,
+    /// Layer name (paper naming: `ip1`, `fc6`, …).
+    pub name: String,
+    /// Output neurons (weight matrix rows).
+    pub rows: usize,
+    /// Input neurons (weight matrix columns).
+    pub cols: usize,
+}
+
+impl FcLayerRef {
+    /// Weight count.
+    pub fn weights(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Dense storage in bytes (f32 weights; biases excluded like the paper).
+    pub fn dense_bytes(&self) -> usize {
+        self.weights() * 4
+    }
+}
+
+/// A feed-forward network: an input shape plus a layer pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Expected per-sample input shape.
+    pub input_shape: VolShape,
+    /// The layer pipeline.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Runs the forward pass.
+    pub fn forward(&self, x: &Batch) -> Batch {
+        assert_eq!(x.shape, self.input_shape, "input shape mismatch");
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (next, _aux) = layer.forward(&cur);
+            cur = next;
+        }
+        cur
+    }
+
+    /// Forward pass retaining per-layer inputs and auxiliary data for
+    /// [`Network::backward`]. Returns the output batch and the cache.
+    pub fn forward_cached(&self, x: &Batch) -> (Batch, ForwardCache) {
+        assert_eq!(x.shape, self.input_shape, "input shape mismatch");
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut auxes = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (next, aux) = layer.forward(&cur);
+            inputs.push(cur);
+            auxes.push(aux);
+            cur = next;
+        }
+        (cur, ForwardCache { inputs, auxes })
+    }
+
+    /// Backpropagates `grad_out` (gradient of the loss wrt the network
+    /// output) through the cached forward pass, returning per-layer
+    /// parameter gradients (None for parameterless layers).
+    pub fn backward(&self, cache: &ForwardCache, grad_out: &Batch) -> Vec<Option<LayerGrad>> {
+        let mut grads = vec![None; self.layers.len()];
+        let mut g = grad_out.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (gin, lg) = layer.backward(&cache.inputs[i], &cache.auxes[i], &g);
+            grads[i] = lg;
+            g = gin;
+        }
+        grads
+    }
+
+    /// All fully-connected layers, in network order.
+    pub fn fc_layers(&self) -> Vec<FcLayerRef> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Layer::Dense(d) => Some(FcLayerRef {
+                    layer_index: i,
+                    name: d.name.clone(),
+                    rows: d.w.rows,
+                    cols: d.w.cols,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Immutable access to a dense layer by index. Panics on non-dense.
+    pub fn dense(&self, layer_index: usize) -> &DenseLayer {
+        match &self.layers[layer_index] {
+            Layer::Dense(d) => d,
+            other => panic!("layer {layer_index} is not dense: {other:?}"),
+        }
+    }
+
+    /// Mutable access to a dense layer by index. Panics on non-dense.
+    pub fn dense_mut(&mut self, layer_index: usize) -> &mut DenseLayer {
+        match &mut self.layers[layer_index] {
+            Layer::Dense(d) => d,
+            other => panic!("layer {layer_index} is not dense: {other:?}"),
+        }
+    }
+
+    /// Index of the first dense layer (start of the fc head).
+    pub fn first_dense_index(&self) -> Option<usize> {
+        self.layers.iter().position(|l| matches!(l, Layer::Dense(_)))
+    }
+
+    /// Splits into `(feature prefix, fc head)` at the first dense layer.
+    /// The prefix computes the conv features the paper leaves uncompressed;
+    /// the head contains every fc layer DeepSZ operates on. Running
+    /// `head.forward(prefix.forward(x))` equals `self.forward(x)`.
+    pub fn split_feature_head(&self) -> (Network, Network) {
+        let split = self.first_dense_index().unwrap_or(self.layers.len());
+        let prefix =
+            Network { input_shape: self.input_shape, layers: self.layers[..split].to_vec() };
+        let head_input = prefix.output_shape();
+        let head = Network { input_shape: head_input, layers: self.layers[split..].to_vec() };
+        (prefix, head)
+    }
+
+    /// Shape produced by the layer pipeline for a single sample.
+    pub fn output_shape(&self) -> VolShape {
+        let mut shape = self.input_shape;
+        for layer in &self.layers {
+            shape = layer.output_shape(shape);
+        }
+        shape
+    }
+
+    /// Total parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => d.w.data.len() + d.b.len(),
+                Layer::Conv(c) => c.w.data.len() + c.b.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total parameter bytes (f32).
+    pub fn param_bytes(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Bytes held by fc-layer weights only.
+    pub fn fc_bytes(&self) -> usize {
+        self.fc_layers().iter().map(FcLayerRef::dense_bytes).sum()
+    }
+}
+
+/// Saved activations from [`Network::forward_cached`].
+pub struct ForwardCache {
+    /// Input batch of each layer.
+    pub inputs: Vec<Batch>,
+    /// Per-layer auxiliary state (pooling argmaxes).
+    pub auxes: Vec<Option<PoolAux>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsz_tensor::Matrix;
+
+    fn tiny_mlp() -> Network {
+        let mut w1 = Matrix::zeros(3, 4);
+        w1.data.iter_mut().enumerate().for_each(|(i, v)| *v = (i as f32 - 5.0) * 0.1);
+        let mut w2 = Matrix::zeros(2, 3);
+        w2.data.iter_mut().enumerate().for_each(|(i, v)| *v = (i as f32 - 2.0) * 0.2);
+        Network {
+            input_shape: VolShape { c: 4, h: 1, w: 1 },
+            layers: vec![
+                Layer::Dense(DenseLayer { name: "ip1".into(), w: w1, b: vec![0.1, -0.1, 0.0] }),
+                Layer::ReLU,
+                Layer::Dense(DenseLayer { name: "ip2".into(), w: w2, b: vec![0.0, 0.0] }),
+            ],
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = tiny_mlp();
+        let x = Batch::from_features(5, 4, vec![0.3; 20]);
+        let y = net.forward(&x);
+        assert_eq!(y.n, 5);
+        assert_eq!(y.features(), 2);
+        assert_eq!(net.output_shape().len(), 2);
+    }
+
+    #[test]
+    fn fc_layer_listing() {
+        let net = tiny_mlp();
+        let fcs = net.fc_layers();
+        assert_eq!(fcs.len(), 2);
+        assert_eq!(fcs[0].name, "ip1");
+        assert_eq!((fcs[0].rows, fcs[0].cols), (3, 4));
+        assert_eq!(fcs[1].layer_index, 2);
+        assert_eq!(net.fc_bytes(), (12 + 6) * 4);
+    }
+
+    #[test]
+    fn split_feature_head_identity_for_mlp() {
+        let net = tiny_mlp();
+        let (prefix, head) = net.split_feature_head();
+        assert!(prefix.layers.is_empty());
+        assert_eq!(head.layers.len(), 3);
+        let x = Batch::from_features(2, 4, vec![0.5; 8]);
+        let full = net.forward(&x);
+        let via = head.forward(&prefix.forward(&x));
+        assert_eq!(full, via);
+    }
+
+    #[test]
+    fn param_accounting() {
+        let net = tiny_mlp();
+        assert_eq!(net.param_count(), 12 + 3 + 6 + 2);
+        assert_eq!(net.param_bytes(), (12 + 3 + 6 + 2) * 4);
+    }
+}

@@ -1,0 +1,377 @@
+//! Loss, accuracy evaluation, and SGD training (with optional pruning masks).
+
+use crate::{Batch, Layer, LayerGrad, Network, WeightMask};
+use dsz_tensor::{Matrix, VolShape};
+
+/// A labelled dataset of flat samples.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Per-sample volume shape.
+    pub shape: VolShape,
+    /// Sample-major values, `n · shape.len()` long.
+    pub x: Vec<f32>,
+    /// Class labels, one per sample.
+    pub labels: Vec<u16>,
+}
+
+impl Dataset {
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies samples `[lo, hi)` into a batch.
+    pub fn batch(&self, lo: usize, hi: usize) -> Batch {
+        let f = self.shape.len();
+        Batch { n: hi - lo, shape: self.shape, data: self.x[lo * f..hi * f].to_vec() }
+    }
+
+    /// Borrowed label slice for samples `[lo, hi)`.
+    pub fn label_slice(&self, lo: usize, hi: usize) -> &[u16] {
+        &self.labels[lo..hi]
+    }
+
+    /// A new dataset holding the first `n` samples.
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let f = self.shape.len();
+        Dataset {
+            shape: self.shape,
+            x: self.x[..n * f].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        }
+    }
+}
+
+/// Softmax cross-entropy: returns mean loss and the gradient wrt logits.
+pub fn softmax_xent(logits: &Batch, labels: &[u16]) -> (f64, Batch) {
+    assert_eq!(logits.n, labels.len(), "label count mismatch");
+    let k = logits.features();
+    let mut grad = vec![0f32; logits.data.len()];
+    let mut loss = 0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0f64;
+        for &v in row {
+            denom += ((v - max) as f64).exp();
+        }
+        let g = &mut grad[i * k..(i + 1) * k];
+        for (j, &v) in row.iter().enumerate() {
+            let p = ((v - max) as f64).exp() / denom;
+            g[j] = (p - if j == usize::from(label) { 1.0 } else { 0.0 }) as f32
+                / labels.len() as f32;
+        }
+        let pl = ((row[usize::from(label)] - max) as f64).exp() / denom;
+        loss -= pl.max(1e-300).ln();
+    }
+    (loss / labels.len() as f64, Batch { n: logits.n, shape: logits.shape, data: grad })
+}
+
+/// Top-k hit test for one logit row.
+fn in_top_k(row: &[f32], label: u16, k: usize) -> bool {
+    let lv = row[usize::from(label)];
+    let better = row.iter().filter(|&&v| v > lv).count();
+    better < k
+}
+
+/// Accuracy over a dataset, evaluated in batches. Returns `(top1, topk)`
+/// fractions in `[0, 1]`; `topk` uses `k` (the paper reports top-5).
+pub fn accuracy(net: &Network, data: &Dataset, batch: usize, k: usize) -> (f64, f64) {
+    let n = data.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mut hit1 = 0usize;
+    let mut hitk = 0usize;
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + batch).min(n);
+        let out = net.forward(&data.batch(lo, hi));
+        let kk = out.features();
+        for (i, &label) in data.label_slice(lo, hi).iter().enumerate() {
+            let row = &out.data[i * kk..(i + 1) * kk];
+            if in_top_k(row, label, 1) {
+                hit1 += 1;
+            }
+            if in_top_k(row, label, k) {
+                hitk += 1;
+            }
+        }
+        lo = hi;
+    }
+    (hit1 as f64 / n as f64, hitk as f64 / n as f64)
+}
+
+/// SGD with momentum. Velocity slots mirror the network's layer list.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<Option<LayerGrad>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer for `net`.
+    pub fn new(net: &Network, lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: vec![None; net.layers.len()] }
+    }
+
+    /// Applies one gradient step. `masks[i]`, when present for a dense
+    /// layer, freezes pruned weights at zero (the paper's masked
+    /// retraining, §3.2).
+    pub fn step(
+        &mut self,
+        net: &mut Network,
+        grads: &[Option<LayerGrad>],
+        masks: Option<&[Option<WeightMask>]>,
+    ) {
+        for (i, grad) in grads.iter().enumerate() {
+            let Some(g) = grad else { continue };
+            let vel = self.velocity[i].get_or_insert_with(|| LayerGrad {
+                dw: Matrix::zeros(g.dw.rows, g.dw.cols),
+                db: vec![0.0; g.db.len()],
+            });
+            for (v, &d) in vel.dw.data.iter_mut().zip(&g.dw.data) {
+                *v = self.momentum * *v + d;
+            }
+            for (v, &d) in vel.db.iter_mut().zip(&g.db) {
+                *v = self.momentum * *v + d;
+            }
+            let mask = masks.and_then(|m| m[i].as_ref());
+            match &mut net.layers[i] {
+                Layer::Dense(d) => {
+                    for (j, (w, v)) in d.w.data.iter_mut().zip(&vel.dw.data).enumerate() {
+                        *w -= self.lr * v;
+                        if let Some(m) = mask {
+                            if !m[j] {
+                                *w = 0.0;
+                            }
+                        }
+                    }
+                    for (b, v) in d.b.iter_mut().zip(&vel.db) {
+                        *b -= self.lr * v;
+                    }
+                }
+                Layer::Conv(c) => {
+                    for (w, v) in c.w.data.iter_mut().zip(&vel.dw.data) {
+                        *w -= self.lr * v;
+                    }
+                    for (b, v) in c.b.iter_mut().zip(&vel.db) {
+                        *b -= self.lr * v;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Full passes over the data.
+    pub epochs: usize,
+    /// Print progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { lr: 0.05, momentum: 0.9, batch: 64, epochs: 3, verbose: false }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Default)]
+pub struct TrainStats {
+    /// Mean loss of each epoch.
+    pub epoch_loss: Vec<f64>,
+}
+
+/// Trains `net` on `data` with mini-batch SGD. When `masks` is provided,
+/// pruned dense weights stay zero throughout (masked retraining).
+pub fn train(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    masks: Option<&[Option<WeightMask>]>,
+) -> TrainStats {
+    let mut opt = Sgd::new(net, cfg.lr, cfg.momentum);
+    let n = data.len();
+    let mut stats = TrainStats::default();
+    for epoch in 0..cfg.epochs {
+        let mut loss_sum = 0f64;
+        let mut batches = 0usize;
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + cfg.batch).min(n);
+            let x = data.batch(lo, hi);
+            let (out, cache) = net.forward_cached(&x);
+            let (loss, grad) = softmax_xent(&out, data.label_slice(lo, hi));
+            let grads = net.backward(&cache, &grad);
+            opt.step(net, &grads, masks);
+            loss_sum += loss;
+            batches += 1;
+            lo = hi;
+        }
+        let mean = loss_sum / batches.max(1) as f64;
+        stats.epoch_loss.push(mean);
+        if cfg.verbose {
+            eprintln!("epoch {epoch}: loss {mean:.4}");
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseLayer;
+
+    fn xor_like_dataset(n: usize, seed: u64) -> Dataset {
+        // Two interleaved Gaussian blobs per class — linearly separable
+        // after one hidden layer.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let mut x = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = (i % 2) as u16;
+            let (cx, cy) = if class == 0 { (0.5, 0.5) } else { (-0.5, -0.5) };
+            x.push(cx + 0.2 * next());
+            x.push(cy + 0.2 * next());
+            labels.push(class);
+        }
+        Dataset { shape: VolShape { c: 2, h: 1, w: 1 }, x, labels }
+    }
+
+    fn small_net(seed: u64) -> Network {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5) * 0.6
+        };
+        Network {
+            input_shape: VolShape { c: 2, h: 1, w: 1 },
+            layers: vec![
+                Layer::Dense(DenseLayer {
+                    name: "h".into(),
+                    w: Matrix::from_vec(8, 2, (0..16).map(|_| next()).collect()),
+                    b: vec![0.0; 8],
+                }),
+                Layer::ReLU,
+                Layer::Dense(DenseLayer {
+                    name: "out".into(),
+                    w: Matrix::from_vec(2, 8, (0..16).map(|_| next()).collect()),
+                    b: vec![0.0; 2],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn softmax_xent_gradient_is_numerically_correct() {
+        let logits = Batch::from_features(2, 3, vec![0.2, -0.5, 1.0, 0.0, 0.3, -0.8]);
+        let labels = [2u16, 1];
+        let (_, grad) = softmax_xent(&logits, &labels);
+        let eps = 1e-3f32;
+        for probe in 0..6 {
+            let mut lp = logits.clone();
+            lp.data[probe] += eps;
+            let mut lm = logits.clone();
+            lm.data[probe] -= eps;
+            let (fp, _) = softmax_xent(&lp, &labels);
+            let (fm, _) = softmax_xent(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps as f64);
+            assert!(
+                (num - grad.data[probe] as f64).abs() < 1e-4,
+                "probe {probe}: {num} vs {}",
+                grad.data[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn training_learns_separable_data() {
+        let data = xor_like_dataset(512, 7);
+        let mut net = small_net(3);
+        let (before, _) = accuracy(&net, &data, 64, 2);
+        train(&mut net, &data, &TrainConfig { epochs: 8, ..Default::default() }, None);
+        let (after, _) = accuracy(&net, &data, 64, 2);
+        assert!(after > 0.95, "accuracy after training {after} (before {before})");
+    }
+
+    #[test]
+    fn masked_training_keeps_pruned_weights_zero() {
+        let data = xor_like_dataset(256, 9);
+        let mut net = small_net(5);
+        // Prune half of the hidden layer's weights.
+        let mut mask = vec![true; 16];
+        for (i, m) in mask.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *m = false;
+            }
+        }
+        if let Layer::Dense(d) = &mut net.layers[0] {
+            for (w, &m) in d.w.data.iter_mut().zip(&mask) {
+                if !m {
+                    *w = 0.0;
+                }
+            }
+        }
+        let masks: Vec<Option<WeightMask>> = vec![Some(mask.clone()), None, None];
+        train(
+            &mut net,
+            &data,
+            &TrainConfig { epochs: 4, ..Default::default() },
+            Some(&masks),
+        );
+        if let Layer::Dense(d) = &net.layers[0] {
+            for (i, (&w, &m)) in d.w.data.iter().zip(&mask).enumerate() {
+                if !m {
+                    assert_eq!(w, 0.0, "pruned weight {i} drifted");
+                }
+            }
+            // And unmasked weights actually moved.
+            assert!(d.w.data.iter().any(|&w| w != 0.0));
+        }
+    }
+
+    #[test]
+    fn top_k_accuracy_ordering() {
+        let data = xor_like_dataset(128, 11);
+        let net = small_net(13);
+        let (t1, t2) = accuracy(&net, &data, 32, 2);
+        assert!(t2 >= t1);
+        assert!(t2 <= 1.0 + 1e-9);
+        // With 2 classes, top-2 is always 1.
+        assert!((t2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_take_and_batch() {
+        let data = xor_like_dataset(100, 13);
+        let sub = data.take(10);
+        assert_eq!(sub.len(), 10);
+        let b = sub.batch(2, 5);
+        assert_eq!(b.n, 3);
+        assert_eq!(b.data, data.x[4..10]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Network pruning — step 1 of the DeepSZ pipeline (§3.2).
+//!
+//! Implements the paper's *Magnitude* method: per-layer magnitude-threshold
+//! pruning to a target kept-density, followed by masked SGD retraining in
+//! which pruned weights are pinned at zero. The densities suggested by the
+//! paper for each network are exposed via `dsz_nn::Arch::pruning_densities`.
+
+use dsz_nn::{train, Dataset, Layer, Network, TrainConfig, WeightMask};
+
+/// Magnitude at or above which a weight survives pruning to `density`.
+///
+/// `density` is the kept fraction in (0, 1]; e.g. 0.09 keeps 9% of weights
+/// (the paper's AlexNet fc6/fc7 setting).
+pub fn magnitude_threshold(weights: &[f32], density: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&density), "density must be in (0,1]");
+    if weights.is_empty() || density >= 1.0 {
+        return 0.0;
+    }
+    let keep = ((weights.len() as f64) * density).round() as usize;
+    if keep == 0 {
+        return f32::INFINITY;
+    }
+    let mut mags: Vec<f32> = weights.iter().map(|w| w.abs()).collect();
+    let k = weights.len() - keep;
+    // k-th smallest magnitude = threshold below which weights die.
+    let k = k.min(mags.len() - 1);
+    mags.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite weights"));
+    mags[k]
+}
+
+/// Prunes `weights` in place to `density`, returning the keep mask.
+pub fn prune_to_density(weights: &mut [f32], density: f64) -> WeightMask {
+    let thr = magnitude_threshold(weights, density);
+    weights
+        .iter_mut()
+        .map(|w| {
+            let keep = w.abs() >= thr && *w != 0.0;
+            if !keep {
+                *w = 0.0;
+            }
+            keep
+        })
+        .collect()
+}
+
+/// Outcome of pruning one fc layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPruneStats {
+    /// Layer name.
+    pub name: String,
+    /// Weight count before pruning.
+    pub total: usize,
+    /// Surviving nonzero weights.
+    pub kept: usize,
+    /// Threshold used.
+    pub threshold: f32,
+}
+
+impl LayerPruneStats {
+    /// Achieved kept density.
+    pub fn density(&self) -> f64 {
+        self.kept as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Prunes every fc layer of `net` to the corresponding density in
+/// `densities` (ordered like `net.fc_layers()`). Returns per-network-layer
+/// masks (aligned with `net.layers`, `None` for non-dense layers) and
+/// per-fc-layer stats.
+pub fn prune_network(
+    net: &mut Network,
+    densities: &[f64],
+) -> (Vec<Option<WeightMask>>, Vec<LayerPruneStats>) {
+    let fcs = net.fc_layers();
+    assert_eq!(fcs.len(), densities.len(), "one density per fc layer required");
+    let mut masks: Vec<Option<WeightMask>> = vec![None; net.layers.len()];
+    let mut stats = Vec::with_capacity(fcs.len());
+    for (fc, &density) in fcs.iter().zip(densities) {
+        let dense = net.dense_mut(fc.layer_index);
+        let thr = magnitude_threshold(&dense.w.data, density);
+        let mask = prune_to_density(&mut dense.w.data, density);
+        let kept = mask.iter().filter(|&&m| m).count();
+        stats.push(LayerPruneStats {
+            name: fc.name.clone(),
+            total: dense.w.data.len(),
+            kept,
+            threshold: thr,
+        });
+        masks[fc.layer_index] = Some(mask);
+    }
+    (masks, stats)
+}
+
+/// Masked retraining: continues SGD with pruned weights pinned at zero
+/// (the paper's "retrain with masks" step). Returns final mean loss.
+pub fn retrain(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    masks: &[Option<WeightMask>],
+) -> f64 {
+    let stats = train(net, data, cfg, Some(masks));
+    stats.epoch_loss.last().copied().unwrap_or(f64::NAN)
+}
+
+/// Asserts that every masked-off weight in `net` is exactly zero —
+/// a pipeline invariant after pruning/retraining.
+pub fn masks_hold(net: &Network, masks: &[Option<WeightMask>]) -> bool {
+    net.layers.iter().zip(masks).all(|(layer, mask)| match (layer, mask) {
+        (Layer::Dense(d), Some(m)) => {
+            d.w.data.iter().zip(m).all(|(&w, &keep)| keep || w == 0.0)
+        }
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsz_nn::{zoo, Arch, Scale};
+    use dsz_tensor::VolShape;
+
+    fn lcg_weights(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5) * 0.2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_keeps_requested_fraction() {
+        let w = lcg_weights(10_000, 3);
+        for density in [0.05, 0.1, 0.25, 0.5, 0.9] {
+            let thr = magnitude_threshold(&w, density);
+            let kept = w.iter().filter(|v| v.abs() >= thr).count();
+            let want = (10_000.0 * density) as usize;
+            assert!(
+                (kept as i64 - want as i64).unsigned_abs() <= 2,
+                "density {density}: kept {kept} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_zeroes_below_threshold() {
+        let mut w = lcg_weights(5_000, 5);
+        let orig = w.clone();
+        let mask = prune_to_density(&mut w, 0.1);
+        let kept = mask.iter().filter(|&&m| m).count();
+        assert!((kept as f64 / 5_000.0 - 0.1).abs() < 0.01);
+        for ((w, m), o) in w.iter().zip(&mask).zip(&orig) {
+            if *m {
+                assert_eq!(w, o);
+            } else {
+                assert_eq!(*w, 0.0);
+            }
+        }
+        // Survivors all have magnitude ≥ every pruned weight's magnitude.
+        let min_kept = w.iter().filter(|v| **v != 0.0).map(|v| v.abs()).fold(f32::MAX, f32::min);
+        let max_pruned = orig
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .map(|(v, _)| v.abs())
+            .fold(0f32, f32::max);
+        assert!(min_kept >= max_pruned);
+    }
+
+    #[test]
+    fn degenerate_densities() {
+        let mut w = lcg_weights(100, 7);
+        let m = prune_to_density(&mut w.clone(), 1.0);
+        assert!(m.iter().filter(|&&k| k).count() >= 99); // exact zeros may drop
+        let m0 = prune_to_density(&mut w, 0.0);
+        assert!(m0.iter().all(|&k| !k));
+        assert!(w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn prune_network_matches_paper_densities() {
+        let mut net = zoo::build(Arch::LeNet300, Scale::Full, 11);
+        let densities = Arch::LeNet300.pruning_densities();
+        let (masks, stats) = prune_network(&mut net, densities);
+        assert!(masks_hold(&net, &masks));
+        for (s, &d) in stats.iter().zip(densities) {
+            assert!((s.density() - d).abs() < 0.01, "{}: {} vs {}", s.name, s.density(), d);
+        }
+    }
+
+    #[test]
+    fn masked_retraining_preserves_sparsity_and_recovers_accuracy() {
+        use dsz_nn::{accuracy, DenseLayer};
+        use dsz_tensor::Matrix;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Small 2-class problem with a 2-layer MLP.
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 600usize;
+        let dim = 16usize;
+        let mut x = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = (i % 2) as u16;
+            for d in 0..dim {
+                let center = if c == 0 { 0.4 } else { -0.4 } * if d % 3 == 0 { 1.0 } else { 0.2 };
+                x.push(center + rng.gen_range(-0.3..0.3));
+            }
+            labels.push(c);
+        }
+        let data = Dataset { shape: VolShape { c: dim, h: 1, w: 1 }, x, labels };
+
+        let mut init = StdRng::seed_from_u64(23);
+        let mut rand_w = |r: usize, c: usize| -> Matrix {
+            Matrix::from_vec(r, c, (0..r * c).map(|_| init.gen_range(-0.4..0.4)).collect())
+        };
+        let mut net = Network {
+            input_shape: VolShape { c: dim, h: 1, w: 1 },
+            layers: vec![
+                Layer::Dense(DenseLayer { name: "ip1".into(), w: rand_w(12, dim), b: vec![0.0; 12] }),
+                Layer::ReLU,
+                Layer::Dense(DenseLayer { name: "ip2".into(), w: rand_w(2, 12), b: vec![0.0; 2] }),
+            ],
+        };
+        let cfg = TrainConfig { epochs: 6, ..Default::default() };
+        train(&mut net, &data, &cfg, None);
+        let (base, _) = accuracy(&net, &data, 64, 2);
+        assert!(base > 0.9, "base accuracy {base}");
+
+        let (masks, _) = prune_network(&mut net, &[0.3, 0.5]);
+        let loss = retrain(&mut net, &data, &cfg, &masks);
+        assert!(loss.is_finite());
+        assert!(masks_hold(&net, &masks), "retraining violated masks");
+        let (after, _) = accuracy(&net, &data, 64, 2);
+        assert!(after > base - 0.05, "pruned+retrained accuracy {after} vs base {base}");
+    }
+}

@@ -1,0 +1,362 @@
+//! Sparse weight-matrix formats used by the DeepSZ pipeline.
+//!
+//! After magnitude pruning an fc-layer becomes sparse. The paper (§3.2)
+//! stores it in *two* 1-D arrays instead of classic three-array CSR:
+//!
+//! * a `data` array of f32 nonzero weights, and
+//! * an `index` array of 8-bit gaps between consecutive nonzeros; when a gap
+//!   is too large for 8 bits, a padding pair (index `255`, data `0.0`) is
+//!   inserted, so every stored entry costs exactly 40 bits.
+//!
+//! The `data` array is what SZ compresses lossily; the `index` array is what
+//! the lossless codec compresses. Classic [`Csr`] is provided for size
+//! comparisons and for the dense reconstruction path.
+
+use std::fmt;
+
+/// Gap value reserved as the "advance 255 positions, no weight" marker.
+pub const PAD_MARKER: u8 = 255;
+/// Bits per stored entry in the two-array format (8 index + 32 data).
+pub const BITS_PER_ENTRY: usize = 40;
+
+/// Errors from sparse-format operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// data/index arrays have different lengths.
+    LengthMismatch,
+    /// Decoded position falls outside `rows × cols`.
+    PositionOverflow,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::LengthMismatch => write!(f, "data and index arrays differ in length"),
+            SparseError::PositionOverflow => write!(f, "sparse entry beyond matrix bounds"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// The paper's two-array sparse format (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairArray {
+    /// Matrix rows (output neurons).
+    pub rows: usize,
+    /// Matrix columns (input neurons).
+    pub cols: usize,
+    /// Stored weights, including `0.0` entries for padding markers.
+    pub data: Vec<f32>,
+    /// 8-bit gaps; [`PAD_MARKER`] advances the cursor without a weight.
+    pub index: Vec<u8>,
+}
+
+impl PairArray {
+    /// Encodes the nonzero entries of a dense row-major `rows × cols` matrix.
+    pub fn from_dense(weights: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(weights.len(), rows * cols, "dense shape mismatch");
+        let mut data = Vec::new();
+        let mut index = Vec::new();
+        let mut prev: i64 = -1;
+        for (p, &w) in weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let mut gap = p as i64 - prev;
+            while gap >= i64::from(PAD_MARKER) {
+                index.push(PAD_MARKER);
+                data.push(0.0);
+                gap -= i64::from(PAD_MARKER);
+            }
+            index.push(gap as u8);
+            data.push(w);
+            prev = p as i64;
+        }
+        Self { rows, cols, data, index }
+    }
+
+    /// Reconstructs the dense row-major matrix.
+    pub fn to_dense(&self) -> Result<Vec<f32>, SparseError> {
+        if self.data.len() != self.index.len() {
+            return Err(SparseError::LengthMismatch);
+        }
+        let mut out = vec![0f32; self.rows * self.cols];
+        let mut pos: i64 = -1;
+        for (&g, &v) in self.index.iter().zip(&self.data) {
+            if g == PAD_MARKER {
+                pos += i64::from(PAD_MARKER);
+                continue;
+            }
+            pos += i64::from(g);
+            let p = usize::try_from(pos).map_err(|_| SparseError::PositionOverflow)?;
+            if p >= out.len() {
+                return Err(SparseError::PositionOverflow);
+            }
+            out[p] = v;
+        }
+        Ok(out)
+    }
+
+    /// Number of stored entries (real weights + padding pairs).
+    pub fn stored_entries(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of real (non-padding) weights.
+    pub fn nnz(&self) -> usize {
+        self.index.iter().filter(|&&g| g != PAD_MARKER).count()
+    }
+
+    /// Storage footprint of this format: 40 bits per stored entry.
+    pub fn size_bytes(&self) -> usize {
+        self.stored_entries() * BITS_PER_ENTRY / 8
+    }
+
+    /// Size of the dense f32 matrix this came from.
+    pub fn dense_bytes(&self) -> usize {
+        self.rows * self.cols * 4
+    }
+
+    /// Replaces the data array (e.g. with SZ-decompressed values), keeping
+    /// the index structure. Padding entries' values are irrelevant on decode
+    /// but are normalized back to `0.0` for cleanliness.
+    pub fn with_data(&self, mut new_data: Vec<f32>) -> Result<Self, SparseError> {
+        if new_data.len() != self.index.len() {
+            return Err(SparseError::LengthMismatch);
+        }
+        for (v, &g) in new_data.iter_mut().zip(&self.index) {
+            if g == PAD_MARKER {
+                *v = 0.0;
+            }
+        }
+        Ok(Self { rows: self.rows, cols: self.cols, data: new_data, index: self.index.clone() })
+    }
+}
+
+/// Classic compressed-sparse-row with three arrays, for comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Nonzero values, row-major order.
+    pub values: Vec<f32>,
+    /// Column index per value.
+    pub col_idx: Vec<u32>,
+    /// `row_ptr[r]..row_ptr[r+1]` spans row `r`'s values.
+    pub row_ptr: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds CSR from a dense row-major matrix.
+    pub fn from_dense(weights: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(weights.len(), rows * cols, "dense shape mismatch");
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            for c in 0..cols {
+                let w = weights[r * cols + c];
+                if w != 0.0 {
+                    values.push(w);
+                    col_idx.push(c as u32);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Self { rows, cols, values, col_idx, row_ptr }
+    }
+
+    /// Reconstructs the dense matrix.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            for k in lo..hi {
+                out[r * self.cols + self.col_idx[k] as usize] = self.values[k];
+            }
+        }
+        out
+    }
+
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Storage footprint (4 B value + 4 B column + row pointers).
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 4
+    }
+}
+
+/// Sparse × dense matrix-vector product `y = W·x` straight from the
+/// two-array format — used by the decode-path benchmarks.
+pub fn pair_matvec(w: &PairArray, x: &[f32], y: &mut [f32]) -> Result<(), SparseError> {
+    assert_eq!(x.len(), w.cols, "input length mismatch");
+    assert_eq!(y.len(), w.rows, "output length mismatch");
+    y.fill(0.0);
+    let mut pos: i64 = -1;
+    for (&g, &v) in w.index.iter().zip(&w.data) {
+        if g == PAD_MARKER {
+            pos += i64::from(PAD_MARKER);
+            continue;
+        }
+        pos += i64::from(g);
+        let p = usize::try_from(pos).map_err(|_| SparseError::PositionOverflow)?;
+        let (r, c) = (p / w.cols, p % w.cols);
+        if r >= w.rows {
+            return Err(SparseError::PositionOverflow);
+        }
+        y[r] += v * x[c];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+                if u < density {
+                    ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_roundtrip_typical_density() {
+        let dense = sample_sparse(64, 100, 0.1, 3);
+        let pa = PairArray::from_dense(&dense, 64, 100);
+        assert_eq!(pa.to_dense().unwrap(), dense);
+        assert_eq!(pa.nnz(), dense.iter().filter(|&&w| w != 0.0).count());
+    }
+
+    #[test]
+    fn pair_roundtrip_long_gaps_need_padding() {
+        let mut dense = vec![0f32; 4000];
+        dense[0] = 1.0;
+        dense[300] = 2.0; // gap 300 > 255 → one padding pair
+        dense[3999] = 3.0;
+        let pa = PairArray::from_dense(&dense, 40, 100);
+        assert!(pa.index.contains(&PAD_MARKER));
+        assert!(pa.stored_entries() > pa.nnz());
+        assert_eq!(pa.to_dense().unwrap(), dense);
+    }
+
+    #[test]
+    fn pair_roundtrip_gap_boundaries() {
+        // Exercise gaps of exactly 254, 255, 256, 510, 511.
+        for gap in [254usize, 255, 256, 510, 511] {
+            let mut dense = vec![0f32; gap + 2];
+            dense[0] = 1.0;
+            dense[gap + 1] = 2.0;
+            let pa = PairArray::from_dense(&dense, 1, gap + 2);
+            assert_eq!(pa.to_dense().unwrap(), dense, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn pair_first_element_and_leading_gap() {
+        let mut dense = vec![0f32; 1000];
+        dense[999] = 5.0; // all leading positions empty
+        let pa = PairArray::from_dense(&dense, 10, 100);
+        assert_eq!(pa.to_dense().unwrap(), dense);
+        let mut dense2 = vec![0f32; 10];
+        dense2[0] = 1.0;
+        let pa2 = PairArray::from_dense(&dense2, 2, 5);
+        assert_eq!(pa2.index[0], 1); // gap from virtual position −1
+        assert_eq!(pa2.to_dense().unwrap(), dense2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let dense = vec![0f32; 100];
+        let pa = PairArray::from_dense(&dense, 10, 10);
+        assert_eq!(pa.stored_entries(), 0);
+        assert_eq!(pa.size_bytes(), 0);
+        assert_eq!(pa.to_dense().unwrap(), dense);
+    }
+
+    #[test]
+    fn fully_dense_matrix() {
+        let dense: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let pa = PairArray::from_dense(&dense, 10, 10);
+        assert_eq!(pa.nnz(), 100);
+        assert_eq!(pa.stored_entries(), 100); // every gap is 1
+        assert_eq!(pa.to_dense().unwrap(), dense);
+    }
+
+    #[test]
+    fn forty_bits_per_entry_accounting() {
+        let dense = sample_sparse(100, 100, 0.08, 7);
+        let pa = PairArray::from_dense(&dense, 100, 100);
+        assert_eq!(pa.size_bytes(), pa.stored_entries() * 5);
+        // Pruned storage beats dense storage at 8% density.
+        assert!(pa.size_bytes() < pa.dense_bytes() / 5);
+    }
+
+    #[test]
+    fn with_data_preserves_structure() {
+        let dense = sample_sparse(50, 80, 0.1, 11);
+        let pa = PairArray::from_dense(&dense, 50, 80);
+        let perturbed: Vec<f32> = pa.data.iter().map(|v| v + 0.001).collect();
+        let pb = pa.with_data(perturbed).unwrap();
+        let back = pb.to_dense().unwrap();
+        for (i, (&a, &b)) in dense.iter().zip(&back).enumerate() {
+            if a != 0.0 {
+                assert!((a - b).abs() < 0.0011, "entry {i}");
+            } else {
+                assert_eq!(b, 0.0, "zero entry {i} must stay zero");
+            }
+        }
+        assert!(pa.with_data(vec![0.0; pa.data.len() + 1]).is_err());
+    }
+
+    #[test]
+    fn csr_roundtrip_and_sizes() {
+        let dense = sample_sparse(64, 128, 0.09, 5);
+        let csr = Csr::from_dense(&dense, 64, 128);
+        assert_eq!(csr.to_dense(), dense);
+        let pa = PairArray::from_dense(&dense, 64, 128);
+        // Two-array format (5 B/entry) beats classic CSR (8 B/nnz + rows).
+        assert!(pa.size_bytes() < csr.size_bytes());
+    }
+
+    #[test]
+    fn pair_matvec_matches_dense() {
+        let dense = sample_sparse(32, 48, 0.15, 13);
+        let pa = PairArray::from_dense(&dense, 32, 48);
+        let x: Vec<f32> = (0..48).map(|i| (i as f32 * 0.1).sin()).collect();
+        let mut y = vec![0f32; 32];
+        pair_matvec(&pa, &x, &mut y).unwrap();
+        for r in 0..32 {
+            let want: f32 = (0..48).map(|c| dense[r * 48 + c] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-4, "row {r}: {} vs {}", y[r], want);
+        }
+    }
+
+    #[test]
+    fn corrupt_pair_array_errors() {
+        let pa = PairArray {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0, 2.0, 3.0],
+            index: vec![1, 1, 3], // walks past 2×2
+        };
+        assert_eq!(pa.to_dense(), Err(SparseError::PositionOverflow));
+        let bad = PairArray { rows: 2, cols: 2, data: vec![1.0], index: vec![] };
+        assert_eq!(bad.to_dense(), Err(SparseError::LengthMismatch));
+    }
+}

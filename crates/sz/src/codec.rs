@@ -1,0 +1,533 @@
+//! The SZ compression pipeline: prediction, quantization, entropy stage,
+//! lossless backend, and the self-describing stream format.
+
+use crate::{ErrorBound, SzError};
+use dsz_lossless::bits::{read_varint, write_varint};
+use dsz_lossless::huffman;
+use dsz_lossless::{rle, CodecError, LosslessKind};
+
+const MAGIC: &[u8; 4] = b"SZ1D";
+const VERSION: u8 = 1;
+
+/// Escape code marking a verbatim ("unpredictable") value.
+const ESCAPE: u32 = 0;
+
+/// Which predictors the encoder may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorMode {
+    /// Per-block best of Lorenzo and regression (SZ 2.x behaviour).
+    Adaptive,
+    /// Lorenzo (previous reconstructed value) everywhere — SZ 1.x style.
+    LorenzoOnly,
+    /// Least-squares line per block everywhere.
+    RegressionOnly,
+}
+
+impl PredictorMode {
+    fn id(self) -> u8 {
+        match self {
+            PredictorMode::Adaptive => 0,
+            PredictorMode::LorenzoOnly => 1,
+            PredictorMode::RegressionOnly => 2,
+        }
+    }
+
+    fn from_id(id: u8) -> Result<Self, CodecError> {
+        match id {
+            0 => Ok(PredictorMode::Adaptive),
+            1 => Ok(PredictorMode::LorenzoOnly),
+            2 => Ok(PredictorMode::RegressionOnly),
+            _ => Err(CodecError::corrupt("unknown predictor mode")),
+        }
+    }
+}
+
+/// Entropy stage for the quantization codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntropyStage {
+    /// Canonical Huffman (default; SZ's choice).
+    Huffman,
+    /// Raw varints — only useful for the entropy-stage ablation bench.
+    Raw,
+}
+
+/// Tunable compressor configuration. The defaults mirror SZ 2.x.
+#[derive(Debug, Clone, Copy)]
+pub struct SzConfig {
+    /// Predictor selection policy.
+    pub predictor: PredictorMode,
+    /// Samples per prediction block.
+    pub block_size: usize,
+    /// Quantization radius: codes cover `[-radius, radius-1]`; residuals
+    /// outside become verbatim values. SZ's default is 2^15.
+    pub radius: u32,
+    /// Entropy stage for quantization codes.
+    pub entropy: EntropyStage,
+    /// Byte codec applied over the whole payload (`None` disables).
+    pub backend: Option<LosslessKind>,
+}
+
+impl Default for SzConfig {
+    fn default() -> Self {
+        Self {
+            predictor: PredictorMode::Adaptive,
+            block_size: 128,
+            radius: 1 << 15,
+            entropy: EntropyStage::Huffman,
+            backend: Some(LosslessKind::Zstd),
+        }
+    }
+}
+
+/// Header information of a compressed stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SzInfo {
+    /// Element count.
+    pub n: usize,
+    /// Resolved absolute error bound.
+    pub abs_eb: f64,
+    /// Predictor policy used.
+    pub predictor: PredictorMode,
+    /// Block size used.
+    pub block_size: usize,
+    /// Quantization radius used.
+    pub radius: u32,
+    /// Lossless backend used (if any).
+    pub backend: Option<LosslessKind>,
+}
+
+/// Encoder-side statistics, for benches and ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompressStats {
+    /// Element count.
+    pub n: usize,
+    /// Values stored verbatim because quantization would break the bound.
+    pub unpredictable: usize,
+    /// Blocks that chose the regression predictor.
+    pub regression_blocks: usize,
+    /// Total block count.
+    pub blocks: usize,
+    /// Final compressed size in bytes.
+    pub compressed_bytes: usize,
+}
+
+impl CompressStats {
+    /// Compression ratio vs raw f32 storage.
+    pub fn ratio(&self) -> f64 {
+        (self.n * 4) as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Sel {
+    Lorenzo,
+    Regression { a: f32, b: f32 },
+}
+
+/// Least-squares line over `block` with x = 0..m-1.
+fn fit_line(block: &[f32]) -> (f32, f32) {
+    let m = block.len();
+    if m == 1 {
+        let b = if block[0].is_finite() { block[0] } else { 0.0 };
+        return (0.0, b);
+    }
+    let mf = m as f64;
+    let mean_x = (mf - 1.0) / 2.0;
+    let mut mean_y = 0f64;
+    let mut finite = 0usize;
+    for &v in block {
+        if v.is_finite() {
+            mean_y += v as f64;
+            finite += 1;
+        }
+    }
+    if finite == 0 {
+        return (0.0, 0.0);
+    }
+    mean_y /= finite as f64;
+    let mut cov = 0f64;
+    let mut var = 0f64;
+    for (i, &v) in block.iter().enumerate() {
+        if v.is_finite() {
+            let dx = i as f64 - mean_x;
+            cov += dx * (v as f64 - mean_y);
+            var += dx * dx;
+        }
+    }
+    let a = if var > 0.0 { cov / var } else { 0.0 };
+    let b = mean_y - a * mean_x;
+    let (a, b) = (a as f32, b as f32);
+    if a.is_finite() && b.is_finite() {
+        (a, b)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Simulates quantizing `chunk` with the given predictor (0 = Lorenzo with
+/// true reconstruction feedback, starting at `last`; otherwise the supplied
+/// regression line) and returns the estimated encoded bits: empirical code
+/// entropy + escape payloads. This mirrors SZ 2.x, which picks the per-block
+/// predictor by sampled encoding cost rather than a closed-form proxy.
+fn simulate_block_cost(
+    chunk: &[f32],
+    reg: Option<(f32, f32)>,
+    two_eb: f64,
+    abs_eb: f64,
+    radius: u32,
+    last: f32,
+) -> f64 {
+    let mut counts: std::collections::HashMap<i64, u32> =
+        std::collections::HashMap::with_capacity(chunk.len().min(64));
+    let mut escapes = 0u32;
+    let mut prev = last;
+    for (i, &x) in chunk.iter().enumerate() {
+        let pred = match reg {
+            None => prev,
+            Some((a, b)) => a * (i as f32) + b,
+        };
+        let mut escaped = true;
+        if pred.is_finite() {
+            let q = ((x as f64 - pred as f64) / two_eb).round();
+            if q.is_finite() && q.abs() < f64::from(radius) {
+                let qi = q as i64;
+                let recon = (pred as f64 + two_eb * qi as f64) as f32;
+                if recon.is_finite() && (recon as f64 - x as f64).abs() <= abs_eb {
+                    *counts.entry(qi).or_insert(0) += 1;
+                    prev = recon;
+                    escaped = false;
+                }
+            }
+        }
+        if escaped {
+            escapes += 1;
+            prev = if x.is_finite() { x } else { 0.0 };
+        }
+    }
+    let coded: u32 = counts.values().sum();
+    let n = f64::from(coded.max(1));
+    let entropy_bits: f64 = counts
+        .values()
+        .map(|&c| {
+            let c = f64::from(c);
+            c * (n / c).log2()
+        })
+        .sum();
+    entropy_bits + f64::from(escapes) * 34.0
+}
+
+impl SzConfig {
+    /// Compresses `data`; see [`crate::compress`].
+    pub fn compress(&self, data: &[f32], bound: ErrorBound) -> Result<Vec<u8>, SzError> {
+        self.compress_with_stats(data, bound).map(|(b, _)| b)
+    }
+
+    /// Compresses `data` and also returns encoder statistics.
+    pub fn compress_with_stats(
+        &self,
+        data: &[f32],
+        bound: ErrorBound,
+    ) -> Result<(Vec<u8>, CompressStats), SzError> {
+        let abs_eb = bound.resolve(data);
+        if !(abs_eb.is_finite() && abs_eb > 0.0) {
+            return Err(SzError::BadErrorBound(abs_eb));
+        }
+        let two_eb = 2.0 * abs_eb;
+        let radius = self.radius.max(2);
+        let block = self.block_size.max(4);
+        let n = data.len();
+
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut verbatim: Vec<f32> = Vec::new();
+        let mut selectors: Vec<u8> = Vec::with_capacity(n / block + 1);
+        let mut reg_params: Vec<(f32, f32)> = Vec::new();
+
+        let mut last = 0f32; // last reconstructed value (decoder-synchronized)
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + block).min(n);
+            let chunk = &data[start..end];
+            let sel = match self.predictor {
+                PredictorMode::LorenzoOnly => Sel::Lorenzo,
+                PredictorMode::RegressionOnly => {
+                    let (a, b) = fit_line(chunk);
+                    Sel::Regression { a, b }
+                }
+                PredictorMode::Adaptive => {
+                    let (a, b) = fit_line(chunk);
+                    let cost_l = simulate_block_cost(chunk, None, two_eb, abs_eb, radius, last);
+                    let cost_r =
+                        simulate_block_cost(chunk, Some((a, b)), two_eb, abs_eb, radius, last);
+                    // Regression pays 64 bits of parameters per block.
+                    if cost_r + 64.0 < cost_l {
+                        Sel::Regression { a, b }
+                    } else {
+                        Sel::Lorenzo
+                    }
+                }
+            };
+            match sel {
+                Sel::Lorenzo => selectors.push(0),
+                Sel::Regression { a, b } => {
+                    selectors.push(1);
+                    reg_params.push((a, b));
+                }
+            }
+            for (i, &x) in chunk.iter().enumerate() {
+                let pred = match sel {
+                    Sel::Lorenzo => last,
+                    Sel::Regression { a, b } => a * (i as f32) + b,
+                };
+                let mut escaped = true;
+                if pred.is_finite() {
+                    let diff = x as f64 - pred as f64;
+                    let q = (diff / two_eb).round();
+                    if q.is_finite() && q.abs() < f64::from(radius) {
+                        let qi = q as i64;
+                        let recon = (pred as f64 + two_eb * qi as f64) as f32;
+                        if recon.is_finite() && (recon as f64 - x as f64).abs() <= abs_eb {
+                            codes.push((qi + i64::from(radius)) as u32 + 1);
+                            last = recon;
+                            escaped = false;
+                        }
+                    }
+                }
+                if escaped {
+                    codes.push(ESCAPE);
+                    verbatim.push(x);
+                    last = if x.is_finite() { x } else { 0.0 };
+                }
+            }
+            start = end;
+        }
+
+        // ---- serialize payload ----
+        let mut payload = Vec::with_capacity(n / 2 + 64);
+        let sel_rle = rle::compress(&selectors);
+        write_varint(&mut payload, sel_rle.len() as u64);
+        payload.extend_from_slice(&sel_rle);
+        write_varint(&mut payload, reg_params.len() as u64);
+        for &(a, b) in &reg_params {
+            payload.extend_from_slice(&a.to_le_bytes());
+            payload.extend_from_slice(&b.to_le_bytes());
+        }
+        match self.entropy {
+            EntropyStage::Huffman => {
+                payload.push(0);
+                let blob = huffman::encode_stream(&codes, 2 * radius as usize + 2);
+                payload.extend_from_slice(&blob);
+            }
+            EntropyStage::Raw => {
+                payload.push(1);
+                write_varint(&mut payload, codes.len() as u64);
+                for &c in &codes {
+                    write_varint(&mut payload, u64::from(c));
+                }
+            }
+        }
+        write_varint(&mut payload, verbatim.len() as u64);
+        for &v in &verbatim {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+
+        // ---- header + backend ----
+        let mut out = Vec::with_capacity(payload.len() / 2 + 64);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        write_varint(&mut out, n as u64);
+        out.extend_from_slice(&abs_eb.to_le_bytes());
+        out.push(self.predictor.id());
+        write_varint(&mut out, block as u64);
+        write_varint(&mut out, u64::from(radius));
+        match self.backend {
+            Some(kind) => {
+                out.push(kind.id());
+                let comp = kind.codec().compress(&payload);
+                // Keep whichever of raw/compressed payload is smaller.
+                if comp.len() < payload.len() {
+                    out.extend_from_slice(&comp);
+                } else {
+                    // Rewrite the backend byte as "none".
+                    let pos = out.len() - 1;
+                    out[pos] = 0xff;
+                    out.extend_from_slice(&payload);
+                }
+            }
+            None => {
+                out.push(0xff);
+                out.extend_from_slice(&payload);
+            }
+        }
+
+        let stats = CompressStats {
+            n,
+            unpredictable: verbatim.len(),
+            regression_blocks: selectors.iter().filter(|&&s| s == 1).count(),
+            blocks: selectors.len(),
+            compressed_bytes: out.len(),
+        };
+        Ok((out, stats))
+    }
+}
+
+struct Header {
+    n: usize,
+    abs_eb: f64,
+    predictor: PredictorMode,
+    block: usize,
+    radius: u32,
+    backend: Option<LosslessKind>,
+    payload_at: usize,
+}
+
+fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(SzError::Codec(CodecError::corrupt("bad SZ magic")));
+    }
+    if bytes[4] != VERSION {
+        return Err(SzError::Codec(CodecError::corrupt("unsupported SZ version")));
+    }
+    let mut pos = 5usize;
+    let n = read_varint(bytes, &mut pos)? as usize;
+    let eb_bytes: [u8; 8] = bytes
+        .get(pos..pos + 8)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .expect("slice length checked");
+    let abs_eb = f64::from_le_bytes(eb_bytes);
+    pos += 8;
+    let predictor = PredictorMode::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)
+        .map_err(SzError::Codec)?;
+    pos += 1;
+    let block = read_varint(bytes, &mut pos)? as usize;
+    let radius = read_varint(bytes, &mut pos)? as u32;
+    let backend_id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+    pos += 1;
+    let backend = if backend_id == 0xff {
+        None
+    } else {
+        Some(LosslessKind::from_id(backend_id).map_err(SzError::Codec)?)
+    };
+    if block < 4 || !(abs_eb.is_finite() && abs_eb > 0.0) {
+        return Err(SzError::Codec(CodecError::corrupt("bad SZ header fields")));
+    }
+    Ok(Header { n, abs_eb, predictor, block, radius, backend, payload_at: pos })
+}
+
+/// Reads the stream header; see [`crate::info`].
+pub fn info(bytes: &[u8]) -> Result<SzInfo, SzError> {
+    let h = parse_header(bytes)?;
+    Ok(SzInfo {
+        n: h.n,
+        abs_eb: h.abs_eb,
+        predictor: h.predictor,
+        block_size: h.block,
+        radius: h.radius,
+        backend: h.backend,
+    })
+}
+
+/// Decompresses a stream; see [`crate::decompress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
+    let h = parse_header(bytes)?;
+    let raw_payload = &bytes[h.payload_at..];
+    let owned;
+    let payload: &[u8] = match h.backend {
+        Some(kind) => {
+            owned = kind.codec().decompress(raw_payload)?;
+            &owned
+        }
+        None => raw_payload,
+    };
+
+    let mut pos = 0usize;
+    let sel_len = read_varint(payload, &mut pos)? as usize;
+    let sel_end = pos.checked_add(sel_len).ok_or(CodecError::Truncated)?;
+    let selectors = rle::decompress(payload.get(pos..sel_end).ok_or(CodecError::Truncated)?)?;
+    pos = sel_end;
+    let n_reg = read_varint(payload, &mut pos)? as usize;
+    let mut reg_params = Vec::with_capacity(n_reg);
+    for _ in 0..n_reg {
+        let a = f32::from_le_bytes(
+            payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?.try_into().expect("len 4"),
+        );
+        let b = f32::from_le_bytes(
+            payload
+                .get(pos + 4..pos + 8)
+                .ok_or(CodecError::Truncated)?
+                .try_into()
+                .expect("len 4"),
+        );
+        reg_params.push((a, b));
+        pos += 8;
+    }
+    let entropy_id = *payload.get(pos).ok_or(CodecError::Truncated)?;
+    pos += 1;
+    let codes: Vec<u32> = match entropy_id {
+        0 => huffman::decode_stream(payload, &mut pos)?,
+        1 => {
+            let m = read_varint(payload, &mut pos)? as usize;
+            let mut v = Vec::with_capacity(m);
+            for _ in 0..m {
+                v.push(read_varint(payload, &mut pos)? as u32);
+            }
+            v
+        }
+        _ => return Err(SzError::Codec(CodecError::corrupt("bad entropy stage id"))),
+    };
+    if codes.len() != h.n {
+        return Err(SzError::Codec(CodecError::corrupt("code count mismatch")));
+    }
+    let n_verb = read_varint(payload, &mut pos)? as usize;
+    let mut verbatim = Vec::with_capacity(n_verb);
+    for _ in 0..n_verb {
+        let v = f32::from_le_bytes(
+            payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?.try_into().expect("len 4"),
+        );
+        verbatim.push(v);
+        pos += 4;
+    }
+
+    let expected_blocks = h.n.div_ceil(h.block);
+    if selectors.len() != expected_blocks {
+        return Err(SzError::Codec(CodecError::corrupt("selector count mismatch")));
+    }
+
+    let two_eb = 2.0 * h.abs_eb;
+    let mut out = Vec::with_capacity(h.n);
+    let mut last = 0f32;
+    let mut vi = 0usize;
+    let mut ri = 0usize;
+    for (bi, &sel) in selectors.iter().enumerate() {
+        let start = bi * h.block;
+        let end = (start + h.block).min(h.n);
+        let reg = match sel {
+            0 => None,
+            1 => {
+                let p = *reg_params.get(ri).ok_or(CodecError::Truncated)?;
+                ri += 1;
+                Some(p)
+            }
+            _ => return Err(SzError::Codec(CodecError::corrupt("bad selector"))),
+        };
+        for i in 0..end - start {
+            let pred = match reg {
+                None => last,
+                Some((a, b)) => a * (i as f32) + b,
+            };
+            let code = codes[start + i];
+            if code == ESCAPE {
+                let x = *verbatim.get(vi).ok_or(CodecError::Truncated)?;
+                vi += 1;
+                out.push(x);
+                last = if x.is_finite() { x } else { 0.0 };
+            } else {
+                let qi = i64::from(code) - 1 - i64::from(h.radius);
+                let recon = (pred as f64 + two_eb * qi as f64) as f32;
+                out.push(recon);
+                last = recon;
+            }
+        }
+    }
+    Ok(out)
+}

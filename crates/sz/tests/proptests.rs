@@ -1,0 +1,91 @@
+//! Property-based tests for the SZ codec: the error-bound guarantee must
+//! hold for *arbitrary* finite inputs under *arbitrary* positive bounds and
+//! any configuration, and non-finite values must survive bit-exactly.
+
+use dsz_sz::{decompress, max_abs_error, ErrorBound, PredictorMode, SzConfig};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Mix of weight-scale values and extreme magnitudes.
+    prop_oneof![
+        4 => -0.5f32..0.5f32,
+        1 => -1e6f32..1e6f32,
+        1 => -1e-6f32..1e-6f32,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bound_holds_for_arbitrary_data(
+        data in proptest::collection::vec(finite_f32(), 0..3000),
+        eb_exp in -5i32..0,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let blob = SzConfig::default().compress(&data, ErrorBound::Abs(eb)).unwrap();
+        let back = decompress(&blob).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        let err = max_abs_error(&data, &back);
+        prop_assert!(err <= eb * (1.0 + 1e-9), "err {} > eb {}", err, eb);
+    }
+
+    #[test]
+    fn bound_holds_for_every_predictor(
+        data in proptest::collection::vec(-0.4f32..0.4f32, 1..1500),
+        mode_idx in 0usize..3,
+    ) {
+        let mode = [PredictorMode::Adaptive, PredictorMode::LorenzoOnly, PredictorMode::RegressionOnly][mode_idx];
+        let cfg = SzConfig { predictor: mode, ..SzConfig::default() };
+        let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        let back = decompress(&blob).unwrap();
+        prop_assert!(max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn small_radius_forces_escapes_but_keeps_bound(
+        data in proptest::collection::vec(-10.0f32..10.0f32, 1..800),
+    ) {
+        // Radius 4 means almost everything escapes; the bound must survive.
+        let cfg = SzConfig { radius: 4, ..SzConfig::default() };
+        let (blob, stats) = cfg.compress_with_stats(&data, ErrorBound::Abs(1e-4)).unwrap();
+        let back = decompress(&blob).unwrap();
+        prop_assert!(max_abs_error(&data, &back) <= 1e-4 * (1.0 + 1e-9));
+        prop_assert_eq!(stats.n, data.len());
+    }
+
+    #[test]
+    fn rel_mode_scales_with_range(
+        data in proptest::collection::vec(-1.0f32..1.0f32, 2..1000),
+        scale in 1f32..1000.0,
+    ) {
+        let scaled: Vec<f32> = data.iter().map(|v| v * scale).collect();
+        let blob = SzConfig::default().compress(&scaled, ErrorBound::Rel(1e-3)).unwrap();
+        let back = decompress(&blob).unwrap();
+        let range = dsz_sz::value_range(&scaled);
+        prop_assert!(max_abs_error(&scaled, &back) <= 1e-3 * range.max(f64::MIN_POSITIVE) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn non_finite_values_bit_exact(
+        mut data in proptest::collection::vec(-0.3f32..0.3f32, 1..500),
+        idx in proptest::collection::vec(0usize..500, 0..8),
+        which in 0u8..3,
+    ) {
+        let special = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][which as usize];
+        for &i in &idx {
+            if i < data.len() {
+                data[i] = special;
+            }
+        }
+        let blob = SzConfig::default().compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        let back = decompress(&blob).unwrap();
+        prop_assert!(max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress(&data);
+        let _ = dsz_sz::info(&data);
+    }
+}

@@ -1,0 +1,394 @@
+//! Minimal dense-tensor compute substrate for the DNN layers.
+//!
+//! The paper runs on Caffe + cuDNN; the framework itself only needs forward
+//! passes (and SGD retraining for the pruning step), so this crate provides
+//! exactly that foundation: a row-major [`Matrix`], cache-blocked matrix
+//! multiplication parallelized with scoped threads, and the im2col transform
+//! used to lower convolutions to matmul.
+
+pub mod parallel;
+
+use parallel::parallel_for_rows;
+
+/// Row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Wraps existing storage (must be `rows * cols` long).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Immutable row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor (debug-checked).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+}
+
+/// Tile width along `k` for the blocked kernels; sized so that a tile of B
+/// rows stays in L1/L2.
+const K_BLOCK: usize = 256;
+
+/// `C = A·B` where A is `m×k`, B is `k×n`. Parallel over rows of A.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "matmul inner dimension mismatch");
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut c = Matrix::zeros(m, n);
+    let bdata = &b.data;
+    let adata = &a.data;
+    parallel_for_rows(m, &mut c.data, n, |r0, rows_chunk| {
+        // i-k-j order with k blocking: streams rows of B through cache.
+        for (ri, crow) in rows_chunk.chunks_exact_mut(n).enumerate() {
+            let r = r0 + ri;
+            let arow = &adata[r * k..(r + 1) * k];
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for kk in k0..k1 {
+                    let av = arow[kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bdata[kk * n..kk * n + n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+                k0 = k1;
+            }
+        }
+    });
+    c
+}
+
+/// `C = A·Bᵀ` where A is `m×k`, B is `n×k` (dense-layer forward with
+/// weight rows as output neurons).
+pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.cols, "matmul_transb inner dimension mismatch");
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    let mut c = Matrix::zeros(m, n);
+    let adata = &a.data;
+    let bdata = &b.data;
+    parallel_for_rows(m, &mut c.data, n, |r0, rows_chunk| {
+        for (ri, crow) in rows_chunk.chunks_exact_mut(n).enumerate() {
+            let r = r0 + ri;
+            let arow = &adata[r * k..(r + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &bdata[j * k..(j + 1) * k];
+                let mut acc = 0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *cv = acc;
+            }
+        }
+    });
+    c
+}
+
+/// `C = Aᵀ·B` where A is `k×m`, B is `k×n` (gradient wrt weights).
+pub fn matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows, b.rows, "matmul_transa inner dimension mismatch");
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    let mut c = Matrix::zeros(m, n);
+    let adata = &a.data;
+    let bdata = &b.data;
+    parallel_for_rows(m, &mut c.data, n, |r0, rows_chunk| {
+        for (ri, crow) in rows_chunk.chunks_exact_mut(n).enumerate() {
+            let r = r0 + ri;
+            for kk in 0..k {
+                let av = adata[kk * m + r];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bdata[kk * n..kk * n + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// Shape of an image volume (channels, height, width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolShape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl VolShape {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// True when any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Output spatial size of a convolution/pool window.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Lowers one CHW image into the im2col matrix with `c·kh·kw` rows and
+/// `oh·ow` columns, so that convolution becomes `W · col`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    img: &[f32],
+    shape: VolShape,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut Matrix,
+) {
+    let oh = conv_out_dim(shape.h, kh, stride, pad);
+    let ow = conv_out_dim(shape.w, kw, stride, pad);
+    debug_assert_eq!(out.rows, shape.c * kh * kw);
+    debug_assert_eq!(out.cols, oh * ow);
+    for ci in 0..shape.c {
+        let plane = &img[ci * shape.h * shape.w..(ci + 1) * shape.h * shape.w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let orow = (ci * kh * kw + ky * kw + kx) * out.cols;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let v = if iy >= 0 && (iy as usize) < shape.h && ix >= 0 && (ix as usize) < shape.w
+                        {
+                            plane[iy as usize * shape.w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out.data[orow + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`im2col`]: scatters column-matrix gradients back into an
+/// image-shaped gradient (accumulating where windows overlap).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Matrix,
+    shape: VolShape,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    img: &mut [f32],
+) {
+    let oh = conv_out_dim(shape.h, kh, stride, pad);
+    let ow = conv_out_dim(shape.w, kw, stride, pad);
+    img.fill(0.0);
+    for ci in 0..shape.c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let crow = (ci * kh * kw + ky * kw + kx) * cols.cols;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= shape.h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= shape.w {
+                            continue;
+                        }
+                        img[ci * shape.h * shape.w + iy as usize * shape.w + ix as usize] +=
+                            cols.data[crow + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut acc = 0f32;
+                for k in 0..a.cols {
+                    acc += a.at(i, k) * b.at(k, j);
+                }
+                c.data[i * b.cols + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+        for (x, y) in a.data.iter().zip(&b.data) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 100, 50)] {
+            let a = rand_matrix(m, k, 1);
+            let b = rand_matrix(k, n, 2);
+            assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_transb_matches_naive() {
+        let a = rand_matrix(13, 21, 3);
+        let b = rand_matrix(17, 21, 4);
+        let want = naive_matmul(&a, &b.transpose());
+        assert_close(&matmul_transb(&a, &b), &want, 1e-3);
+    }
+
+    #[test]
+    fn matmul_transa_matches_naive() {
+        let a = rand_matrix(21, 13, 5);
+        let b = rand_matrix(21, 17, 6);
+        let want = naive_matmul(&a.transpose(), &b);
+        assert_close(&matmul_transa(&a, &b), &want, 1e-3);
+    }
+
+    #[test]
+    fn matmul_large_k_blocking() {
+        let a = rand_matrix(4, 1000, 7);
+        let b = rand_matrix(1000, 3, 8);
+        assert_close(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = rand_matrix(7, 11, 9);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn conv_out_dims() {
+        assert_eq!(conv_out_dim(28, 5, 1, 0), 24);
+        assert_eq!(conv_out_dim(24, 2, 2, 0), 12);
+        assert_eq!(conv_out_dim(4, 3, 1, 1), 4);
+        assert_eq!(conv_out_dim(227, 11, 4, 0), 55);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1, no pad: im2col is the identity layout.
+        let shape = VolShape { c: 2, h: 3, w: 3 };
+        let img: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        let mut cols = Matrix::zeros(2, 9);
+        im2col(&img, shape, 1, 1, 1, 0, &mut cols);
+        assert_eq!(cols.data, img);
+    }
+
+    #[test]
+    fn im2col_known_small_case() {
+        // 1 channel 3×3, 2×2 kernel stride 1 → 4 windows.
+        let shape = VolShape { c: 1, h: 3, w: 3 };
+        let img = vec![1., 2., 3., 4., 5., 6., 7., 8., 9.];
+        let mut cols = Matrix::zeros(4, 4);
+        im2col(&img, shape, 2, 2, 1, 0, &mut cols);
+        // Row layout: k=(0,0),(0,1),(1,0),(1,1); windows TL,TR,BL,BR.
+        assert_eq!(cols.row(0), &[1., 2., 4., 5.]);
+        assert_eq!(cols.row(1), &[2., 3., 5., 6.]);
+        assert_eq!(cols.row(2), &[4., 5., 7., 8.]);
+        assert_eq!(cols.row(3), &[5., 6., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let shape = VolShape { c: 1, h: 2, w: 2 };
+        let img = vec![1., 2., 3., 4.];
+        let oh = conv_out_dim(2, 3, 1, 1);
+        let mut cols = Matrix::zeros(9, oh * oh);
+        im2col(&img, shape, 3, 3, 1, 1, &mut cols);
+        // Center kernel tap over window (0,0) is img[0]; corner taps are 0.
+        assert_eq!(cols.at(4, 0), 1.0);
+        assert_eq!(cols.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the transforms are adjoint,
+        // which is exactly the property backprop relies on.
+        let shape = VolShape { c: 2, h: 5, w: 4 };
+        let x: Vec<f32> = (0..shape.len()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let (kh, kw, stride, pad) = (3, 2, 1, 1);
+        let oh = conv_out_dim(shape.h, kh, stride, pad);
+        let ow = conv_out_dim(shape.w, kw, stride, pad);
+        let mut cx = Matrix::zeros(shape.c * kh * kw, oh * ow);
+        im2col(&x, shape, kh, kw, stride, pad, &mut cx);
+        let y = rand_matrix(cx.rows, cx.cols, 11);
+        let mut back = vec![0f32; shape.len()];
+        col2im(&y, shape, kh, kw, stride, pad, &mut back);
+        let lhs: f32 = cx.data.iter().zip(&y.data).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+}

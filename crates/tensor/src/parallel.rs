@@ -1,0 +1,126 @@
+//! Scoped-thread data parallelism.
+//!
+//! A tiny rayon-style `parallel for` over contiguous row chunks of an output
+//! buffer. Work is split evenly across `available_parallelism()` threads with
+//! `std::thread::scope`, so the closure may borrow from the caller. On a
+//! single-core host this degrades to a plain loop with no thread spawn.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the worker count used by [`parallel_for_rows`].
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Minimum rows per spawned task; below this the work runs inline.
+const MIN_ROWS_PER_TASK: usize = 8;
+
+/// Splits `out` (logically `rows × row_width`) into disjoint row chunks and
+/// calls `f(first_row, chunk)` for each, in parallel.
+///
+/// `f` must be pure with respect to its chunk (it owns it exclusively); it
+/// may read any shared captured state.
+pub fn parallel_for_rows<F>(rows: usize, out: &mut [f32], row_width: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_width, "output buffer shape mismatch");
+    if out.is_empty() {
+        return;
+    }
+    let workers = worker_count();
+    if workers <= 1 || rows <= MIN_ROWS_PER_TASK {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers).max(MIN_ROWS_PER_TASK);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut row0 = 0usize;
+        while !rest.is_empty() {
+            let take = (chunk_rows * row_width).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            let r0 = row0;
+            s.spawn(move || fr(r0, head));
+            row0 += take / row_width;
+            rest = tail;
+        }
+    });
+}
+
+/// Runs independent jobs (e.g. per-layer compression tasks) across threads,
+/// collecting results in input order. A dynamic work queue keeps uneven job
+/// costs balanced — this is the thread-level stand-in for the paper's
+/// multi-GPU parallel encoding.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_rows_covers_everything() {
+        let rows = 103;
+        let width = 7;
+        let mut out = vec![0f32; rows * width];
+        parallel_for_rows(rows, &mut out, width, |r0, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let r = r0 + i / width;
+                let c = i % width;
+                *v = (r * width + c) as f32;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn parallel_for_rows_empty() {
+        let mut out: Vec<f32> = vec![];
+        parallel_for_rows(0, &mut out, 5, |_, _| panic!("no work expected"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let items: Vec<u32> = vec![];
+        assert!(parallel_map(&items, |&x| x).is_empty());
+    }
+}

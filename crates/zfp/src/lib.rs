@@ -1,0 +1,384 @@
+//! ZFP-style fixed-accuracy lossy compression for 1-D `f32` arrays.
+//!
+//! The paper evaluates ZFP as the competing error-bounded compressor
+//! (Figure 2) and describes its four stages: *alignment of exponent,
+//! orthogonal transform, fixed-point integer conversion, and
+//! bit-plane-based embedded coding* (§2.2). This crate reimplements that
+//! pipeline for 1-D data:
+//!
+//! * data is split into blocks of 4 samples;
+//! * each block is aligned to a common exponent and converted to
+//!   fixed-point integers;
+//! * the integers pass through ZFP's reversible lifting transform;
+//! * coefficients are mapped to negabinary and encoded bit plane by bit
+//!   plane (most-significant first) with group testing, down to the plane
+//!   implied by the accuracy tolerance.
+//!
+//! Like the real ZFP in fixed-accuracy mode, the absolute error of every
+//! reconstructed sample is bounded by the tolerance. Blocks containing
+//! non-finite values fall back to verbatim storage.
+
+use dsz_lossless::bits::{read_varint, write_varint, BitReader, BitWriter};
+use dsz_lossless::CodecError;
+
+const MAGIC: &[u8; 4] = b"ZFP1";
+const VERSION: u8 = 1;
+/// Fixed-point fraction bits: `q = round(v · 2^(Q − e))`.
+const Q: i32 = 40;
+/// Guard planes kept beyond the tolerance-implied cut to absorb transform
+/// amplification and fixed-point rounding.
+const GUARD_PLANES: i32 = 3;
+/// Total encoded planes span (negabinary of Q+2-bit ints).
+const TOP_PLANE: i32 = Q + 2;
+const NBMASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+
+/// ZFP's forward 4-point lifting transform (integer, exactly invertible).
+#[inline]
+fn fwd_lift(p: &mut [i64; 4]) {
+    let (mut x, mut y, mut z, mut w) = (p[0], p[1], p[2], p[3]);
+    x += w;
+    x >>= 1;
+    w -= x;
+    z += y;
+    z >>= 1;
+    y -= z;
+    x += z;
+    x >>= 1;
+    z -= x;
+    w += y;
+    w >>= 1;
+    y -= w;
+    w += y >> 1;
+    y -= w >> 1;
+    *p = [x, y, z, w];
+}
+
+/// Inverse of [`fwd_lift`].
+#[inline]
+fn inv_lift(p: &mut [i64; 4]) {
+    let (mut x, mut y, mut z, mut w) = (p[0], p[1], p[2], p[3]);
+    y += w >> 1;
+    w -= y >> 1;
+    y += w;
+    w <<= 1;
+    w -= y;
+    z += x;
+    x <<= 1;
+    x -= z;
+    y += z;
+    z <<= 1;
+    z -= y;
+    w += x;
+    x <<= 1;
+    x -= w;
+    *p = [x, y, z, w];
+}
+
+#[inline]
+fn to_negabinary(x: i64) -> u64 {
+    (x as u64).wrapping_add(NBMASK) ^ NBMASK
+}
+
+#[inline]
+fn from_negabinary(x: u64) -> i64 {
+    (x ^ NBMASK).wrapping_sub(NBMASK) as i64
+}
+
+/// Exponent `e` such that `|v| < 2^e` for the block maximum.
+fn block_exponent(block: &[f32; 4]) -> i32 {
+    let mut max = 0f64;
+    for &v in block {
+        max = max.max((v as f64).abs());
+    }
+    if max == 0.0 {
+        return i32::MIN;
+    }
+    // f64 exponent via bits; add 1 so |v| < 2^e strictly.
+    let e = ((max.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    e + 1
+}
+
+/// Lowest encoded plane for a block with exponent `e` under tolerance `tol`.
+fn min_plane(e: i32, tol: f64) -> i32 {
+    // Coefficient weight of plane p is 2^(p + e − Q); dropping planes below
+    // p accumulates < 2^(p+1+e−Q) error per coefficient before transform
+    // amplification. Keep GUARD_PLANES extra planes as margin.
+    let cut = (tol.log2().floor() as i32) - (e - Q) - 1 - GUARD_PLANES;
+    cut.clamp(0, TOP_PLANE)
+}
+
+const MODE_ZERO: u64 = 0;
+const MODE_CODED: u64 = 1;
+const MODE_VERBATIM: u64 = 2;
+
+/// Compresses `data` with the fixed-accuracy tolerance `tol` (absolute).
+pub fn compress(data: &[f32], tol: f64) -> Result<Vec<u8>, CodecError> {
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(CodecError::corrupt("tolerance must be positive"));
+    }
+    let mut out = Vec::with_capacity(data.len() + 32);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    write_varint(&mut out, data.len() as u64);
+    out.extend_from_slice(&tol.to_le_bytes());
+
+    let mut w = BitWriter::with_capacity(data.len());
+    for chunk in data.chunks(4) {
+        let mut block = [0f32; 4];
+        block[..chunk.len()].copy_from_slice(chunk);
+        if chunk.iter().any(|v| !v.is_finite()) {
+            w.write_bits(MODE_VERBATIM, 2);
+            for &v in &block {
+                w.write_bits(u64::from(v.to_bits()), 32);
+            }
+            continue;
+        }
+        let e = block_exponent(&block);
+        if e == i32::MIN {
+            w.write_bits(MODE_ZERO, 2);
+            continue;
+        }
+        w.write_bits(MODE_CODED, 2);
+        // Biased 12-bit exponent (f64 exponent range fits comfortably).
+        w.write_bits((e + 1200) as u64, 12);
+
+        let scale = 2f64.powi(Q - e);
+        let mut q = [0i64; 4];
+        for (qi, &v) in q.iter_mut().zip(&block) {
+            *qi = (v as f64 * scale).round() as i64;
+        }
+        fwd_lift(&mut q);
+        let nb = q.map(to_negabinary);
+
+        let pmin = min_plane(e, tol);
+        let mut sig = [false; 4];
+        for plane in (pmin..=TOP_PLANE).rev() {
+            // Refinement bits for already-significant coefficients.
+            for i in 0..4 {
+                if sig[i] {
+                    w.write_bits((nb[i] >> plane) & 1, 1);
+                }
+            }
+            // Group test: does any insignificant coefficient turn on here?
+            let any_new = (0..4).any(|i| !sig[i] && (nb[i] >> plane) & 1 == 1);
+            if !any_new {
+                w.write_bits(0, 1);
+            } else {
+                w.write_bits(1, 1);
+                for i in 0..4 {
+                    if !sig[i] {
+                        let bit = (nb[i] >> plane) & 1;
+                        w.write_bits(bit, 1);
+                        if bit == 1 {
+                            sig[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let payload = w.into_bytes();
+    write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(CodecError::corrupt("bad ZFP magic"));
+    }
+    if bytes[4] != VERSION {
+        return Err(CodecError::corrupt("unsupported ZFP version"));
+    }
+    let mut pos = 5usize;
+    let n = read_varint(bytes, &mut pos)? as usize;
+    let tol = f64::from_le_bytes(
+        bytes.get(pos..pos + 8).ok_or(CodecError::Truncated)?.try_into().expect("len 8"),
+    );
+    pos += 8;
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(CodecError::corrupt("bad ZFP tolerance"));
+    }
+    let payload_len = read_varint(bytes, &mut pos)? as usize;
+    let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
+    let payload = bytes.get(pos..end).ok_or(CodecError::Truncated)?;
+
+    let mut r = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(4);
+        let mode = r.read_bits(2)?;
+        match mode {
+            MODE_ZERO => out.extend(std::iter::repeat_n(0f32, take)),
+            MODE_VERBATIM => {
+                let mut block = [0f32; 4];
+                for b in block.iter_mut() {
+                    *b = f32::from_bits(r.read_bits(32)? as u32);
+                }
+                out.extend_from_slice(&block[..take]);
+            }
+            MODE_CODED => {
+                let e = r.read_bits(12)? as i32 - 1200;
+                let pmin = min_plane(e, tol);
+                let mut nb = [0u64; 4];
+                let mut sig = [false; 4];
+                for plane in (pmin..=TOP_PLANE).rev() {
+                    for i in 0..4 {
+                        if sig[i] {
+                            nb[i] |= r.read_bits(1)? << plane;
+                        }
+                    }
+                    if r.read_bits(1)? == 1 {
+                        for i in 0..4 {
+                            if !sig[i] {
+                                let bit = r.read_bits(1)?;
+                                nb[i] |= bit << plane;
+                                if bit == 1 {
+                                    sig[i] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut q = [0i64; 4];
+                for i in 0..4 {
+                    q[i] = from_negabinary(nb[i]);
+                }
+                inv_lift(&mut q);
+                let scale = 2f64.powi(e - Q);
+                let mut block = [0f32; 4];
+                for i in 0..4 {
+                    block[i] = (q[i] as f64 * scale) as f32;
+                }
+                out.extend_from_slice(&block[..take]);
+            }
+            _ => return Err(CodecError::corrupt("bad ZFP block mode")),
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Maximum pointwise absolute error over finite value pairs.
+pub fn max_abs_error(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(n: usize, seed: u64, scale: f32) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((s >> 33) as f64 / (1u64 << 31) as f64) as f32 - 0.5) * 2.0 * scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lift_roundtrip_error_is_a_few_ulps() {
+        // ZFP's forward lift discards low bits via `>>1`, so fwd∘inv is not
+        // exact; the contract is a small bounded integer error, absorbed by
+        // the guard planes. Empirically the error is ≤ 4 units.
+        let mut s = 42u64;
+        let mut worst = 0i64;
+        for _ in 0..10_000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut p = [
+                (s >> 1) as i64 % (1 << Q),
+                (s >> 13) as i64 % (1 << Q),
+                (s >> 27) as i64 % (1 << Q) - (1 << (Q - 1)),
+                (s >> 40) as i64 % (1 << 20),
+            ];
+            let orig = p;
+            fwd_lift(&mut p);
+            inv_lift(&mut p);
+            for i in 0..4 {
+                worst = worst.max((p[i] - orig[i]).abs());
+            }
+        }
+        assert!(worst <= 4, "lift roundtrip error {worst} exceeds guard assumption");
+    }
+
+    #[test]
+    fn negabinary_roundtrips() {
+        for x in [-1i64, 0, 1, 12345, -98765, i64::from(i32::MAX), i64::from(i32::MIN)] {
+            assert_eq!(from_negabinary(to_negabinary(x)), x);
+        }
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let data = lcg(10_000, 7, 0.3);
+        for tol in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let blob = compress(&data, tol).unwrap();
+            let back = decompress(&blob).unwrap();
+            assert_eq!(back.len(), data.len());
+            let err = max_abs_error(&data, &back);
+            assert!(err <= tol, "tol={tol} err={err}");
+        }
+    }
+
+    #[test]
+    fn empty_tail_blocks_and_odd_lengths() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 9, 1023] {
+            let data = lcg(n, 3, 0.1);
+            let blob = compress(&data, 1e-3).unwrap();
+            let back = decompress(&blob).unwrap();
+            assert_eq!(back.len(), n);
+            assert!(max_abs_error(&data, &back) <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn zero_blocks_cost_two_bits() {
+        let data = vec![0f32; 40_000];
+        let blob = compress(&data, 1e-3).unwrap();
+        assert!(blob.len() < 40_000 / 4, "{}", blob.len()); // ≪ raw
+        assert_eq!(decompress(&blob).unwrap(), data);
+    }
+
+    #[test]
+    fn non_finite_blocks_verbatim() {
+        let mut data = lcg(100, 9, 0.2);
+        data[17] = f32::NAN;
+        data[55] = f32::INFINITY;
+        let blob = compress(&data, 1e-3).unwrap();
+        let back = decompress(&blob).unwrap();
+        assert!(back[17].is_nan());
+        assert_eq!(back[55], f32::INFINITY);
+        assert!(max_abs_error(&data, &back) <= 1e-3);
+    }
+
+    #[test]
+    fn looser_tolerance_smaller_output() {
+        let data = lcg(50_000, 11, 0.3);
+        let a = compress(&data, 1e-2).unwrap();
+        let b = compress(&data, 1e-4).unwrap();
+        assert!(a.len() < b.len());
+    }
+
+    #[test]
+    fn large_magnitude_values() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 1e6).collect();
+        let blob = compress(&data, 1.0).unwrap();
+        let back = decompress(&blob).unwrap();
+        assert!(max_abs_error(&data, &back) <= 1.0);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(compress(&[1.0], 0.0).is_err());
+        assert!(compress(&[1.0], f64::NAN).is_err());
+        assert!(decompress(b"nope").is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based tests for the ZFP-style codec: fixed-accuracy tolerance
+//! must hold for arbitrary finite data at arbitrary tolerances.
+
+use dsz_zfp::{compress, decompress, max_abs_error};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        4 => -0.5f32..0.5f32,
+        1 => -1e5f32..1e5f32,
+        1 => -1e-5f32..1e-5f32,
+        1 => Just(0f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tolerance_holds(data in proptest::collection::vec(finite_f32(), 0..2000),
+                       tol_exp in -5i32..1) {
+        let tol = 10f64.powi(tol_exp);
+        let blob = compress(&data, tol).unwrap();
+        let back = decompress(&blob).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        prop_assert!(max_abs_error(&data, &back) <= tol);
+    }
+
+    #[test]
+    fn mixed_magnitude_blocks(lo in -1e-4f32..1e-4f32, hi in 1e3f32..1e5f32) {
+        // Blocks mixing tiny and huge values stress exponent alignment.
+        let data = vec![lo, hi, lo, -hi, hi, lo, -lo, 0.0];
+        let blob = compress(&data, 1e-2).unwrap();
+        let back = decompress(&blob).unwrap();
+        prop_assert!(max_abs_error(&data, &back) <= 1e-2);
+    }
+
+    #[test]
+    fn non_finite_blocks_bit_exact(
+        mut data in proptest::collection::vec(-1f32..1f32, 1..64),
+        pos in 0usize..64,
+    ) {
+        if pos < data.len() {
+            data[pos] = f32::NAN;
+        }
+        let blob = compress(&data, 1e-3).unwrap();
+        let back = decompress(&blob).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            if a.is_nan() {
+                prop_assert!(b.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress(&data);
+    }
+}

@@ -1,0 +1,66 @@
+//! Tour of the compression substrates: SZ (error-bounded, adaptive
+//! prediction), ZFP (fixed-accuracy transform coding) and the three
+//! lossless codecs — applied directly to weight-like data, outside the
+//! DeepSZ pipeline. Useful as a standalone compressor cookbook.
+//!
+//! ```text
+//! cargo run --release --example compressor_tour
+//! ```
+
+use deepsz::lossless::{best_fit, LosslessKind};
+use deepsz::sz::{self, ErrorBound, SzConfig};
+use deepsz::{datagen::weights, zfp};
+
+fn main() {
+    // A full-size AlexNet fc7-like pruned weight array.
+    let (values, _) = weights::pruned_nonzeros(4096, 4096, 0.09, 7);
+    let raw = values.len() * 4;
+    println!("pruned fc7-like data array: {} nonzero weights ({raw} bytes)\n", values.len());
+
+    // --- error-bounded lossy compression ---
+    println!("{:>10} | {:>9} | {:>9} | {:>11} | {:>11}", "bound", "SZ bytes", "SZ ratio", "ZFP bytes", "ZFP ratio");
+    for eb in [1e-2f64, 1e-3, 1e-4] {
+        let szb = sz::compress(&values, ErrorBound::Abs(eb)).expect("sz");
+        let zfpb = zfp::compress(&values, eb).expect("zfp");
+        // Verify both honor the bound.
+        assert!(sz::max_abs_error(&values, &sz::decompress(&szb).unwrap()) <= eb * 1.000001);
+        assert!(zfp::max_abs_error(&values, &zfp::decompress(&zfpb).unwrap()) <= eb);
+        println!(
+            "{eb:>10.0e} | {:>9} | {:>8.1}x | {:>11} | {:>10.1}x",
+            szb.len(),
+            raw as f64 / szb.len() as f64,
+            zfpb.len(),
+            raw as f64 / zfpb.len() as f64
+        );
+    }
+
+    // --- SZ's other error modes ---
+    println!("\nSZ error modes at matched quality:");
+    for (label, bound) in [
+        ("ABS 1e-3", ErrorBound::Abs(1e-3)),
+        ("REL 0.2% of range", ErrorBound::Rel(0.002)),
+        ("PSNR 60 dB", ErrorBound::Psnr(60.0)),
+    ] {
+        let blob = SzConfig::default().compress(&values, bound).expect("sz");
+        let info = sz::info(&blob).expect("header");
+        println!("  {label:<18} -> abs eb {:.2e}, {} bytes", info.abs_eb, blob.len());
+    }
+
+    // --- lossless codecs on the index stream ---
+    let dense = weights::trained_fc_weights(512, 512, 3);
+    let mut pruned = dense;
+    deepsz::prune::prune_to_density(&mut pruned, 0.1);
+    let pair = deepsz::sparse::PairArray::from_dense(&pruned, 512, 512);
+    println!("\nlossless codecs on a {}-byte index array:", pair.index.len());
+    for kind in LosslessKind::ALL {
+        let blob = kind.codec().compress(&pair.index);
+        println!(
+            "  {:<6} {:>8} bytes ({:.2}x)",
+            kind.name(),
+            blob.len(),
+            pair.index.len() as f64 / blob.len() as f64
+        );
+    }
+    let (best, blob) = best_fit(&pair.index);
+    println!("  best-fit selection: {} ({} bytes)", best.name(), blob.len());
+}

@@ -1,0 +1,72 @@
+//! Edge deployment scenario — the paper's motivating use case (§1):
+//! a model trained in the cloud must be shipped to edge devices over a
+//! bandwidth-limited network (0.8 billion users were projected to still be
+//! on ~1 Mbit/s 2G links). This example measures how DeepSZ changes the
+//! end-to-end "ship + decode + first inference" latency.
+//!
+//! ```text
+//! cargo run --release --example edge_deployment
+//! ```
+
+use deepsz::prelude::*;
+use std::time::Instant;
+
+/// Simulated 2G downlink: 1 Mbit/s.
+const LINK_BITS_PER_SEC: f64 = 1_000_000.0;
+
+fn transfer_secs(bytes: usize) -> f64 {
+    bytes as f64 * 8.0 / LINK_BITS_PER_SEC
+}
+
+fn main() {
+    // Cloud side: train, prune, retrain, compress.
+    let train_data = digits::dataset(2000, 11);
+    let test_data = digits::dataset(500, 12);
+    let mut net = zoo::build(Arch::LeNet300, Scale::Full, 7);
+    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+    let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
+    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() }, &masks);
+
+    let eval = DatasetEvaluator::new(test_data.clone());
+    let cfg = AssessmentConfig { expected_loss: 0.005, ..Default::default() };
+    let (assessments, baseline) = assess_network(&net, &cfg, &eval).expect("assessment");
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
+    let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+
+    // Three shipping strategies for the fc weights.
+    let raw_bytes = report.total_dense_bytes;
+    let pair_bytes: usize = assessments.iter().map(|a| a.pair.size_bytes()).sum();
+    let dsz_bytes = report.total_bytes;
+
+    println!("shipping fc layers over a {:.1} Mbit/s link:", LINK_BITS_PER_SEC / 1e6);
+    println!("  raw f32      : {raw_bytes:>9} B -> {:>7.2} s", transfer_secs(raw_bytes));
+    println!("  pruned pairs : {pair_bytes:>9} B -> {:>7.2} s", transfer_secs(pair_bytes));
+    println!("  DeepSZ       : {dsz_bytes:>9} B -> {:>7.2} s", transfer_secs(dsz_bytes));
+
+    // Edge side: decode, install, run the first inference batch.
+    let t0 = Instant::now();
+    let (decoded, timing) = decode_model(&model).expect("decode");
+    let mut edge_net = net.clone();
+    apply_decoded(&mut edge_net, &decoded).expect("apply");
+    let decode_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let (top1, _) = nn::accuracy(&edge_net, &test_data, 100, 5);
+    let infer_s = t0.elapsed().as_secs_f64();
+
+    let total_dsz = transfer_secs(dsz_bytes) + decode_s + infer_s;
+    let total_raw = transfer_secs(raw_bytes) + infer_s;
+    println!(
+        "\nedge decode {:.0} ms (lossless {:.1} / SZ {:.1} / reconstruct {:.1})",
+        decode_s * 1e3,
+        timing.lossless_ms,
+        timing.sz_ms,
+        timing.reconstruct_ms
+    );
+    println!("first-batch accuracy at the edge: {:.2}% (cloud baseline {:.2}%)", top1 * 100.0, baseline * 100.0);
+    println!(
+        "time to first inference: raw {total_raw:.2} s vs DeepSZ {total_dsz:.2} s ({:.1}x faster)",
+        total_raw / total_dsz
+    );
+    assert!(total_dsz < total_raw, "compression must pay for itself on a slow link");
+}

@@ -1,0 +1,69 @@
+//! ImageNet-class workload on the feature surrogate: compresses a reduced
+//! AlexNet fc head trained on class-conditional ReLU features, exercising
+//! both of DeepSZ's modes:
+//!
+//! * expected-accuracy mode — minimize size under an accuracy-loss budget;
+//! * expected-ratio mode — minimize accuracy loss under a size budget.
+//!
+//! ```text
+//! cargo run --release --example imagenet_surrogate
+//! ```
+
+use deepsz::datagen::features::FeatureSpec;
+use deepsz::prelude::*;
+
+fn main() {
+    // Train the reduced AlexNet head (fc6/fc7/fc8) on synthetic features.
+    let spec = FeatureSpec::alexnet_reduced();
+    let (train_data, test_data) = deepsz::datagen::features::train_test(&spec, 3000, 1500, 99);
+    let mut net = zoo::build(Arch::AlexNet, Scale::Reduced, 5);
+    println!("training reduced AlexNet head ({} fc weights)…", net.fc_bytes() / 4);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig { epochs: 3, lr: 0.02, batch: 100, ..Default::default() },
+        None,
+    );
+    let (masks, _) = prune::prune_network(&mut net, Arch::AlexNet.pruning_densities());
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig { epochs: 1, lr: 0.005, batch: 100, ..Default::default() },
+        &masks,
+    );
+
+    let eval = DatasetEvaluator::new(test_data);
+    let cfg = AssessmentConfig { expected_loss: 0.004, ..Default::default() };
+    let (assessments, baseline) = assess_network(&net, &cfg, &eval).expect("assessment");
+    println!("baseline top-1 (surrogate task): {:.2}%", baseline * 100.0);
+
+    // Mode 1: expected accuracy (the paper's 0.4% budget for AlexNet).
+    let acc_plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
+    let (_, acc_report) = encode_with_plan(&assessments, &acc_plan).expect("encode");
+    println!(
+        "\nexpected-accuracy mode (ε* = 0.4%): {:.1}x, predicted loss {:.2}%",
+        acc_report.ratio(),
+        acc_plan.predicted_loss * 100.0
+    );
+    for c in &acc_plan.layers {
+        println!("  {}: eb {:.0e} -> {} bytes", c.fc.name, c.eb, c.total_bytes());
+    }
+
+    // Mode 2: expected ratio — sweep tightening size budgets and watch the
+    // accuracy/size trade-off move.
+    println!("\nexpected-ratio mode (size budget sweep):");
+    println!("{:>12} | {:>8} | {:>16}", "budget", "achieved", "predicted loss");
+    let mut budget = acc_plan.total_bytes * 2;
+    for _ in 0..4 {
+        match optimize_for_size(&assessments, budget) {
+            Ok(plan) => println!(
+                "{:>12} | {:>8} | {:>15.2}%",
+                budget,
+                plan.total_bytes,
+                plan.predicted_loss * 100.0
+            ),
+            Err(e) => println!("{budget:>12} | infeasible: {e}"),
+        }
+        budget /= 2;
+    }
+}

@@ -1,0 +1,82 @@
+//! Full four-step DeepSZ pipeline on LeNet-5 (the conv architecture):
+//! train → prune+retrain → cache conv features → assess → optimize →
+//! encode → ship → decode → verify. Prints a per-layer report like the
+//! paper's Table 2b.
+//!
+//! ```text
+//! cargo run --release --example lenet_pipeline
+//! ```
+
+use deepsz::prelude::*;
+
+fn main() {
+    // LeNet-5: 3 conv + 2 fc layers on 28×28 digits.
+    let train_data = digits::dataset(1200, 21);
+    let test_data = digits::dataset(500, 22);
+    let mut net = zoo::build(Arch::LeNet5, Scale::Full, 13);
+    println!(
+        "training LeNet-5 ({} conv layers, {} fc layers)…",
+        Arch::LeNet5.conv_layers(),
+        net.fc_layers().len()
+    );
+    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, lr: 0.05, ..Default::default() }, None);
+
+    // Step 1: magnitude pruning + masked retraining (§3.2).
+    let (masks, stats) = prune::prune_network(&mut net, Arch::LeNet5.pruning_densities());
+    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.01, ..Default::default() }, &masks);
+    for s in &stats {
+        println!("  pruned {}: {:.1}% kept", s.name, s.density() * 100.0);
+    }
+
+    // Conv layers are never compressed, so cache their features once and
+    // work on the fc head (what the evaluation loop actually runs).
+    let (head, test_features) = cache_features(&net, &test_data, 128);
+    let eval = DatasetEvaluator::new(test_features);
+
+    // Steps 2+3: assessment (Algorithm 1) + optimization (Algorithm 2)
+    // at the paper's 0.2% expected loss for the LeNets.
+    let cfg = AssessmentConfig { expected_loss: 0.002, ..Default::default() };
+    let (assessments, baseline) = assess_network(&head, &cfg, &eval).expect("assessment");
+    println!("\nbaseline top-1: {:.2}%", baseline * 100.0);
+    for a in &assessments {
+        let ebs: Vec<String> = a.points.iter().map(|p| format!("{:.0e}", p.eb)).collect();
+        println!(
+            "  {}: feasible bounds tested {{{}}}, index codec {}",
+            a.fc.name,
+            ebs.join(", "),
+            a.index_codec.name()
+        );
+    }
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
+
+    // Step 4: compressed model generation.
+    let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+    println!("\nper-layer result (cf. paper Table 2b):");
+    println!("{:>6} | {:>10} | {:>10} | {:>10} | {:>7}", "layer", "original", "pair-array", "DeepSZ", "ratio");
+    for l in &report.layers {
+        println!(
+            "{:>6} | {:>10} | {:>10} | {:>10} | {:>6.1}x",
+            l.name,
+            l.dense_bytes,
+            l.pair_bytes,
+            l.data_bytes + l.index_bytes,
+            l.ratio()
+        );
+    }
+    println!("overall fc ratio: {:.1}x (paper: 57.3x on real MNIST)", report.ratio());
+
+    // Verify on the decoded model.
+    let (decoded, _) = decode_model(&model).expect("decode");
+    let mut restored = head.clone();
+    apply_decoded(&mut restored, &decoded).expect("apply");
+    let after = {
+        use deepsz::framework::AccuracyEvaluator as _;
+        eval.evaluate(&restored)
+    };
+    println!(
+        "top-1 after round trip: {:.2}% (loss {:+.2}%, budget {:.1}%)",
+        after * 100.0,
+        (baseline - after) * 100.0,
+        cfg.expected_loss * 100.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: compress a small trained network with DeepSZ in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deepsz::prelude::*;
+
+fn main() {
+    // 1. Train a LeNet-300-100 on the synthetic digit workload.
+    let train_data = digits::dataset(2000, 1);
+    let test_data = digits::dataset(600, 2);
+    let mut net = zoo::build(Arch::LeNet300, Scale::Full, 42);
+    println!("training LeNet-300-100 ({} parameters)…", net.param_count());
+    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+
+    // 2. Prune to the paper's densities and retrain with masks.
+    let (masks, stats) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
+    for s in &stats {
+        println!("pruned {}: kept {:.1}% of {} weights", s.name, s.density() * 100.0, s.total);
+    }
+    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() }, &masks);
+
+    // 3. Assess error bounds (Algorithm 1) and optimize the configuration
+    //    (Algorithm 2) under a 0.5% expected accuracy loss.
+    let eval = DatasetEvaluator::new(test_data.clone());
+    let cfg = AssessmentConfig { expected_loss: 0.005, ..Default::default() };
+    let (assessments, baseline) = assess_network(&net, &cfg, &eval).expect("assessment");
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
+    for c in &plan.layers {
+        println!(
+            "layer {}: error bound {:.0e}, predicted degradation {:+.3}%",
+            c.fc.name,
+            c.eb,
+            c.degradation * 100.0
+        );
+    }
+
+    // 4. Generate the compressed model, then decode and verify.
+    let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+    println!(
+        "compressed {} of fc weights into {} bytes ({:.1}x)",
+        report.total_dense_bytes,
+        report.total_bytes,
+        report.ratio()
+    );
+    let (decoded, timing) = decode_model(&model).expect("decode");
+    apply_decoded(&mut net, &decoded).expect("apply");
+    let after = {
+        use deepsz::framework::AccuracyEvaluator as _;
+        eval.evaluate(&net)
+    };
+    println!(
+        "accuracy: {:.2}% -> {:.2}% (budget {:.2}%); decode took {:.1} ms",
+        baseline * 100.0,
+        after * 100.0,
+        cfg.expected_loss * 100.0,
+        timing.total_ms()
+    );
+    assert!(baseline - after <= cfg.expected_loss + 0.02);
+}

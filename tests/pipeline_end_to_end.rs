@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full DeepSZ pipeline on trained
+//! networks (train → prune → retrain → assess → optimize → encode →
+//! decode → apply), exercising every workspace crate together.
+
+use deepsz::prelude::*;
+
+/// Shared fixture: a pruned + retrained LeNet-300-100 on synthetic digits.
+fn trained_pruned_lenet300() -> (Network, Dataset, Dataset) {
+    let train_data = digits::dataset(1500, 11);
+    let test_data = digits::dataset(400, 12);
+    let mut net = zoo::build(Arch::LeNet300, Scale::Full, 21);
+    let cfg = TrainConfig { epochs: 2, lr: 0.08, ..Default::default() };
+    nn::train(&mut net, &train_data, &cfg, None);
+    let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
+    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..cfg }, &masks);
+    (net, train_data, test_data)
+}
+
+#[test]
+fn full_pipeline_lenet300() {
+    let (mut net, _train, test) = trained_pruned_lenet300();
+    let eval = DatasetEvaluator::new(test.clone());
+    let baseline = {
+        use deepsz::framework::AccuracyEvaluator as _;
+        eval.evaluate(&net)
+    };
+    assert!(baseline > 0.90, "pruned+retrained baseline accuracy {baseline}");
+
+    // Algorithm 1: feasible ranges + (Δ, σ) samples per layer.
+    let cfg = AssessmentConfig { expected_loss: 0.01, ..Default::default() };
+    let (assessments, measured_base) = assess_network(&net, &cfg, &eval).unwrap();
+    assert_eq!(assessments.len(), 3);
+    assert!((measured_base - baseline).abs() < 1e-9);
+    for a in &assessments {
+        assert!(!a.points.is_empty(), "layer {} has no assessed points", a.fc.name);
+        // Strong trend: tightest bound costs clearly more than the loosest.
+        // (Lorenzo feedback noise makes sizes mildly non-monotonic at the
+        // extreme loose end, so per-step shrinkage is only checked with
+        // slack.)
+        let first = a.points.first().expect("non-empty");
+        let last = a.points.last().expect("non-empty");
+        if last.eb >= 10.0 * first.eb {
+            assert!(
+                last.data_bytes < first.data_bytes,
+                "layer {}: {} bytes at eb {} vs {} bytes at eb {}",
+                a.fc.name,
+                first.data_bytes,
+                first.eb,
+                last.data_bytes,
+                last.eb
+            );
+        }
+        for w in a.points.windows(2) {
+            assert!(w[0].eb < w[1].eb);
+            assert!(
+                w[1].data_bytes <= w[0].data_bytes + w[0].data_bytes / 3,
+                "layer {}: size jumped {} -> {}",
+                a.fc.name,
+                w[0].data_bytes,
+                w[1].data_bytes
+            );
+        }
+    }
+
+    // Algorithm 2: minimize size within the loss budget.
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
+    assert_eq!(plan.layers.len(), 3);
+    assert!(plan.predicted_loss <= cfg.expected_loss + 1e-12);
+
+    // Step 4: container round trip.
+    let (model, report) = encode_with_plan(&assessments, &plan).unwrap();
+    assert!(
+        report.ratio() > 15.0,
+        "compression ratio {} too low for pruned LeNet-300-100",
+        report.ratio()
+    );
+    let (decoded, timing) = decode_model(&model).unwrap();
+    assert_eq!(decoded.len(), 3);
+    assert!(timing.total_ms() >= 0.0);
+
+    // Applying the decoded model keeps accuracy within the expected loss
+    // (plus slack for the finite test set).
+    apply_decoded(&mut net, &decoded).unwrap();
+    let after = {
+        use deepsz::framework::AccuracyEvaluator as _;
+        eval.evaluate(&net)
+    };
+    assert!(
+        baseline - after <= cfg.expected_loss + 0.02,
+        "accuracy dropped {baseline} -> {after}, budget {}",
+        cfg.expected_loss
+    );
+}
+
+#[test]
+fn decoded_weights_respect_error_bounds_and_sparsity() {
+    let (net, _train, test) = trained_pruned_lenet300();
+    let eval = DatasetEvaluator::new(test.take(200));
+    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
+    let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
+    let (decoded, _) = decode_model(&model).unwrap();
+
+    for (d, c) in decoded.iter().zip(&plan.layers) {
+        let orig = &net.dense(d.layer_index).w;
+        assert_eq!(orig.rows, d.rows);
+        for (i, (&o, &r)) in orig.data.iter().zip(&d.dense).enumerate() {
+            if o == 0.0 {
+                assert_eq!(r, 0.0, "pruned weight {i} of {} became nonzero", d.name);
+            } else {
+                assert!(
+                    (o as f64 - r as f64).abs() <= c.eb * (1.0 + 1e-9),
+                    "weight {i} of {}: |{o} - {r}| > eb {}",
+                    d.name,
+                    c.eb
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn expected_ratio_mode_meets_size_budget() {
+    let (net, _train, test) = trained_pruned_lenet300();
+    let eval = DatasetEvaluator::new(test.take(200));
+    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
+
+    // Take the accuracy-mode plan's size (plus slack for the DP's size
+    // bucketing) as the budget for the expected-ratio mode.
+    let acc_plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
+    let budget = acc_plan.total_bytes + acc_plan.total_bytes / 20;
+    let size_plan = deepsz::framework::optimize_for_size(&assessments, budget).unwrap();
+    assert!(size_plan.total_bytes <= budget);
+    // Minimizing degradation under a budget that admits the accuracy-mode
+    // plan can never do worse than that plan.
+    assert!(
+        size_plan.predicted_loss <= acc_plan.predicted_loss + 1e-12,
+        "{} vs {}",
+        size_plan.predicted_loss,
+        acc_plan.predicted_loss
+    );
+}
+
+#[test]
+fn container_rejects_corruption_gracefully() {
+    let (net, _train, test) = trained_pruned_lenet300();
+    let eval = DatasetEvaluator::new(test.take(100));
+    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
+    let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
+
+    // Header corruption.
+    let mut bad = model.clone();
+    bad.bytes[0] = b'X';
+    assert!(decode_model(&bad).is_err());
+    // Truncation at any point must error, never panic.
+    for cut in [5usize, 20, model.bytes.len() / 2, model.bytes.len() - 1] {
+        let truncated =
+            deepsz::framework::CompressedModel { bytes: model.bytes[..cut].to_vec() };
+        assert!(decode_model(&truncated).is_err(), "cut at {cut} decoded");
+    }
+}
+
+#[test]
+fn applying_to_mismatched_network_fails() {
+    let (net, _train, test) = trained_pruned_lenet300();
+    let eval = DatasetEvaluator::new(test.take(100));
+    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
+    let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
+    let (decoded, _) = decode_model(&model).unwrap();
+
+    let mut other = zoo::build(Arch::LeNet5, Scale::Full, 3);
+    assert!(deepsz::framework::apply_decoded(&mut other, &decoded).is_err());
+}

@@ -1,0 +1,70 @@
+//! Integration tests for memory-bounded streaming inference over a
+//! compressed model (the paper's §7 future-work direction).
+
+use deepsz::framework::streaming::{streaming_matches_eager, CompressedFcModel};
+use deepsz::prelude::*;
+
+fn compressed_lenet() -> (Network, deepsz::framework::CompressedModel, Dataset) {
+    let train_data = digits::dataset(1000, 71);
+    let test_data = digits::dataset(300, 72);
+    let mut net = zoo::build(Arch::LeNet300, Scale::Full, 23);
+    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+    let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() },
+        &masks,
+    );
+    let eval = DatasetEvaluator::new(test_data.clone());
+    let cfg = AssessmentConfig { expected_loss: 0.01, ..Default::default() };
+    let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
+    let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
+    let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
+    (net, model, test_data)
+}
+
+#[test]
+fn streaming_forward_matches_eager_decode() {
+    let (net, model, test) = compressed_lenet();
+    let probe = test.batch(0, 32);
+    assert!(streaming_matches_eager(&net, &model, &probe).unwrap());
+}
+
+#[test]
+fn peak_memory_is_bounded_by_largest_layer() {
+    let (net, model, test) = compressed_lenet();
+    let streaming = CompressedFcModel::new(&net, &model).unwrap();
+    let probe = test.batch(0, 16);
+    let (_, stats) = streaming.forward(&probe).unwrap();
+    // Peak = largest single fc layer (ip1: 300×784), not the sum.
+    let largest = net.fc_layers().iter().map(|f| f.dense_bytes()).max().unwrap();
+    let total: usize = net.fc_layers().iter().map(|f| f.dense_bytes()).sum();
+    assert_eq!(stats.peak_dense_bytes, largest);
+    assert_eq!(stats.total_dense_bytes, total);
+    assert!(stats.peak_dense_bytes < total);
+    // And the persistent copy is the compressed container (≫ smaller).
+    assert!(stats.compressed_bytes * 10 < total);
+}
+
+#[test]
+fn materialize_round_trips_to_a_working_network() {
+    let (net, model, test) = compressed_lenet();
+    let (baseline, _) = nn::accuracy(&net, &test, 100, 5);
+    let streaming = CompressedFcModel::new(&net, &model).unwrap();
+    let full = streaming.materialize().unwrap();
+    let (top1, _) = nn::accuracy(&full, &test, 100, 5);
+    // Must stay near the (possibly modestly trained) baseline: the loss
+    // budget was 1% plus small-test-set noise.
+    assert!(
+        top1 >= baseline - 0.03,
+        "materialized accuracy {top1} vs baseline {baseline}"
+    );
+}
+
+#[test]
+fn mismatched_skeleton_rejected() {
+    let (_, model, _) = compressed_lenet();
+    let other = zoo::build(Arch::LeNet5, Scale::Full, 9);
+    assert!(CompressedFcModel::new(&other, &model).is_err());
+}
