@@ -71,11 +71,11 @@ pub fn encode_layer(dense: &[f32], rows: usize, cols: usize, cfg: &DcConfig) -> 
         bytes.extend_from_slice(&c.to_le_bytes());
     }
     // Huffman-coded codebook indices (incl. PAD symbol) and gap bytes.
-    let idx_blob = huffman::encode_stream(&symbols, k + 1);
+    let idx_blob = huffman::encode_stream(&symbols);
     write_varint(&mut bytes, idx_blob.len() as u64);
     bytes.extend_from_slice(&idx_blob);
     let gaps: Vec<u32> = pa.index.iter().map(|&g| u32::from(g)).collect();
-    let gap_blob = huffman::encode_stream(&gaps, 256);
+    let gap_blob = huffman::encode_stream(&gaps);
     write_varint(&mut bytes, gap_blob.len() as u64);
     bytes.extend_from_slice(&gap_blob);
     DcLayer { bytes }

@@ -1,14 +1,16 @@
 //! Criterion microbenchmarks for the decode path (Fig. 7b's stages as one
-//! unit), the Bloomier filter (Weightless's bottleneck), and the tensor
-//! substrate (matmul / forward pass).
+//! unit), encode/decode thread scaling over the chunked v2 SZ format, the
+//! Bloomier filter (Weightless's bottleneck), and the tensor substrate
+//! (matmul / forward pass).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dsz_baselines::bloomier::Bloomier;
 use dsz_baselines::weightless::{self, WlConfig};
 use dsz_datagen::weights;
 use dsz_nn::{zoo, Arch, Batch, Scale};
 use dsz_sparse::PairArray;
 use dsz_sz::{ErrorBound, SzConfig};
+use dsz_tensor::parallel::{with_workers, worker_count};
 use dsz_tensor::{matmul_transb, Matrix};
 
 fn decode_path(c: &mut Criterion) {
@@ -36,6 +38,37 @@ fn decode_path(c: &mut Criterion) {
     g.bench_function("weightless_layer_decode", |b| {
         b.iter(|| weightless::decode_layer(&wl))
     });
+    g.finish();
+}
+
+fn thread_scaling(c: &mut Criterion) {
+    // Chunk-parallel SZ encode/decode on a pruned fc7-sized layer: 1 thread
+    // vs all available workers (identical bytes either way — only time
+    // should differ).
+    let dense = {
+        let mut d = weights::trained_fc_weights(2048, 2048, 11);
+        dsz_prune::prune_to_density(&mut d, 0.09);
+        d
+    };
+    let pair = PairArray::from_dense(&dense, 2048, 2048);
+    let blob = SzConfig::default().compress(&pair.data, ErrorBound::Abs(1e-2)).unwrap();
+    let mut counts = vec![1usize, worker_count()];
+    counts.dedup();
+    let mut g = c.benchmark_group("thread_scaling");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((pair.data.len() * 4) as u64));
+    for &w in &counts {
+        g.bench_function(BenchmarkId::new("sz_encode", w), |b| {
+            b.iter(|| {
+                with_workers(w, || {
+                    SzConfig::default().compress(&pair.data, ErrorBound::Abs(1e-2)).unwrap()
+                })
+            })
+        });
+        g.bench_function(BenchmarkId::new("sz_decode", w), |b| {
+            b.iter(|| with_workers(w, || dsz_sz::decompress(&blob).unwrap()))
+        });
+    }
     g.finish();
 }
 
@@ -76,5 +109,5 @@ fn substrate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, decode_path, bloomier_ops, substrate);
+criterion_group!(benches, decode_path, thread_scaling, bloomier_ops, substrate);
 criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Encode/decode scaling bench: 1-thread vs N-thread wall time for the
+//! full container pipeline on a VGG-16-surrogate fc stack, plus the
+//! chunk-parallel SZ stream on the largest layer alone.
+//!
+//! Emits a human-readable table and a machine-readable
+//! `BENCH_encode_decode.json` in the working directory so the perf
+//! trajectory is tracked across PRs.
+
+use dsz_bench::tables::print_table;
+use dsz_bench::workloads::{paper_error_bounds, reduced_pruning_densities};
+use dsz_core::optimizer::{ChosenLayer, Plan};
+use dsz_core::{decode_model, encode_with_plan, LayerAssessment};
+use dsz_nn::{zoo, Arch, Scale};
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig};
+use dsz_tensor::parallel::{with_workers, worker_count};
+use std::time::Instant;
+
+/// Median wall time (ms) of `runs` calls to `f`.
+fn median_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    // VGG-16 surrogate: the reduced fc head's shapes with trained-like
+    // pruned weights (no training loop needed for a throughput bench).
+    let arch = Arch::Vgg16;
+    let net = zoo::build(arch, Scale::Reduced, 0xBE7C);
+    let densities = reduced_pruning_densities(arch);
+    let ebs = paper_error_bounds(arch);
+
+    let mut assessments: Vec<LayerAssessment> = Vec::new();
+    let mut chosen: Vec<ChosenLayer> = Vec::new();
+    for (li, fc) in net.fc_layers().into_iter().enumerate() {
+        let mut dense = dsz_datagen::weights::trained_fc_weights(
+            fc.rows,
+            fc.cols,
+            0x5EED ^ (li as u64) << 8,
+        );
+        dsz_prune::prune_to_density(&mut dense, densities[li % densities.len()]);
+        let pair = PairArray::from_dense(&dense, fc.rows, fc.cols);
+        let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
+        let eb = ebs[li % ebs.len()];
+        chosen.push(ChosenLayer {
+            fc: fc.clone(),
+            eb,
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            point_index: 0,
+        });
+        assessments.push(LayerAssessment {
+            fc,
+            pair,
+            index_codec,
+            index_bytes: index_blob.len(),
+            points: Vec::new(),
+        });
+    }
+    let plan = Plan { layers: chosen, predicted_loss: 0.0, total_bytes: 0 };
+
+    let n_weights: usize = assessments.iter().map(|a| a.pair.rows * a.pair.cols).sum();
+    let host = worker_count();
+    // Always measure 1/2/4 so single-core hosts still show (absence of)
+    // oversubscription overhead; add the full host width when larger.
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4, host];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    println!(
+        "VGG-16 surrogate fc stack: {} layers, {:.1}M dense weights, host parallelism {}",
+        assessments.len(),
+        n_weights as f64 / 1e6,
+        host
+    );
+
+    // Container pipeline at each worker count.
+    struct Row {
+        workers: usize,
+        encode_ms: f64,
+        decode_ms: f64,
+        sz_decode_ms: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+    // Largest layer's SZ stream alone (chunk-level parallelism, no
+    // container framing or sparse reconstruction).
+    let biggest = assessments
+        .iter()
+        .max_by_key(|a| a.pair.data.len())
+        .expect("nonempty");
+    let sz_blob = SzConfig::default()
+        .compress(&biggest.pair.data, ErrorBound::Abs(1e-2))
+        .expect("sz compress");
+
+    for &w in &thread_counts {
+        let encode_ms = with_workers(w, || {
+            median_ms(3, || {
+                let _ = encode_with_plan(&assessments, &plan).expect("encode");
+            })
+        });
+        let decode_ms = with_workers(w, || {
+            median_ms(5, || {
+                let _ = decode_model(&model).expect("decode");
+            })
+        });
+        let sz_decode_ms = with_workers(w, || {
+            median_ms(5, || {
+                let _ = dsz_sz::decompress(&sz_blob).expect("sz decode");
+            })
+        });
+        rows.push(Row { workers: w, encode_ms, decode_ms, sz_decode_ms });
+    }
+
+    let base = &rows[0];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                format!("{:.1} ms ({:.2}x)", r.encode_ms, base.encode_ms / r.encode_ms),
+                format!("{:.1} ms ({:.2}x)", r.decode_ms, base.decode_ms / r.decode_ms),
+                format!("{:.1} ms ({:.2}x)", r.sz_decode_ms, base.sz_decode_ms / r.sz_decode_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Encode/decode scaling (speedup vs 1 thread)",
+        &["threads", "container encode", "container decode", "SZ stream decode"],
+        &table,
+    );
+    println!(
+        "container: {} bytes, fc compression ratio {:.1}x",
+        report.total_bytes,
+        report.ratio()
+    );
+    if host == 1 {
+        println!("note: single-core host — speedups are expected to be ~1.0x here");
+    }
+
+    // Machine-readable trajectory record.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"workload\": \"vgg16_reduced_fc_surrogate\",\n"));
+    json.push_str(&format!("  \"layers\": {},\n", assessments.len()));
+    json.push_str(&format!("  \"dense_weights\": {},\n", n_weights));
+    json.push_str(&format!("  \"container_bytes\": {},\n", report.total_bytes));
+    json.push_str(&format!("  \"compression_ratio\": {:.3},\n", report.ratio()));
+    json.push_str(&format!("  \"host_parallelism\": {},\n", host));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \"sz_decode_ms\": {:.3}}}{}\n",
+            r.workers,
+            r.encode_ms,
+            r.decode_ms,
+            r.sz_decode_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let last = rows.last().expect("at least one run");
+    json.push_str(&format!(
+        "  \"decode_speedup_max_threads\": {:.3},\n  \"encode_speedup_max_threads\": {:.3}\n",
+        base.decode_ms / last.decode_ms,
+        base.encode_ms / last.encode_ms
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_encode_decode.json", &json).expect("write BENCH_encode_decode.json");
+    println!("wrote BENCH_encode_decode.json");
+}

@@ -27,7 +27,7 @@ fn main() {
         let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
         let (decoded, _) = decode_model(&model).expect("decode");
         let mut net = w.net.clone();
-        apply_decoded(&mut net, &decoded).expect("apply");
+        apply_decoded(&mut net, decoded).expect("apply");
         let (top1, top5) = eval.evaluate_topk(&net);
 
         rows.push(vec![

@@ -33,7 +33,7 @@ fn main() {
         let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
         let (decoded, _) = decode_model(&model).expect("decode");
         let mut dsz_net = w.net.clone();
-        apply_decoded(&mut dsz_net, &decoded).expect("apply");
+        apply_decoded(&mut dsz_net, decoded).expect("apply");
         let dsz_drop = w.base_top1 - eval.evaluate(&dsz_net);
 
         // Effective bits per surviving weight under DeepSZ.

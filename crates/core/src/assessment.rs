@@ -15,7 +15,9 @@
 //! inference accuracy — linear in layers instead of exponential in the
 //! brute-force combination search. Tests for different layers are
 //! independent and run through a work queue ([`dsz_tensor::parallel`]),
-//! the thread-level analogue of the paper's multi-GPU encoding.
+//! the thread-level analogue of the paper's multi-GPU encoding; each
+//! test's SZ compression additionally fans out over the chunked v2 stream
+//! format, so single-layer assessments scale past one core too.
 
 use crate::evaluator::AccuracyEvaluator;
 use crate::DeepSzError;

@@ -6,6 +6,26 @@
 //! Decoding reverses the stages — lossless decompression, SZ decompression,
 //! sparse-matrix reconstruction — and reports the time spent in each, which
 //! is exactly the breakdown of the paper's Figure 7b.
+//!
+//! # Threading model
+//!
+//! Both directions parallelize at two levels, the thread-pool analogue of
+//! the paper's per-layer multi-GPU encoding:
+//!
+//! * **Across layers** — [`encode_with_plan`] compresses every layer's
+//!   data/index streams through [`dsz_tensor::parallel::parallel_map`]
+//!   (container serialization stays sequential, so the byte layout is
+//!   deterministic for any worker count); [`decode_model`] first parses
+//!   the container into zero-copy per-layer records, then decodes layers
+//!   through the same work queue.
+//! * **Within a layer** — the SZ v2 chunked stream format fans a single
+//!   layer's (de)compression out across workers too (see
+//!   `dsz_sz`'s codec docs), so even single-layer workloads scale.
+//!
+//! [`DecodeTiming`] accumulates per-stage times *summed over layers* (they
+//! overlap in wall-clock when layers decode concurrently); `wall_ms` is
+//! the end-to-end elapsed time, so `wall_ms < lossless + sz + reconstruct`
+//! is the signature of parallel decode.
 
 use crate::assessment::LayerAssessment;
 use crate::optimizer::Plan;
@@ -15,6 +35,7 @@ use dsz_lossless::{CodecError, LosslessKind};
 use dsz_nn::Network;
 use dsz_sparse::PairArray;
 use dsz_sz::ErrorBound;
+use dsz_tensor::parallel::parallel_map;
 use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"DSZM";
@@ -62,7 +83,8 @@ pub struct EncodeReport {
     pub total_bytes: usize,
     /// Sum of dense fc bytes.
     pub total_dense_bytes: usize,
-    /// Time spent in final SZ compression (ms).
+    /// Wall-clock time of final SZ compression (ms); layers compress in
+    /// parallel, so this is less than the summed per-layer cost.
     pub compress_ms: f64,
 }
 
@@ -74,12 +96,26 @@ impl EncodeReport {
 }
 
 /// Encodes the assessed layers according to `plan` into a container.
+///
+/// Per-layer compression (SZ data stream + lossless index stream) runs in
+/// parallel across a work queue; serialization of the finished blobs is
+/// sequential, so container bytes are deterministic regardless of worker
+/// count.
 pub fn encode_with_plan(
     assessments: &[LayerAssessment],
     plan: &Plan,
 ) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
     assert_eq!(assessments.len(), plan.layers.len(), "plan/assessment mismatch");
     let t0 = Instant::now();
+
+    let jobs: Vec<(&LayerAssessment, f64)> =
+        assessments.iter().zip(&plan.layers).map(|(a, c)| (a, c.eb)).collect();
+    let blobs: Vec<Result<(Vec<u8>, Vec<u8>), DeepSzError>> = parallel_map(&jobs, |&(a, eb)| {
+        let sz_blob = dsz_sz::SzConfig::default().compress(&a.pair.data, ErrorBound::Abs(eb))?;
+        let idx_blob = a.index_codec.codec().compress(&a.pair.index);
+        Ok((sz_blob, idx_blob))
+    });
+
     let mut bytes = Vec::new();
     bytes.extend_from_slice(MAGIC);
     bytes.push(VERSION);
@@ -87,10 +123,8 @@ pub fn encode_with_plan(
 
     let mut reports = Vec::with_capacity(plan.layers.len());
     let mut total_dense = 0usize;
-    for (a, c) in assessments.iter().zip(&plan.layers) {
-        let sz_blob = dsz_sz::SzConfig::default().compress(&a.pair.data, ErrorBound::Abs(c.eb))?;
-        let idx_blob = a.index_codec.codec().compress(&a.pair.index);
-
+    for ((a, c), blob) in assessments.iter().zip(&plan.layers).zip(blobs) {
+        let (sz_blob, idx_blob) = blob?;
         write_varint(&mut bytes, a.fc.name.len() as u64);
         bytes.extend_from_slice(a.fc.name.as_bytes());
         write_varint(&mut bytes, a.fc.layer_index as u64);
@@ -142,26 +176,42 @@ pub struct DecodedLayer {
 }
 
 /// Wall-clock breakdown of a decode run (the paper's Fig. 7b stages).
+///
+/// Stage fields are summed across layers; layers decode concurrently, so
+/// the per-stage sums can exceed `wall_ms` (they are CPU-time-like).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DecodeTiming {
-    /// Lossless index-array decompression (ms).
+    /// Lossless index-array decompression (ms, summed over layers).
     pub lossless_ms: f64,
-    /// SZ data-array decompression (ms).
+    /// SZ data-array decompression (ms, summed over layers).
     pub sz_ms: f64,
-    /// Sparse → dense matrix reconstruction (ms).
+    /// Sparse → dense matrix reconstruction (ms, summed over layers).
     pub reconstruct_ms: f64,
+    /// End-to-end elapsed decode time (ms).
+    pub wall_ms: f64,
 }
 
 impl DecodeTiming {
-    /// Total decode time (ms).
+    /// Total per-stage decode time (ms, summed over layers).
     pub fn total_ms(&self) -> f64 {
         self.lossless_ms + self.sz_ms + self.reconstruct_ms
     }
 }
 
-/// Decodes a container produced by [`encode_with_plan`].
-pub fn decode_model(model: &CompressedModel) -> Result<(Vec<DecodedLayer>, DecodeTiming), DeepSzError> {
-    let bytes = &model.bytes;
+/// A zero-copy view of one layer's record inside a container.
+pub(crate) struct RawLayerRecord<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) layer_index: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) codec: LosslessKind,
+    pub(crate) sz_blob: &'a [u8],
+    pub(crate) idx_blob: &'a [u8],
+}
+
+/// Parses the container framing into per-layer records without decoding
+/// any payload (shared by [`decode_model`] and the streaming loader).
+pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, DeepSzError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(DeepSzError::BadContainer("bad magic".into()));
     }
@@ -170,14 +220,12 @@ pub fn decode_model(model: &CompressedModel) -> Result<(Vec<DecodedLayer>, Decod
     }
     let mut pos = 5usize;
     let n_layers = read_varint(bytes, &mut pos)? as usize;
-    let mut layers = Vec::with_capacity(n_layers);
-    let mut timing = DecodeTiming::default();
+    let mut records = Vec::with_capacity(n_layers);
     for _ in 0..n_layers {
         let name_len = read_varint(bytes, &mut pos)? as usize;
         let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
         let name = std::str::from_utf8(bytes.get(pos..name_end).ok_or(CodecError::Truncated)?)
-            .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?
-            .to_string();
+            .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?;
         pos = name_end;
         let layer_index = read_varint(bytes, &mut pos)? as usize;
         let rows = read_varint(bytes, &mut pos)? as usize;
@@ -196,39 +244,81 @@ pub fn decode_model(model: &CompressedModel) -> Result<(Vec<DecodedLayer>, Decod
         let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
         let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?;
         pos = idx_end;
-
-        let t = Instant::now();
-        let index = codec.codec().decompress(idx_blob)?;
-        timing.lossless_ms += t.elapsed().as_secs_f64() * 1e3;
-
-        let t = Instant::now();
-        let data = dsz_sz::decompress(sz_blob)?;
-        timing.sz_ms += t.elapsed().as_secs_f64() * 1e3;
-
-        let t = Instant::now();
-        if data.len() != index.len() {
-            return Err(DeepSzError::BadContainer("data/index length mismatch".into()));
-        }
-        let pair = PairArray { rows, cols, data, index };
-        let dense = pair.to_dense()?;
-        timing.reconstruct_ms += t.elapsed().as_secs_f64() * 1e3;
-
-        layers.push(DecodedLayer { name, layer_index, dense, rows, cols });
+        records.push(RawLayerRecord { name, layer_index, rows, cols, codec, sz_blob, idx_blob });
     }
+    Ok(records)
+}
+
+/// Decodes one parsed record through the three stages, returning the layer
+/// plus `(lossless, sz, reconstruct)` stage times in ms.
+pub(crate) fn decode_record(
+    r: &RawLayerRecord<'_>,
+) -> Result<(DecodedLayer, [f64; 3]), DeepSzError> {
+    let t = Instant::now();
+    let index = r.codec.codec().decompress(r.idx_blob)?;
+    let lossless_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let data = dsz_sz::decompress(r.sz_blob)?;
+    let sz_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    if data.len() != index.len() {
+        return Err(DeepSzError::BadContainer("data/index length mismatch".into()));
+    }
+    let pair = PairArray { rows: r.rows, cols: r.cols, data, index };
+    let dense = pair.to_dense()?;
+    let reconstruct_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    Ok((
+        DecodedLayer {
+            name: r.name.to_string(),
+            layer_index: r.layer_index,
+            dense,
+            rows: r.rows,
+            cols: r.cols,
+        },
+        [lossless_ms, sz_ms, reconstruct_ms],
+    ))
+}
+
+/// Decodes a container produced by [`encode_with_plan`].
+///
+/// The container is parsed into zero-copy records first; layers then
+/// decode in parallel through a work queue (and the chunked SZ streams
+/// parallelize internally as well). Results keep container order.
+pub fn decode_model(
+    model: &CompressedModel,
+) -> Result<(Vec<DecodedLayer>, DecodeTiming), DeepSzError> {
+    let t0 = Instant::now();
+    let records = parse_records(&model.bytes)?;
+    let results = parallel_map(&records, decode_record);
+    let mut layers = Vec::with_capacity(records.len());
+    let mut timing = DecodeTiming::default();
+    for r in results {
+        let (layer, [lossless, sz, reconstruct]) = r?;
+        timing.lossless_ms += lossless;
+        timing.sz_ms += sz;
+        timing.reconstruct_ms += reconstruct;
+        layers.push(layer);
+    }
+    timing.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     Ok((layers, timing))
 }
 
 /// Installs decoded fc layers into `net` (matched by layer index, with the
-/// name and shape cross-checked).
-pub fn apply_decoded(net: &mut Network, layers: &[DecodedLayer]) -> Result<(), DeepSzError> {
-    for l in layers {
+/// name and shape cross-checked). Takes the layers by value so each dense
+/// buffer moves into the network instead of being copied.
+pub fn apply_decoded(net: &mut Network, layers: Vec<DecodedLayer>) -> Result<(), DeepSzError> {
+    // Validate everything first so a mismatch can't leave `net` half-updated.
+    for l in &layers {
         if l.layer_index >= net.layers.len() {
             return Err(DeepSzError::BadContainer(format!(
                 "layer index {} out of range",
                 l.layer_index
             )));
         }
-        let dsz_nn::Layer::Dense(d) = &mut net.layers[l.layer_index] else {
+        let dsz_nn::Layer::Dense(d) = &net.layers[l.layer_index] else {
             return Err(DeepSzError::BadContainer(format!(
                 "network layer {} is not fully connected",
                 l.layer_index
@@ -240,7 +330,12 @@ pub fn apply_decoded(net: &mut Network, layers: &[DecodedLayer]) -> Result<(), D
                 l.name, d.name, d.w.rows, d.w.cols
             )));
         }
-        d.w.data = l.dense.clone();
+    }
+    for l in layers {
+        let dsz_nn::Layer::Dense(d) = &mut net.layers[l.layer_index] else {
+            unreachable!("validated above");
+        };
+        d.w.data = l.dense;
     }
     Ok(())
 }

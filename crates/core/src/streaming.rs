@@ -9,13 +9,23 @@
 //! VGG-16's fc stack that is a 411 MB high-water mark instead of 494 MB,
 //! and with the compressed container as the only persistent copy, resident
 //! model state shrinks by the full compression ratio.
+//!
+//! # Prefetch
+//!
+//! By default the forward pass **prefetch-decodes layer *k+1* on a worker
+//! thread while layer *k*'s matmul runs**, hiding decode latency behind
+//! compute (the same overlap the paper uses across GPUs). Prefetch holds at
+//! most two dense layers at once, so the peak becomes
+//! `max(layer_k + layer_{k+1})`; call [`CompressedFcModel::with_prefetch`]
+//! with `false` to trade the overlap back for the strict `max(layer)`
+//! bound.
 
-use crate::pipeline::{decode_model, CompressedModel, DecodedLayer};
+use crate::pipeline::{
+    decode_model, decode_record, parse_records, CompressedModel, DecodedLayer, RawLayerRecord,
+};
 use crate::DeepSzError;
-use dsz_lossless::bits::read_varint;
-use dsz_lossless::{CodecError, LosslessKind};
+use dsz_lossless::LosslessKind;
 use dsz_nn::{Batch, Layer, Network};
-use dsz_sparse::PairArray;
 
 /// One fc layer kept in compressed form.
 #[derive(Debug, Clone)]
@@ -31,23 +41,25 @@ struct CompressedLayer {
 
 impl CompressedLayer {
     fn decode(&self) -> Result<DecodedLayer, DeepSzError> {
-        let index = self.codec.codec().decompress(&self.idx_blob)?;
-        let data = dsz_sz::decompress(&self.sz_blob)?;
-        if data.len() != index.len() {
-            return Err(DeepSzError::BadContainer("data/index length mismatch".into()));
-        }
-        let pair = PairArray { rows: self.rows, cols: self.cols, data, index };
-        Ok(DecodedLayer {
-            name: self.name.clone(),
+        // Same three-stage decode as the eager path; timing discarded.
+        let record = RawLayerRecord {
+            name: &self.name,
             layer_index: self.layer_index,
-            dense: pair.to_dense()?,
             rows: self.rows,
             cols: self.cols,
-        })
+            codec: self.codec,
+            sz_blob: &self.sz_blob,
+            idx_blob: &self.idx_blob,
+        };
+        decode_record(&record).map(|(layer, _)| layer)
     }
 
     fn compressed_bytes(&self) -> usize {
         self.sz_blob.len() + self.idx_blob.len()
+    }
+
+    fn dense_bytes(&self) -> usize {
+        self.rows * self.cols * 4
     }
 }
 
@@ -58,12 +70,14 @@ pub struct CompressedFcModel {
     /// The non-fc skeleton (fc layers carry empty weight buffers).
     skeleton: Network,
     layers: Vec<CompressedLayer>,
+    prefetch: bool,
 }
 
 /// Memory accounting from a streaming forward pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StreamingStats {
-    /// Peak bytes of dense fc weights resident at any instant.
+    /// Peak bytes of dense fc weights resident at any instant (with
+    /// prefetch on, the executing layer plus the one being decoded).
     pub peak_dense_bytes: usize,
     /// Sum of dense fc weights (what eager decoding would hold).
     pub total_dense_bytes: usize,
@@ -74,10 +88,22 @@ pub struct StreamingStats {
 impl CompressedFcModel {
     /// Builds a streaming model from a network skeleton and its compressed
     /// container. The skeleton's fc weights are discarded (replaced by
-    /// empty buffers) — only shapes and non-fc layers are kept.
+    /// empty buffers) — only shapes and non-fc layers are kept. Prefetch
+    /// is on by default.
     pub fn new(net: &Network, model: &CompressedModel) -> Result<Self, DeepSzError> {
         let mut skeleton = net.clone();
-        let layers = parse_layers(model)?;
+        let layers: Vec<CompressedLayer> = parse_records(&model.bytes)?
+            .into_iter()
+            .map(|r| CompressedLayer {
+                name: r.name.to_string(),
+                layer_index: r.layer_index,
+                rows: r.rows,
+                cols: r.cols,
+                codec: r.codec,
+                sz_blob: r.sz_blob.to_vec(),
+                idx_blob: r.idx_blob.to_vec(),
+            })
+            .collect();
         for l in &layers {
             if l.layer_index >= skeleton.layers.len() {
                 return Err(DeepSzError::BadContainer(format!(
@@ -100,12 +126,36 @@ impl CompressedFcModel {
             // Release the dense weights; the compressed blob is canonical.
             d.w.data = Vec::new();
         }
-        Ok(Self { skeleton, layers })
+        Ok(Self { skeleton, layers, prefetch: true })
     }
 
-    /// Forward pass, materializing one fc layer at a time. Returns the
-    /// output batch and the memory accounting.
+    /// Enables or disables decode prefetch (see the module docs for the
+    /// memory/latency trade).
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Forward pass, materializing fc layers on demand. Returns the output
+    /// batch and the memory accounting.
     pub fn forward(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
+        if self.prefetch {
+            self.forward_prefetch(x)
+        } else {
+            self.forward_serial(x)
+        }
+    }
+
+    /// Looks up the compressed blob backing skeleton layer `i`.
+    fn compressed_for(&self, i: usize) -> Result<&CompressedLayer, DeepSzError> {
+        self.layers
+            .iter()
+            .find(|l| l.layer_index == i)
+            .ok_or_else(|| DeepSzError::BadContainer(format!("no blob for fc layer {i}")))
+    }
+
+    /// One-layer-at-a-time forward: strict `max(layer)` dense peak.
+    fn forward_serial(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
             compressed_bytes: self.layers.iter().map(CompressedLayer::compressed_bytes).sum(),
             ..Default::default()
@@ -114,14 +164,7 @@ impl CompressedFcModel {
         for (i, layer) in self.skeleton.layers.iter().enumerate() {
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
-                    let c = self
-                        .layers
-                        .iter()
-                        .find(|l| l.layer_index == i)
-                        .ok_or_else(|| {
-                            DeepSzError::BadContainer(format!("no blob for fc layer {i}"))
-                        })?;
-                    let decoded = c.decode()?;
+                    let decoded = self.compressed_for(i)?.decode()?;
                     let dense_bytes = decoded.dense.len() * 4;
                     stats.peak_dense_bytes = stats.peak_dense_bytes.max(dense_bytes);
                     stats.total_dense_bytes += dense_bytes;
@@ -139,6 +182,102 @@ impl CompressedFcModel {
         Ok((cur, stats))
     }
 
+    /// Pipelined forward: while layer *k*'s matmul runs, a scoped worker
+    /// thread decodes layer *k+1* (lossless + SZ + reconstruction — the SZ
+    /// chunks additionally fan out internally). Peak dense residency is
+    /// one executing layer plus one in-flight decode.
+    fn forward_prefetch(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
+        let mut stats = StreamingStats {
+            compressed_bytes: self.layers.iter().map(CompressedLayer::compressed_bytes).sum(),
+            ..Default::default()
+        };
+        // Compressed fc layers in execution order.
+        let order: Vec<usize> = self
+            .skeleton
+            .layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Layer::Dense(d) if d.w.data.is_empty() => Some(i),
+                _ => None,
+            })
+            .collect();
+        for &i in &order {
+            self.compressed_for(i)?; // fail before spawning anything
+        }
+
+        // The decode worker runs concurrently with the matmul thread, so
+        // the caller's worker budget is split between them (each side at
+        // least 1). Setting the pin inside the spawned thread also
+        // propagates a `with_workers` override, whose thread-local would
+        // otherwise be unset there.
+        let budget = dsz_tensor::parallel::worker_count();
+        if budget < 2 {
+            // No second thread to overlap with: honoring a 1-thread pin
+            // means not spawning a concurrent decode at all.
+            return self.forward_serial(x);
+        }
+        let decode_budget = budget / 2;
+        let compute_budget = budget - decode_budget;
+        std::thread::scope(|s| {
+            let mut pending: Option<
+                std::thread::ScopedJoinHandle<'_, Result<DecodedLayer, DeepSzError>>,
+            > = None;
+            let mut next_ord = 0usize;
+            if let Some(&i0) = order.first() {
+                let c = self.compressed_for(i0).expect("validated above");
+                pending = Some(s.spawn(move || {
+                    dsz_tensor::parallel::with_workers(decode_budget, || c.decode())
+                }));
+                next_ord = 1;
+            }
+            let mut cur = x.clone();
+            for layer in &self.skeleton.layers {
+                match layer {
+                    Layer::Dense(d) if d.w.data.is_empty() => {
+                        let handle = pending.take().expect("prefetch scheduled");
+                        let decoded = handle.join().map_err(|_| {
+                            DeepSzError::BadContainer("decode worker panicked".into())
+                        })??;
+                        // Kick off the next decode before this matmul.
+                        let mut inflight = 0usize;
+                        if let Some(&inext) = order.get(next_ord) {
+                            let c = self.compressed_for(inext).expect("validated above");
+                            pending = Some(s.spawn(move || {
+                                dsz_tensor::parallel::with_workers(decode_budget, || c.decode())
+                            }));
+                            inflight = c.dense_bytes();
+                            next_ord += 1;
+                        }
+                        let dense_bytes = decoded.dense.len() * 4;
+                        stats.peak_dense_bytes =
+                            stats.peak_dense_bytes.max(dense_bytes + inflight);
+                        stats.total_dense_bytes += dense_bytes;
+                        let mut live = d.clone();
+                        live.w.data = decoded.dense;
+                        cur = forward_sharing_budget(
+                            &Layer::Dense(live),
+                            &cur,
+                            pending.is_some(),
+                            compute_budget,
+                        ); // dense weights dropped here
+                    }
+                    other => {
+                        // Non-fc layers also share cores with an in-flight
+                        // decode (e.g. the conv stack before the first fc).
+                        cur = forward_sharing_budget(
+                            other,
+                            &cur,
+                            pending.is_some(),
+                            compute_budget,
+                        );
+                    }
+                }
+            }
+            Ok((cur, stats))
+        })
+    }
+
     /// Eagerly decodes everything into a plain [`Network`] (the
     /// conventional decode path, for comparison).
     pub fn materialize(&self) -> Result<Network, DeepSzError> {
@@ -154,40 +293,20 @@ impl CompressedFcModel {
     }
 }
 
-/// Parses the container into per-layer compressed records without decoding
-/// the payloads (mirrors [`decode_model`]'s framing).
-fn parse_layers(model: &CompressedModel) -> Result<Vec<CompressedLayer>, DeepSzError> {
-    let bytes = &model.bytes;
-    if bytes.len() < 5 || &bytes[..4] != b"DSZM" {
-        return Err(DeepSzError::BadContainer("bad magic".into()));
+/// Runs one layer forward, pinned to `compute_budget` workers while a
+/// prefetch decode is in flight (the decode side holds the rest of the
+/// budget) and at full width otherwise.
+fn forward_sharing_budget(
+    layer: &Layer,
+    cur: &Batch,
+    decode_in_flight: bool,
+    compute_budget: usize,
+) -> Batch {
+    if decode_in_flight {
+        dsz_tensor::parallel::with_workers(compute_budget, || layer.forward(cur)).0
+    } else {
+        layer.forward(cur).0
     }
-    let mut pos = 5usize;
-    let n_layers = read_varint(bytes, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(n_layers);
-    for _ in 0..n_layers {
-        let name_len = read_varint(bytes, &mut pos)? as usize;
-        let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
-        let name = std::str::from_utf8(bytes.get(pos..name_end).ok_or(CodecError::Truncated)?)
-            .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?
-            .to_string();
-        pos = name_end;
-        let layer_index = read_varint(bytes, &mut pos)? as usize;
-        let rows = read_varint(bytes, &mut pos)? as usize;
-        let cols = read_varint(bytes, &mut pos)? as usize;
-        pos += 8; // stored eb, not needed here
-        let codec = LosslessKind::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)?;
-        pos += 1;
-        let sz_len = read_varint(bytes, &mut pos)? as usize;
-        let sz_end = pos.checked_add(sz_len).ok_or(CodecError::Truncated)?;
-        let sz_blob = bytes.get(pos..sz_end).ok_or(CodecError::Truncated)?.to_vec();
-        pos = sz_end;
-        let idx_len = read_varint(bytes, &mut pos)? as usize;
-        let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
-        let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?.to_vec();
-        pos = idx_end;
-        out.push(CompressedLayer { name, layer_index, rows, cols, codec, sz_blob, idx_blob });
-    }
-    Ok(out)
 }
 
 /// Consistency check used by tests: streaming and eager decode agree.
@@ -200,6 +319,6 @@ pub fn streaming_matches_eager(
     let (out_s, _) = streaming.forward(probe)?;
     let mut eager = net.clone();
     let (decoded, _) = decode_model(model)?;
-    crate::pipeline::apply_decoded(&mut eager, &decoded)?;
+    crate::pipeline::apply_decoded(&mut eager, decoded)?;
     Ok(out_s == eager.forward(probe))
 }

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds without network access, so the real criterion
+//! crate cannot be fetched. This shim implements the API subset the bench
+//! files use — groups, `bench_function` / `bench_with_input`, throughput
+//! annotation — with a simple wall-clock sampler that prints one line per
+//! benchmark. Numbers are indicative, not statistically rigorous; swap in
+//! real criterion when a registry is available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), samples: 10, throughput: None }
+    }
+
+    /// Bench outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Throughput annotation, reported as MB/s or Melem/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/param` benchmark identifier.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        Self { repr: format!("{name}/{param}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{id}: no iterations", self.name);
+            return;
+        }
+        let per_iter = b.total.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / per_iter / 1e6)
+            }
+            None => String::new(),
+        };
+        let prefix = if self.name.is_empty() { String::new() } else { format!("{}/", self.name) };
+        println!("{prefix}{id}: {:.3} ms/iter{rate}", per_iter * 1e3);
+    }
+}
+
+/// Per-benchmark timing accumulator handed to the closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one call of `f` and accumulates it into the sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        let out = f();
+        self.total += t0.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Opaque-value helper, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `rand` (API-compatible subset).
+//!
+//! Provides [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over numeric ranges, and [`Rng::gen_bool`] — the
+//! surface the workspace's data generators use. The generator is a
+//! splitmix64, not the real StdRng, so sequences differ from upstream rand;
+//! all in-repo consumers only rely on determinism, not on specific values.
+
+/// Random value source.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Stand-in for rand's `StdRng`: splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble so nearby seeds diverge immediately.
+            Self { state: seed.wrapping_mul(0x2545f4914f6cdd1d) ^ 0x6a09e667f3bcc909 }
+        }
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform value.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Numeric types sampleable from a range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)` (`half_open`) or `[lo, hi]`.
+    fn sample_uniform<R: Rng>(lo: Self, hi: Self, half_open: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng>(lo: Self, hi: Self, half_open: bool, rng: &mut R) -> Self {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let span = if half_open { hi - lo } else { hi - lo + 1 };
+                assert!(span > 0, "empty range");
+                let r = (u128::from(rng.next_u64()) % span as u128) as i128;
+                (lo + r) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng>(lo: Self, hi: Self, _half_open: bool, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty range");
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (u as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, true, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_uniform(*self.start(), *self.end(), false, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: f64 = a.gen_range(-1.0..1.0);
+            let y: f64 = b.gen_range(-1.0..1.0);
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v: usize = c.gen_range(0..=4);
+            assert!(v <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -134,6 +134,32 @@ impl<'a> BitReader<'a> {
         Ok(self.read_bits(1)? != 0)
     }
 
+    /// Returns the next `n` bits without consuming them, zero-padded past
+    /// the end of the buffer, plus the number of genuine bits available
+    /// (≤ `n`). Used by table-driven decoders to look ahead a full code.
+    #[inline]
+    pub fn peek_bits(&self, n: u8) -> (u64, usize) {
+        debug_assert!(n <= 56);
+        let avail = self.remaining_bits().min(n as usize);
+        let byte0 = self.pos / 8;
+        let off = (self.pos % 8) as u8;
+        let mut word = 0u64;
+        // Gather up to 8 bytes starting at the current byte; bits beyond
+        // the buffer stay zero.
+        for (k, &b) in self.buf[byte0..].iter().take(8).enumerate() {
+            word |= u64::from(b) << (8 * k);
+        }
+        let v = (word >> off) & if n == 0 { 0 } else { (1u64 << n) - 1 };
+        (v, avail)
+    }
+
+    /// Advances past `n` bits previously returned by [`BitReader::peek_bits`].
+    #[inline]
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.remaining_bits(), "consuming past the end");
+        self.pos += n;
+    }
+
     /// Skips ahead to the next byte boundary.
     pub fn align(&mut self) {
         self.pos = self.pos.div_ceil(8) * 8;

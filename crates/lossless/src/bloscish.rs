@@ -31,19 +31,27 @@ pub fn shuffle(data: &[u8], typesize: usize) -> Vec<u8> {
 
 /// Inverse of [`shuffle`].
 pub fn unshuffle(data: &[u8], typesize: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    unshuffle_into(data, typesize, &mut out);
+    out
+}
+
+/// Like [`unshuffle`], into a caller-provided buffer (cleared first).
+pub fn unshuffle_into(data: &[u8], typesize: usize, out: &mut Vec<u8>) {
+    out.clear();
     if typesize <= 1 || data.len() < typesize * 2 {
-        return data.to_vec();
+        out.extend_from_slice(data);
+        return;
     }
     let nelem = data.len() / typesize;
     let body = nelem * typesize;
-    let mut out = vec![0u8; data.len()];
+    out.resize(data.len(), 0);
     for byte in 0..typesize {
         for e in 0..nelem {
             out[e * typesize + byte] = data[byte * nelem + e];
         }
     }
     out[body..].copy_from_slice(&data[body..]);
-    out
 }
 
 #[inline]
@@ -133,12 +141,21 @@ pub fn compress(data: &[u8], typesize: usize) -> Vec<u8> {
 
 /// Inverse of [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decompress`], into a caller-provided scratch buffer (cleared
+/// first) so repeated decodes reuse one allocation.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let typesize = *data.first().ok_or(CodecError::Truncated)? as usize;
     if typesize == 0 || typesize > 64 {
         return Err(CodecError::corrupt("bad blosc typesize"));
     }
     let body = lz_fast_decompress(&data[1..], LzParams::blosc_like().min_match)?;
-    Ok(unshuffle(&body, typesize))
+    unshuffle_into(&body, typesize, out);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -112,7 +112,10 @@ impl HuffmanCode {
         HuffmanEncoder { codes }
     }
 
-    /// Builds the decode-side canonical tables.
+    /// Builds the decode-side tables: a one-shot lookup table for codes of
+    /// at most [`PRIMARY_BITS`] bits (the common case by construction —
+    /// frequent symbols get short codes) plus the canonical per-length
+    /// tables as the long-code fallback.
     pub fn decoder(&self) -> HuffmanDecoder {
         let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
         let mut first_rank = [0u32; MAX_CODE_LEN as usize + 1];
@@ -132,7 +135,23 @@ impl HuffmanCode {
         for &(sym, _) in &self.entries {
             syms.push(sym);
         }
-        HuffmanDecoder { first_code, first_rank, count, syms }
+        // Primary LUT, indexed by the next PRIMARY_BITS of the stream as
+        // they appear to `BitReader::peek_bits` (first streamed bit = bit 0).
+        // Codes are emitted MSB-first, so a code's LUT index is its
+        // bit-reversal; every index sharing that prefix maps to it.
+        let mut lut = vec![LutEntry { sym: 0, len: 0 }; 1 << PRIMARY_BITS];
+        for (codeval, (sym, len)) in assign_codes(&self.entries) {
+            if len <= PRIMARY_BITS {
+                let rev = (codeval.reverse_bits() >> (32 - len)) as usize;
+                let step = 1usize << len;
+                let mut idx = rev;
+                while idx < lut.len() {
+                    lut[idx] = LutEntry { sym, len };
+                    idx += step;
+                }
+            }
+        }
+        HuffmanDecoder { first_code, first_rank, count, syms, lut }
     }
 }
 
@@ -183,19 +202,48 @@ impl HuffmanEncoder {
     }
 }
 
-/// Decode-side canonical tables.
+/// Width of the primary decode lookup table: one peek resolves any code of
+/// at most this many bits without a table walk. 11 bits keeps the table at
+/// 2 KiB entries (cache-resident) while covering the overwhelming majority
+/// of symbols in entropy-skewed streams.
+pub const PRIMARY_BITS: u8 = 11;
+
+#[derive(Debug, Clone, Copy)]
+struct LutEntry {
+    sym: u32,
+    /// Code length in bits; 0 marks "longer than PRIMARY_BITS" prefixes.
+    len: u8,
+}
+
+/// Decode-side tables: primary LUT + canonical fallback.
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
     first_code: [u32; MAX_CODE_LEN as usize + 1],
     first_rank: [u32; MAX_CODE_LEN as usize + 1],
     count: [u32; MAX_CODE_LEN as usize + 1],
     syms: Vec<u32>,
+    lut: Vec<LutEntry>,
 }
 
 impl HuffmanDecoder {
-    /// Reads one symbol.
+    /// Reads one symbol: a single table lookup for codes ≤ [`PRIMARY_BITS`]
+    /// bits, falling back to the bit-at-a-time canonical walk for the rare
+    /// long codes and for the truncated tail of the stream.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
-        // Degenerate book: a single symbol still consumes its 1-bit code.
+        let (peek, avail) = r.peek_bits(PRIMARY_BITS);
+        let e = self.lut[peek as usize];
+        if e.len != 0 && e.len as usize <= avail {
+            r.consume(e.len as usize);
+            return Ok(e.sym);
+        }
+        self.decode_slow(r)
+    }
+
+    /// Bitwise canonical decode (codes longer than the LUT, stream tail,
+    /// and corrupt-stream detection). Degenerate single-symbol books still
+    /// consume their 1-bit code here.
+    fn decode_slow(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
         let mut acc = 0u32;
         for len in 1..=MAX_CODE_LEN as usize {
             acc = (acc << 1) | r.read_bits(1)? as u32;
@@ -257,12 +305,13 @@ fn build_lengths(counts: &[u64]) -> Vec<(u32, u8)> {
 }
 
 /// Convenience: Huffman-encodes a `u32` symbol stream (table + payload).
-pub fn encode_stream(symbols: &[u32], max_sym_hint: usize) -> Vec<u8> {
-    let mut counts = vec![0u64; max_sym_hint.max(1)];
+/// The histogram is sized to the largest symbol actually present, so many
+/// small streams (e.g. per-chunk SZ codes drawn from a 2^16-wide alphabet)
+/// don't each pay for a full-alphabet zeroed table.
+pub fn encode_stream(symbols: &[u32]) -> Vec<u8> {
+    let max_sym = symbols.iter().max().map_or(0, |&m| m as usize);
+    let mut counts = vec![0u64; max_sym + 1];
     for &s in symbols {
-        if s as usize >= counts.len() {
-            counts.resize(s as usize + 1, 0);
-        }
         counts[s as usize] += 1;
     }
     let code = HuffmanCode::from_counts(&counts);
@@ -282,6 +331,21 @@ pub fn encode_stream(symbols: &[u32], max_sym_hint: usize) -> Vec<u8> {
 
 /// Inverse of [`encode_stream`].
 pub fn decode_stream(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecError> {
+    let mut out = Vec::new();
+    decode_stream_into(data, pos, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode_stream`], but decodes into a caller-provided buffer so a
+/// reused scratch vector amortizes the allocation across many streams
+/// (`out` is cleared first). This is the hot path of chunk-parallel SZ
+/// decode, where each worker thread keeps its own scratch.
+pub fn decode_stream_into(
+    data: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<u32>,
+) -> Result<(), CodecError> {
+    out.clear();
     let n = read_varint(data, pos)? as usize;
     let code = HuffmanCode::deserialize(data, pos)?;
     let payload_len = read_varint(data, pos)? as usize;
@@ -289,15 +353,21 @@ pub fn decode_stream(data: &[u8], pos: &mut usize) -> Result<Vec<u32>, CodecErro
     let payload = data.get(*pos..end).ok_or(CodecError::Truncated)?;
     *pos = end;
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
+    }
+    // Every symbol costs at least one bit, so a declared count beyond the
+    // payload's bit budget is corrupt — checked before reserving so a
+    // hostile count cannot force an allocation abort.
+    if n > payload_len.saturating_mul(8) {
+        return Err(CodecError::corrupt("symbol count exceeds payload bits"));
     }
     let dec = code.decoder();
     let mut r = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for _ in 0..n {
         out.push(dec.decode(&mut r)?);
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -305,7 +375,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(symbols: &[u32]) {
-        let blob = encode_stream(symbols, 0);
+        let blob = encode_stream(symbols);
         let mut pos = 0;
         let back = decode_stream(&blob, &mut pos).unwrap();
         assert_eq!(back, symbols);
@@ -334,7 +404,7 @@ mod tests {
         for i in 0..1000 {
             syms.push(i % 32);
         }
-        let blob = encode_stream(&syms, 0);
+        let blob = encode_stream(&syms);
         assert!(blob.len() < syms.len()); // ≪ 4 bytes/symbol, < 1 byte/symbol
         let mut pos = 0;
         assert_eq!(decode_stream(&blob, &mut pos).unwrap(), syms);

@@ -53,6 +53,12 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Cap on upfront output-buffer reservations made from stream-declared
+/// lengths. Decoders verify real lengths as they go; this only bounds how
+/// much a corrupt header can make them pre-allocate (growth past the cap
+/// is amortized as usual).
+pub(crate) const MAX_PREALLOC: usize = 1 << 24;
+
 /// A byte-oriented lossless codec.
 pub trait Codec: Sync {
     /// Stable display name (matches the paper's terminology).
@@ -61,6 +67,14 @@ pub trait Codec: Sync {
     fn compress(&self, data: &[u8]) -> Vec<u8>;
     /// Decompresses a stream produced by [`Codec::compress`].
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError>;
+    /// Decompresses into a caller-provided scratch buffer (cleared first),
+    /// so repeated decodes reuse one allocation. Codecs whose decoders can
+    /// write in place override this; the default falls back to
+    /// [`Codec::decompress`].
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        *out = self.decompress(data)?;
+        Ok(())
+    }
 }
 
 /// DEFLATE-like codec (the paper's "gzip" role).
@@ -77,6 +91,9 @@ impl Codec for Gzipish {
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         lz::decode_tokens(data)
     }
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        lz::decode_tokens_into(data, out)
+    }
 }
 
 /// Ratio-oriented large-window codec (the paper's "Zstandard" role).
@@ -92,6 +109,9 @@ impl Codec for Zstdish {
     }
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         zstdish::decompress(data)
+    }
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        zstdish::decompress_into(data, out)
     }
 }
 
@@ -118,6 +138,9 @@ impl Codec for Bloscish {
     }
     fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         bloscish::decompress(data)
+    }
+    fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        bloscish::decompress_into(data, out)
     }
 }
 
@@ -222,6 +245,20 @@ mod tests {
         }
         // Entropy-coded codecs must beat the no-entropy blosc stand-in here.
         assert_ne!(kind, LosslessKind::Blosc);
+    }
+
+    #[test]
+    fn decompress_into_reuses_scratch() {
+        let data = sample_index_array(30_000, 0.1);
+        let mut scratch = Vec::new();
+        for kind in LosslessKind::ALL {
+            let c = kind.codec();
+            let blob = c.compress(&data);
+            // Pre-poison the scratch to prove it is cleared, then reuse it.
+            scratch.extend_from_slice(&[0xAA; 17]);
+            c.decompress_into(&blob, &mut scratch).unwrap();
+            assert_eq!(scratch, data, "{}", c.name());
+        }
     }
 
     #[test]

@@ -242,6 +242,15 @@ pub fn encode_tokens(tokens: &[Token], raw_len: usize, min_match: usize) -> Vec<
 
 /// Decodes a stream produced by [`encode_tokens`] back into bytes.
 pub fn decode_tokens(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decode_tokens_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode_tokens`], into a caller-provided scratch buffer (cleared
+/// first) so repeated decodes reuse one allocation.
+pub fn decode_tokens_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    out.clear();
     let mut pos = 0usize;
     let raw_len = read_varint(data, &mut pos)? as usize;
     let min_match = *data.get(pos).ok_or(CodecError::Truncated)? as u32;
@@ -255,7 +264,7 @@ pub fn decode_tokens(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     let ld = litlen.decoder();
     let dd = dist.decoder();
     let mut r = BitReader::new(payload);
-    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    out.reserve(raw_len.min(crate::MAX_PREALLOC));
     loop {
         let sym = ld.decode(&mut r)?;
         if sym < 256 {
@@ -279,6 +288,11 @@ pub fn decode_tokens(data: &[u8]) -> Result<Vec<u8>, CodecError> {
             if d > out.len() {
                 return Err(CodecError::corrupt("distance beyond output"));
             }
+            // Reject before copying: a hostile ~2^31 length must not get
+            // to allocate/copy past the declared output size first.
+            if len as usize > raw_len - out.len() {
+                return Err(CodecError::corrupt("output exceeds declared length"));
+            }
             let start = out.len() - d;
             for k in 0..len as usize {
                 let b = out[start + k];
@@ -292,7 +306,7 @@ pub fn decode_tokens(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     if out.len() != raw_len {
         return Err(CodecError::corrupt("output shorter than declared length"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Full LZ + entropy compression pipeline.

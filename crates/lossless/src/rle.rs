@@ -24,19 +24,55 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Inverse of [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decompress`], into a caller-provided scratch buffer (cleared
+/// first) so repeated decodes reuse one allocation.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    decompress_into_capped(data, out, usize::MAX)
+}
+
+/// Like [`decompress_into`], but rejects streams whose declared length
+/// exceeds `max_len`. Callers that know the expected output size (e.g.
+/// the SZ selector stream, whose block count is fixed by the header)
+/// should pass it so a hostile declared length cannot demand memory at
+/// all — runs are bounded by the declared length, so the cap bounds every
+/// allocation in this function.
+pub fn decompress_into_capped(
+    data: &[u8],
+    out: &mut Vec<u8>,
+    max_len: usize,
+) -> Result<(), CodecError> {
+    out.clear();
     let mut pos = 0usize;
     let raw_len = read_varint(data, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(raw_len);
+    if raw_len > max_len {
+        return Err(CodecError::corrupt("RLE length exceeds caller cap"));
+    }
+    out.reserve(raw_len.min(crate::MAX_PREALLOC));
     while out.len() < raw_len {
         let run = read_varint(data, &mut pos)? as usize;
         let b = *data.get(pos).ok_or(CodecError::Truncated)?;
         pos += 1;
-        if run == 0 || out.len() + run > raw_len {
+        // `raw_len - out.len()` (not `out.len() + run`): the addition can
+        // wrap for a hostile run length once overflow checks are off.
+        if run == 0 || run > raw_len - out.len() {
             return Err(CodecError::corrupt("bad RLE run"));
         }
-        out.extend(std::iter::repeat_n(b, run));
+        // Piecewise so one run never reserves more than MAX_PREALLOC at a
+        // time (repeat_n is TrustedLen: a single extend would reserve the
+        // whole attacker-declared run up front).
+        let mut remaining = run;
+        while remaining > 0 {
+            let step = remaining.min(crate::MAX_PREALLOC);
+            out.extend(std::iter::repeat_n(b, step));
+            remaining -= step;
+        }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -60,5 +96,28 @@ mod tests {
     fn long_runs_shrink() {
         let data = vec![7u8; 1 << 16];
         assert!(compress(&data).len() < 16);
+    }
+
+    #[test]
+    fn caller_cap_rejects_oversized_streams() {
+        let data = vec![9u8; 100];
+        let blob = compress(&data);
+        let mut out = Vec::new();
+        assert!(decompress_into_capped(&blob, &mut out, 99).is_err());
+        decompress_into_capped(&blob, &mut out, 100).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn hostile_run_length_rejected() {
+        // A near-usize::MAX run must error, not wrap the bounds check and
+        // attempt a capacity-overflow allocation.
+        let mut s = Vec::new();
+        write_varint(&mut s, 2); // declared length
+        write_varint(&mut s, 1);
+        s.push(b'A');
+        write_varint(&mut s, u64::MAX);
+        s.push(b'B');
+        assert!(decompress(&s).is_err());
     }
 }

@@ -81,17 +81,26 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decompress`], into a caller-provided scratch buffer (cleared
+/// first) so repeated decodes reuse one allocation.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    out.clear();
     let mut pos = 0usize;
     let raw_len = read_varint(data, &mut pos)? as usize;
     let min_match = u32::from(*data.get(pos).ok_or(CodecError::Truncated)?);
     pos += 1;
     if raw_len == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let litlen = StaticModel::deserialize(data, &mut pos)?;
     let dist = StaticModel::deserialize(data, &mut pos)?;
     let mut dec = RangeDecoder::new(&data[pos..])?;
-    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    out.reserve(raw_len.min(crate::MAX_PREALLOC));
     while out.len() < raw_len {
         let sym = litlen.decode(&mut dec);
         if sym < 256 {
@@ -119,7 +128,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ proptest! {
 
     #[test]
     fn huffman_stream_roundtrips(syms in proptest::collection::vec(0u32..5000, 0..2048)) {
-        let blob = huffman::encode_stream(&syms, 0);
+        let blob = huffman::encode_stream(&syms);
         let mut pos = 0;
         prop_assert_eq!(huffman::decode_stream(&blob, &mut pos).unwrap(), syms);
     }

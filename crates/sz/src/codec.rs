@@ -1,13 +1,59 @@
 //! The SZ compression pipeline: prediction, quantization, entropy stage,
 //! lossless backend, and the self-describing stream format.
+//!
+//! # Stream versions and the chunked layout
+//!
+//! Two wire formats share the `SZ1D` magic and differ in the version byte:
+//!
+//! * **v1** — one monolithic payload for the whole array (the original
+//!   format). Decoding is inherently serial because the Lorenzo predictor
+//!   chains every value to the previous reconstruction.
+//! * **v2** — the array is split into fixed-size **chunks** (a multiple of
+//!   the prediction block size; [`SzConfig::chunk_elems`] elements each,
+//!   last chunk ragged). Every chunk is a fully independent compression
+//!   unit: its predictor state starts fresh, and it carries its own
+//!   selector RLE, regression parameters, Huffman table, verbatim values,
+//!   and lossless-backend decision. Chunks are laid out as
+//!   `[backend_id u8][len varint][bytes]` records after the shared header:
+//!
+//!   ```text
+//!   "SZ1D" | 0x02 | n | abs_eb f64 | predictor | block | radius
+//!          | chunk_elems | n_chunks | chunk record * n_chunks
+//!   ```
+//!
+//! Independence is what buys parallelism: both [`SzConfig::compress`] and
+//! [`decompress`] fan chunks out over [`dsz_tensor::parallel`] workers
+//! (encode via `parallel_map`, decode via `parallel_chunks` straight into
+//! disjoint slices of the output buffer — no per-chunk allocation or
+//! concatenation). Chunk payloads are byte-identical regardless of worker
+//! count, so containers stay deterministic. Each worker thread reuses a
+//! thread-local scratch ([`huffman::decode_stream_into`],
+//! [`rle::decompress_into`], `Codec::decompress_into`) to keep the decode
+//! hot loop allocation-light.
+//!
+//! v1 streams still decode (the version byte dispatches); setting
+//! `chunk_elems = 0` makes the encoder emit v1 for compatibility tests and
+//! single-stream comparisons.
 
 use crate::{ErrorBound, SzError};
 use dsz_lossless::bits::{read_varint, write_varint};
 use dsz_lossless::huffman;
 use dsz_lossless::{rle, CodecError, LosslessKind};
+use dsz_tensor::parallel::{parallel_chunks, parallel_map};
+use std::cell::RefCell;
 
 const MAGIC: &[u8; 4] = b"SZ1D";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
+
+/// Decode-side cap on elements per compressed byte, checked before the
+/// output buffer is allocated so a crafted header cannot demand absurd
+/// memory. Default-chunk streams top out around ~1.3 K elements/byte, but
+/// constant data in a single user-configured giant chunk (Huffman 1 bit
+/// per element, then the backend squeezing the bit stream further) can
+/// legitimately reach several K elements/byte — 2^16 keeps clear margin
+/// over every encodable stream while still bounding amplification.
+const MAX_ELEMS_PER_BYTE: usize = 1 << 16;
 
 /// Escape code marking a verbatim ("unpredictable") value.
 const ESCAPE: u32 = 0;
@@ -51,7 +97,8 @@ pub enum EntropyStage {
     Raw,
 }
 
-/// Tunable compressor configuration. The defaults mirror SZ 2.x.
+/// Tunable compressor configuration. The defaults mirror SZ 2.x plus the
+/// chunk-parallel v2 layout.
 #[derive(Debug, Clone, Copy)]
 pub struct SzConfig {
     /// Predictor selection policy.
@@ -63,8 +110,14 @@ pub struct SzConfig {
     pub radius: u32,
     /// Entropy stage for quantization codes.
     pub entropy: EntropyStage,
-    /// Byte codec applied over the whole payload (`None` disables).
+    /// Byte codec applied per compression unit (`None` disables).
     pub backend: Option<LosslessKind>,
+    /// Elements per independently compressed chunk in the v2 format
+    /// (rounded up to a multiple of `block_size`). `0` emits the legacy
+    /// serial v1 stream. Smaller chunks expose more parallelism but pay
+    /// one Huffman table per chunk; 64 Ki elements (256 KiB of f32) keeps
+    /// the table overhead under ~1% on weight-scale data.
+    pub chunk_elems: usize,
 }
 
 impl Default for SzConfig {
@@ -75,6 +128,7 @@ impl Default for SzConfig {
             radius: 1 << 15,
             entropy: EntropyStage::Huffman,
             backend: Some(LosslessKind::Zstd),
+            chunk_elems: 1 << 16,
         }
     }
 }
@@ -82,6 +136,8 @@ impl Default for SzConfig {
 /// Header information of a compressed stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SzInfo {
+    /// Stream format version (1 = monolithic, 2 = chunked).
+    pub version: u8,
     /// Element count.
     pub n: usize,
     /// Resolved absolute error bound.
@@ -92,8 +148,13 @@ pub struct SzInfo {
     pub block_size: usize,
     /// Quantization radius used.
     pub radius: u32,
-    /// Lossless backend used (if any).
+    /// Lossless backend used (if any). For v2 this is per chunk; the
+    /// header reports the first chunk's choice (`None` when empty).
     pub backend: Option<LosslessKind>,
+    /// Elements per chunk (v2; equals `n` for v1 streams).
+    pub chunk_elems: usize,
+    /// Number of chunks (v2; 1 for non-empty v1 streams).
+    pub chunks: usize,
 }
 
 /// Encoder-side statistics, for benches and ablations.
@@ -206,14 +267,36 @@ fn simulate_block_cost(
     }
     let coded: u32 = counts.values().sum();
     let n = f64::from(coded.max(1));
-    let entropy_bits: f64 = counts
-        .values()
-        .map(|&c| {
+    // Sum in sorted-key order: HashMap iteration order varies per
+    // instance, and a different float summation order could flip a
+    // near-tie predictor choice, breaking container byte-determinism.
+    let mut sorted: Vec<(i64, u32)> = counts.into_iter().collect();
+    sorted.sort_unstable_by_key(|&(k, _)| k);
+    let entropy_bits: f64 = sorted
+        .iter()
+        .map(|&(_, c)| {
             let c = f64::from(c);
             c * (n / c).log2()
         })
         .sum();
     entropy_bits + f64::from(escapes) * 34.0
+}
+
+/// Resolved per-stream quantization parameters shared by every chunk.
+#[derive(Clone, Copy)]
+struct QuantParams {
+    abs_eb: f64,
+    two_eb: f64,
+    radius: u32,
+    block: usize,
+}
+
+/// Per-chunk encoder output counts (summed into [`CompressStats`]).
+#[derive(Default, Clone, Copy)]
+struct ChunkCounts {
+    unpredictable: usize,
+    regression_blocks: usize,
+    blocks: usize,
 }
 
 impl SzConfig {
@@ -223,6 +306,10 @@ impl SzConfig {
     }
 
     /// Compresses `data` and also returns encoder statistics.
+    ///
+    /// With `chunk_elems > 0` (the default) this emits the chunked v2
+    /// format and compresses chunks in parallel; container bytes are
+    /// independent of the worker count. `chunk_elems == 0` emits v1.
     pub fn compress_with_stats(
         &self,
         data: &[f32],
@@ -232,20 +319,142 @@ impl SzConfig {
         if !(abs_eb.is_finite() && abs_eb > 0.0) {
             return Err(SzError::BadErrorBound(abs_eb));
         }
-        let two_eb = 2.0 * abs_eb;
-        let radius = self.radius.max(2);
-        let block = self.block_size.max(4);
-        let n = data.len();
+        let q = QuantParams {
+            abs_eb,
+            two_eb: 2.0 * abs_eb,
+            radius: self.radius.max(2),
+            // Clamped on both ends: ≥ 4 for the predictor, and small
+            // enough that chunk rounding arithmetic can never overflow.
+            block: self.block_size.clamp(4, 1 << 24),
+        };
+        if self.chunk_elems == 0 {
+            self.compress_v1(data, q)
+        } else {
+            self.compress_v2(data, q)
+        }
+    }
 
+    /// Serializes the header fields shared by both stream versions.
+    fn write_common_header(&self, out: &mut Vec<u8>, version: u8, n: usize, q: QuantParams) {
+        out.extend_from_slice(MAGIC);
+        out.push(version);
+        write_varint(out, n as u64);
+        out.extend_from_slice(&q.abs_eb.to_le_bytes());
+        out.push(self.predictor.id());
+        write_varint(out, q.block as u64);
+        write_varint(out, u64::from(q.radius));
+    }
+
+    /// Legacy monolithic stream (one compression unit, serial decode).
+    fn compress_v1(&self, data: &[f32], q: QuantParams) -> Result<(Vec<u8>, CompressStats), SzError> {
+        let (payload, counts) = self.encode_unit(data, q);
+        let mut out = Vec::with_capacity(payload.len() / 2 + 64);
+        self.write_common_header(&mut out, VERSION_V1, data.len(), q);
+        // Legacy layout: backend byte, then the payload running to the end
+        // of the stream (no length field — this matches the seed format).
+        match self.backend_compress(&payload) {
+            Some((id, comp)) => {
+                out.push(id);
+                out.extend_from_slice(&comp);
+            }
+            None => {
+                out.push(0xff);
+                out.extend_from_slice(&payload);
+            }
+        }
+        let stats = CompressStats {
+            n: data.len(),
+            unpredictable: counts.unpredictable,
+            regression_blocks: counts.regression_blocks,
+            blocks: counts.blocks,
+            compressed_bytes: out.len(),
+        };
+        Ok((out, stats))
+    }
+
+    /// Chunked v2 stream; chunks compress in parallel.
+    fn compress_v2(&self, data: &[f32], q: QuantParams) -> Result<(Vec<u8>, CompressStats), SzError> {
+        let n = data.len();
+        let chunk = chunk_len(self.chunk_elems, q.block);
+        let n_chunks = n.div_ceil(chunk);
+        let ranges: Vec<(usize, usize)> =
+            (0..n_chunks).map(|c| (c * chunk, ((c + 1) * chunk).min(n))).collect();
+
+        // Each chunk is a fully independent unit: encode payload, then
+        // apply the backend decision locally. Pure per chunk ⇒ the joined
+        // container is deterministic for any worker count.
+        let encoded: Vec<(Vec<u8>, ChunkCounts)> = parallel_map(&ranges, |&(s, e)| {
+            let (payload, counts) = self.encode_unit(&data[s..e], q);
+            let mut record = Vec::with_capacity(payload.len() / 2 + 8);
+            self.append_backed_payload(&mut record, &payload);
+            (record, counts)
+        });
+
+        let mut out = Vec::with_capacity(
+            encoded.iter().map(|(r, _)| r.len()).sum::<usize>() + 64,
+        );
+        self.write_common_header(&mut out, VERSION_V2, n, q);
+        write_varint(&mut out, chunk as u64);
+        write_varint(&mut out, n_chunks as u64);
+        let mut counts = ChunkCounts::default();
+        for (record, c) in &encoded {
+            out.extend_from_slice(record);
+            counts.unpredictable += c.unpredictable;
+            counts.regression_blocks += c.regression_blocks;
+            counts.blocks += c.blocks;
+        }
+        let stats = CompressStats {
+            n,
+            unpredictable: counts.unpredictable,
+            regression_blocks: counts.regression_blocks,
+            blocks: counts.blocks,
+            compressed_bytes: out.len(),
+        };
+        Ok((out, stats))
+    }
+
+    /// Runs the configured backend over `payload` and keeps the result
+    /// only when it is actually smaller; `None` means "store raw" (wire
+    /// id 0xff). Shared by the v1 and v2 serializers so the fallback rule
+    /// cannot diverge between formats.
+    fn backend_compress(&self, payload: &[u8]) -> Option<(u8, Vec<u8>)> {
+        let kind = self.backend?;
+        let comp = kind.codec().compress(payload);
+        (comp.len() < payload.len()).then(|| (kind.id(), comp))
+    }
+
+    /// Appends `[backend_id u8][len varint][bytes]`, keeping whichever of
+    /// the raw/compressed payload is smaller (0xff = stored raw).
+    fn append_backed_payload(&self, out: &mut Vec<u8>, payload: &[u8]) {
+        match self.backend_compress(payload) {
+            Some((id, comp)) => {
+                out.push(id);
+                write_varint(out, comp.len() as u64);
+                out.extend_from_slice(&comp);
+            }
+            None => {
+                out.push(0xff);
+                write_varint(out, payload.len() as u64);
+                out.extend_from_slice(payload);
+            }
+        }
+    }
+
+    /// Encodes one compression unit (the whole array for v1, one chunk for
+    /// v2) into a payload: selector RLE + regression params + entropy-coded
+    /// quantization codes + verbatim values. Predictor state starts fresh
+    /// (`last = 0`), which is what makes units independent.
+    fn encode_unit(&self, data: &[f32], q: QuantParams) -> (Vec<u8>, ChunkCounts) {
+        let n = data.len();
         let mut codes: Vec<u32> = Vec::with_capacity(n);
         let mut verbatim: Vec<f32> = Vec::new();
-        let mut selectors: Vec<u8> = Vec::with_capacity(n / block + 1);
+        let mut selectors: Vec<u8> = Vec::with_capacity(n / q.block + 1);
         let mut reg_params: Vec<(f32, f32)> = Vec::new();
 
         let mut last = 0f32; // last reconstructed value (decoder-synchronized)
         let mut start = 0usize;
         while start < n {
-            let end = (start + block).min(n);
+            let end = (start + q.block).min(n);
             let chunk = &data[start..end];
             let sel = match self.predictor {
                 PredictorMode::LorenzoOnly => Sel::Lorenzo,
@@ -255,9 +464,10 @@ impl SzConfig {
                 }
                 PredictorMode::Adaptive => {
                     let (a, b) = fit_line(chunk);
-                    let cost_l = simulate_block_cost(chunk, None, two_eb, abs_eb, radius, last);
+                    let cost_l =
+                        simulate_block_cost(chunk, None, q.two_eb, q.abs_eb, q.radius, last);
                     let cost_r =
-                        simulate_block_cost(chunk, Some((a, b)), two_eb, abs_eb, radius, last);
+                        simulate_block_cost(chunk, Some((a, b)), q.two_eb, q.abs_eb, q.radius, last);
                     // Regression pays 64 bits of parameters per block.
                     if cost_r + 64.0 < cost_l {
                         Sel::Regression { a, b }
@@ -281,12 +491,12 @@ impl SzConfig {
                 let mut escaped = true;
                 if pred.is_finite() {
                     let diff = x as f64 - pred as f64;
-                    let q = (diff / two_eb).round();
-                    if q.is_finite() && q.abs() < f64::from(radius) {
-                        let qi = q as i64;
-                        let recon = (pred as f64 + two_eb * qi as f64) as f32;
-                        if recon.is_finite() && (recon as f64 - x as f64).abs() <= abs_eb {
-                            codes.push((qi + i64::from(radius)) as u32 + 1);
+                    let qv = (diff / q.two_eb).round();
+                    if qv.is_finite() && qv.abs() < f64::from(q.radius) {
+                        let qi = qv as i64;
+                        let recon = (pred as f64 + q.two_eb * qi as f64) as f32;
+                        if recon.is_finite() && (recon as f64 - x as f64).abs() <= q.abs_eb {
+                            codes.push((qi + i64::from(q.radius)) as u32 + 1);
                             last = recon;
                             escaped = false;
                         }
@@ -314,7 +524,7 @@ impl SzConfig {
         match self.entropy {
             EntropyStage::Huffman => {
                 payload.push(0);
-                let blob = huffman::encode_stream(&codes, 2 * radius as usize + 2);
+                let blob = huffman::encode_stream(&codes);
                 payload.extend_from_slice(&blob);
             }
             EntropyStage::Raw => {
@@ -330,53 +540,40 @@ impl SzConfig {
             payload.extend_from_slice(&v.to_le_bytes());
         }
 
-        // ---- header + backend ----
-        let mut out = Vec::with_capacity(payload.len() / 2 + 64);
-        out.extend_from_slice(MAGIC);
-        out.push(VERSION);
-        write_varint(&mut out, n as u64);
-        out.extend_from_slice(&abs_eb.to_le_bytes());
-        out.push(self.predictor.id());
-        write_varint(&mut out, block as u64);
-        write_varint(&mut out, u64::from(radius));
-        match self.backend {
-            Some(kind) => {
-                out.push(kind.id());
-                let comp = kind.codec().compress(&payload);
-                // Keep whichever of raw/compressed payload is smaller.
-                if comp.len() < payload.len() {
-                    out.extend_from_slice(&comp);
-                } else {
-                    // Rewrite the backend byte as "none".
-                    let pos = out.len() - 1;
-                    out[pos] = 0xff;
-                    out.extend_from_slice(&payload);
-                }
-            }
-            None => {
-                out.push(0xff);
-                out.extend_from_slice(&payload);
-            }
-        }
-
-        let stats = CompressStats {
-            n,
+        let counts = ChunkCounts {
             unpredictable: verbatim.len(),
             regression_blocks: selectors.iter().filter(|&&s| s == 1).count(),
             blocks: selectors.len(),
-            compressed_bytes: out.len(),
         };
-        Ok((out, stats))
+        (payload, counts)
     }
 }
 
+/// Upper clamp on configured chunk sizes: keeps the rounding arithmetic in
+/// [`chunk_len`] overflow-free for any `SzConfig::chunk_elems` value while
+/// being far beyond any useful chunk (2^30 elements = 4 GiB of f32).
+const MAX_CHUNK_ELEMS: usize = 1 << 30;
+
+/// Effective chunk length: `chunk_elems` (clamped) rounded up to a whole
+/// number of prediction blocks so selector blocks never straddle a chunk
+/// boundary.
+fn chunk_len(chunk_elems: usize, block: usize) -> usize {
+    chunk_elems.clamp(block, MAX_CHUNK_ELEMS).div_ceil(block) * block
+}
+
 struct Header {
+    version: u8,
     n: usize,
     abs_eb: f64,
     predictor: PredictorMode,
     block: usize,
     radius: u32,
+    /// v1 only: whole-payload backend.
     backend: Option<LosslessKind>,
+    /// v2 only: elements per chunk.
+    chunk_elems: usize,
+    /// v2 only: chunk count.
+    n_chunks: usize,
     payload_at: usize,
 }
 
@@ -384,11 +581,15 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(SzError::Codec(CodecError::corrupt("bad SZ magic")));
     }
-    if bytes[4] != VERSION {
+    let version = bytes[4];
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(SzError::Codec(CodecError::corrupt("unsupported SZ version")));
     }
     let mut pos = 5usize;
     let n = read_varint(bytes, &mut pos)? as usize;
+    if n > bytes.len().saturating_mul(MAX_ELEMS_PER_BYTE) {
+        return Err(SzError::Codec(CodecError::corrupt("element count exceeds stream capacity")));
+    }
     let eb_bytes: [u8; 8] = bytes
         .get(pos..pos + 8)
         .ok_or(CodecError::Truncated)?
@@ -401,112 +602,270 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
     pos += 1;
     let block = read_varint(bytes, &mut pos)? as usize;
     let radius = read_varint(bytes, &mut pos)? as u32;
-    let backend_id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
-    pos += 1;
-    let backend = if backend_id == 0xff {
-        None
-    } else {
-        Some(LosslessKind::from_id(backend_id).map_err(SzError::Codec)?)
-    };
     if block < 4 || !(abs_eb.is_finite() && abs_eb > 0.0) {
         return Err(SzError::Codec(CodecError::corrupt("bad SZ header fields")));
     }
-    Ok(Header { n, abs_eb, predictor, block, radius, backend, payload_at: pos })
+    let (backend, chunk_elems, n_chunks) = match version {
+        VERSION_V1 => {
+            let backend_id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+            pos += 1;
+            (read_backend_id(backend_id)?, n, usize::from(n > 0))
+        }
+        _ => {
+            let chunk_elems = read_varint(bytes, &mut pos)? as usize;
+            let n_chunks = read_varint(bytes, &mut pos)? as usize;
+            if chunk_elems == 0 || chunk_elems % block != 0 {
+                return Err(SzError::Codec(CodecError::corrupt("bad SZ chunk size")));
+            }
+            if n_chunks != n.div_ceil(chunk_elems) {
+                return Err(SzError::Codec(CodecError::corrupt("bad SZ chunk count")));
+            }
+            // Every chunk record needs at least 2 bytes (backend id + len),
+            // so a count beyond that bounds check is corrupt — checked
+            // before any n_chunks-sized allocation happens.
+            if n_chunks > bytes.len().saturating_sub(pos) / 2 {
+                return Err(SzError::Codec(CodecError::corrupt("chunk count exceeds stream")));
+            }
+            (None, chunk_elems, n_chunks)
+        }
+    };
+    Ok(Header { version, n, abs_eb, predictor, block, radius, backend, chunk_elems, n_chunks, payload_at: pos })
 }
 
 /// Reads the stream header; see [`crate::info`].
 pub fn info(bytes: &[u8]) -> Result<SzInfo, SzError> {
     let h = parse_header(bytes)?;
+    let backend = match h.version {
+        VERSION_V1 => h.backend,
+        _ => {
+            // Report the first chunk's backend decision, if any.
+            if h.n_chunks > 0 {
+                read_backend_id(*bytes.get(h.payload_at).ok_or(CodecError::Truncated)?)?
+            } else {
+                None
+            }
+        }
+    };
     Ok(SzInfo {
+        version: h.version,
         n: h.n,
         abs_eb: h.abs_eb,
         predictor: h.predictor,
         block_size: h.block,
         radius: h.radius,
-        backend: h.backend,
+        backend,
+        chunk_elems: h.chunk_elems,
+        chunks: h.n_chunks,
     })
 }
 
-/// Decompresses a stream; see [`crate::decompress`].
+/// Reusable per-thread decode scratch: backend payload, entropy codes, and
+/// selector bytes all land in buffers that survive across chunks/streams.
+#[derive(Default)]
+struct Scratch {
+    payload: Vec<u8>,
+    codes: Vec<u32>,
+    selectors: Vec<u8>,
+}
+
+/// Bytes of capacity a scratch buffer may keep between decodes. Default
+/// chunks stay well under this (64 Ki codes = 256 KiB); only oversized
+/// one-off units (e.g. a giant legacy v1 stream decoded on a long-lived
+/// thread) get released, so the thread-local cannot pin a full layer's
+/// worth of memory after decoding finishes.
+const MAX_RETAINED_SCRATCH: usize = 4 << 20;
+
+impl Scratch {
+    /// Drops buffers that grew past the retention cap (they still hold the
+    /// just-decoded unit's contents, so shrinking in place cannot release
+    /// anything — every consumer clears them before reuse anyway).
+    fn trim(&mut self) {
+        if self.payload.capacity() > MAX_RETAINED_SCRATCH {
+            self.payload = Vec::new();
+        }
+        if self.codes.capacity() > MAX_RETAINED_SCRATCH / 4 {
+            self.codes = Vec::new();
+        }
+        if self.selectors.capacity() > MAX_RETAINED_SCRATCH {
+            self.selectors = Vec::new();
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::default();
+}
+
+/// Decodes the one-byte backend field used by both stream versions
+/// (0xff = stored raw, otherwise a [`LosslessKind`] id).
+fn read_backend_id(byte: u8) -> Result<Option<LosslessKind>, SzError> {
+    if byte == 0xff {
+        Ok(None)
+    } else {
+        Ok(Some(LosslessKind::from_id(byte).map_err(SzError::Codec)?))
+    }
+}
+
+/// Decompresses a stream; see [`crate::decompress`]. Dispatches on the
+/// version byte: v1 decodes serially, v2 fans chunks out across workers.
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
     let h = parse_header(bytes)?;
-    let raw_payload = &bytes[h.payload_at..];
-    let owned;
-    let payload: &[u8] = match h.backend {
-        Some(kind) => {
-            owned = kind.codec().decompress(raw_payload)?;
-            &owned
-        }
-        None => raw_payload,
-    };
+    match h.version {
+        VERSION_V1 => decompress_v1(bytes, &h),
+        _ => decompress_v2(bytes, &h),
+    }
+}
 
+/// Decodes one backend-wrapped unit into `out` using the calling thread's
+/// scratch: the single decode path shared by v1 (whole stream) and v2
+/// (each chunk), so backend fallback and scratch handling cannot diverge.
+fn decode_backed_unit(
+    kind: Option<LosslessKind>,
+    record: &[u8],
+    block: usize,
+    radius: u32,
+    abs_eb: f64,
+    out: &mut [f32],
+) -> Result<(), SzError> {
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let r = match kind {
+            Some(k) => {
+                // Move the payload scratch out so the unit decoder can
+                // borrow the scratch struct for its own buffers.
+                let mut payload = std::mem::take(&mut scratch.payload);
+                k.codec().decompress_into(record, &mut payload)?;
+                let r = decode_unit_into(&payload, block, radius, abs_eb, out, scratch);
+                scratch.payload = payload;
+                r
+            }
+            None => decode_unit_into(record, block, radius, abs_eb, out, scratch),
+        };
+        scratch.trim();
+        r
+    })
+}
+
+fn decompress_v1(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
+    let raw_payload = &bytes[h.payload_at..];
+    let mut out = vec![0f32; h.n];
+    decode_backed_unit(h.backend, raw_payload, h.block, h.radius, h.abs_eb, &mut out)?;
+    Ok(out)
+}
+
+fn decompress_v2(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
+    // Zero-copy chunk table: slice out every record before decoding.
+    let mut pos = h.payload_at;
+    let mut records: Vec<(Option<LosslessKind>, &[u8])> = Vec::with_capacity(h.n_chunks);
+    let mut sizes: Vec<usize> = Vec::with_capacity(h.n_chunks);
+    for c in 0..h.n_chunks {
+        let id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        let kind = read_backend_id(id)?;
+        let len = read_varint(bytes, &mut pos)? as usize;
+        let end = pos.checked_add(len).ok_or(CodecError::Truncated)?;
+        records.push((kind, bytes.get(pos..end).ok_or(CodecError::Truncated)?));
+        pos = end;
+        // `c * chunk_elems < n` is guaranteed by the header validation, but
+        // `(c + 1) * chunk_elems` may overflow for near-usize::MAX `n`.
+        let start = c * h.chunk_elems;
+        let end_elem = start.checked_add(h.chunk_elems).ok_or(CodecError::Truncated)?.min(h.n);
+        sizes.push(end_elem - start);
+    }
+    let mut out = vec![0f32; h.n];
+    let (block, radius, abs_eb) = (h.block, h.radius, h.abs_eb);
+    parallel_chunks(&mut out, &sizes, |ci, slice| {
+        let (kind, record) = records[ci];
+        decode_backed_unit(kind, record, block, radius, abs_eb, slice)
+    })?;
+    Ok(out)
+}
+
+/// Decodes one compression unit's payload into `out` (whose length is the
+/// unit's element count). Scratch buffers hold the intermediate selector
+/// and code streams; verbatim values are read straight from the payload.
+fn decode_unit_into(
+    payload: &[u8],
+    block: usize,
+    radius: u32,
+    abs_eb: f64,
+    out: &mut [f32],
+    scratch: &mut Scratch,
+) -> Result<(), SzError> {
+    let n = out.len();
     let mut pos = 0usize;
     let sel_len = read_varint(payload, &mut pos)? as usize;
     let sel_end = pos.checked_add(sel_len).ok_or(CodecError::Truncated)?;
-    let selectors = rle::decompress(payload.get(pos..sel_end).ok_or(CodecError::Truncated)?)?;
+    // The selector count is fixed by the unit's element count, so cap the
+    // RLE decode at it — a hostile declared length errors before any
+    // memory is committed (the exact-count check below still applies).
+    rle::decompress_into_capped(
+        payload.get(pos..sel_end).ok_or(CodecError::Truncated)?,
+        &mut scratch.selectors,
+        n.div_ceil(block),
+    )?;
     pos = sel_end;
     let n_reg = read_varint(payload, &mut pos)? as usize;
-    let mut reg_params = Vec::with_capacity(n_reg);
-    for _ in 0..n_reg {
-        let a = f32::from_le_bytes(
-            payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?.try_into().expect("len 4"),
-        );
-        let b = f32::from_le_bytes(
-            payload
-                .get(pos + 4..pos + 8)
-                .ok_or(CodecError::Truncated)?
-                .try_into()
-                .expect("len 4"),
-        );
-        reg_params.push((a, b));
-        pos += 8;
+    if n_reg > scratch.selectors.len() {
+        return Err(SzError::Codec(CodecError::corrupt("regression param overflow")));
     }
+    let reg_end = pos
+        .checked_add(n_reg.checked_mul(8).ok_or(CodecError::Truncated)?)
+        .ok_or(CodecError::Truncated)?;
+    let reg_bytes = payload.get(pos..reg_end).ok_or(CodecError::Truncated)?;
+    pos = reg_end;
     let entropy_id = *payload.get(pos).ok_or(CodecError::Truncated)?;
     pos += 1;
-    let codes: Vec<u32> = match entropy_id {
-        0 => huffman::decode_stream(payload, &mut pos)?,
+    match entropy_id {
+        0 => huffman::decode_stream_into(payload, &mut pos, &mut scratch.codes)?,
         1 => {
             let m = read_varint(payload, &mut pos)? as usize;
-            let mut v = Vec::with_capacity(m);
-            for _ in 0..m {
-                v.push(read_varint(payload, &mut pos)? as u32);
+            if m > n {
+                return Err(SzError::Codec(CodecError::corrupt("code count mismatch")));
             }
-            v
+            scratch.codes.clear();
+            scratch.codes.reserve(m);
+            for _ in 0..m {
+                scratch.codes.push(read_varint(payload, &mut pos)? as u32);
+            }
         }
         _ => return Err(SzError::Codec(CodecError::corrupt("bad entropy stage id"))),
     };
-    if codes.len() != h.n {
+    if scratch.codes.len() != n {
         return Err(SzError::Codec(CodecError::corrupt("code count mismatch")));
     }
     let n_verb = read_varint(payload, &mut pos)? as usize;
-    let mut verbatim = Vec::with_capacity(n_verb);
-    for _ in 0..n_verb {
-        let v = f32::from_le_bytes(
-            payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?.try_into().expect("len 4"),
-        );
-        verbatim.push(v);
-        pos += 4;
-    }
+    let verb_end = pos
+        .checked_add(n_verb.checked_mul(4).ok_or(CodecError::Truncated)?)
+        .ok_or(CodecError::Truncated)?;
+    let verb_bytes = payload.get(pos..verb_end).ok_or(CodecError::Truncated)?;
 
-    let expected_blocks = h.n.div_ceil(h.block);
-    if selectors.len() != expected_blocks {
+    let expected_blocks = n.div_ceil(block);
+    if scratch.selectors.len() != expected_blocks {
         return Err(SzError::Codec(CodecError::corrupt("selector count mismatch")));
     }
 
-    let two_eb = 2.0 * h.abs_eb;
-    let mut out = Vec::with_capacity(h.n);
+    let two_eb = 2.0 * abs_eb;
     let mut last = 0f32;
     let mut vi = 0usize;
     let mut ri = 0usize;
-    for (bi, &sel) in selectors.iter().enumerate() {
-        let start = bi * h.block;
-        let end = (start + h.block).min(h.n);
+    for (bi, &sel) in scratch.selectors.iter().enumerate() {
+        let start = bi * block;
+        let end = (start + block).min(n);
         let reg = match sel {
             0 => None,
             1 => {
-                let p = *reg_params.get(ri).ok_or(CodecError::Truncated)?;
+                if ri >= n_reg {
+                    return Err(SzError::Codec(CodecError::Truncated));
+                }
+                let a = f32::from_le_bytes(
+                    reg_bytes[ri * 8..ri * 8 + 4].try_into().expect("len 4"),
+                );
+                let b = f32::from_le_bytes(
+                    reg_bytes[ri * 8 + 4..ri * 8 + 8].try_into().expect("len 4"),
+                );
                 ri += 1;
-                Some(p)
+                Some((a, b))
             }
             _ => return Err(SzError::Codec(CodecError::corrupt("bad selector"))),
         };
@@ -515,19 +874,25 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
                 None => last,
                 Some((a, b)) => a * (i as f32) + b,
             };
-            let code = codes[start + i];
-            if code == ESCAPE {
-                let x = *verbatim.get(vi).ok_or(CodecError::Truncated)?;
+            let code = scratch.codes[start + i];
+            let value = if code == ESCAPE {
+                if vi >= n_verb {
+                    return Err(SzError::Codec(CodecError::Truncated));
+                }
+                let x = f32::from_le_bytes(
+                    verb_bytes[vi * 4..vi * 4 + 4].try_into().expect("len 4"),
+                );
                 vi += 1;
-                out.push(x);
                 last = if x.is_finite() { x } else { 0.0 };
+                x
             } else {
-                let qi = i64::from(code) - 1 - i64::from(h.radius);
+                let qi = i64::from(code) - 1 - i64::from(radius);
                 let recon = (pred as f64 + two_eb * qi as f64) as f32;
-                out.push(recon);
                 last = recon;
-            }
+                recon
+            };
+            out[start + i] = value;
         }
     }
-    Ok(out)
+    Ok(())
 }

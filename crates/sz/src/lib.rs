@@ -11,9 +11,17 @@
 //!    reconstruction would violate the bound is stored verbatim as
 //!    "unpredictable", making the `|x − x'| ≤ eb` guarantee unconditional
 //!    (including NaN/Inf, which always take the verbatim path).
-//! 3. **Entropy coding** — canonical Huffman over the quantization codes.
+//! 3. **Entropy coding** — canonical Huffman over the quantization codes
+//!    (decoded through a table-driven canonical decoder).
 //! 4. **Lossless backend** — a byte codec (default [`LosslessKind::Zstd`])
 //!    over the Huffman payload and the verbatim-value stream.
+//!
+//! Streams default to the **chunked v2 format**: the array is split into
+//! independently compressed chunks that encode and decode in parallel
+//! across [`dsz_tensor::parallel`] workers while producing bytes that are
+//! identical for any worker count. Legacy monolithic v1 streams still
+//! decode, and `SzConfig { chunk_elems: 0, .. }` still emits them; see the
+//! codec module docs for the wire layout.
 //!
 //! Error bounds can be expressed as absolute, value-range-relative, or PSNR
 //! targets ([`ErrorBound`]), like the SZ library's `ABS` / `REL` / `PSNR`

@@ -1,16 +1,66 @@
 //! Scoped-thread data parallelism.
 //!
-//! A tiny rayon-style `parallel for` over contiguous row chunks of an output
-//! buffer. Work is split evenly across `available_parallelism()` threads with
-//! `std::thread::scope`, so the closure may borrow from the caller. On a
-//! single-core host this degrades to a plain loop with no thread spawn.
+//! A tiny rayon-style toolkit over `std::thread::scope`, so closures may
+//! borrow from the caller and no dependency is needed:
+//!
+//! * [`parallel_for_rows`] — split an output buffer into contiguous row
+//!   chunks, one task per chunk (matmul-style loops).
+//! * [`parallel_map`] — run independent jobs through a dynamic work queue,
+//!   collecting results in input order. Result slots are written lock-free:
+//!   the atomic queue hands each index to exactly one worker, so every slot
+//!   has a single writer and the scope join publishes the writes.
+//! * [`parallel_chunks`] — split a mutable buffer into caller-sized
+//!   disjoint chunks and fill them in parallel with fallible workers (the
+//!   chunked SZ v2 decoder's primitive).
+//!
+//! Worker count resolves, in order: a thread-local [`with_workers`]
+//! override (used by determinism tests), the `DSZ_THREADS` environment
+//! variable, then `available_parallelism()`. On a single-core host every
+//! helper degrades to a plain loop with no thread spawn.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Returns the worker count used by [`parallel_for_rows`].
+thread_local! {
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the worker count used by the helpers in this module.
 pub fn worker_count() -> usize {
+    if let Some(n) = WORKER_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    // The env var cannot change mid-process in any supported way, so read
+    // and parse it once; this sits on the matmul hot path.
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    if let Some(n) = ENV_THREADS
+        .get_or_init(|| std::env::var("DSZ_THREADS").ok().and_then(|v| v.parse::<usize>().ok()))
+    {
+        return (*n).max(1);
+    }
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `n`.
+///
+/// The pin follows the work through nested parallel sections: when a
+/// helper here spawns `w` workers out of a budget of `n`, each worker's
+/// own nested parallel calls see a budget of `n / w` (at least 1), so the
+/// total live thread count stays ~`n` instead of multiplying per level.
+/// Used by tests asserting thread-count-independent output and by benches
+/// comparing 1-thread vs N-thread timings.
+pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = WORKER_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
 }
 
 /// Minimum rows per spawned task; below this the work runs inline.
@@ -43,43 +93,160 @@ where
             let (head, tail) = rest.split_at_mut(take);
             let fr = &f;
             let r0 = row0;
-            s.spawn(move || fr(r0, head));
+            s.spawn(move || {
+                WORKER_OVERRIDE.with(|c| c.set(Some(1)));
+                fr(r0, head)
+            });
             row0 += take / row_width;
             rest = tail;
         }
     });
 }
 
-/// Runs independent jobs (e.g. per-layer compression tasks) across threads,
-/// collecting results in input order. A dynamic work queue keeps uneven job
-/// costs balanced — this is the thread-level stand-in for the paper's
-/// multi-GPU parallel encoding.
+/// Shared pointer to result slots. Safety: the atomic work queue hands each
+/// index to exactly one worker, so all writes are to disjoint slots, and
+/// the `thread::scope` join happens-before the caller reads them.
+struct SlotWriter<R>(*mut Option<R>);
+
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+/// Runs independent jobs (e.g. per-layer or per-chunk compression tasks)
+/// across threads, collecting results in input order. A dynamic work queue
+/// keeps uneven job costs balanced — this is the thread-level stand-in for
+/// the paper's multi-GPU parallel encoding. Slot writes are lock-free (one
+/// writer per slot, published by the scope join).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = worker_count().min(items.len().max(1));
+    let n = items.len();
+    let budget = worker_count();
+    let workers = budget.min(n.max(1));
     if workers <= 1 {
+        // Inline: the full budget stays visible to nested parallel calls.
         return items.iter().map(&f).collect();
     }
+    // Divide the budget across nesting levels: each worker's own nested
+    // parallel sections (e.g. chunked SZ inside a per-layer job) get the
+    // remaining share instead of multiplying the thread count.
+    let inner_budget = (budget / workers).max(1);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let slots = SlotWriter(results.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots: Vec<_> = results.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|s| {
+        let slots = &slots;
+        let next = &next;
+        let fr = &f;
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            s.spawn(move || {
+                WORKER_OVERRIDE.with(|c| c.set(Some(inner_budget)));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = fr(&items[i]);
+                    // SAFETY: `i` came from the queue exactly once, so this
+                    // slot has no other writer; the scope join publishes it.
+                    unsafe { *slots.0.add(i) = Some(r) };
                 }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
     });
     results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+/// Shared pointer to the chunk list. Safety mirrors [`SlotWriter`]: each
+/// chunk index is claimed by exactly one worker via the atomic queue.
+struct ChunkList<'a, T>(*mut &'a mut [T]);
+
+unsafe impl<T: Send> Sync for ChunkList<'_, T> {}
+
+/// Splits `data` into consecutive chunks of the given `sizes` (which must
+/// sum to `data.len()`) and runs `f(chunk_index, chunk)` for each in
+/// parallel. The first worker error (if any) is returned; remaining queued
+/// chunks are skipped once an error is observed.
+///
+/// This is the disjoint-slot primitive behind chunk-parallel SZ decoding:
+/// every chunk decodes straight into its slice of the final buffer, so the
+/// output needs no post-hoc concatenation or copying.
+pub fn parallel_chunks<T, E, F>(data: &mut [T], sizes: &[usize], f: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send + Sync,
+    F: Fn(usize, &mut [T]) -> Result<(), E> + Sync,
+{
+    assert_eq!(sizes.iter().sum::<usize>(), data.len(), "chunk sizes must cover the buffer");
+    let budget = worker_count();
+    let workers = budget.min(sizes.len().max(1));
+    if workers <= 1 {
+        let mut rest = data;
+        for (i, &sz) in sizes.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(sz);
+            f(i, head)?;
+            rest = tail;
+        }
+        return Ok(());
+    }
+    let mut chunks: Vec<&mut [T]> = Vec::with_capacity(sizes.len());
+    let mut rest = data;
+    for &sz in sizes {
+        let (head, tail) = rest.split_at_mut(sz);
+        chunks.push(head);
+        rest = tail;
+    }
+    let n = chunks.len();
+    let inner_budget = (budget / workers).max(1);
+    let list = ChunkList(chunks.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    // Per-chunk error slots so the *lowest-index* error is reported, the
+    // same one the serial path would return — otherwise which of several
+    // errors surfaces would depend on scheduling. This is deterministic
+    // despite the `failed` early exit: claims are handed out monotonically
+    // and a claimed chunk always runs to completion, so when any chunk
+    // fails, every lower-index chunk has already been claimed and will
+    // record its own error if it has one.
+    let mut errors: Vec<Option<E>> = Vec::with_capacity(n);
+    errors.resize_with(n, || None);
+    let err_slots = SlotWriter(errors.as_mut_ptr());
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let list = &list;
+        let next = &next;
+        let fr = &f;
+        let err_slots = &err_slots;
+        let failed = &failed;
+        for _ in 0..workers {
+            s.spawn(move || {
+                WORKER_OVERRIDE.with(|c| c.set(Some(inner_budget)));
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `i` is claimed exactly once, so this worker
+                    // holds the only live reference to chunk `i` and its
+                    // error slot.
+                    let chunk: &mut [T] = unsafe { &mut *list.0.add(i) };
+                    if let Err(e) = fr(i, chunk) {
+                        unsafe { *err_slots.0.add(i) = Some(e) };
+                        failed.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    match errors.into_iter().flatten().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -112,9 +279,11 @@ mod tests {
     #[test]
     fn parallel_map_preserves_order() {
         let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(&items, |&x| x * x);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
+        for workers in [1, 2, 4, 8] {
+            let out = with_workers(workers, || parallel_map(&items, |&x| x * x));
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "workers={workers}");
+            }
         }
     }
 
@@ -122,5 +291,87 @@ mod tests {
     fn parallel_map_empty() {
         let items: Vec<u32> = vec![];
         assert!(parallel_map(&items, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_heavy_allocation_results() {
+        // Exercises the lock-free slot writes with non-Copy results.
+        let items: Vec<usize> = (0..64).collect();
+        let out = with_workers(4, || parallel_map(&items, |&x| vec![x as u8; x]));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i);
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_fills_disjoint_slices() {
+        let sizes = [3usize, 0, 7, 1, 5];
+        let total: usize = sizes.iter().sum();
+        for workers in [1, 3, 8] {
+            let mut buf = vec![0u32; total];
+            with_workers(workers, || {
+                parallel_chunks(&mut buf, &sizes, |ci, chunk| -> Result<(), ()> {
+                    for v in chunk.iter_mut() {
+                        *v = ci as u32 + 1;
+                    }
+                    Ok(())
+                })
+            })
+            .unwrap();
+            let mut expect = Vec::new();
+            for (ci, &sz) in sizes.iter().enumerate() {
+                expect.extend(std::iter::repeat_n(ci as u32 + 1, sz));
+            }
+            assert_eq!(buf, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_propagates_first_error() {
+        let sizes = [4usize; 8];
+        let mut buf = vec![0u8; 32];
+        let res = with_workers(4, || {
+            parallel_chunks(&mut buf, &sizes, |ci, _chunk| {
+                if ci == 5 {
+                    Err(format!("chunk {ci} failed"))
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        assert_eq!(res.unwrap_err(), "chunk 5 failed");
+    }
+
+    #[test]
+    fn nested_parallelism_divides_the_budget() {
+        // 4 workers over 4 jobs: each worker's nested budget collapses to 1.
+        with_workers(4, || {
+            let items = [0usize; 4];
+            for c in parallel_map(&items, |_| worker_count()) {
+                assert_eq!(c, 1);
+            }
+        });
+        // 8-thread budget over 2 jobs: each worker keeps 4 for nesting.
+        with_workers(8, || {
+            let items = [0usize; 2];
+            for c in parallel_map(&items, |_| worker_count()) {
+                assert_eq!(c, 4);
+            }
+        });
+        // Single job runs inline: the full budget stays visible.
+        with_workers(4, || {
+            assert_eq!(parallel_map(&[0usize], |_| worker_count()), vec![4]);
+        });
+    }
+
+    #[test]
+    fn with_workers_overrides_and_restores() {
+        let outer = worker_count();
+        with_workers(3, || {
+            assert_eq!(worker_count(), 3);
+            with_workers(1, || assert_eq!(worker_count(), 1));
+            assert_eq!(worker_count(), 3);
+        });
+        assert_eq!(worker_count(), outer);
     }
 }

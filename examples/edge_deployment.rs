@@ -47,7 +47,7 @@ fn main() {
     let t0 = Instant::now();
     let (decoded, timing) = decode_model(&model).expect("decode");
     let mut edge_net = net.clone();
-    apply_decoded(&mut edge_net, &decoded).expect("apply");
+    apply_decoded(&mut edge_net, decoded).expect("apply");
     let decode_s = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();
@@ -57,7 +57,7 @@ fn main() {
     let total_dsz = transfer_secs(dsz_bytes) + decode_s + infer_s;
     let total_raw = transfer_secs(raw_bytes) + infer_s;
     println!(
-        "\nedge decode {:.0} ms (lossless {:.1} / SZ {:.1} / reconstruct {:.1})",
+        "\nedge decode {:.0} ms wall (per-layer stage sums: lossless {:.1} / SZ {:.1} / reconstruct {:.1})",
         decode_s * 1e3,
         timing.lossless_ms,
         timing.sz_ms,

@@ -68,7 +68,7 @@ fn main() {
     // Verify on the decoded model.
     let (decoded, _) = decode_model(&model).expect("decode");
     let mut restored = head.clone();
-    apply_decoded(&mut restored, &decoded).expect("apply");
+    apply_decoded(&mut restored, decoded).expect("apply");
     let after = {
         use deepsz::framework::AccuracyEvaluator as _;
         eval.evaluate(&restored)

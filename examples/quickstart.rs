@@ -45,7 +45,7 @@ fn main() {
         report.ratio()
     );
     let (decoded, timing) = decode_model(&model).expect("decode");
-    apply_decoded(&mut net, &decoded).expect("apply");
+    apply_decoded(&mut net, decoded).expect("apply");
     let after = {
         use deepsz::framework::AccuracyEvaluator as _;
         eval.evaluate(&net)
@@ -55,7 +55,7 @@ fn main() {
         baseline * 100.0,
         after * 100.0,
         cfg.expected_loss * 100.0,
-        timing.total_ms()
+        timing.wall_ms
     );
     assert!(baseline - after <= cfg.expected_loss + 0.02);
 }

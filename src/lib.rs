@@ -30,7 +30,7 @@
 //! let (model, report) = encode_with_plan(&assessments, &plan).unwrap();
 //! assert!(report.ratio() > 5.0);
 //! let (decoded, _timing) = decode_model(&model).unwrap();
-//! apply_decoded(&mut net, &decoded).unwrap();
+//! apply_decoded(&mut net, decoded).unwrap();
 //! ```
 
 pub use dsz_baselines as baselines;

@@ -179,5 +179,5 @@ fn model_io_roundtrip_through_compression() {
     assert!(report.ratio() > 10.0);
     let (decoded, _) = decode_model(&model).unwrap();
     let mut target = loaded.clone();
-    apply_decoded(&mut target, &decoded).unwrap();
+    apply_decoded(&mut target, decoded).unwrap();
 }

@@ -80,7 +80,7 @@ fn full_pipeline_lenet300() {
 
     // Applying the decoded model keeps accuracy within the expected loss
     // (plus slack for the finite test set).
-    apply_decoded(&mut net, &decoded).unwrap();
+    apply_decoded(&mut net, decoded).unwrap();
     let after = {
         use deepsz::framework::AccuracyEvaluator as _;
         eval.evaluate(&net)
@@ -175,5 +175,5 @@ fn applying_to_mismatched_network_fails() {
     let (decoded, _) = decode_model(&model).unwrap();
 
     let mut other = zoo::build(Arch::LeNet5, Scale::Full, 3);
-    assert!(deepsz::framework::apply_decoded(&mut other, &decoded).is_err());
+    assert!(deepsz::framework::apply_decoded(&mut other, decoded).is_err());
 }

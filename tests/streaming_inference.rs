@@ -34,7 +34,8 @@ fn streaming_forward_matches_eager_decode() {
 #[test]
 fn peak_memory_is_bounded_by_largest_layer() {
     let (net, model, test) = compressed_lenet();
-    let streaming = CompressedFcModel::new(&net, &model).unwrap();
+    // Prefetch off: the strict memory bound of one resident layer.
+    let streaming = CompressedFcModel::new(&net, &model).unwrap().with_prefetch(false);
     let probe = test.batch(0, 16);
     let (_, stats) = streaming.forward(&probe).unwrap();
     // Peak = largest single fc layer (ip1: 300×784), not the sum.
@@ -45,6 +46,29 @@ fn peak_memory_is_bounded_by_largest_layer() {
     assert!(stats.peak_dense_bytes < total);
     // And the persistent copy is the compressed container (≫ smaller).
     assert!(stats.compressed_bytes * 10 < total);
+}
+
+#[test]
+fn prefetch_holds_at_most_two_layers_and_matches_serial() {
+    let (net, model, test) = compressed_lenet();
+    let probe = test.batch(0, 16);
+    let streaming = CompressedFcModel::new(&net, &model).unwrap();
+    // Pin a multi-thread budget so the overlapped path runs even on
+    // single-core hosts (budget < 2 falls back to the serial path).
+    let (out_pre, stats_pre) =
+        deepsz::tensor::parallel::with_workers(4, || streaming.forward(&probe)).unwrap();
+    let serial = CompressedFcModel::new(&net, &model).unwrap().with_prefetch(false);
+    let (out_ser, stats_ser) = serial.forward(&probe).unwrap();
+    // Overlapped decode must not change the numerics.
+    assert_eq!(out_pre, out_ser);
+    assert_eq!(stats_pre.total_dense_bytes, stats_ser.total_dense_bytes);
+    // Prefetch keeps the executing layer plus one in-flight decode.
+    let dense: Vec<usize> = net.fc_layers().iter().map(|f| f.dense_bytes()).collect();
+    let max_pair = dense.windows(2).map(|w| w[0] + w[1]).max().unwrap_or(dense[0]);
+    assert!(stats_pre.peak_dense_bytes <= max_pair);
+    assert!(stats_pre.peak_dense_bytes >= stats_ser.peak_dense_bytes);
+    let total: usize = dense.iter().sum();
+    assert!(stats_pre.peak_dense_bytes < total);
 }
 
 #[test]
