@@ -133,7 +133,12 @@ impl Bloomier {
                 }
                 table[sl] = acc;
             }
-            return Ok(Bloomier { table, value_bits, check_bits, seed });
+            return Ok(Bloomier {
+                table,
+                value_bits,
+                check_bits,
+                seed,
+            });
         }
         Err(BuildError)
     }

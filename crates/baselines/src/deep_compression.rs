@@ -24,7 +24,10 @@ pub struct DcConfig {
 
 impl Default for DcConfig {
     fn default() -> Self {
-        Self { bits: 5, kmeans_iters: 25 }
+        Self {
+            bits: 5,
+            kmeans_iters: 25,
+        }
     }
 }
 
@@ -99,7 +102,11 @@ pub fn decode_layer(layer: &DcLayer) -> Result<(Vec<f32>, usize, usize), CodecEr
     let mut centroids = Vec::with_capacity(k);
     for _ in 0..k {
         let c = f32::from_le_bytes(
-            bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?.try_into().expect("len 4"),
+            bytes
+                .get(pos..pos + 4)
+                .ok_or(CodecError::Truncated)?
+                .try_into()
+                .expect("len 4"),
         );
         centroids.push(c);
         pos += 4;
@@ -133,12 +140,21 @@ pub fn decode_layer(layer: &DcLayer) -> Result<(Vec<f32>, usize, usize), CodecEr
             data.push(0.0);
         } else {
             data.push(
-                *centroids.get(s as usize).ok_or_else(|| CodecError::corrupt("symbol out of codebook"))?,
+                *centroids
+                    .get(s as usize)
+                    .ok_or_else(|| CodecError::corrupt("symbol out of codebook"))?,
             );
         }
     }
-    let pa = PairArray { rows, cols, data, index };
-    let dense = pa.to_dense().map_err(|e| CodecError::corrupt(e.to_string()))?;
+    let pa = PairArray {
+        rows,
+        cols,
+        data,
+        index,
+    };
+    let dense = pa
+        .to_dense()
+        .map_err(|e| CodecError::corrupt(e.to_string()))?;
     Ok((dense, rows, cols))
 }
 
@@ -184,7 +200,15 @@ mod tests {
     #[test]
     fn quantization_error_bounded_by_codebook_granularity() {
         let dense = pruned_matrix(100, 100, 0.1, 5);
-        let enc = encode_layer(&dense, 100, 100, &DcConfig { bits: 5, kmeans_iters: 30 });
+        let enc = encode_layer(
+            &dense,
+            100,
+            100,
+            &DcConfig {
+                bits: 5,
+                kmeans_iters: 30,
+            },
+        );
         let (back, ..) = decode_layer(&enc).unwrap();
         let max_err = dense
             .iter()
@@ -199,8 +223,24 @@ mod tests {
     #[test]
     fn fewer_bits_smaller_but_lossier() {
         let dense = pruned_matrix(128, 128, 0.1, 7);
-        let e5 = encode_layer(&dense, 128, 128, &DcConfig { bits: 5, kmeans_iters: 20 });
-        let e2 = encode_layer(&dense, 128, 128, &DcConfig { bits: 2, kmeans_iters: 20 });
+        let e5 = encode_layer(
+            &dense,
+            128,
+            128,
+            &DcConfig {
+                bits: 5,
+                kmeans_iters: 20,
+            },
+        );
+        let e2 = encode_layer(
+            &dense,
+            128,
+            128,
+            &DcConfig {
+                bits: 2,
+                kmeans_iters: 20,
+            },
+        );
         assert!(compressed_bytes(&e2) < compressed_bytes(&e5));
         let err = |enc: &DcLayer| -> f64 {
             let (back, ..) = decode_layer(enc).unwrap();

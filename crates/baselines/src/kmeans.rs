@@ -20,7 +20,10 @@ pub struct Kmeans1d {
 pub fn kmeans_1d(values: &[f32], k: usize, iters: usize) -> Kmeans1d {
     assert!(k >= 1, "k must be positive");
     if values.is_empty() {
-        return Kmeans1d { centroids: vec![0.0; k.max(1)], assignment: Vec::new() };
+        return Kmeans1d {
+            centroids: vec![0.0; k.max(1)],
+            assignment: Vec::new(),
+        };
     }
     let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
     let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -68,7 +71,10 @@ pub fn kmeans_1d(values: &[f32], k: usize, iters: usize) -> Kmeans1d {
     for (a, &v) in assignment.iter_mut().zip(values) {
         *a = mids.partition_point(|&m| m < v) as u32;
     }
-    Kmeans1d { centroids, assignment }
+    Kmeans1d {
+        centroids,
+        assignment,
+    }
 }
 
 /// Mean squared quantization error of a fitted codebook.
@@ -109,7 +115,9 @@ mod tests {
 
     #[test]
     fn more_clusters_reduce_mse() {
-        let values: Vec<f32> = (0..2000).map(|i| ((i * 37 % 997) as f32 / 997.0) - 0.5).collect();
+        let values: Vec<f32> = (0..2000)
+            .map(|i| ((i * 37 % 997) as f32 / 997.0) - 0.5)
+            .collect();
         let mse4 = quantization_mse(&values, &kmeans_1d(&values, 4, 25));
         let mse32 = quantization_mse(&values, &kmeans_1d(&values, 32, 25));
         assert!(mse32 < mse4 / 4.0, "mse4={mse4} mse32={mse32}");

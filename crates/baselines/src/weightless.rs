@@ -27,7 +27,12 @@ pub struct WlConfig {
 
 impl Default for WlConfig {
     fn default() -> Self {
-        Self { quant_bits: 4, check_bits: 8, load: 1.30, kmeans_iters: 25 }
+        Self {
+            quant_bits: 4,
+            check_bits: 8,
+            load: 1.30,
+            kmeans_iters: 25,
+        }
     }
 }
 
@@ -67,7 +72,12 @@ pub fn encode_layer(
         .map(|(&p, &a)| (p, u64::from(a)))
         .collect();
     let filter = Bloomier::build(&pairs, cfg.quant_bits, cfg.check_bits, cfg.load)?;
-    Ok(WlLayer { filter, centroids: km.centroids, rows, cols })
+    Ok(WlLayer {
+        filter,
+        centroids: km.centroids,
+        rows,
+        cols,
+    })
 }
 
 /// Decodes the full dense matrix by querying every position.
@@ -131,16 +141,35 @@ mod tests {
             .count();
         let zeros = dense.iter().filter(|&&o| o == 0.0).count();
         // Expected ≈ zeros × 2^-8; allow 4× slack.
-        assert!(spurious < zeros / 64, "spurious {spurious} of {zeros} zeros");
+        assert!(
+            spurious < zeros / 64,
+            "spurious {spurious} of {zeros} zeros"
+        );
     }
 
     #[test]
     fn fewer_check_bits_smaller_but_noisier() {
         let dense = pruned_matrix(128, 128, 0.08, 7);
-        let tight = encode_layer(&dense, 128, 128, &WlConfig { check_bits: 8, ..Default::default() })
-            .unwrap();
-        let loose = encode_layer(&dense, 128, 128, &WlConfig { check_bits: 2, ..Default::default() })
-            .unwrap();
+        let tight = encode_layer(
+            &dense,
+            128,
+            128,
+            &WlConfig {
+                check_bits: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let loose = encode_layer(
+            &dense,
+            128,
+            128,
+            &WlConfig {
+                check_bits: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(compressed_bytes(&loose) < compressed_bytes(&tight));
         let spurious = |l: &WlLayer| {
             decode_layer(l)

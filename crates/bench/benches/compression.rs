@@ -17,13 +17,25 @@ fn sz_throughput(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(bytes));
     for eb in [1e-2f64, 1e-3] {
-        g.bench_with_input(BenchmarkId::new("compress", format!("{eb:.0e}")), &eb, |b, &eb| {
-            b.iter(|| SzConfig::default().compress(&values, ErrorBound::Abs(eb)).unwrap())
-        });
-        let blob = SzConfig::default().compress(&values, ErrorBound::Abs(eb)).unwrap();
-        g.bench_with_input(BenchmarkId::new("decompress", format!("{eb:.0e}")), &blob, |b, blob| {
-            b.iter(|| dsz_sz::decompress(blob).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compress", format!("{eb:.0e}")),
+            &eb,
+            |b, &eb| {
+                b.iter(|| {
+                    SzConfig::default()
+                        .compress(&values, ErrorBound::Abs(eb))
+                        .unwrap()
+                })
+            },
+        );
+        let blob = SzConfig::default()
+            .compress(&values, ErrorBound::Abs(eb))
+            .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("decompress", format!("{eb:.0e}")),
+            &blob,
+            |b, blob| b.iter(|| dsz_sz::decompress(blob).unwrap()),
+        );
     }
     g.finish();
 }
@@ -38,7 +50,9 @@ fn zfp_throughput(c: &mut Criterion) {
         b.iter(|| dsz_zfp::compress(&values, 1e-3).unwrap())
     });
     let blob = dsz_zfp::compress(&values, 1e-3).unwrap();
-    g.bench_function("decompress/1e-3", |b| b.iter(|| dsz_zfp::decompress(&blob).unwrap()));
+    g.bench_function("decompress/1e-3", |b| {
+        b.iter(|| dsz_zfp::decompress(&blob).unwrap())
+    });
     g.finish();
 }
 

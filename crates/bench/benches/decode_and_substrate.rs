@@ -21,7 +21,9 @@ fn decode_path(c: &mut Criterion) {
         d
     };
     let pair = PairArray::from_dense(&dense, 1024, 1024);
-    let sz_blob = SzConfig::default().compress(&pair.data, ErrorBound::Abs(1e-2)).unwrap();
+    let sz_blob = SzConfig::default()
+        .compress(&pair.data, ErrorBound::Abs(1e-2))
+        .unwrap();
     let (idx_kind, idx_blob) = dsz_lossless::best_fit(&pair.index);
     let mut g = c.benchmark_group("decode_path");
     g.sample_size(10);
@@ -29,7 +31,12 @@ fn decode_path(c: &mut Criterion) {
         b.iter(|| {
             let index = idx_kind.codec().decompress(&idx_blob).unwrap();
             let data = dsz_sz::decompress(&sz_blob).unwrap();
-            let p = PairArray { rows: 1024, cols: 1024, data, index };
+            let p = PairArray {
+                rows: 1024,
+                cols: 1024,
+                data,
+                index,
+            };
             p.to_dense().unwrap()
         })
     });
@@ -51,7 +58,9 @@ fn thread_scaling(c: &mut Criterion) {
         d
     };
     let pair = PairArray::from_dense(&dense, 2048, 2048);
-    let blob = SzConfig::default().compress(&pair.data, ErrorBound::Abs(1e-2)).unwrap();
+    let blob = SzConfig::default()
+        .compress(&pair.data, ErrorBound::Abs(1e-2))
+        .unwrap();
     let mut counts = vec![1usize, worker_count()];
     counts.dedup();
     let mut g = c.benchmark_group("thread_scaling");
@@ -61,7 +70,9 @@ fn thread_scaling(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("sz_encode", w), |b| {
             b.iter(|| {
                 with_workers(w, || {
-                    SzConfig::default().compress(&pair.data, ErrorBound::Abs(1e-2)).unwrap()
+                    SzConfig::default()
+                        .compress(&pair.data, ErrorBound::Abs(1e-2))
+                        .unwrap()
                 })
             })
         });
@@ -101,13 +112,25 @@ fn substrate(c: &mut Criterion) {
     let a = Matrix::from_vec(64, 784, vec![0.3; 64 * 784]);
     let w = Matrix::from_vec(300, 784, vec![0.1; 300 * 784]);
     g.throughput(Throughput::Elements(64 * 784 * 300));
-    g.bench_function("dense_matmul_64x784x300", |b| b.iter(|| matmul_transb(&a, &w)));
+    g.bench_function("dense_matmul_64x784x300", |b| {
+        b.iter(|| matmul_transb(&a, &w))
+    });
 
     let net = zoo::build(Arch::LeNet5, Scale::Full, 3);
-    let x = Batch { n: 16, shape: net.input_shape, data: vec![0.4; 16 * 784] };
+    let x = Batch {
+        n: 16,
+        shape: net.input_shape,
+        data: vec![0.4; 16 * 784],
+    };
     g.bench_function("lenet5_forward_16", |b| b.iter(|| net.forward(&x)));
     g.finish();
 }
 
-criterion_group!(benches, decode_path, thread_scaling, bloomier_ops, substrate);
+criterion_group!(
+    benches,
+    decode_path,
+    thread_scaling,
+    bloomier_ops,
+    substrate
+);
 criterion_main!(benches);

@@ -12,10 +12,19 @@ fn main() {
     let raw = values.len() * 4;
     let variants: Vec<(&str, SzConfig)> = vec![
         ("huffman + zstd backend (default)", SzConfig::default()),
-        ("huffman, no backend", SzConfig { backend: None, ..SzConfig::default() }),
+        (
+            "huffman, no backend",
+            SzConfig {
+                backend: None,
+                ..SzConfig::default()
+            },
+        ),
         (
             "raw codes + zstd backend",
-            SzConfig { entropy: dsz_sz::EntropyStage::Raw, ..SzConfig::default() },
+            SzConfig {
+                entropy: dsz_sz::EntropyStage::Raw,
+                ..SzConfig::default()
+            },
         ),
         (
             "raw codes, no backend",
@@ -29,7 +38,9 @@ fn main() {
     let mut rows = Vec::new();
     for eb in [1e-2f64, 1e-3] {
         for (label, cfg) in &variants {
-            let blob = cfg.compress(&values, ErrorBound::Abs(eb)).expect("sz compress");
+            let blob = cfg
+                .compress(&values, ErrorBound::Abs(eb))
+                .expect("sz compress");
             rows.push(vec![
                 format!("{eb:.0e}"),
                 (*label).into(),

@@ -13,7 +13,10 @@ use std::time::Instant;
 fn main() {
     let w = workload(Arch::LeNet300);
     let eval = DatasetEvaluator::new(w.test.clone());
-    let cfg = AssessmentConfig { expected_loss: 0.005, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.005,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&w.net, &cfg, &eval).expect("assessment");
 
     let t0 = Instant::now();
@@ -69,7 +72,12 @@ fn main() {
                 "-".into(),
                 "-".into(),
             ],
-            None => vec!["uniform (no feasible bound)".into(), "-".into(), "-".into(), "-".into()],
+            None => vec![
+                "uniform (no feasible bound)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
         },
     ];
     print_table(

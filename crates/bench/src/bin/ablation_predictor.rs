@@ -18,7 +18,10 @@ fn main() {
             PredictorMode::RegressionOnly,
             PredictorMode::Adaptive,
         ] {
-            let cfg = SzConfig { predictor: mode, ..SzConfig::default() };
+            let cfg = SzConfig {
+                predictor: mode,
+                ..SzConfig::default()
+            };
             let (blob, stats) = cfg
                 .compress_with_stats(&values, ErrorBound::Abs(eb))
                 .expect("sz compress");

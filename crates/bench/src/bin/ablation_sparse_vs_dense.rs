@@ -33,8 +33,11 @@ fn main() {
             bytes_1d += blob.len() + pair.index.len(); // index shipped raw here
             raw += d.w.data.len() * 4;
             let restored = dsz_sz::decompress(&blob).expect("roundtrip");
-            net_1d.dense_mut(fc.layer_index).w.data =
-                pair.with_data(restored).expect("structure").to_dense().expect("pair");
+            net_1d.dense_mut(fc.layer_index).w.data = pair
+                .with_data(restored)
+                .expect("structure")
+                .to_dense()
+                .expect("pair");
         }
         let acc_1d = eval.evaluate(&net_1d);
 
@@ -53,8 +56,16 @@ fn main() {
 
         rows.push(vec![
             format!("{eb:.0e}"),
-            format!("{:.1}x / {:.2}%", raw as f64 / bytes_1d as f64, acc_1d * 100.0),
-            format!("{:.1}x / {:.2}%", raw as f64 / bytes_2d as f64, acc_2d * 100.0),
+            format!(
+                "{:.1}x / {:.2}%",
+                raw as f64 / bytes_1d as f64,
+                acc_1d * 100.0
+            ),
+            format!(
+                "{:.1}x / {:.2}%",
+                raw as f64 / bytes_2d as f64,
+                acc_2d * 100.0
+            ),
         ]);
     }
     print_table(

@@ -9,10 +9,10 @@
 use dsz_bench::tables::print_table;
 use dsz_bench::workloads::{paper_error_bounds, reduced_pruning_densities};
 use dsz_core::optimizer::{ChosenLayer, Plan};
-use dsz_core::{decode_model, encode_with_plan, LayerAssessment};
+use dsz_core::{decode_model, encode_with_plan, encode_with_plan_config, LayerAssessment};
 use dsz_nn::{zoo, Arch, Scale};
 use dsz_sparse::PairArray;
-use dsz_sz::{ErrorBound, SzConfig};
+use dsz_sz::{ErrorBound, SzConfig, SzFormat};
 use dsz_tensor::parallel::{with_workers, worker_count};
 use std::time::Instant;
 
@@ -40,11 +40,8 @@ fn main() {
     let mut assessments: Vec<LayerAssessment> = Vec::new();
     let mut chosen: Vec<ChosenLayer> = Vec::new();
     for (li, fc) in net.fc_layers().into_iter().enumerate() {
-        let mut dense = dsz_datagen::weights::trained_fc_weights(
-            fc.rows,
-            fc.cols,
-            0x5EED ^ (li as u64) << 8,
-        );
+        let mut dense =
+            dsz_datagen::weights::trained_fc_weights(fc.rows, fc.cols, 0x5EED ^ (li as u64) << 8);
         dsz_prune::prune_to_density(&mut dense, densities[li % densities.len()]);
         let pair = PairArray::from_dense(&dense, fc.rows, fc.cols);
         let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
@@ -65,7 +62,11 @@ fn main() {
             points: Vec::new(),
         });
     }
-    let plan = Plan { layers: chosen, predicted_loss: 0.0, total_bytes: 0 };
+    let plan = Plan {
+        layers: chosen,
+        predicted_loss: 0.0,
+        total_bytes: 0,
+    };
 
     let n_weights: usize = assessments.iter().map(|a| a.pair.rows * a.pair.cols).sum();
     let host = worker_count();
@@ -91,6 +92,15 @@ fn main() {
     }
     let mut rows: Vec<Row> = Vec::new();
     let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+    // Same stack through the v2 layout at the same (adaptive) chunk
+    // geometry, so the ratio isolates exactly what v3 changes — one
+    // shared Huffman table instead of a code book per chunk — and tracks
+    // it across PRs.
+    let v2_cfg = SzConfig {
+        format: SzFormat::V2,
+        ..SzConfig::default()
+    };
+    let (_, v2_report) = encode_with_plan_config(&assessments, &plan, &v2_cfg).expect("v2 encode");
     // Largest layer's SZ stream alone (chunk-level parallelism, no
     // container framing or sparse reconstruction).
     let biggest = assessments
@@ -117,7 +127,12 @@ fn main() {
                 let _ = dsz_sz::decompress(&sz_blob).expect("sz decode");
             })
         });
-        rows.push(Row { workers: w, encode_ms, decode_ms, sz_decode_ms });
+        rows.push(Row {
+            workers: w,
+            encode_ms,
+            decode_ms,
+            sz_decode_ms,
+        });
     }
 
     let base = &rows[0];
@@ -126,21 +141,40 @@ fn main() {
         .map(|r| {
             vec![
                 r.workers.to_string(),
-                format!("{:.1} ms ({:.2}x)", r.encode_ms, base.encode_ms / r.encode_ms),
-                format!("{:.1} ms ({:.2}x)", r.decode_ms, base.decode_ms / r.decode_ms),
-                format!("{:.1} ms ({:.2}x)", r.sz_decode_ms, base.sz_decode_ms / r.sz_decode_ms),
+                format!(
+                    "{:.1} ms ({:.2}x)",
+                    r.encode_ms,
+                    base.encode_ms / r.encode_ms
+                ),
+                format!(
+                    "{:.1} ms ({:.2}x)",
+                    r.decode_ms,
+                    base.decode_ms / r.decode_ms
+                ),
+                format!(
+                    "{:.1} ms ({:.2}x)",
+                    r.sz_decode_ms,
+                    base.sz_decode_ms / r.sz_decode_ms
+                ),
             ]
         })
         .collect();
     print_table(
         "Encode/decode scaling (speedup vs 1 thread)",
-        &["threads", "container encode", "container decode", "SZ stream decode"],
+        &[
+            "threads",
+            "container encode",
+            "container decode",
+            "SZ stream decode",
+        ],
         &table,
     );
     println!(
-        "container: {} bytes, fc compression ratio {:.1}x",
+        "container: {} bytes (v3), fc compression ratio {:.1}x; v2 layout would be {} bytes (v3/v2 = {:.4})",
         report.total_bytes,
-        report.ratio()
+        report.ratio(),
+        v2_report.total_bytes,
+        report.total_bytes as f64 / v2_report.total_bytes.max(1) as f64
     );
     if host == 1 {
         println!("note: single-core host — speedups are expected to be ~1.0x here");
@@ -148,11 +182,24 @@ fn main() {
 
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"workload\": \"vgg16_reduced_fc_surrogate\",\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"vgg16_reduced_fc_surrogate\",\n"
+    ));
     json.push_str(&format!("  \"layers\": {},\n", assessments.len()));
     json.push_str(&format!("  \"dense_weights\": {},\n", n_weights));
     json.push_str(&format!("  \"container_bytes\": {},\n", report.total_bytes));
-    json.push_str(&format!("  \"compression_ratio\": {:.3},\n", report.ratio()));
+    json.push_str(&format!(
+        "  \"container_bytes_v2\": {},\n",
+        v2_report.total_bytes
+    ));
+    json.push_str(&format!(
+        "  \"v3_over_v2_size_ratio\": {:.4},\n",
+        report.total_bytes as f64 / v2_report.total_bytes.max(1) as f64
+    ));
+    json.push_str(&format!(
+        "  \"compression_ratio\": {:.3},\n",
+        report.ratio()
+    ));
     json.push_str(&format!("  \"host_parallelism\": {},\n", host));
     json.push_str("  \"runs\": [\n");
     for (i, r) in rows.iter().enumerate() {

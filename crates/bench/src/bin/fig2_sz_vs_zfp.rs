@@ -31,13 +31,27 @@ fn main() {
                     format!("{r_sz:.2}"),
                     format!("{r_zfp:.2}"),
                     format!("{:.2}x", r_sz / r_zfp),
-                    if r_sz > r_zfp { "SZ".into() } else { "ZFP".into() },
+                    if r_sz > r_zfp {
+                        "SZ".into()
+                    } else {
+                        "ZFP".into()
+                    },
                 ]);
             }
         }
         print_table(
-            &format!("Figure 2: SZ vs ZFP compression ratio on {} fc data arrays", arch.name()),
-            &["layer", "error bound", "SZ ratio", "ZFP ratio", "SZ/ZFP", "winner"],
+            &format!(
+                "Figure 2: SZ vs ZFP compression ratio on {} fc data arrays",
+                arch.name()
+            ),
+            &[
+                "layer",
+                "error bound",
+                "SZ ratio",
+                "ZFP ratio",
+                "SZ/ZFP",
+                "winner",
+            ],
             &rows,
         );
     }

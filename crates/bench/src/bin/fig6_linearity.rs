@@ -44,7 +44,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Figure 6 ({}): expected vs actual accuracy loss", arch.name()),
+            &format!(
+                "Figure 6 ({}): expected vs actual accuracy loss",
+                arch.name()
+            ),
             &["expected (sum of per-layer)", "actual (all layers)"],
             &rows,
         );

@@ -34,7 +34,10 @@ fn main() {
 
         // ---- encoding: DeepSZ ----
         let t0 = Instant::now();
-        let cfg = AssessmentConfig { expected_loss, ..Default::default() };
+        let cfg = AssessmentConfig {
+            expected_loss,
+            ..Default::default()
+        };
         let (assessments, _) = assess_network(&w.net, &cfg, &eval).expect("assessment");
         let plan = optimize_for_accuracy(&assessments, expected_loss).expect("plan");
         let (model, _) = encode_with_plan(&assessments, &plan).expect("encode");
@@ -56,7 +59,10 @@ fn main() {
         train(
             &mut retrain_net,
             &w.train,
-            &TrainConfig { epochs: 1, ..Default::default() },
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             None,
         );
         let dc_enc = t0.elapsed().as_secs_f64();
@@ -75,7 +81,10 @@ fn main() {
         train(
             &mut retrain_net,
             &w.train,
-            &TrainConfig { epochs: 1, ..Default::default() },
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
             None,
         );
         let wl_enc = t0.elapsed().as_secs_f64();
@@ -106,10 +115,7 @@ fn main() {
             // so they can legitimately exceed the wall total.
             format!(
                 "{:.1} ms wall (stage sums: lossless {:.1} + SZ {:.1} + reconstruct {:.1})",
-                t.wall_ms,
-                t.lossless_ms,
-                t.sz_ms,
-                t.reconstruct_ms
+                t.wall_ms, t.lossless_ms, t.sz_ms, t.reconstruct_ms
             ),
             format!("{dc_dec:.1} ms"),
             format!("{wl_dec:.1} ms"),
@@ -125,6 +131,8 @@ fn main() {
         &["network", "DeepSZ", "Deep Compression", "Weightless"],
         &dec_rows,
     );
-    println!("\npaper: DeepSZ encodes 1.8x–4.0x faster (no retraining) and decodes 4.5x–6.2x faster");
+    println!(
+        "\npaper: DeepSZ encodes 1.8x–4.0x faster (no retraining) and decodes 4.5x–6.2x faster"
+    );
     println!("note: baselines are charged only ONE retraining epoch here — a conservative floor");
 }

@@ -15,7 +15,11 @@ use std::time::Instant;
 /// layer into (conv time, fc time).
 fn forward_times(net: &Network) -> (f64, f64) {
     let (prefix, head) = net.split_feature_head();
-    let x = Batch { n: 1, shape: net.input_shape, data: vec![0.5; net.input_shape.len()] };
+    let x = Batch {
+        n: 1,
+        shape: net.input_shape,
+        data: vec![0.5; net.input_shape.len()],
+    };
     let t0 = Instant::now();
     let feats = prefix.forward(&x);
     let conv_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -31,10 +35,16 @@ fn main() {
     for arch in Arch::ALL {
         let slow = matches!(arch, Arch::AlexNet | Arch::Vgg16);
         let net = zoo::build(arch, Scale::Full, 1);
-        let convs = net.layers.iter().filter(|l| matches!(l, Layer::Conv(_))).count();
+        let convs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv(_)))
+            .count();
         let fcs = net.fc_layers();
-        let fc_dims: Vec<String> =
-            fcs.iter().map(|f| format!("{}:{}x{}", f.name, f.rows, f.cols)).collect();
+        let fc_dims: Vec<String> = fcs
+            .iter()
+            .map(|f| format!("{}:{}x{}", f.name, f.rows, f.cols))
+            .collect();
         let (conv_ms, fc_ms) = if slow && skip_slow {
             (f64::NAN, f64::NAN)
         } else {
@@ -47,8 +57,16 @@ fn main() {
             convs.to_string(),
             fcs.len().to_string(),
             fc_dims.join(" "),
-            if conv_ms.is_nan() { "skipped".into() } else { format!("{conv_ms:.1} ms") },
-            if fc_ms.is_nan() { "skipped".into() } else { format!("{fc_ms:.2} ms") },
+            if conv_ms.is_nan() {
+                "skipped".into()
+            } else {
+                format!("{conv_ms:.1} ms")
+            },
+            if fc_ms.is_nan() {
+                "skipped".into()
+            } else {
+                format!("{fc_ms:.2} ms")
+            },
             fmt_bytes(total),
             fmt_pct(fc_share),
         ]);

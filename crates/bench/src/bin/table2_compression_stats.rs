@@ -60,8 +60,18 @@ fn print_arch(arch: Arch, rows: &[LayerRow]) {
         String::new(),
     ]);
     print_table(
-        &format!("Table 2: fc-layer compression statistics for {}", arch.name()),
-        &["layer", "original", "pruning ratio", "pair-array size", "DeepSZ", "ratio"],
+        &format!(
+            "Table 2: fc-layer compression statistics for {}",
+            arch.name()
+        ),
+        &[
+            "layer",
+            "original",
+            "pruning ratio",
+            "pair-array size",
+            "DeepSZ",
+            "ratio",
+        ],
         &table,
     );
 }
@@ -70,7 +80,10 @@ fn print_arch(arch: Arch, rows: &[LayerRow]) {
 fn pipeline_rows(arch: Arch, expected_loss: f64) -> Vec<LayerRow> {
     let w = workload(arch);
     let eval = DatasetEvaluator::new(w.test.clone());
-    let cfg = AssessmentConfig { expected_loss, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&w.net, &cfg, &eval).expect("assessment");
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
     assessments
@@ -118,5 +131,7 @@ fn main() {
         let rows = full_size_rows(arch);
         print_arch(arch, &rows);
     }
-    println!("\npaper overall ratios: LeNet-300-100 55.8x, LeNet-5 57.3x, AlexNet 45.5x, VGG-16 115.6x");
+    println!(
+        "\npaper overall ratios: LeNet-300-100 55.8x, LeNet-5 57.3x, AlexNet 45.5x, VGG-16 115.6x"
+    );
 }

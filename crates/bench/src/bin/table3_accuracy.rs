@@ -21,7 +21,10 @@ fn main() {
         };
         let w = workload(arch);
         let eval = DatasetEvaluator::new(w.test.clone());
-        let cfg = AssessmentConfig { expected_loss, ..Default::default() };
+        let cfg = AssessmentConfig {
+            expected_loss,
+            ..Default::default()
+        };
         let (assessments, _) = assess_network(&w.net, &cfg, &eval).expect("assessment");
         let plan = optimize_for_accuracy(&assessments, expected_loss).expect("plan");
         let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");

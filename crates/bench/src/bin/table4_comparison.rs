@@ -92,11 +92,20 @@ fn main() {
             format!("{:.1}", dense_total as f64 / dc_total as f64),
             wl_largest_ratio.map_or("-".into(), |r| format!("({r:.1} largest only)")),
             format!("{:.1}", dense_total as f64 / dsz_total as f64),
-            format!("{:.2}x", (dense_total as f64 / dsz_total as f64) / (dense_total as f64 / dc_total as f64)),
+            format!(
+                "{:.2}x",
+                (dense_total as f64 / dsz_total as f64) / (dense_total as f64 / dc_total as f64)
+            ),
         ]);
         print_table(
             &format!("Table 4 ({}): compression-ratio comparison", arch.name()),
-            &["layer", "Deep Compression", "Weightless", "DeepSZ", "DeepSZ/DC"],
+            &[
+                "layer",
+                "Deep Compression",
+                "Weightless",
+                "DeepSZ",
+                "DeepSZ/DC",
+            ],
             &rows_out,
         );
     }

@@ -27,7 +27,10 @@ fn main() {
         let eval = DatasetEvaluator::new(w.test.clone());
 
         // --- DeepSZ at its optimized configuration ---
-        let cfg = AssessmentConfig { expected_loss, ..Default::default() };
+        let cfg = AssessmentConfig {
+            expected_loss,
+            ..Default::default()
+        };
         let (assessments, _) = assess_network(&w.net, &cfg, &eval).expect("assessment");
         let plan = optimize_for_accuracy(&assessments, expected_loss).expect("plan");
         let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
@@ -49,7 +52,10 @@ fn main() {
                 &d.w.data,
                 d.w.rows,
                 d.w.cols,
-                &DcConfig { bits: dc_bits, kmeans_iters: 25 },
+                &DcConfig {
+                    bits: dc_bits,
+                    kmeans_iters: 25,
+                },
             );
             let (dense, ..) = deep_compression::decode_layer(&enc).expect("dc decode");
             dc_net.dense_mut(fc.layer_index).w.data = dense;
@@ -64,7 +70,11 @@ fn main() {
                 &d.w.data,
                 d.w.rows,
                 d.w.cols,
-                &WlConfig { quant_bits: 4, check_bits: 4, ..Default::default() },
+                &WlConfig {
+                    quant_bits: 4,
+                    check_bits: 4,
+                    ..Default::default()
+                },
             )
             .expect("bloomier build");
             wl_net.dense_mut(fc.layer_index).w.data = weightless::decode_layer(&enc);
@@ -81,8 +91,16 @@ fn main() {
     }
     print_table(
         "Table 5: top-1 degradation at comparable compression ratios",
-        &["network", "bits/weight", "Deep Compression", "Weightless", "DeepSZ (SZ)"],
+        &[
+            "network",
+            "bits/weight",
+            "Deep Compression",
+            "Weightless",
+            "DeepSZ (SZ)",
+        ],
         &rows,
     );
-    println!("\npaper: DC at DeepSZ's bit width drops 1.56% (AlexNet) / 2.81% (VGG-16); DeepSZ ≤ 0.25%");
+    println!(
+        "\npaper: DC at DeepSZ's bit width drops 1.56% (AlexNet) / 2.81% (VGG-16); DeepSZ ≤ 0.25%"
+    );
 }

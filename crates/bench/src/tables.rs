@@ -40,7 +40,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into()], vec!["22".into(), "333".into(), "extra".into()]],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "extra".into()],
+            ],
         );
     }
 }

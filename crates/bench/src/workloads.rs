@@ -54,12 +54,30 @@ pub fn datasets(arch: Arch) -> (Dataset, Dataset) {
 
 fn train_config(arch: Arch) -> TrainConfig {
     match arch {
-        Arch::LeNet300 => TrainConfig { epochs: 3, lr: 0.08, ..Default::default() },
-        Arch::LeNet5 => TrainConfig { epochs: 2, lr: 0.05, ..Default::default() },
-        Arch::AlexNet => TrainConfig { epochs: 4, lr: 0.02, batch: 100, ..Default::default() },
+        Arch::LeNet300 => TrainConfig {
+            epochs: 3,
+            lr: 0.08,
+            ..Default::default()
+        },
+        Arch::LeNet5 => TrainConfig {
+            epochs: 2,
+            lr: 0.05,
+            ..Default::default()
+        },
+        Arch::AlexNet => TrainConfig {
+            epochs: 4,
+            lr: 0.02,
+            batch: 100,
+            ..Default::default()
+        },
         // The 3136-d VGG head diverges at lr 0.02; 0.005 converges to the
         // calibrated accuracy regime.
-        Arch::Vgg16 => TrainConfig { epochs: 4, lr: 0.005, batch: 100, ..Default::default() },
+        Arch::Vgg16 => TrainConfig {
+            epochs: 4,
+            lr: 0.005,
+            batch: 100,
+            ..Default::default()
+        },
     }
 }
 
@@ -86,8 +104,16 @@ pub fn reduced_pruning_densities(arch: Arch) -> Vec<f64> {
 /// longer recovery than one gentle epoch.
 fn retrain_config(arch: Arch, cfg: &TrainConfig) -> TrainConfig {
     match arch {
-        Arch::Vgg16 => TrainConfig { epochs: 5, lr: 0.01, ..*cfg },
-        _ => TrainConfig { epochs: 1, lr: cfg.lr * 0.25, ..*cfg },
+        Arch::Vgg16 => TrainConfig {
+            epochs: 5,
+            lr: 0.01,
+            ..*cfg
+        },
+        _ => TrainConfig {
+            epochs: 1,
+            lr: cfg.lr * 0.25,
+            ..*cfg
+        },
     }
 }
 
@@ -114,7 +140,14 @@ pub fn workload(arch: Arch) -> Workload {
     let (head, test) = dsz_core::cache_features(&pruned, &test_raw, 128);
     let (_, train_feats) = dsz_core::cache_features(&pruned, &train_raw, 128);
     let (base_top1, base_top5) = accuracy(&head, &test, 256, 5);
-    Workload { arch, net: head, test, train: train_feats, base_top1, base_top5 }
+    Workload {
+        arch,
+        net: head,
+        test,
+        train: train_feats,
+        base_top1,
+        base_top5,
+    }
 }
 
 /// Full-size synthesized pruned fc layers for the storage experiments

@@ -109,7 +109,11 @@ fn test_point(
     let mut candidate = net.clone();
     candidate.dense_mut(fc.layer_index).w.data = dense;
     let acc = eval.evaluate(&candidate);
-    Ok(EbPoint { eb, degradation: baseline - acc, data_bytes })
+    Ok(EbPoint {
+        eb,
+        degradation: baseline - acc,
+        data_bytes,
+    })
 }
 
 /// Decade-stepped successor of `eb` (8e-3 → 9e-3 → 1e-2 → 2e-2 → …),

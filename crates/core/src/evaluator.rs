@@ -30,7 +30,11 @@ pub struct DatasetEvaluator {
 impl DatasetEvaluator {
     /// Standard configuration: batch 256, top-5.
     pub fn new(data: Dataset) -> Self {
-        Self { data, batch: 256, topk: 5 }
+        Self {
+            data,
+            batch: 256,
+            topk: 5,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ pub fn cache_features(net: &Network, data: &Dataset, batch: usize) -> (Network, 
         x.extend_from_slice(&out.data);
         lo = hi;
     }
-    let features = Dataset { shape: feat_dim, x, labels: data.labels.clone() };
+    let features = Dataset {
+        shape: feat_dim,
+        x,
+        labels: data.labels.clone(),
+    };
     (head, features)
 }
 
@@ -106,6 +114,10 @@ mod tests {
             }
             labels.push((i % 10) as u16);
         }
-        Dataset { shape: VolShape { c: 1, h: 28, w: 28 }, x, labels }
+        Dataset {
+            shape: VolShape { c: 1, h: 28, w: 28 },
+            x,
+            labels,
+        }
     }
 }

@@ -31,8 +31,8 @@ pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator};
 pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{
-    apply_decoded, decode_model, encode_with_plan, CompressedModel, DecodeTiming, DecodedLayer,
-    EncodeReport,
+    apply_decoded, decode_model, encode_with_plan, encode_with_plan_config, CompressedModel,
+    DecodeTiming, DecodedLayer, EncodeReport,
 };
 pub use streaming::{CompressedFcModel, StreamingStats};
 

@@ -76,7 +76,11 @@ pub fn linearity_experiment(
             joint.dense_mut(fc.layer_index).w.data = dense;
         }
         let actual = baseline - eval.evaluate(&joint);
-        points.push(LinearityPoint { expected, actual, eb_index: ci });
+        points.push(LinearityPoint {
+            expected,
+            actual,
+            eb_index: ci,
+        });
     }
     Ok(points)
 }
@@ -133,7 +137,11 @@ mod tests {
     fn fit_line_degenerate() {
         assert_eq!(fit_line(&[]), (0.0, 0.0));
         let flat = vec![
-            LinearityPoint { expected: 0.1, actual: 0.1, eb_index: 0 };
+            LinearityPoint {
+                expected: 0.1,
+                actual: 0.1,
+                eb_index: 0
+            };
             3
         ];
         assert_eq!(fit_line(&flat), (0.0, 0.0));

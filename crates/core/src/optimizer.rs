@@ -63,7 +63,11 @@ pub fn optimize_for_accuracy(
     expected_loss: f64,
 ) -> Result<Plan, DeepSzError> {
     if assessments.is_empty() {
-        return Ok(Plan { layers: Vec::new(), predicted_loss: 0.0, total_bytes: 0 });
+        return Ok(Plan {
+            layers: Vec::new(),
+            predicted_loss: 0.0,
+            total_bytes: 0,
+        });
     }
     if expected_loss <= 0.0 || expected_loss.is_nan() {
         return Err(DeepSzError::Infeasible(
@@ -84,7 +88,9 @@ pub fn optimize_for_accuracy(
         let mut ndp = vec![usize::MAX; GRID + 1];
         let mut choice = vec![u16::MAX; GRID + 1];
         for (pi, p) in a.points.iter().enumerate() {
-            let Some(c) = cost_of(p.degradation) else { continue };
+            let Some(c) = cost_of(p.degradation) else {
+                continue;
+            };
             let size = p.data_bytes + a.index_bytes;
             for g in c..=GRID {
                 let prev = dp[g - c];
@@ -136,7 +142,11 @@ pub fn optimize_for_size(
     target_bytes: usize,
 ) -> Result<Plan, DeepSzError> {
     if assessments.is_empty() {
-        return Ok(Plan { layers: Vec::new(), predicted_loss: 0.0, total_bytes: 0 });
+        return Ok(Plan {
+            layers: Vec::new(),
+            predicted_loss: 0.0,
+            total_bytes: 0,
+        });
     }
     let grid = 200usize;
     let bucket = (target_bytes as f64 / grid as f64).max(1.0);
@@ -151,7 +161,9 @@ pub fn optimize_for_size(
         let mut ndp = vec![f64::INFINITY; grid + 1];
         let mut choice = vec![u16::MAX; grid + 1];
         for (pi, p) in a.points.iter().enumerate() {
-            let Some(c) = cost_of(p.data_bytes + a.index_bytes) else { continue };
+            let Some(c) = cost_of(p.data_bytes + a.index_bytes) else {
+                continue;
+            };
             let d = clamp_degradation(p.degradation);
             for g in c..=grid {
                 if !dp[g - c].is_finite() {
@@ -209,7 +221,11 @@ fn build_plan(assessments: &[LayerAssessment], picked: &[usize]) -> Plan {
             point_index: pi,
         });
     }
-    Plan { layers, predicted_loss: predicted, total_bytes: total }
+    Plan {
+        layers,
+        predicted_loss: predicted,
+        total_bytes: total,
+    }
 }
 
 /// Exhaustive search over all point combinations — exponential; used by
@@ -262,13 +278,27 @@ mod tests {
 
     fn fake_layer(name: &str, index_bytes: usize, pts: &[(f64, f64, usize)]) -> LayerAssessment {
         LayerAssessment {
-            fc: FcLayerRef { layer_index: 0, name: name.into(), rows: 4, cols: 4 },
-            pair: PairArray { rows: 4, cols: 4, data: vec![], index: vec![] },
+            fc: FcLayerRef {
+                layer_index: 0,
+                name: name.into(),
+                rows: 4,
+                cols: 4,
+            },
+            pair: PairArray {
+                rows: 4,
+                cols: 4,
+                data: vec![],
+                index: vec![],
+            },
             index_codec: dsz_lossless::LosslessKind::Zstd,
             index_bytes,
             points: pts
                 .iter()
-                .map(|&(eb, degradation, data_bytes)| EbPoint { eb, degradation, data_bytes })
+                .map(|&(eb, degradation, data_bytes)| EbPoint {
+                    eb,
+                    degradation,
+                    data_bytes,
+                })
                 .collect(),
         }
     }
@@ -276,18 +306,20 @@ mod tests {
     #[test]
     fn picks_cheapest_feasible_combination() {
         // Layer A: loose bound saves 900 bytes but costs 0.3% accuracy.
-        let a = fake_layer(
-            "a",
-            100,
-            &[(1e-3, 0.0005, 1000), (1e-2, 0.003, 100)],
-        );
+        let a = fake_layer("a", 100, &[(1e-3, 0.0005, 1000), (1e-2, 0.003, 100)]);
         // Layer B: loose bound saves 100 bytes at 0.25%.
         let b = fake_layer("b", 50, &[(1e-3, 0.0002, 300), (1e-2, 0.0025, 200)]);
         // Budget 0.4%: can afford exactly one of the two loose bounds —
         // should take A's (bigger saving).
         let plan = optimize_for_accuracy(&[a.clone(), b.clone()], 0.004).unwrap();
-        assert!((plan.layers[0].eb - 1e-2).abs() < 1e-12, "A should go loose");
-        assert!((plan.layers[1].eb - 1e-3).abs() < 1e-12, "B should stay tight");
+        assert!(
+            (plan.layers[0].eb - 1e-2).abs() < 1e-12,
+            "A should go loose"
+        );
+        assert!(
+            (plan.layers[1].eb - 1e-3).abs() < 1e-12,
+            "B should stay tight"
+        );
         let brute = brute_force_for_accuracy(&[a, b], 0.004).unwrap();
         assert_eq!(plan.total_bytes, brute.total_bytes);
     }
@@ -307,8 +339,11 @@ mod tests {
                     // looser bounds trade accuracy for size.
                     let pts: Vec<(f64, f64, usize)> = (0..4)
                         .map(|j| {
-                            let degradation =
-                                if j == 0 { rand() * 0.0003 } else { rand() * 0.004 };
+                            let degradation = if j == 0 {
+                                rand() * 0.0003
+                            } else {
+                                rand() * 0.004
+                            };
                             (
                                 10f64.powi(-(4 - j)),
                                 degradation,

@@ -95,7 +95,9 @@ impl EncodeReport {
     }
 }
 
-/// Encodes the assessed layers according to `plan` into a container.
+/// Encodes the assessed layers according to `plan` into a container,
+/// using the default SZ configuration (the chunked v3 stream format with
+/// one shared Huffman table per layer and adaptive chunk sizing).
 ///
 /// Per-layer compression (SZ data stream + lossless index stream) runs in
 /// parallel across a work queue; serialization of the finished blobs is
@@ -105,13 +107,33 @@ pub fn encode_with_plan(
     assessments: &[LayerAssessment],
     plan: &Plan,
 ) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
-    assert_eq!(assessments.len(), plan.layers.len(), "plan/assessment mismatch");
+    encode_with_plan_config(assessments, plan, &dsz_sz::SzConfig::default())
+}
+
+/// [`encode_with_plan`] with an explicit SZ configuration, so callers can
+/// pin a stream format (e.g. [`dsz_sz::SzFormat::V2`] for compatibility
+/// artifacts or A/B size comparisons) or a fixed chunk size. The decode
+/// path needs no matching knob — SZ streams are self-describing and
+/// dispatch on their version byte.
+pub fn encode_with_plan_config(
+    assessments: &[LayerAssessment],
+    plan: &Plan,
+    sz: &dsz_sz::SzConfig,
+) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
+    assert_eq!(
+        assessments.len(),
+        plan.layers.len(),
+        "plan/assessment mismatch"
+    );
     let t0 = Instant::now();
 
-    let jobs: Vec<(&LayerAssessment, f64)> =
-        assessments.iter().zip(&plan.layers).map(|(a, c)| (a, c.eb)).collect();
+    let jobs: Vec<(&LayerAssessment, f64)> = assessments
+        .iter()
+        .zip(&plan.layers)
+        .map(|(a, c)| (a, c.eb))
+        .collect();
     let blobs: Vec<Result<(Vec<u8>, Vec<u8>), DeepSzError>> = parallel_map(&jobs, |&(a, eb)| {
-        let sz_blob = dsz_sz::SzConfig::default().compress(&a.pair.data, ErrorBound::Abs(eb))?;
+        let sz_blob = sz.compress(&a.pair.data, ErrorBound::Abs(eb))?;
         let idx_blob = a.index_codec.codec().compress(&a.pair.index);
         Ok((sz_blob, idx_blob))
     });
@@ -231,7 +253,11 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
         let rows = read_varint(bytes, &mut pos)? as usize;
         let cols = read_varint(bytes, &mut pos)? as usize;
         let _eb = f64::from_le_bytes(
-            bytes.get(pos..pos + 8).ok_or(CodecError::Truncated)?.try_into().expect("len 8"),
+            bytes
+                .get(pos..pos + 8)
+                .ok_or(CodecError::Truncated)?
+                .try_into()
+                .expect("len 8"),
         );
         pos += 8;
         let codec = LosslessKind::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)?;
@@ -244,7 +270,15 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
         let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
         let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?;
         pos = idx_end;
-        records.push(RawLayerRecord { name, layer_index, rows, cols, codec, sz_blob, idx_blob });
+        records.push(RawLayerRecord {
+            name,
+            layer_index,
+            rows,
+            cols,
+            codec,
+            sz_blob,
+            idx_blob,
+        });
     }
     Ok(records)
 }
@@ -264,9 +298,16 @@ pub(crate) fn decode_record(
 
     let t = Instant::now();
     if data.len() != index.len() {
-        return Err(DeepSzError::BadContainer("data/index length mismatch".into()));
+        return Err(DeepSzError::BadContainer(
+            "data/index length mismatch".into(),
+        ));
     }
-    let pair = PairArray { rows: r.rows, cols: r.cols, data, index };
+    let pair = PairArray {
+        rows: r.rows,
+        cols: r.cols,
+        data,
+        index,
+    };
     let dense = pair.to_dense()?;
     let reconstruct_ms = t.elapsed().as_secs_f64() * 1e3;
 

@@ -126,7 +126,11 @@ impl CompressedFcModel {
             // Release the dense weights; the compressed blob is canonical.
             d.w.data = Vec::new();
         }
-        Ok(Self { skeleton, layers, prefetch: true })
+        Ok(Self {
+            skeleton,
+            layers,
+            prefetch: true,
+        })
     }
 
     /// Enables or disables decode prefetch (see the module docs for the
@@ -157,7 +161,11 @@ impl CompressedFcModel {
     /// One-layer-at-a-time forward: strict `max(layer)` dense peak.
     fn forward_serial(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
-            compressed_bytes: self.layers.iter().map(CompressedLayer::compressed_bytes).sum(),
+            compressed_bytes: self
+                .layers
+                .iter()
+                .map(CompressedLayer::compressed_bytes)
+                .sum(),
             ..Default::default()
         };
         let mut cur = x.clone();
@@ -188,7 +196,11 @@ impl CompressedFcModel {
     /// one executing layer plus one in-flight decode.
     fn forward_prefetch(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
-            compressed_bytes: self.layers.iter().map(CompressedLayer::compressed_bytes).sum(),
+            compressed_bytes: self
+                .layers
+                .iter()
+                .map(CompressedLayer::compressed_bytes)
+                .sum(),
             ..Default::default()
         };
         // Compressed fc layers in execution order.
@@ -250,8 +262,7 @@ impl CompressedFcModel {
                             next_ord += 1;
                         }
                         let dense_bytes = decoded.dense.len() * 4;
-                        stats.peak_dense_bytes =
-                            stats.peak_dense_bytes.max(dense_bytes + inflight);
+                        stats.peak_dense_bytes = stats.peak_dense_bytes.max(dense_bytes + inflight);
                         stats.total_dense_bytes += dense_bytes;
                         let mut live = d.clone();
                         live.w.data = decoded.dense;
@@ -265,12 +276,8 @@ impl CompressedFcModel {
                     other => {
                         // Non-fc layers also share cores with an in-flight
                         // decode (e.g. the conv stack before the first fc).
-                        cur = forward_sharing_budget(
-                            other,
-                            &cur,
-                            pending.is_some(),
-                            compute_budget,
-                        );
+                        cur =
+                            forward_sharing_budget(other, &cur, pending.is_some(), compute_budget);
                     }
                 }
             }

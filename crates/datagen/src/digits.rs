@@ -12,16 +12,36 @@ use rand::{Rng, SeedableRng};
 
 /// 7 rows × 5 cols glyphs for digits 0–9.
 const GLYPHS: [[&str; 7]; 10] = [
-    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
-    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
-    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
-    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
-    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
-    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
-    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
-    ["#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   "], // 7
-    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
-    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ], // 0
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ], // 1
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ], // 2
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ], // 3
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ], // 4
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ], // 5
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ], // 6
+    [
+        "#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   ",
+    ], // 7
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ], // 8
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ], // 9
 ];
 
 /// Image side length.
@@ -76,7 +96,15 @@ pub fn dataset(n: usize, seed: u64) -> Dataset {
         x[i * SIDE * SIDE..(i + 1) * SIDE * SIDE].copy_from_slice(&buf);
         labels.push(class as u16);
     }
-    Dataset { shape: VolShape { c: 1, h: SIDE, w: SIDE }, x, labels }
+    Dataset {
+        shape: VolShape {
+            c: 1,
+            h: SIDE,
+            w: SIDE,
+        },
+        x,
+        labels,
+    }
 }
 
 #[cfg(test)]

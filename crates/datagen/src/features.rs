@@ -29,13 +29,23 @@ impl FeatureSpec {
     /// A spec sized for the reduced AlexNet head (1152-d features,
     /// 100 classes) with noise tuned near the paper's AlexNet accuracy.
     pub fn alexnet_reduced() -> Self {
-        Self { dim: 1152, classes: 100, proto_density: 0.12, noise: 1.05 }
+        Self {
+            dim: 1152,
+            classes: 100,
+            proto_density: 0.12,
+            noise: 1.05,
+        }
     }
 
     /// A spec sized for the reduced VGG-16 head (3136-d features,
     /// 100 classes) with noise tuned near the paper's VGG-16 accuracy.
     pub fn vgg16_reduced() -> Self {
-        Self { dim: 3136, classes: 100, proto_density: 0.08, noise: 1.38 }
+        Self {
+            dim: 3136,
+            classes: 100,
+            proto_density: 0.08,
+            noise: 1.38,
+        }
     }
 }
 
@@ -65,7 +75,12 @@ fn prototypes(spec: &FeatureSpec, rng: &mut StdRng) -> Vec<Vec<f32>> {
 
 /// Generates matched train and test datasets drawn from the same class
 /// prototypes (prototype draw is part of `seed`).
-pub fn train_test(spec: &FeatureSpec, n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+pub fn train_test(
+    spec: &FeatureSpec,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> (Dataset, Dataset) {
     let mut rng = StdRng::seed_from_u64(seed);
     let protos = prototypes(spec, &mut rng);
     let mut gen = |n: usize| -> Dataset {
@@ -79,7 +94,15 @@ pub fn train_test(spec: &FeatureSpec, n_train: usize, n_test: usize, seed: u64) 
             }
             labels.push(class as u16);
         }
-        Dataset { shape: VolShape { c: spec.dim, h: 1, w: 1 }, x, labels }
+        Dataset {
+            shape: VolShape {
+                c: spec.dim,
+                h: 1,
+                w: 1,
+            },
+            x,
+            labels,
+        }
     };
     (gen(n_train), gen(n_test))
 }
@@ -90,7 +113,12 @@ mod tests {
 
     #[test]
     fn features_are_nonnegative_relu_like() {
-        let spec = FeatureSpec { dim: 64, classes: 10, proto_density: 0.2, noise: 0.5 };
+        let spec = FeatureSpec {
+            dim: 64,
+            classes: 10,
+            proto_density: 0.2,
+            noise: 0.5,
+        };
         let (tr, te) = train_test(&spec, 100, 50, 3);
         assert_eq!(tr.len(), 100);
         assert_eq!(te.len(), 50);
@@ -104,7 +132,12 @@ mod tests {
     fn noise_controls_separability() {
         // Nearest-prototype accuracy should fall as noise rises.
         let near = |noise: f32| -> f64 {
-            let spec = FeatureSpec { dim: 128, classes: 10, proto_density: 0.2, noise };
+            let spec = FeatureSpec {
+                dim: 128,
+                classes: 10,
+                proto_density: 0.2,
+                noise,
+            };
             let mut rng = StdRng::seed_from_u64(9);
             let protos = prototypes(&spec, &mut rng);
             let (_, te) = train_test(&spec, 1, 400, 9);
@@ -113,8 +146,16 @@ mod tests {
                 let xi = &te.x[i * spec.dim..(i + 1) * spec.dim];
                 let best = (0..spec.classes)
                     .min_by(|&a, &b| {
-                        let da: f32 = xi.iter().zip(&protos[a]).map(|(x, p)| (x - p).powi(2)).sum();
-                        let db: f32 = xi.iter().zip(&protos[b]).map(|(x, p)| (x - p).powi(2)).sum();
+                        let da: f32 = xi
+                            .iter()
+                            .zip(&protos[a])
+                            .map(|(x, p)| (x - p).powi(2))
+                            .sum();
+                        let db: f32 = xi
+                            .iter()
+                            .zip(&protos[b])
+                            .map(|(x, p)| (x - p).powi(2))
+                            .sum();
                         da.partial_cmp(&db).expect("finite distances")
                     })
                     .expect("nonempty classes");
@@ -133,7 +174,12 @@ mod tests {
     #[test]
     fn train_and_test_share_prototypes() {
         // Same seed → same prototypes → class means correlate across splits.
-        let spec = FeatureSpec { dim: 64, classes: 4, proto_density: 0.3, noise: 0.3 };
+        let spec = FeatureSpec {
+            dim: 64,
+            classes: 4,
+            proto_density: 0.3,
+            noise: 0.3,
+        };
         let (tr, te) = train_test(&spec, 200, 200, 5);
         for class in 0..4usize {
             let mean = |d: &Dataset| -> Vec<f32> {

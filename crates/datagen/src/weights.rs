@@ -46,10 +46,16 @@ pub fn pruned_nonzeros(rows: usize, cols: usize, density: f64, seed: u64) -> (Ve
     let dense = trained_fc_weights(rows, cols, seed);
     let keep = ((rows * cols) as f64 * density).round() as usize;
     let mut mags: Vec<f32> = dense.iter().map(|w| w.abs()).collect();
-    let k = (rows * cols).saturating_sub(keep).min(mags.len().saturating_sub(1));
+    let k = (rows * cols)
+        .saturating_sub(keep)
+        .min(mags.len().saturating_sub(1));
     mags.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite"));
     let threshold = mags[k];
-    let values: Vec<f32> = dense.iter().copied().filter(|w| w.abs() >= threshold && *w != 0.0).collect();
+    let values: Vec<f32> = dense
+        .iter()
+        .copied()
+        .filter(|w| w.abs() >= threshold && *w != 0.0)
+        .collect();
     (values, threshold)
 }
 

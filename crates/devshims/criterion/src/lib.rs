@@ -19,7 +19,11 @@ pub struct Criterion {
 impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.to_string(), samples: 10, throughput: None }
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            throughput: None,
+        }
     }
 
     /// Bench outside any group.
@@ -50,7 +54,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter value.
     pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
-        Self { repr: format!("{name}/{param}") }
+        Self {
+            repr: format!("{name}/{param}"),
+        }
     }
 }
 
@@ -85,7 +91,10 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
         for _ in 0..self.samples {
             f(&mut b);
         }
@@ -124,7 +133,11 @@ impl BenchmarkGroup {
             }
             None => String::new(),
         };
-        let prefix = if self.name.is_empty() { String::new() } else { format!("{}/", self.name) };
+        let prefix = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.name)
+        };
         println!("{prefix}{id}: {:.3} ms/iter{rate}", per_iter * 1e3);
     }
 }

@@ -23,7 +23,9 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        Self { state: h ^ 0x9e3779b97f4a7c15 }
+        Self {
+            state: h ^ 0x9e3779b97f4a7c15,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -109,7 +111,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, whence, pred }
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
         }
 
         /// Type-erases the strategy.
@@ -173,7 +179,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter '{}' rejected 1000 consecutive samples", self.whence);
+            panic!(
+                "prop_filter '{}' rejected 1000 consecutive samples",
+                self.whence
+            );
         }
     }
 
@@ -326,13 +335,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.end > r.start, "empty size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -344,7 +359,10 @@ pub mod collection {
 
     /// Vectors of `element` values with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].

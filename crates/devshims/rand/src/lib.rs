@@ -58,7 +58,9 @@ pub mod rngs {
     impl super::SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // Scramble so nearby seeds diverge immediately.
-            Self { state: seed.wrapping_mul(0x2545f4914f6cdd1d) ^ 0x6a09e667f3bcc909 }
+            Self {
+                state: seed.wrapping_mul(0x2545f4914f6cdd1d) ^ 0x6a09e667f3bcc909,
+            }
         }
     }
 }

@@ -25,7 +25,10 @@ impl BitWriter {
 
     /// Creates a writer with capacity for roughly `bytes` of output.
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { buf: Vec::with_capacity(bytes), used: 0 }
+        Self {
+            buf: Vec::with_capacity(bytes),
+            used: 0,
+        }
     }
 
     /// Number of complete or partial bytes written so far.

@@ -97,14 +97,21 @@ impl HuffmanCode {
             .map(|&(_, len)| 1u64 << (MAX_CODE_LEN - len))
             .sum();
         if n > 1 && kraft > 1u64 << MAX_CODE_LEN {
-            return Err(CodecError::corrupt("huffman table violates Kraft inequality"));
+            return Err(CodecError::corrupt(
+                "huffman table violates Kraft inequality",
+            ));
         }
         Ok(Self { entries })
     }
 
     /// Builds the encode-side dense lookup table.
     pub fn encoder(&self) -> HuffmanEncoder {
-        let max_sym = self.entries.iter().map(|&(s, _)| s).max().map_or(0, |s| s + 1);
+        let max_sym = self
+            .entries
+            .iter()
+            .map(|&(s, _)| s)
+            .max()
+            .map_or(0, |s| s + 1);
         let mut codes = vec![(0u32, 0u8); max_sym as usize];
         for (code, (sym, len)) in assign_codes(&self.entries) {
             codes[sym as usize] = (code, len);
@@ -151,7 +158,13 @@ impl HuffmanCode {
                 }
             }
         }
-        HuffmanDecoder { first_code, first_rank, count, syms, lut }
+        HuffmanDecoder {
+            first_code,
+            first_rank,
+            count,
+            syms,
+            lut,
+        }
     }
 }
 
@@ -304,28 +317,83 @@ fn build_lengths(counts: &[u64]) -> Vec<(u32, u8)> {
         .collect()
 }
 
-/// Convenience: Huffman-encodes a `u32` symbol stream (table + payload).
-/// The histogram is sized to the largest symbol actually present, so many
-/// small streams (e.g. per-chunk SZ codes drawn from a 2^16-wide alphabet)
-/// don't each pay for a full-alphabet zeroed table.
-pub fn encode_stream(symbols: &[u32]) -> Vec<u8> {
+/// Accumulates `symbols` into a dense histogram, growing `counts` as needed
+/// to cover the largest symbol seen. Splitting the histogram off from
+/// [`encode_stream`] lets multi-stream formats (e.g. the SZ v3 shared-table
+/// layout) pool counts across many payloads before building one code book.
+pub fn accumulate_counts(counts: &mut Vec<u64>, symbols: &[u32]) {
     let max_sym = symbols.iter().max().map_or(0, |&m| m as usize);
-    let mut counts = vec![0u64; max_sym + 1];
+    if symbols.is_empty() {
+        return;
+    }
+    if counts.len() <= max_sym {
+        counts.resize(max_sym + 1, 0);
+    }
     for &s in symbols {
         counts[s as usize] += 1;
     }
-    let code = HuffmanCode::from_counts(&counts);
-    let enc = code.encoder();
-    let mut out = Vec::new();
-    write_varint(&mut out, symbols.len() as u64);
-    code.serialize(&mut out);
+}
+
+/// Appends the table-free encoded payload for `symbols`:
+/// `[payload bytes varint][bit payload]`. The code book and the symbol
+/// count are *not* written — the caller transmits them out of band (once
+/// per table for shared-table formats). Every symbol must be present in
+/// the code book `enc` was built from.
+pub fn encode_payload(enc: &HuffmanEncoder, symbols: &[u32], out: &mut Vec<u8>) {
     let mut w = BitWriter::with_capacity(symbols.len() / 2);
     for &s in symbols {
         enc.encode(&mut w, s);
     }
     let payload = w.into_bytes();
-    write_varint(&mut out, payload.len() as u64);
+    write_varint(out, payload.len() as u64);
     out.extend_from_slice(&payload);
+}
+
+/// Inverse of [`encode_payload`]: decodes exactly `count` symbols through a
+/// caller-built decoder into `out` (cleared first), advancing `pos` past
+/// the payload record.
+pub fn decode_payload_into(
+    dec: &HuffmanDecoder,
+    data: &[u8],
+    pos: &mut usize,
+    count: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), CodecError> {
+    out.clear();
+    let payload_len = read_varint(data, pos)? as usize;
+    let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
+    let payload = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    if count == 0 {
+        return Ok(());
+    }
+    // Every symbol costs at least one bit, so a declared count beyond the
+    // payload's bit budget is corrupt — checked before reserving so a
+    // hostile count cannot force an allocation abort.
+    if count > payload_len.saturating_mul(8) {
+        return Err(CodecError::corrupt("symbol count exceeds payload bits"));
+    }
+    let mut r = BitReader::new(payload);
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(dec.decode(&mut r)?);
+    }
+    Ok(())
+}
+
+/// Convenience: Huffman-encodes a `u32` symbol stream (table + payload).
+/// The histogram is sized to the largest symbol actually present, so many
+/// small streams (e.g. per-chunk SZ codes drawn from a 2^16-wide alphabet)
+/// don't each pay for a full-alphabet zeroed table.
+pub fn encode_stream(symbols: &[u32]) -> Vec<u8> {
+    let mut counts = Vec::new();
+    accumulate_counts(&mut counts, symbols);
+    let code = HuffmanCode::from_counts(&counts);
+    let enc = code.encoder();
+    let mut out = Vec::new();
+    write_varint(&mut out, symbols.len() as u64);
+    code.serialize(&mut out);
+    encode_payload(&enc, symbols, &mut out);
     out
 }
 
@@ -348,26 +416,17 @@ pub fn decode_stream_into(
     out.clear();
     let n = read_varint(data, pos)? as usize;
     let code = HuffmanCode::deserialize(data, pos)?;
-    let payload_len = read_varint(data, pos)? as usize;
-    let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
-    let payload = data.get(*pos..end).ok_or(CodecError::Truncated)?;
-    *pos = end;
     if n == 0 {
+        // Still step over the (empty) payload record so `pos` lands at the
+        // end of the stream.
+        let payload_len = read_varint(data, pos)? as usize;
+        let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
+        data.get(*pos..end).ok_or(CodecError::Truncated)?;
+        *pos = end;
         return Ok(());
     }
-    // Every symbol costs at least one bit, so a declared count beyond the
-    // payload's bit budget is corrupt — checked before reserving so a
-    // hostile count cannot force an allocation abort.
-    if n > payload_len.saturating_mul(8) {
-        return Err(CodecError::corrupt("symbol count exceeds payload bits"));
-    }
     let dec = code.decoder();
-    let mut r = BitReader::new(payload);
-    out.reserve(n);
-    for _ in 0..n {
-        out.push(dec.decode(&mut r)?);
-    }
-    Ok(())
+    decode_payload_into(&dec, data, pos, n, out)
 }
 
 #[cfg(test)]
@@ -449,6 +508,61 @@ mod tests {
         buf[1] = 0xff; // clobber first delta
         let mut pos = 0;
         assert!(HuffmanCode::deserialize(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn shared_table_payloads_roundtrip() {
+        // Many streams pooled into one histogram, one code book, and
+        // table-free per-stream payloads — the SZ v3 layout's primitive.
+        let streams: Vec<Vec<u32>> = vec![
+            vec![1, 1, 1, 2, 3],
+            vec![],
+            vec![2; 400],
+            (0..300u32).map(|i| i % 17).collect(),
+        ];
+        let mut counts = Vec::new();
+        for s in &streams {
+            accumulate_counts(&mut counts, s);
+        }
+        let code = HuffmanCode::from_counts(&counts);
+        let enc = code.encoder();
+        let mut blob = Vec::new();
+        for s in &streams {
+            encode_payload(&enc, s, &mut blob);
+        }
+        let dec = code.decoder();
+        let mut pos = 0;
+        let mut scratch = Vec::new();
+        for s in &streams {
+            decode_payload_into(&dec, &blob, &mut pos, s.len(), &mut scratch).unwrap();
+            assert_eq!(&scratch, s);
+        }
+        assert_eq!(pos, blob.len());
+    }
+
+    #[test]
+    fn shared_payload_rejects_hostile_count() {
+        let code = HuffmanCode::from_counts(&[3, 5]);
+        let enc = code.encoder();
+        let mut blob = Vec::new();
+        encode_payload(&enc, &[0, 1, 0], &mut blob);
+        let dec = code.decoder();
+        let mut pos = 0;
+        let mut out = Vec::new();
+        // Claiming more symbols than the payload can hold must error, not
+        // over-allocate or walk off the end.
+        assert!(decode_payload_into(&dec, &blob, &mut pos, 1 << 20, &mut out).is_err());
+    }
+
+    #[test]
+    fn accumulate_counts_grows_and_merges() {
+        let mut counts = Vec::new();
+        accumulate_counts(&mut counts, &[]);
+        assert!(counts.is_empty());
+        accumulate_counts(&mut counts, &[2, 2, 0]);
+        assert_eq!(counts, vec![1, 0, 2]);
+        accumulate_counts(&mut counts, &[5]);
+        assert_eq!(counts, vec![1, 0, 2, 0, 0, 1]);
     }
 
     #[test]

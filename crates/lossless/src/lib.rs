@@ -157,7 +157,8 @@ pub enum LosslessKind {
 
 impl LosslessKind {
     /// All kinds, in the order the paper lists them.
-    pub const ALL: [LosslessKind; 3] = [LosslessKind::Gzip, LosslessKind::Zstd, LosslessKind::Blosc];
+    pub const ALL: [LosslessKind; 3] =
+        [LosslessKind::Gzip, LosslessKind::Zstd, LosslessKind::Blosc];
 
     /// Stable one-byte wire id.
     pub fn id(self) -> u8 {

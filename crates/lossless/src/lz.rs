@@ -30,17 +30,38 @@ pub struct LzParams {
 impl LzParams {
     /// DEFLATE-like: 32 KiB window, shallow chains.
     pub fn gzip_like() -> Self {
-        Self { window_log: 15, min_match: 3, max_match: 258, hash_log: 15, max_chain: 48, lazy: true }
+        Self {
+            window_log: 15,
+            min_match: 3,
+            max_match: 258,
+            hash_log: 15,
+            max_chain: 48,
+            lazy: true,
+        }
     }
 
     /// Zstandard-like: 1 MiB window, deep chains, long matches.
     pub fn zstd_like() -> Self {
-        Self { window_log: 20, min_match: 3, max_match: 4096, hash_log: 17, max_chain: 320, lazy: true }
+        Self {
+            window_log: 20,
+            min_match: 3,
+            max_match: 4096,
+            hash_log: 17,
+            max_chain: 320,
+            lazy: true,
+        }
     }
 
     /// Blosc-like: tiny window, single-probe greedy (speed over ratio).
     pub fn blosc_like() -> Self {
-        Self { window_log: 13, min_match: 4, max_match: 1024, hash_log: 13, max_chain: 1, lazy: false }
+        Self {
+            window_log: 13,
+            min_match: 4,
+            max_match: 1024,
+            hash_log: 13,
+            max_chain: 1,
+            lazy: false,
+        }
     }
 }
 
@@ -55,7 +76,12 @@ pub enum Token {
 
 #[inline]
 fn hash4(data: &[u8], i: usize, hash_log: u32) -> usize {
-    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], *data.get(i + 3).unwrap_or(&0)]);
+    let v = u32::from_le_bytes([
+        data[i],
+        data[i + 1],
+        data[i + 2],
+        *data.get(i + 3).unwrap_or(&0),
+    ]);
     ((v.wrapping_mul(2654435761)) >> (32 - hash_log)) as usize
 }
 
@@ -144,7 +170,10 @@ pub fn tokenize(data: &[u8], p: &LzParams) -> Vec<Token> {
                     true
                 };
                 if take_here {
-                    tokens.push(Token::Match { len: len as u32, dist: dist as u32 });
+                    tokens.push(Token::Match {
+                        len: len as u32,
+                        dist: dist as u32,
+                    });
                     let end = i + len;
                     if !p.lazy {
                         insert(&mut head, &mut prev, i);
@@ -326,7 +355,11 @@ mod tests {
     }
 
     fn all_params() -> [LzParams; 3] {
-        [LzParams::gzip_like(), LzParams::zstd_like(), LzParams::blosc_like()]
+        [
+            LzParams::gzip_like(),
+            LzParams::zstd_like(),
+            LzParams::blosc_like(),
+        ]
     }
 
     #[test]
@@ -349,7 +382,12 @@ mod tests {
             .collect();
         for p in all_params() {
             let blob = lz_compress(&data, &p);
-            assert!(blob.len() < data.len() / 5, "{}: {}", p.window_log, blob.len());
+            assert!(
+                blob.len() < data.len() / 5,
+                "{}: {}",
+                p.window_log,
+                blob.len()
+            );
             assert_eq!(decode_tokens(&blob).unwrap(), data);
         }
     }
@@ -395,7 +433,12 @@ mod tests {
         data.extend_from_slice(&chunk);
         let g = lz_compress(&data, &LzParams::gzip_like());
         let z = lz_compress(&data, &LzParams::zstd_like());
-        assert!(z.len() < g.len(), "zstd-like {} vs gzip-like {}", z.len(), g.len());
+        assert!(
+            z.len() < g.len(),
+            "zstd-like {} vs gzip-like {}",
+            z.len(),
+            g.len()
+        );
         assert_eq!(decode_tokens(&z).unwrap(), data);
         assert_eq!(decode_tokens(&g).unwrap(), data);
     }

@@ -28,7 +28,10 @@ pub struct Prob {
 
 impl Default for Prob {
     fn default() -> Self {
-        Prob { p: PROB_INIT, visits: 0 }
+        Prob {
+            p: PROB_INIT,
+            visits: 0,
+        }
     }
 }
 
@@ -80,7 +83,13 @@ impl Default for RangeEncoder {
 impl RangeEncoder {
     /// Fresh encoder.
     pub fn new() -> Self {
-        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
     }
 
     fn shift_low(&mut self) {
@@ -172,7 +181,12 @@ impl<'a> RangeDecoder<'a> {
         if data.is_empty() {
             return Err(CodecError::Truncated);
         }
-        let mut d = Self { code: 0, range: u32::MAX, data, pos: 1 };
+        let mut d = Self {
+            code: 0,
+            range: u32::MAX,
+            data,
+            pos: 1,
+        };
         for _ in 0..4 {
             d.code = (d.code << 8) | u32::from(d.next_byte());
         }
@@ -341,7 +355,9 @@ impl StaticModel {
         cum.push(0);
         for _ in 0..n {
             let f = crate::bits::read_varint(data, pos)? as u32;
-            acc = acc.checked_add(f).ok_or_else(|| CodecError::corrupt("freq overflow"))?;
+            acc = acc
+                .checked_add(f)
+                .ok_or_else(|| CodecError::corrupt("freq overflow"))?;
             cum.push(acc);
         }
         if acc != 1 << SCALE_BITS {
@@ -386,7 +402,9 @@ pub struct TreeModel<const BITS: u32> {
 
 impl<const BITS: u32> Default for TreeModel<BITS> {
     fn default() -> Self {
-        Self { probs: vec![Prob::default(); 1 << BITS] }
+        Self {
+            probs: vec![Prob::default(); 1 << BITS],
+        }
     }
 }
 
@@ -437,8 +455,15 @@ mod tests {
 
     #[test]
     fn direct_bits_roundtrip() {
-        let values: Vec<(u32, u32)> =
-            vec![(0, 1), (1, 1), (5, 3), (255, 8), (0xffff, 16), (12345, 20), (0, 4)];
+        let values: Vec<(u32, u32)> = vec![
+            (0, 1),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (0xffff, 16),
+            (12345, 20),
+            (0, 4),
+        ];
         let mut enc = RangeEncoder::new();
         for &(v, n) in &values {
             enc.encode_direct(v, n);

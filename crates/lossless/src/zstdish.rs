@@ -142,7 +142,9 @@ mod tests {
             vec![7],
             b"abcabcabcabcabc".to_vec(),
             vec![0u8; 50_000],
-            (0..30_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect(),
+            (0..30_000u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+                .collect(),
             b"the quick brown fox ".repeat(500),
         ];
         for data in inputs {

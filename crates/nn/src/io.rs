@@ -33,11 +33,17 @@ fn write_f32s(w: &mut impl Write, data: &[f32]) -> io::Result<()> {
 fn read_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
     let n = read_usize(r)?;
     if n > 1 << 30 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "parameter buffer too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "parameter buffer too large",
+        ));
     }
     let mut bytes = vec![0u8; n * 4];
     r.read_exact(&mut bytes)?;
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("len 4"))).collect())
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("len 4")))
+        .collect())
 }
 
 fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
@@ -100,14 +106,20 @@ pub fn load_network(r: &mut impl Read) -> io::Result<Network> {
     let mut magic = [0u8; 5];
     r.read_exact(&mut magic)?;
     if &magic[..4] != MAGIC || magic[4] != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model header"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad model header",
+        ));
     }
     let c = read_usize(r)?;
     let h = read_usize(r)?;
     let wdim = read_usize(r)?;
     let n_layers = read_usize(r)?;
     if n_layers > 4096 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "too many layers"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "too many layers",
+        ));
     }
     let mut layers = Vec::with_capacity(n_layers);
     for _ in 0..n_layers {
@@ -123,7 +135,11 @@ pub fn load_network(r: &mut impl Read) -> io::Result<Network> {
                 if data.len() != rows * cols || b.len() != rows {
                     return Err(io::Error::new(io::ErrorKind::InvalidData, "dense shape"));
                 }
-                Layer::Dense(DenseLayer { name, w: Matrix::from_vec(rows, cols, data), b })
+                Layer::Dense(DenseLayer {
+                    name,
+                    w: Matrix::from_vec(rows, cols, data),
+                    b,
+                })
             }
             1 => {
                 let name = read_str(r)?;
@@ -151,7 +167,9 @@ pub fn load_network(r: &mut impl Read) -> io::Result<Network> {
                 })
             }
             2 => Layer::ReLU,
-            3 => Layer::MaxPool2 { size: read_usize(r)? },
+            3 => Layer::MaxPool2 {
+                size: read_usize(r)?,
+            },
             4 => Layer::Flatten,
             t => {
                 return Err(io::Error::new(
@@ -161,7 +179,10 @@ pub fn load_network(r: &mut impl Read) -> io::Result<Network> {
             }
         });
     }
-    Ok(Network { input_shape: VolShape { c, h, w: wdim }, layers })
+    Ok(Network {
+        input_shape: VolShape { c, h, w: wdim },
+        layers,
+    })
 }
 
 /// Convenience: save to a file path.
@@ -202,7 +223,11 @@ mod tests {
         let mut buf = Vec::new();
         save_network(&net, &mut buf).unwrap();
         let back = load_network(&mut buf.as_slice()).unwrap();
-        let probe = Batch { n: 2, shape: net.input_shape, data: vec![0.3; 2 * 784] };
+        let probe = Batch {
+            n: 2,
+            shape: net.input_shape,
+            data: vec![0.3; 2 * 784],
+        };
         assert!(outputs_match(&net, &back, &probe));
     }
 

@@ -1,7 +1,9 @@
 //! Layer definitions with forward and backward implementations.
 
 use crate::Batch;
-use dsz_tensor::{col2im, conv_out_dim, im2col, matmul, matmul_transa, matmul_transb, Matrix, VolShape};
+use dsz_tensor::{
+    col2im, conv_out_dim, im2col, matmul, matmul_transa, matmul_transb, Matrix, VolShape,
+};
 
 /// A fully-connected layer: `y = W·x + b` with `W` as `out × in`.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,15 +77,27 @@ impl Layer {
     /// Output volume shape for a given input shape.
     pub fn output_shape(&self, s: VolShape) -> VolShape {
         match self {
-            Layer::Dense(d) => VolShape { c: d.w.rows, h: 1, w: 1 },
+            Layer::Dense(d) => VolShape {
+                c: d.w.rows,
+                h: 1,
+                w: 1,
+            },
             Layer::Conv(c) => VolShape {
                 c: c.w.rows,
                 h: conv_out_dim(s.h, c.kh, c.stride, c.pad),
                 w: conv_out_dim(s.w, c.kw, c.stride, c.pad),
             },
             Layer::ReLU => s,
-            Layer::MaxPool2 { size } => VolShape { c: s.c, h: s.h / size, w: s.w / size },
-            Layer::Flatten => VolShape { c: s.len(), h: 1, w: 1 },
+            Layer::MaxPool2 { size } => VolShape {
+                c: s.c,
+                h: s.h / size,
+                w: s.w / size,
+            },
+            Layer::Flatten => VolShape {
+                c: s.len(),
+                h: 1,
+                w: 1,
+            },
         }
     }
 
@@ -119,11 +133,25 @@ impl Layer {
                         }
                     }
                 }
-                (Batch { n: x.n, shape: out_shape, data: out }, None)
+                (
+                    Batch {
+                        n: x.n,
+                        shape: out_shape,
+                        data: out,
+                    },
+                    None,
+                )
             }
             Layer::ReLU => {
                 let data = x.data.iter().map(|&v| v.max(0.0)).collect();
-                (Batch { n: x.n, shape: x.shape, data }, None)
+                (
+                    Batch {
+                        n: x.n,
+                        shape: x.shape,
+                        data,
+                    },
+                    None,
+                )
             }
             Layer::MaxPool2 { size } => {
                 let s = x.shape;
@@ -158,12 +186,20 @@ impl Layer {
                     }
                 }
                 (
-                    Batch { n: x.n, shape: out_shape, data: out },
+                    Batch {
+                        n: x.n,
+                        shape: out_shape,
+                        data: out,
+                    },
                     Some(PoolAux { argmax }),
                 )
             }
             Layer::Flatten => (
-                Batch { n: x.n, shape: self.output_shape(x.shape), data: x.data.clone() },
+                Batch {
+                    n: x.n,
+                    shape: self.output_shape(x.shape),
+                    data: x.data.clone(),
+                },
                 None,
             ),
         }
@@ -192,7 +228,11 @@ impl Layer {
                     }
                 }
                 (
-                    Batch { n: input.n, shape: input.shape, data: gin.data },
+                    Batch {
+                        n: input.n,
+                        shape: input.shape,
+                        data: gin.data,
+                    },
                     Some(LayerGrad { dw, db }),
                 )
             }
@@ -224,7 +264,11 @@ impl Layer {
                     gin[i * s.len()..(i + 1) * s.len()].copy_from_slice(&dimg);
                 }
                 (
-                    Batch { n: input.n, shape: s, data: gin },
+                    Batch {
+                        n: input.n,
+                        shape: s,
+                        data: gin,
+                    },
                     Some(LayerGrad { dw, db }),
                 )
             }
@@ -235,7 +279,14 @@ impl Layer {
                     .zip(&gout.data)
                     .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
                     .collect();
-                (Batch { n: input.n, shape: input.shape, data }, None)
+                (
+                    Batch {
+                        n: input.n,
+                        shape: input.shape,
+                        data,
+                    },
+                    None,
+                )
             }
             Layer::MaxPool2 { .. } => {
                 let aux = aux.as_ref().expect("pool backward requires aux");
@@ -248,10 +299,21 @@ impl Layer {
                         gin[i * per_in + aux.argmax[o] as usize] += gout.data[o];
                     }
                 }
-                (Batch { n: input.n, shape: input.shape, data: gin }, None)
+                (
+                    Batch {
+                        n: input.n,
+                        shape: input.shape,
+                        data: gin,
+                    },
+                    None,
+                )
             }
             Layer::Flatten => (
-                Batch { n: input.n, shape: input.shape, data: gout.data.clone() },
+                Batch {
+                    n: input.n,
+                    shape: input.shape,
+                    data: gout.data.clone(),
+                },
                 None,
             ),
         }
@@ -274,16 +336,28 @@ mod tests {
 
     /// Central-difference check of input and weight gradients for `layer`.
     fn check_gradients(layer: Layer, in_shape: VolShape, n: usize) {
-        let x = Batch { n, shape: in_shape, data: rand_vec(n * in_shape.len(), 3, 0.8) };
+        let x = Batch {
+            n,
+            shape: in_shape,
+            data: rand_vec(n * in_shape.len(), 3, 0.8),
+        };
         let (y, aux) = layer.forward(&x);
         // Loss = Σ cᵢ·yᵢ with fixed random c, so dL/dy = c.
         let c = rand_vec(y.data.len(), 5, 1.0);
-        let gout = Batch { n: y.n, shape: y.shape, data: c.clone() };
+        let gout = Batch {
+            n: y.n,
+            shape: y.shape,
+            data: c.clone(),
+        };
         let (gin, lg) = layer.backward(&x, &aux, &gout);
 
         let loss = |layer: &Layer, x: &Batch| -> f64 {
             let (y, _) = layer.forward(x);
-            y.data.iter().zip(&c).map(|(&a, &b)| a as f64 * b as f64).sum()
+            y.data
+                .iter()
+                .zip(&c)
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum()
         };
 
         let eps = 1e-2f32;
@@ -313,8 +387,7 @@ mod tests {
                     }
                     l2
                 };
-                let num =
-                    (loss(&perturb(eps), &x) - loss(&perturb(-eps), &x)) / (2.0 * eps as f64);
+                let num = (loss(&perturb(eps), &x) - loss(&perturb(-eps), &x)) / (2.0 * eps as f64);
                 let ana = lg.dw.data[probe] as f64;
                 assert!(
                     (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
@@ -369,7 +442,11 @@ mod tests {
         let layer = Layer::MaxPool2 { size: 2 };
         let (y, aux) = layer.forward(&x);
         assert_eq!(y.data, vec![6., 8., 14., 16.]);
-        let gout = Batch { n: 1, shape: y.shape, data: vec![1., 2., 3., 4.] };
+        let gout = Batch {
+            n: 1,
+            shape: y.shape,
+            data: vec![1., 2., 3., 4.],
+        };
         let (gin, _) = layer.backward(&x, &aux, &gout);
         assert_eq!(gin.data[5], 1.0); // value 6
         assert_eq!(gin.data[7], 2.0); // value 8
@@ -403,7 +480,11 @@ mod tests {
     #[test]
     fn flatten_roundtrip() {
         let layer = Layer::Flatten;
-        let x = Batch { n: 2, shape: VolShape { c: 2, h: 2, w: 2 }, data: rand_vec(16, 17, 1.0) };
+        let x = Batch {
+            n: 2,
+            shape: VolShape { c: 2, h: 2, w: 2 },
+            data: rand_vec(16, 17, 1.0),
+        };
         let (y, _) = layer.forward(&x);
         assert_eq!(y.shape, VolShape { c: 8, h: 1, w: 1 });
         assert_eq!(y.data, x.data);

@@ -36,7 +36,11 @@ impl Batch {
     /// Wraps flat feature vectors as a batch of `dim×1×1` volumes.
     pub fn from_features(n: usize, dim: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), n * dim, "batch data length mismatch");
-        Self { n, shape: VolShape { c: dim, h: 1, w: 1 }, data }
+        Self {
+            n,
+            shape: VolShape { c: dim, h: 1, w: 1 },
+            data,
+        }
     }
 
     /// Features per sample.
@@ -165,7 +169,9 @@ impl Network {
 
     /// Index of the first dense layer (start of the fc head).
     pub fn first_dense_index(&self) -> Option<usize> {
-        self.layers.iter().position(|l| matches!(l, Layer::Dense(_)))
+        self.layers
+            .iter()
+            .position(|l| matches!(l, Layer::Dense(_)))
     }
 
     /// Splits into `(feature prefix, fc head)` at the first dense layer.
@@ -174,10 +180,15 @@ impl Network {
     /// `head.forward(prefix.forward(x))` equals `self.forward(x)`.
     pub fn split_feature_head(&self) -> (Network, Network) {
         let split = self.first_dense_index().unwrap_or(self.layers.len());
-        let prefix =
-            Network { input_shape: self.input_shape, layers: self.layers[..split].to_vec() };
+        let prefix = Network {
+            input_shape: self.input_shape,
+            layers: self.layers[..split].to_vec(),
+        };
         let head_input = prefix.output_shape();
-        let head = Network { input_shape: head_input, layers: self.layers[split..].to_vec() };
+        let head = Network {
+            input_shape: head_input,
+            layers: self.layers[split..].to_vec(),
+        };
         (prefix, head)
     }
 
@@ -228,15 +239,29 @@ mod tests {
 
     fn tiny_mlp() -> Network {
         let mut w1 = Matrix::zeros(3, 4);
-        w1.data.iter_mut().enumerate().for_each(|(i, v)| *v = (i as f32 - 5.0) * 0.1);
+        w1.data
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = (i as f32 - 5.0) * 0.1);
         let mut w2 = Matrix::zeros(2, 3);
-        w2.data.iter_mut().enumerate().for_each(|(i, v)| *v = (i as f32 - 2.0) * 0.2);
+        w2.data
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = (i as f32 - 2.0) * 0.2);
         Network {
             input_shape: VolShape { c: 4, h: 1, w: 1 },
             layers: vec![
-                Layer::Dense(DenseLayer { name: "ip1".into(), w: w1, b: vec![0.1, -0.1, 0.0] }),
+                Layer::Dense(DenseLayer {
+                    name: "ip1".into(),
+                    w: w1,
+                    b: vec![0.1, -0.1, 0.0],
+                }),
                 Layer::ReLU,
-                Layer::Dense(DenseLayer { name: "ip2".into(), w: w2, b: vec![0.0, 0.0] }),
+                Layer::Dense(DenseLayer {
+                    name: "ip2".into(),
+                    w: w2,
+                    b: vec![0.0, 0.0],
+                }),
             ],
         }
     }

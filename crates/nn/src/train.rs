@@ -28,7 +28,11 @@ impl Dataset {
     /// Copies samples `[lo, hi)` into a batch.
     pub fn batch(&self, lo: usize, hi: usize) -> Batch {
         let f = self.shape.len();
-        Batch { n: hi - lo, shape: self.shape, data: self.x[lo * f..hi * f].to_vec() }
+        Batch {
+            n: hi - lo,
+            shape: self.shape,
+            data: self.x[lo * f..hi * f].to_vec(),
+        }
     }
 
     /// Borrowed label slice for samples `[lo, hi)`.
@@ -64,13 +68,20 @@ pub fn softmax_xent(logits: &Batch, labels: &[u16]) -> (f64, Batch) {
         let g = &mut grad[i * k..(i + 1) * k];
         for (j, &v) in row.iter().enumerate() {
             let p = ((v - max) as f64).exp() / denom;
-            g[j] = (p - if j == usize::from(label) { 1.0 } else { 0.0 }) as f32
-                / labels.len() as f32;
+            g[j] =
+                (p - if j == usize::from(label) { 1.0 } else { 0.0 }) as f32 / labels.len() as f32;
         }
         let pl = ((row[usize::from(label)] - max) as f64).exp() / denom;
         loss -= pl.max(1e-300).ln();
     }
-    (loss / labels.len() as f64, Batch { n: logits.n, shape: logits.shape, data: grad })
+    (
+        loss / labels.len() as f64,
+        Batch {
+            n: logits.n,
+            shape: logits.shape,
+            data: grad,
+        },
+    )
 }
 
 /// Top-k hit test for one logit row.
@@ -121,7 +132,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimizer for `net`.
     pub fn new(net: &Network, lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: vec![None; net.layers.len()] }
+        Self {
+            lr,
+            momentum,
+            velocity: vec![None; net.layers.len()],
+        }
     }
 
     /// Applies one gradient step. `masks[i]`, when present for a dense
@@ -191,7 +206,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { lr: 0.05, momentum: 0.9, batch: 64, epochs: 3, verbose: false }
+        Self {
+            lr: 0.05,
+            momentum: 0.9,
+            batch: 64,
+            epochs: 3,
+            verbose: false,
+        }
     }
 }
 
@@ -259,7 +280,11 @@ mod tests {
             x.push(cy + 0.2 * next());
             labels.push(class);
         }
-        Dataset { shape: VolShape { c: 2, h: 1, w: 1 }, x, labels }
+        Dataset {
+            shape: VolShape { c: 2, h: 1, w: 1 },
+            x,
+            labels,
+        }
     }
 
     fn small_net(seed: u64) -> Network {
@@ -313,9 +338,20 @@ mod tests {
         let data = xor_like_dataset(512, 7);
         let mut net = small_net(3);
         let (before, _) = accuracy(&net, &data, 64, 2);
-        train(&mut net, &data, &TrainConfig { epochs: 8, ..Default::default() }, None);
+        train(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 8,
+                ..Default::default()
+            },
+            None,
+        );
         let (after, _) = accuracy(&net, &data, 64, 2);
-        assert!(after > 0.95, "accuracy after training {after} (before {before})");
+        assert!(
+            after > 0.95,
+            "accuracy after training {after} (before {before})"
+        );
     }
 
     #[test]
@@ -340,7 +376,10 @@ mod tests {
         train(
             &mut net,
             &data,
-            &TrainConfig { epochs: 4, ..Default::default() },
+            &TrainConfig {
+                epochs: 4,
+                ..Default::default()
+            },
             Some(&masks),
         );
         if let Layer::Dense(d) = &net.layers[0] {

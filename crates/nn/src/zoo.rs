@@ -46,12 +46,16 @@ impl Arch {
         match self {
             Arch::LeNet300 => &[("ip1", 300, 784), ("ip2", 100, 300), ("ip3", 10, 100)],
             Arch::LeNet5 => &[("ip1", 500, 800), ("ip2", 10, 500)],
-            Arch::AlexNet => {
-                &[("fc6", 4096, 9216), ("fc7", 4096, 4096), ("fc8", 1000, 4096)]
-            }
-            Arch::Vgg16 => {
-                &[("fc6", 4096, 25088), ("fc7", 4096, 4096), ("fc8", 1000, 4096)]
-            }
+            Arch::AlexNet => &[
+                ("fc6", 4096, 9216),
+                ("fc7", 4096, 4096),
+                ("fc8", 1000, 4096),
+            ],
+            Arch::Vgg16 => &[
+                ("fc6", 4096, 25088),
+                ("fc7", 4096, 4096),
+                ("fc8", 1000, 4096),
+            ],
         }
     }
 
@@ -99,7 +103,11 @@ pub fn reduced_fc_dims(arch: Arch) -> Vec<(&'static str, usize, usize)> {
 fn he_dense(name: &str, rows: usize, cols: usize, rng: &mut StdRng) -> Layer {
     let std = (2.0 / cols as f64).sqrt() as f32;
     let data = (0..rows * cols).map(|_| sample_normal(rng) * std).collect();
-    Layer::Dense(DenseLayer { name: name.to_string(), w: Matrix::from_vec(rows, cols, data), b: vec![0.0; rows] })
+    Layer::Dense(DenseLayer {
+        name: name.to_string(),
+        w: Matrix::from_vec(rows, cols, data),
+        b: vec![0.0; rows],
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -114,7 +122,9 @@ fn he_conv(
 ) -> Layer {
     let fan_in = in_c * k * k;
     let std = (2.0 / fan_in as f64).sqrt() as f32;
-    let data = (0..out_c * fan_in).map(|_| sample_normal(rng) * std).collect();
+    let data = (0..out_c * fan_in)
+        .map(|_| sample_normal(rng) * std)
+        .collect();
     Layer::Conv(ConvLayer {
         name: name.to_string(),
         w: Matrix::from_vec(out_c, fan_in, data),
@@ -155,10 +165,10 @@ pub fn build(arch: Arch, scale: Scale, seed: u64) -> Network {
             layers: vec![
                 he_conv("conv1", 20, 1, 5, 1, 0, &mut rng), // 28→24
                 Layer::ReLU,
-                Layer::MaxPool2 { size: 2 }, // 24→12
+                Layer::MaxPool2 { size: 2 },                 // 24→12
                 he_conv("conv2", 50, 20, 5, 1, 0, &mut rng), // 12→8
                 Layer::ReLU,
-                Layer::MaxPool2 { size: 2 }, // 8→4
+                Layer::MaxPool2 { size: 2 },                 // 8→4
                 he_conv("conv3", 50, 50, 3, 1, 1, &mut rng), // 4→4 (3rd conv, Table 1)
                 Layer::ReLU,
                 Layer::Flatten, // 50·4·4 = 800
@@ -168,11 +178,15 @@ pub fn build(arch: Arch, scale: Scale, seed: u64) -> Network {
             ],
         },
         (Arch::AlexNet, Scale::Full) => Network {
-            input_shape: VolShape { c: 3, h: 227, w: 227 },
+            input_shape: VolShape {
+                c: 3,
+                h: 227,
+                w: 227,
+            },
             layers: vec![
                 he_conv("conv1", 96, 3, 11, 4, 0, &mut rng), // 227→55
                 Layer::ReLU,
-                Layer::MaxPool2 { size: 2 }, // 55→27
+                Layer::MaxPool2 { size: 2 },                  // 55→27
                 he_conv("conv2", 256, 96, 5, 1, 2, &mut rng), // 27→27
                 Layer::ReLU,
                 Layer::MaxPool2 { size: 2 }, // 27→13
@@ -193,8 +207,7 @@ pub fn build(arch: Arch, scale: Scale, seed: u64) -> Network {
         },
         (Arch::Vgg16, Scale::Full) => {
             let mut layers = Vec::new();
-            let blocks: [(usize, usize); 5] =
-                [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+            let blocks: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
             let mut in_c = 3;
             let mut li = 0;
             for (ch, reps) in blocks {
@@ -212,7 +225,14 @@ pub fn build(arch: Arch, scale: Scale, seed: u64) -> Network {
             layers.push(he_dense("fc7", 4096, 4096, &mut rng));
             layers.push(Layer::ReLU);
             layers.push(he_dense("fc8", 1000, 4096, &mut rng));
-            Network { input_shape: VolShape { c: 3, h: 224, w: 224 }, layers }
+            Network {
+                input_shape: VolShape {
+                    c: 3,
+                    h: 224,
+                    w: 224,
+                },
+                layers,
+            }
         }
         (arch @ (Arch::AlexNet | Arch::Vgg16), Scale::Reduced) => {
             let dims = reduced_fc_dims(arch);
@@ -224,7 +244,11 @@ pub fn build(arch: Arch, scale: Scale, seed: u64) -> Network {
                 }
             }
             Network {
-                input_shape: VolShape { c: dims[0].2, h: 1, w: 1 },
+                input_shape: VolShape {
+                    c: dims[0].2,
+                    h: 1,
+                    w: 1,
+                },
                 layers,
             }
         }
@@ -253,7 +277,11 @@ mod tests {
         assert_eq!(net.output_shape().len(), 10);
         // fc storage = whole storage (Table 1: 100%).
         assert_eq!(net.fc_bytes(), 4 * (300 * 784 + 100 * 300 + 10 * 100));
-        let x = Batch { n: 2, shape: net.input_shape, data: vec![0.1; 2 * 784] };
+        let x = Batch {
+            n: 2,
+            shape: net.input_shape,
+            data: vec![0.1; 2 * 784],
+        };
         assert_eq!(net.forward(&x).features(), 10);
     }
 
@@ -269,7 +297,11 @@ mod tests {
             .filter(|l| matches!(l, Layer::Conv(_)))
             .count();
         assert_eq!(convs, 3);
-        let x = Batch { n: 1, shape: net.input_shape, data: vec![0.5; 784] };
+        let x = Batch {
+            n: 1,
+            shape: net.input_shape,
+            data: vec![0.5; 784],
+        };
         assert_eq!(net.forward(&x).features(), 10);
     }
 
@@ -302,7 +334,11 @@ mod tests {
             assert_eq!(fcs.len(), 3);
             // fc6 must dominate like at full scale.
             assert!(fcs[0].weights() > 4 * fcs[2].weights());
-            let x = Batch::from_features(2, net.input_shape.len(), vec![0.1; 2 * net.input_shape.len()]);
+            let x = Batch::from_features(
+                2,
+                net.input_shape.len(),
+                vec![0.1; 2 * net.input_shape.len()],
+            );
             assert_eq!(net.forward(&x).features(), fcs[2].rows);
         }
     }

@@ -72,7 +72,11 @@ pub fn prune_network(
     densities: &[f64],
 ) -> (Vec<Option<WeightMask>>, Vec<LayerPruneStats>) {
     let fcs = net.fc_layers();
-    assert_eq!(fcs.len(), densities.len(), "one density per fc layer required");
+    assert_eq!(
+        fcs.len(),
+        densities.len(),
+        "one density per fc layer required"
+    );
     let mut masks: Vec<Option<WeightMask>> = vec![None; net.layers.len()];
     let mut stats = Vec::with_capacity(fcs.len());
     for (fc, &density) in fcs.iter().zip(densities) {
@@ -106,12 +110,15 @@ pub fn retrain(
 /// Asserts that every masked-off weight in `net` is exactly zero —
 /// a pipeline invariant after pruning/retraining.
 pub fn masks_hold(net: &Network, masks: &[Option<WeightMask>]) -> bool {
-    net.layers.iter().zip(masks).all(|(layer, mask)| match (layer, mask) {
-        (Layer::Dense(d), Some(m)) => {
-            d.w.data.iter().zip(m).all(|(&w, &keep)| keep || w == 0.0)
-        }
-        _ => true,
-    })
+    net.layers
+        .iter()
+        .zip(masks)
+        .all(|(layer, mask)| match (layer, mask) {
+            (Layer::Dense(d), Some(m)) => {
+                d.w.data.iter().zip(m).all(|(&w, &keep)| keep || w == 0.0)
+            }
+            _ => true,
+        })
 }
 
 #[cfg(test)]
@@ -159,7 +166,11 @@ mod tests {
             }
         }
         // Survivors all have magnitude ≥ every pruned weight's magnitude.
-        let min_kept = w.iter().filter(|v| **v != 0.0).map(|v| v.abs()).fold(f32::MAX, f32::min);
+        let min_kept = w
+            .iter()
+            .filter(|v| **v != 0.0)
+            .map(|v| v.abs())
+            .fold(f32::MAX, f32::min);
         let max_pruned = orig
             .iter()
             .zip(&mask)
@@ -186,7 +197,13 @@ mod tests {
         let (masks, stats) = prune_network(&mut net, densities);
         assert!(masks_hold(&net, &masks));
         for (s, &d) in stats.iter().zip(densities) {
-            assert!((s.density() - d).abs() < 0.01, "{}: {} vs {}", s.name, s.density(), d);
+            assert!(
+                (s.density() - d).abs() < 0.01,
+                "{}: {} vs {}",
+                s.name,
+                s.density(),
+                d
+            );
         }
     }
 
@@ -211,21 +228,40 @@ mod tests {
             }
             labels.push(c);
         }
-        let data = Dataset { shape: VolShape { c: dim, h: 1, w: 1 }, x, labels };
+        let data = Dataset {
+            shape: VolShape { c: dim, h: 1, w: 1 },
+            x,
+            labels,
+        };
 
         let mut init = StdRng::seed_from_u64(23);
         let mut rand_w = |r: usize, c: usize| -> Matrix {
-            Matrix::from_vec(r, c, (0..r * c).map(|_| init.gen_range(-0.4..0.4)).collect())
+            Matrix::from_vec(
+                r,
+                c,
+                (0..r * c).map(|_| init.gen_range(-0.4..0.4)).collect(),
+            )
         };
         let mut net = Network {
             input_shape: VolShape { c: dim, h: 1, w: 1 },
             layers: vec![
-                Layer::Dense(DenseLayer { name: "ip1".into(), w: rand_w(12, dim), b: vec![0.0; 12] }),
+                Layer::Dense(DenseLayer {
+                    name: "ip1".into(),
+                    w: rand_w(12, dim),
+                    b: vec![0.0; 12],
+                }),
                 Layer::ReLU,
-                Layer::Dense(DenseLayer { name: "ip2".into(), w: rand_w(2, 12), b: vec![0.0; 2] }),
+                Layer::Dense(DenseLayer {
+                    name: "ip2".into(),
+                    w: rand_w(2, 12),
+                    b: vec![0.0; 2],
+                }),
             ],
         };
-        let cfg = TrainConfig { epochs: 6, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..Default::default()
+        };
         train(&mut net, &data, &cfg, None);
         let (base, _) = accuracy(&net, &data, 64, 2);
         assert!(base > 0.9, "base accuracy {base}");
@@ -235,6 +271,9 @@ mod tests {
         assert!(loss.is_finite());
         assert!(masks_hold(&net, &masks), "retraining violated masks");
         let (after, _) = accuracy(&net, &data, 64, 2);
-        assert!(after > base - 0.05, "pruned+retrained accuracy {after} vs base {base}");
+        assert!(
+            after > base - 0.05,
+            "pruned+retrained accuracy {after} vs base {base}"
+        );
     }
 }

@@ -12,12 +12,55 @@
 //! the lossless codec compresses. Classic [`Csr`] is provided for size
 //! comparisons and for the dense reconstruction path.
 
+use dsz_tensor::parallel::{parallel_map, worker_count};
 use std::fmt;
 
 /// Gap value reserved as the "advance 255 positions, no weight" marker.
 pub const PAD_MARKER: u8 = 255;
 /// Bits per stored entry in the two-array format (8 index + 32 data).
 pub const BITS_PER_ENTRY: usize = 40;
+
+/// Entry count below which [`PairArray::to_dense`] stays serial: the gap
+/// walk is one add + one store per entry, so thread spawn overhead only
+/// pays for itself on decode-path-sized layers.
+const MIN_PARALLEL_ENTRIES: usize = 1 << 15;
+
+/// Walks a gap-stream segment from running cursor `start`, invoking
+/// `write(position, value)` for every real (non-padding) entry. Positions
+/// are bounds-checked against `len` exactly like the serial
+/// reconstruction always did; padding markers advance the cursor without
+/// writing (even past `len`, which is legal for trailing pads).
+#[inline]
+fn walk_entries(
+    index: &[u8],
+    data: &[f32],
+    start: i64,
+    len: usize,
+    mut write: impl FnMut(usize, f32),
+) -> Result<(), SparseError> {
+    let mut pos = start;
+    for (&g, &v) in index.iter().zip(data) {
+        if g == PAD_MARKER {
+            pos += i64::from(PAD_MARKER);
+            continue;
+        }
+        pos += i64::from(g);
+        let p = usize::try_from(pos).map_err(|_| SparseError::PositionOverflow)?;
+        if p >= len {
+            return Err(SparseError::PositionOverflow);
+        }
+        write(p, v);
+    }
+    Ok(())
+}
+
+/// Shared pointer to the dense output buffer. Safety: the segmented walk
+/// in [`PairArray::to_dense`] gives every segment a disjoint span of
+/// positions, so each slot has at most one writer, and the scope join in
+/// `parallel_map` publishes the writes before the buffer is read.
+struct DenseOut(*mut f32);
+
+unsafe impl Sync for DenseOut {}
 
 /// Errors from sparse-format operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,29 +116,109 @@ impl PairArray {
             data.push(w);
             prev = p as i64;
         }
-        Self { rows, cols, data, index }
+        Self {
+            rows,
+            cols,
+            data,
+            index,
+        }
     }
 
     /// Reconstructs the dense row-major matrix.
+    ///
+    /// The index array is a gap stream, so entry positions are a prefix
+    /// sum; large layers reconstruct in parallel by splitting the entry
+    /// list into segments, prefix-scanning each segment's total gap
+    /// advance (cheap: one add per entry), and then filling every
+    /// segment's disjoint span of the output concurrently. Small layers
+    /// and single-worker budgets take the serial path; both paths produce
+    /// identical output (and the same error on corrupt streams).
     pub fn to_dense(&self) -> Result<Vec<f32>, SparseError> {
         if self.data.len() != self.index.len() {
             return Err(SparseError::LengthMismatch);
         }
         let mut out = vec![0f32; self.rows * self.cols];
-        let mut pos: i64 = -1;
-        for (&g, &v) in self.index.iter().zip(&self.data) {
-            if g == PAD_MARKER {
-                pos += i64::from(PAD_MARKER);
-                continue;
-            }
-            pos += i64::from(g);
-            let p = usize::try_from(pos).map_err(|_| SparseError::PositionOverflow)?;
-            if p >= out.len() {
-                return Err(SparseError::PositionOverflow);
-            }
-            out[p] = v;
+        let workers = worker_count();
+        if workers <= 1 || self.index.len() < MIN_PARALLEL_ENTRIES {
+            self.fill_dense_serial(&mut out)?;
+        } else {
+            self.fill_dense_parallel(&mut out, workers)?;
         }
         Ok(out)
+    }
+
+    /// Serial gap walk (the reference implementation).
+    fn fill_dense_serial(&self, out: &mut [f32]) -> Result<(), SparseError> {
+        let len = out.len();
+        walk_entries(&self.index, &self.data, -1, len, |p, v| out[p] = v)
+    }
+
+    /// Segmented parallel reconstruction; see [`PairArray::to_dense`].
+    fn fill_dense_parallel(&self, out: &mut [f32], workers: usize) -> Result<(), SparseError> {
+        let entries = self.index.len();
+        // Segment boundaries, adjusted so no segment starts with a gap-0
+        // entry: a gap-0 entry re-writes the running cursor's position
+        // (legal directly after a padding marker, and reachable after a
+        // real entry in corrupt streams), and keeping it in its
+        // predecessor's segment is what makes the written position ranges
+        // strictly disjoint across segments.
+        let per_seg = entries.div_ceil(workers * 4).max(MIN_PARALLEL_ENTRIES / 4);
+        let mut bounds: Vec<usize> = vec![0];
+        let mut s = per_seg;
+        while s < entries {
+            while s < entries && self.index[s] == 0 {
+                s += 1;
+            }
+            if s >= entries {
+                break;
+            }
+            bounds.push(s);
+            s += per_seg;
+        }
+        bounds.push(entries);
+        let segs: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+
+        // Pass 1 (parallel): each segment's total position advance. A
+        // padding marker advances exactly its own gap value (255), so the
+        // advance is simply the sum of gap bytes.
+        let advances: Vec<i64> = parallel_map(&segs, |&(lo, hi)| {
+            self.index[lo..hi].iter().map(|&g| i64::from(g)).sum()
+        });
+
+        // Serial prefix over the few segment sums → the running cursor
+        // each segment's walk starts from (what the serial walk would
+        // hold when reaching that entry).
+        let mut jobs: Vec<(usize, usize, i64)> = Vec::with_capacity(segs.len());
+        let mut cursor: i64 = -1;
+        for (&(lo, hi), &adv) in segs.iter().zip(&advances) {
+            jobs.push((lo, hi, cursor));
+            cursor += adv;
+        }
+
+        // Pass 2 (parallel): walk each segment, writing into its disjoint
+        // position span of the output.
+        let len = out.len();
+        let shared = DenseOut(out.as_mut_ptr());
+        let results: Vec<Result<(), SparseError>> = parallel_map(&jobs, |&(lo, hi, start)| {
+            let shared = &shared;
+            walk_entries(
+                &self.index[lo..hi],
+                &self.data[lo..hi],
+                start,
+                len,
+                |p, v| {
+                    // SAFETY: positions are non-decreasing along the gap
+                    // stream and every segment starts with a nonzero advance
+                    // (boundary rule above), so this segment's writes all land
+                    // strictly after the previous segment's last write — each
+                    // slot has at most one writing thread, `p < len` is
+                    // checked by the walk, and the scope join inside
+                    // `parallel_map` publishes the writes.
+                    unsafe { *shared.0.add(p) = v };
+                },
+            )
+        });
+        results.into_iter().collect()
     }
 
     /// Number of stored entries (real weights + padding pairs).
@@ -130,7 +253,12 @@ impl PairArray {
                 *v = 0.0;
             }
         }
-        Ok(Self { rows: self.rows, cols: self.cols, data: new_data, index: self.index.clone() })
+        Ok(Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: new_data,
+            index: self.index.clone(),
+        })
     }
 }
 
@@ -167,7 +295,13 @@ impl Csr {
             }
             row_ptr.push(values.len() as u32);
         }
-        Self { rows, cols, values, col_idx, row_ptr }
+        Self {
+            rows,
+            cols,
+            values,
+            col_idx,
+            row_ptr,
+        }
     }
 
     /// Reconstructs the dense matrix.
@@ -356,7 +490,12 @@ mod tests {
             index: vec![1, 1, 3], // walks past 2×2
         };
         assert_eq!(pa.to_dense(), Err(SparseError::PositionOverflow));
-        let bad = PairArray { rows: 2, cols: 2, data: vec![1.0], index: vec![] };
+        let bad = PairArray {
+            rows: 2,
+            cols: 2,
+            data: vec![1.0],
+            index: vec![],
+        };
         assert_eq!(bad.to_dense(), Err(SparseError::LengthMismatch));
     }
 }

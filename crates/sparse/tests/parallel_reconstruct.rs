@@ -1,0 +1,159 @@
+//! Tests for the segmented parallel `PairArray::to_dense` path: bit-exact
+//! equivalence with the serial walk at every worker count, pathological
+//! gap streams (all-padding, max gaps, gap-0 runs straddling segment
+//! boundaries), and identical error behavior on corrupt streams.
+
+use dsz_sparse::{PairArray, SparseError, PAD_MARKER};
+use dsz_tensor::parallel::with_workers;
+
+fn sample_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..rows * cols)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64;
+            if u < density {
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Large enough to cross the parallel threshold: the parallel walk must
+/// reproduce the serial walk bit-for-bit at every worker count.
+#[test]
+fn serial_and_parallel_reconstruction_agree() {
+    for (rows, cols, density, seed) in [
+        (400usize, 600usize, 0.2f64, 3u64),
+        (150, 1000, 0.5, 7),
+        (64, 4096, 0.9, 11),
+    ] {
+        let dense = sample_sparse(rows, cols, density, seed);
+        let pa = PairArray::from_dense(&dense, rows, cols);
+        assert!(
+            pa.stored_entries() > 1 << 15,
+            "case must exercise the parallel path"
+        );
+        let serial = with_workers(1, || pa.to_dense().unwrap());
+        assert_eq!(bits(&serial), bits(&dense));
+        for workers in [2usize, 3, 4, 8] {
+            let parallel = with_workers(workers, || pa.to_dense().unwrap());
+            assert_eq!(bits(&parallel), bits(&serial), "workers={workers}");
+        }
+    }
+}
+
+/// Pathological stream the ROADMAP calls out: every entry is the padding
+/// marker (the all-max-gap stream). Decoding is a pure cursor walk with
+/// zero writes and must stay linear in the entry count — far past any
+/// matrix bound is fine because pads never write.
+#[test]
+fn all_padding_stream_decodes_to_zero() {
+    let entries = 2_000_000;
+    let pa = PairArray {
+        rows: 4,
+        cols: 4,
+        data: vec![0.0; entries],
+        index: vec![PAD_MARKER; entries],
+    };
+    for workers in [1usize, 4] {
+        let out = with_workers(workers, || pa.to_dense().unwrap());
+        assert_eq!(out, vec![0f32; 16], "workers={workers}");
+    }
+}
+
+/// Max non-padding gaps: every real entry sits 254 positions after the
+/// previous one, so nearly every position is untouched.
+#[test]
+fn max_gap_stream_roundtrips() {
+    let entries = 40_000usize;
+    let cols = 1000;
+    let rows = (entries * 254).div_ceil(cols);
+    let pa = PairArray {
+        rows,
+        cols,
+        data: (0..entries).map(|i| (i % 97) as f32 + 1.0).collect(),
+        index: vec![254u8; entries],
+    };
+    let serial = with_workers(1, || pa.to_dense().unwrap());
+    let parallel = with_workers(8, || pa.to_dense().unwrap());
+    assert_eq!(bits(&serial), bits(&parallel));
+    assert_eq!(serial.iter().filter(|&&v| v != 0.0).count(), entries);
+    assert_eq!(serial[253], 1.0); // first entry: cursor −1 + 254
+}
+
+/// Gap-0 entries directly after padding markers are produced by the real
+/// encoder for gaps that are exact multiples of 255; a long run of
+/// `[pad, 0]` pairs forces the segment-boundary adjustment (a segment
+/// must never *start* at a gap-0 entry) on every split point.
+#[test]
+fn pad_then_zero_gap_runs_agree() {
+    let pairs = 60_000usize;
+    let mut index = Vec::with_capacity(pairs * 2);
+    let mut data = Vec::with_capacity(pairs * 2);
+    for i in 0..pairs {
+        index.push(PAD_MARKER);
+        data.push(0.0);
+        index.push(0);
+        data.push((i % 31) as f32 + 0.5);
+    }
+    let cols = 5000;
+    let rows = (pairs * 255).div_ceil(cols) + 1;
+    let pa = PairArray {
+        rows,
+        cols,
+        data,
+        index,
+    };
+    let serial = with_workers(1, || pa.to_dense().unwrap());
+    for workers in [2usize, 4, 8] {
+        let parallel = with_workers(workers, || pa.to_dense().unwrap());
+        assert_eq!(bits(&parallel), bits(&serial), "workers={workers}");
+    }
+    // Entry k lands at position 255(k+1) − 1.
+    assert_eq!(serial[254], 0.5);
+    assert_eq!(serial[2 * 255 - 1], 1.5);
+}
+
+/// Encoder-produced streams with gaps that are exact multiples of 255
+/// (pad + gap-0 pairs) must roundtrip through both paths.
+#[test]
+fn encoder_multiple_of_255_gaps_roundtrip() {
+    let cols = 255 * 4;
+    let rows = 200;
+    let mut dense = vec![0f32; rows * cols];
+    // One nonzero per row at column 0 ⇒ consecutive gaps of exactly
+    // 255·4, each encoded as four pads then a gap-0 entry.
+    for r in 0..rows {
+        dense[r * cols] = r as f32 + 1.0;
+    }
+    let pa = PairArray::from_dense(&dense, rows, cols);
+    assert!(pa.index.contains(&0), "test must cover gap-0 entries");
+    for workers in [1usize, 4] {
+        let out = with_workers(workers, || pa.to_dense().unwrap());
+        assert_eq!(bits(&out), bits(&dense), "workers={workers}");
+    }
+}
+
+/// A stream that walks past the matrix bound must error — not panic, not
+/// write out of bounds — in both the serial and parallel paths.
+#[test]
+fn corrupt_overflow_errors_in_both_paths() {
+    let entries = 100_000usize;
+    let pa = PairArray {
+        rows: 10,
+        cols: 10,
+        data: vec![1.0; entries],
+        index: vec![3u8; entries], // walks far past 10×10
+    };
+    for workers in [1usize, 4] {
+        let got = with_workers(workers, || pa.to_dense());
+        assert_eq!(got, Err(SparseError::PositionOverflow), "workers={workers}");
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! # Stream versions and the chunked layout
 //!
-//! Two wire formats share the `SZ1D` magic and differ in the version byte:
+//! Three wire formats share the `SZ1D` magic and differ in the version
+//! byte (see `docs/FORMAT.md` for the byte-level reference):
 //!
 //! * **v1** — one monolithic payload for the whole array (the original
 //!   format). Decoding is inherently serial because the Lorenzo predictor
@@ -21,6 +22,35 @@
 //!          | chunk_elems | n_chunks | chunk record * n_chunks
 //!   ```
 //!
+//! * **v3** (default) — chunked like v2, but the quantization codes of
+//!   *all* chunks are entropy-coded against **one shared canonical
+//!   Huffman table** carried in the layer header. Encoding is two-pass
+//!   (COMET-style): pass one quantizes chunks in parallel and pools a
+//!   global code histogram; pass two encodes each chunk's payload in
+//!   parallel against the shared table. Decode stays chunk-parallel —
+//!   every chunk only needs the (read-only) shared decode LUT. Per-chunk
+//!   payloads drop the code book *and* the symbol count (implied by the
+//!   chunk's element count):
+//!
+//!   ```text
+//!   "SZ1D" | 0x03 | n | abs_eb f64 | predictor | block | radius
+//!          | chunk_elems | n_chunks | entropy_id
+//!          | shared huffman table (entropy_id 0 only)
+//!          | chunk record * n_chunks
+//!   ```
+//!
+//!   With `chunk_elems = 0` (the default) the chunk size is chosen
+//!   **adaptively** per layer: `clamp(n / (4·workers), 16Ki, 256Ki)`
+//!   elements, where `workers` is the process-level
+//!   [`dsz_tensor::parallel::layout_workers`] budget. Small layers become
+//!   a single chunk (no table or framing duplication at all) while large
+//!   layers expose at least ~4 work items per worker. The resolved size is
+//!   recorded in the header, so decode never depends on the encoder's
+//!   host; encode bytes are independent of [`with_workers`] execution
+//!   pinning but do track `DSZ_THREADS`/core count through the adaptive
+//!   choice — pin `chunk_elems` explicitly when cross-host byte equality
+//!   matters.
+//!
 //! Independence is what buys parallelism: both [`SzConfig::compress`] and
 //! [`decompress`] fan chunks out over [`dsz_tensor::parallel`] workers
 //! (encode via `parallel_map`, decode via `parallel_chunks` straight into
@@ -31,20 +61,25 @@
 //! [`rle::decompress_into`], `Codec::decompress_into`) to keep the decode
 //! hot loop allocation-light.
 //!
-//! v1 streams still decode (the version byte dispatches); setting
-//! `chunk_elems = 0` makes the encoder emit v1 for compatibility tests and
-//! single-stream comparisons.
+//! v1 and v2 streams still decode (the version byte dispatches); setting
+//! [`SzConfig::format`] to [`SzFormat::V1`] / [`SzFormat::V2`] makes the
+//! encoder emit those layouts for compatibility tests and single-stream
+//! comparisons.
+//!
+//! [`with_workers`]: dsz_tensor::parallel::with_workers
 
 use crate::{ErrorBound, SzError};
 use dsz_lossless::bits::{read_varint, write_varint};
 use dsz_lossless::huffman;
+use dsz_lossless::huffman::{HuffmanCode, HuffmanDecoder, HuffmanEncoder};
 use dsz_lossless::{rle, CodecError, LosslessKind};
-use dsz_tensor::parallel::{parallel_chunks, parallel_map};
+use dsz_tensor::parallel::{layout_workers, parallel_chunks, parallel_map};
 use std::cell::RefCell;
 
 const MAGIC: &[u8; 4] = b"SZ1D";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
+const VERSION_V3: u8 = 3;
 
 /// Decode-side cap on elements per compressed byte, checked before the
 /// output buffer is allocated so a crafted header cannot demand absurd
@@ -97,6 +132,35 @@ pub enum EntropyStage {
     Raw,
 }
 
+impl EntropyStage {
+    fn id(self) -> u8 {
+        match self {
+            EntropyStage::Huffman => 0,
+            EntropyStage::Raw => 1,
+        }
+    }
+
+    fn from_id(id: u8) -> Result<Self, CodecError> {
+        match id {
+            0 => Ok(EntropyStage::Huffman),
+            1 => Ok(EntropyStage::Raw),
+            _ => Err(CodecError::corrupt("bad entropy stage id")),
+        }
+    }
+}
+
+/// Which stream layout the encoder emits. All three keep decoding forever
+/// via the version-byte dispatch in [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SzFormat {
+    /// Legacy monolithic v1 stream (serial decode).
+    V1,
+    /// Chunked v2: every chunk carries its own Huffman table.
+    V2,
+    /// Chunked v3 with one shared Huffman table per layer (default).
+    V3,
+}
+
 /// Tunable compressor configuration. The defaults mirror SZ 2.x plus the
 /// chunk-parallel v2 layout.
 #[derive(Debug, Clone, Copy)]
@@ -112,12 +176,15 @@ pub struct SzConfig {
     pub entropy: EntropyStage,
     /// Byte codec applied per compression unit (`None` disables).
     pub backend: Option<LosslessKind>,
-    /// Elements per independently compressed chunk in the v2 format
-    /// (rounded up to a multiple of `block_size`). `0` emits the legacy
-    /// serial v1 stream. Smaller chunks expose more parallelism but pay
-    /// one Huffman table per chunk; 64 Ki elements (256 KiB of f32) keeps
-    /// the table overhead under ~1% on weight-scale data.
+    /// Elements per independently compressed chunk in the v2/v3 formats
+    /// (rounded up to a multiple of `block_size`). `0` (the default) picks
+    /// the size adaptively from the layer length and the process worker
+    /// budget — `clamp(n / (4·workers), 16Ki, 256Ki)` — so small layers
+    /// collapse to a single chunk and large layers expose parallelism.
+    /// Ignored by [`SzFormat::V1`].
     pub chunk_elems: usize,
+    /// Stream layout to emit; see [`SzFormat`].
+    pub format: SzFormat,
 }
 
 impl Default for SzConfig {
@@ -128,7 +195,8 @@ impl Default for SzConfig {
             radius: 1 << 15,
             entropy: EntropyStage::Huffman,
             backend: Some(LosslessKind::Zstd),
-            chunk_elems: 1 << 16,
+            chunk_elems: 0,
+            format: SzFormat::V3,
         }
     }
 }
@@ -136,7 +204,8 @@ impl Default for SzConfig {
 /// Header information of a compressed stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SzInfo {
-    /// Stream format version (1 = monolithic, 2 = chunked).
+    /// Stream format version (1 = monolithic, 2 = chunked with per-chunk
+    /// tables, 3 = chunked with a shared table).
     pub version: u8,
     /// Element count.
     pub n: usize,
@@ -307,9 +376,9 @@ impl SzConfig {
 
     /// Compresses `data` and also returns encoder statistics.
     ///
-    /// With `chunk_elems > 0` (the default) this emits the chunked v2
-    /// format and compresses chunks in parallel; container bytes are
-    /// independent of the worker count. `chunk_elems == 0` emits v1.
+    /// [`SzConfig::format`] picks the layout: v3 (default) and v2 compress
+    /// chunks in parallel with container bytes independent of the worker
+    /// count; v1 emits the legacy monolithic stream.
     pub fn compress_with_stats(
         &self,
         data: &[f32],
@@ -327,10 +396,20 @@ impl SzConfig {
             // enough that chunk rounding arithmetic can never overflow.
             block: self.block_size.clamp(4, 1 << 24),
         };
+        match self.format {
+            SzFormat::V1 => self.compress_v1(data, q),
+            SzFormat::V2 => self.compress_v2(data, q),
+            SzFormat::V3 => self.compress_v3(data, q),
+        }
+    }
+
+    /// Resolves the effective chunk length for the chunked formats:
+    /// explicit `chunk_elems`, or the adaptive size for `0`.
+    fn resolve_chunk_len(&self, n: usize, block: usize) -> usize {
         if self.chunk_elems == 0 {
-            self.compress_v1(data, q)
+            chunk_len(adaptive_chunk_elems(n, layout_workers()), block)
         } else {
-            self.compress_v2(data, q)
+            chunk_len(self.chunk_elems, block)
         }
     }
 
@@ -346,7 +425,11 @@ impl SzConfig {
     }
 
     /// Legacy monolithic stream (one compression unit, serial decode).
-    fn compress_v1(&self, data: &[f32], q: QuantParams) -> Result<(Vec<u8>, CompressStats), SzError> {
+    fn compress_v1(
+        &self,
+        data: &[f32],
+        q: QuantParams,
+    ) -> Result<(Vec<u8>, CompressStats), SzError> {
         let (payload, counts) = self.encode_unit(data, q);
         let mut out = Vec::with_capacity(payload.len() / 2 + 64);
         self.write_common_header(&mut out, VERSION_V1, data.len(), q);
@@ -373,12 +456,17 @@ impl SzConfig {
     }
 
     /// Chunked v2 stream; chunks compress in parallel.
-    fn compress_v2(&self, data: &[f32], q: QuantParams) -> Result<(Vec<u8>, CompressStats), SzError> {
+    fn compress_v2(
+        &self,
+        data: &[f32],
+        q: QuantParams,
+    ) -> Result<(Vec<u8>, CompressStats), SzError> {
         let n = data.len();
-        let chunk = chunk_len(self.chunk_elems, q.block);
+        let chunk = self.resolve_chunk_len(n, q.block);
         let n_chunks = n.div_ceil(chunk);
-        let ranges: Vec<(usize, usize)> =
-            (0..n_chunks).map(|c| (c * chunk, ((c + 1) * chunk).min(n))).collect();
+        let ranges: Vec<(usize, usize)> = (0..n_chunks)
+            .map(|c| (c * chunk, ((c + 1) * chunk).min(n)))
+            .collect();
 
         // Each chunk is a fully independent unit: encode payload, then
         // apply the backend decision locally. Pure per chunk ⇒ the joined
@@ -390,9 +478,7 @@ impl SzConfig {
             (record, counts)
         });
 
-        let mut out = Vec::with_capacity(
-            encoded.iter().map(|(r, _)| r.len()).sum::<usize>() + 64,
-        );
+        let mut out = Vec::with_capacity(encoded.iter().map(|(r, _)| r.len()).sum::<usize>() + 64);
         self.write_common_header(&mut out, VERSION_V2, n, q);
         write_varint(&mut out, chunk as u64);
         write_varint(&mut out, n_chunks as u64);
@@ -402,6 +488,103 @@ impl SzConfig {
             counts.unpredictable += c.unpredictable;
             counts.regression_blocks += c.regression_blocks;
             counts.blocks += c.blocks;
+        }
+        let stats = CompressStats {
+            n,
+            unpredictable: counts.unpredictable,
+            regression_blocks: counts.regression_blocks,
+            blocks: counts.blocks,
+            compressed_bytes: out.len(),
+        };
+        Ok((out, stats))
+    }
+
+    /// Chunked v3 stream: two-pass encode with one shared Huffman table.
+    ///
+    /// Pass one quantizes every chunk in parallel (fresh predictor state
+    /// per chunk, exactly as v2) and pools a global histogram of the
+    /// quantization codes; a single canonical table is built from it and
+    /// written once in the layer header. Pass two serializes each chunk's
+    /// payload in parallel against the shared encoder. Both passes are
+    /// pure per chunk, so container bytes are deterministic for any
+    /// execution worker count.
+    fn compress_v3(
+        &self,
+        data: &[f32],
+        q: QuantParams,
+    ) -> Result<(Vec<u8>, CompressStats), SzError> {
+        let n = data.len();
+        let chunk = self.resolve_chunk_len(n, q.block);
+        let n_chunks = n.div_ceil(chunk);
+        let ranges: Vec<(usize, usize)> = (0..n_chunks)
+            .map(|c| (c * chunk, ((c + 1) * chunk).min(n)))
+            .collect();
+
+        // Pass 1: quantize chunks in parallel, each with its own code
+        // histogram, so the only serial work between the passes is the
+        // O(chunks × alphabet) merge — not an O(n) rescan of every code.
+        let want_hist = self.entropy == EntropyStage::Huffman;
+        let (units, hists): (Vec<QuantizedUnit>, Vec<Vec<u64>>) =
+            parallel_map(&ranges, |&(s, e)| {
+                let u = self.quantize_unit(&data[s..e], q);
+                let mut hist = Vec::new();
+                if want_hist {
+                    huffman::accumulate_counts(&mut hist, &u.codes);
+                }
+                (u, hist)
+            })
+            .into_iter()
+            .unzip();
+
+        // Merge → one shared code book for the whole layer. Per-symbol
+        // integer sums are order-independent, so the resulting table (and
+        // thus the container bytes) never depends on scheduling.
+        let shared = match self.entropy {
+            EntropyStage::Huffman => {
+                let mut counts: Vec<u64> = Vec::new();
+                for hist in &hists {
+                    if counts.len() < hist.len() {
+                        counts.resize(hist.len(), 0);
+                    }
+                    for (total, &c) in counts.iter_mut().zip(hist) {
+                        *total += c;
+                    }
+                }
+                let code = HuffmanCode::from_counts(&counts);
+                let enc = code.encoder();
+                Some((code, enc))
+            }
+            EntropyStage::Raw => None,
+        };
+        // The per-chunk histograms are dead once merged; release them
+        // before pass 2 so concurrently encoded layers don't stack
+        // n_chunks × alphabet-sized dead buffers.
+        drop(hists);
+
+        // Pass 2: serialize chunk payloads against the shared table and
+        // apply the per-chunk backend decision.
+        let enc = shared.as_ref().map(|(_, e)| e);
+        let records: Vec<Vec<u8>> = parallel_map(&units, |u| {
+            let payload = self.serialize_unit_shared(u, enc);
+            let mut record = Vec::with_capacity(payload.len() / 2 + 8);
+            self.append_backed_payload(&mut record, &payload);
+            record
+        });
+
+        let mut out = Vec::with_capacity(records.iter().map(Vec::len).sum::<usize>() + 64);
+        self.write_common_header(&mut out, VERSION_V3, n, q);
+        write_varint(&mut out, chunk as u64);
+        write_varint(&mut out, n_chunks as u64);
+        out.push(self.entropy.id());
+        if let Some((code, _)) = &shared {
+            code.serialize(&mut out);
+        }
+        let mut counts = ChunkCounts::default();
+        for (record, u) in records.iter().zip(&units) {
+            out.extend_from_slice(record);
+            counts.unpredictable += u.counts.unpredictable;
+            counts.regression_blocks += u.counts.regression_blocks;
+            counts.blocks += u.counts.blocks;
         }
         let stats = CompressStats {
             n,
@@ -441,10 +624,22 @@ impl SzConfig {
     }
 
     /// Encodes one compression unit (the whole array for v1, one chunk for
-    /// v2) into a payload: selector RLE + regression params + entropy-coded
-    /// quantization codes + verbatim values. Predictor state starts fresh
-    /// (`last = 0`), which is what makes units independent.
+    /// v2) into a self-contained payload: selector RLE + regression params
+    /// + entropy-coded quantization codes (own code book) + verbatim
+    /// values.
     fn encode_unit(&self, data: &[f32], q: QuantParams) -> (Vec<u8>, ChunkCounts) {
+        let unit = self.quantize_unit(data, q);
+        let payload = self.serialize_unit_own_table(&unit);
+        (payload, unit.counts)
+    }
+
+    /// Quantizes one compression unit: per-block predictor selection plus
+    /// error-bounded quantization, producing the code/verbatim/selector
+    /// streams but no bytes yet. Predictor state starts fresh (`last = 0`),
+    /// which is what makes units independent — and what lets the v3
+    /// encoder pool the codes of all units into one histogram before any
+    /// entropy coding happens.
+    fn quantize_unit(&self, data: &[f32], q: QuantParams) -> QuantizedUnit {
         let n = data.len();
         let mut codes: Vec<u32> = Vec::with_capacity(n);
         let mut verbatim: Vec<f32> = Vec::new();
@@ -466,8 +661,14 @@ impl SzConfig {
                     let (a, b) = fit_line(chunk);
                     let cost_l =
                         simulate_block_cost(chunk, None, q.two_eb, q.abs_eb, q.radius, last);
-                    let cost_r =
-                        simulate_block_cost(chunk, Some((a, b)), q.two_eb, q.abs_eb, q.radius, last);
+                    let cost_r = simulate_block_cost(
+                        chunk,
+                        Some((a, b)),
+                        q.two_eb,
+                        q.abs_eb,
+                        q.radius,
+                        last,
+                    );
                     // Regression pays 64 bits of parameters per block.
                     if cost_r + 64.0 < cost_l {
                         Sel::Regression { a, b }
@@ -511,42 +712,111 @@ impl SzConfig {
             start = end;
         }
 
-        // ---- serialize payload ----
-        let mut payload = Vec::with_capacity(n / 2 + 64);
-        let sel_rle = rle::compress(&selectors);
-        write_varint(&mut payload, sel_rle.len() as u64);
-        payload.extend_from_slice(&sel_rle);
-        write_varint(&mut payload, reg_params.len() as u64);
-        for &(a, b) in &reg_params {
-            payload.extend_from_slice(&a.to_le_bytes());
-            payload.extend_from_slice(&b.to_le_bytes());
-        }
-        match self.entropy {
-            EntropyStage::Huffman => {
-                payload.push(0);
-                let blob = huffman::encode_stream(&codes);
-                payload.extend_from_slice(&blob);
-            }
-            EntropyStage::Raw => {
-                payload.push(1);
-                write_varint(&mut payload, codes.len() as u64);
-                for &c in &codes {
-                    write_varint(&mut payload, u64::from(c));
-                }
-            }
-        }
-        write_varint(&mut payload, verbatim.len() as u64);
-        for &v in &verbatim {
-            payload.extend_from_slice(&v.to_le_bytes());
-        }
-
         let counts = ChunkCounts {
             unpredictable: verbatim.len(),
             regression_blocks: selectors.iter().filter(|&&s| s == 1).count(),
             blocks: selectors.len(),
         };
-        (payload, counts)
+        QuantizedUnit {
+            codes,
+            verbatim,
+            selectors,
+            reg_params,
+            counts,
+        }
     }
+
+    /// Serializes the selector RLE and regression parameters — the payload
+    /// prefix shared by every stream version.
+    fn serialize_unit_prefix(&self, unit: &QuantizedUnit, payload: &mut Vec<u8>) {
+        let sel_rle = rle::compress(&unit.selectors);
+        write_varint(payload, sel_rle.len() as u64);
+        payload.extend_from_slice(&sel_rle);
+        write_varint(payload, unit.reg_params.len() as u64);
+        for &(a, b) in &unit.reg_params {
+            payload.extend_from_slice(&a.to_le_bytes());
+            payload.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+
+    /// Serializes the verbatim-value stream — the payload suffix shared by
+    /// every stream version.
+    fn serialize_unit_verbatim(&self, unit: &QuantizedUnit, payload: &mut Vec<u8>) {
+        write_varint(payload, unit.verbatim.len() as u64);
+        for &v in &unit.verbatim {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// v1/v2 unit payload: self-contained, with an entropy-stage byte and
+    /// (for Huffman) the unit's own code book. This layout is pinned by the
+    /// golden-bytes compat tests and must never drift.
+    fn serialize_unit_own_table(&self, unit: &QuantizedUnit) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(unit.codes.len() / 2 + 64);
+        self.serialize_unit_prefix(unit, &mut payload);
+        match self.entropy {
+            EntropyStage::Huffman => {
+                payload.push(EntropyStage::Huffman.id());
+                let blob = huffman::encode_stream(&unit.codes);
+                payload.extend_from_slice(&blob);
+            }
+            EntropyStage::Raw => {
+                payload.push(EntropyStage::Raw.id());
+                write_varint(&mut payload, unit.codes.len() as u64);
+                for &c in &unit.codes {
+                    write_varint(&mut payload, u64::from(c));
+                }
+            }
+        }
+        self.serialize_unit_verbatim(unit, &mut payload);
+        payload
+    }
+
+    /// v3 unit payload: the entropy stage and code book live in the layer
+    /// header, so the unit carries only the table-free bit payload (or raw
+    /// varints), with the symbol count implied by the unit's element count.
+    /// `enc` is `Some` exactly when the stage is Huffman.
+    fn serialize_unit_shared(&self, unit: &QuantizedUnit, enc: Option<&HuffmanEncoder>) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(unit.codes.len() / 2 + 64);
+        self.serialize_unit_prefix(unit, &mut payload);
+        match enc {
+            Some(enc) => huffman::encode_payload(enc, &unit.codes, &mut payload),
+            None => {
+                for &c in &unit.codes {
+                    write_varint(&mut payload, u64::from(c));
+                }
+            }
+        }
+        self.serialize_unit_verbatim(unit, &mut payload);
+        payload
+    }
+}
+
+/// One compression unit's quantized-but-not-yet-entropy-coded streams.
+struct QuantizedUnit {
+    /// Quantization codes, one per element ([`ESCAPE`] marks verbatim).
+    codes: Vec<u32>,
+    /// Values stored verbatim, in element order.
+    verbatim: Vec<f32>,
+    /// Per-block predictor selectors (0 = Lorenzo, 1 = regression).
+    selectors: Vec<u8>,
+    /// Regression (a, b) per selector-1 block, in block order.
+    reg_params: Vec<(f32, f32)>,
+    counts: ChunkCounts,
+}
+
+/// Bounds for the adaptive chunk size (elements).
+const MIN_ADAPTIVE_CHUNK: usize = 1 << 14;
+const MAX_ADAPTIVE_CHUNK: usize = 1 << 18;
+
+/// Adaptive chunk size for a layer of `n` elements under a budget of
+/// `workers`: `clamp(n / (4·workers), 16Ki, 256Ki)`. Aiming for ~4 chunks
+/// per worker keeps the dynamic work queue balanced even when chunk costs
+/// are skewed; the floor stops small layers from paying per-chunk framing
+/// (an 8Ki fc layer becomes a single chunk), and the ceiling keeps
+/// per-chunk scratch cache-friendly on huge layers.
+pub fn adaptive_chunk_elems(n: usize, workers: usize) -> usize {
+    (n / (4 * workers.max(1))).clamp(MIN_ADAPTIVE_CHUNK, MAX_ADAPTIVE_CHUNK)
 }
 
 /// Upper clamp on configured chunk sizes: keeps the rounding arithmetic in
@@ -570,10 +840,14 @@ struct Header {
     radius: u32,
     /// v1 only: whole-payload backend.
     backend: Option<LosslessKind>,
-    /// v2 only: elements per chunk.
+    /// v2/v3: elements per chunk (equals `n` for v1).
     chunk_elems: usize,
-    /// v2 only: chunk count.
+    /// v2/v3: chunk count (1 for non-empty v1 streams).
     n_chunks: usize,
+    /// v3 only: entropy stage shared by every chunk.
+    entropy: EntropyStage,
+    /// v3 + Huffman only: the shared code book from the layer header.
+    shared_code: Option<HuffmanCode>,
     payload_at: usize,
 }
 
@@ -582,13 +856,17 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
         return Err(SzError::Codec(CodecError::corrupt("bad SZ magic")));
     }
     let version = bytes[4];
-    if version != VERSION_V1 && version != VERSION_V2 {
-        return Err(SzError::Codec(CodecError::corrupt("unsupported SZ version")));
+    if !(VERSION_V1..=VERSION_V3).contains(&version) {
+        return Err(SzError::Codec(CodecError::corrupt(
+            "unsupported SZ version",
+        )));
     }
     let mut pos = 5usize;
     let n = read_varint(bytes, &mut pos)? as usize;
     if n > bytes.len().saturating_mul(MAX_ELEMS_PER_BYTE) {
-        return Err(SzError::Codec(CodecError::corrupt("element count exceeds stream capacity")));
+        return Err(SzError::Codec(CodecError::corrupt(
+            "element count exceeds stream capacity",
+        )));
     }
     let eb_bytes: [u8; 8] = bytes
         .get(pos..pos + 8)
@@ -605,6 +883,8 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
     if block < 4 || !(abs_eb.is_finite() && abs_eb > 0.0) {
         return Err(SzError::Codec(CodecError::corrupt("bad SZ header fields")));
     }
+    let mut entropy = EntropyStage::Huffman;
+    let mut shared_code = None;
     let (backend, chunk_elems, n_chunks) = match version {
         VERSION_V1 => {
             let backend_id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
@@ -620,16 +900,42 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
             if n_chunks != n.div_ceil(chunk_elems) {
                 return Err(SzError::Codec(CodecError::corrupt("bad SZ chunk count")));
             }
+            if version == VERSION_V3 {
+                // The shared entropy stage and (for Huffman) the layer-wide
+                // code book sit between the chunk geometry and the records.
+                entropy = EntropyStage::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)
+                    .map_err(SzError::Codec)?;
+                pos += 1;
+                if entropy == EntropyStage::Huffman {
+                    shared_code =
+                        Some(HuffmanCode::deserialize(bytes, &mut pos).map_err(SzError::Codec)?);
+                }
+            }
             // Every chunk record needs at least 2 bytes (backend id + len),
             // so a count beyond that bounds check is corrupt — checked
             // before any n_chunks-sized allocation happens.
             if n_chunks > bytes.len().saturating_sub(pos) / 2 {
-                return Err(SzError::Codec(CodecError::corrupt("chunk count exceeds stream")));
+                return Err(SzError::Codec(CodecError::corrupt(
+                    "chunk count exceeds stream",
+                )));
             }
             (None, chunk_elems, n_chunks)
         }
     };
-    Ok(Header { version, n, abs_eb, predictor, block, radius, backend, chunk_elems, n_chunks, payload_at: pos })
+    Ok(Header {
+        version,
+        n,
+        abs_eb,
+        predictor,
+        block,
+        radius,
+        backend,
+        chunk_elems,
+        n_chunks,
+        entropy,
+        shared_code,
+        payload_at: pos,
+    })
 }
 
 /// Reads the stream header; see [`crate::info`].
@@ -706,18 +1012,43 @@ fn read_backend_id(byte: u8) -> Result<Option<LosslessKind>, SzError> {
     }
 }
 
+/// Where a unit's entropy-coded quantization codes come from.
+#[derive(Clone, Copy)]
+enum UnitEntropy<'a> {
+    /// v1/v2: an entropy-stage byte plus (for Huffman) the unit's own code
+    /// book are embedded in each payload.
+    Embedded,
+    /// v3 Huffman: the shared decoder built once from the layer header;
+    /// the code count equals the unit's element count.
+    Shared(&'a HuffmanDecoder),
+    /// v3 raw stage: bare varints, count equal to the unit's element count.
+    SharedRaw,
+}
+
 /// Decompresses a stream; see [`crate::decompress`]. Dispatches on the
-/// version byte: v1 decodes serially, v2 fans chunks out across workers.
+/// version byte: v1 decodes serially, v2/v3 fan chunks out across workers
+/// (v3 additionally builds its shared Huffman decoder exactly once).
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
     let h = parse_header(bytes)?;
     match h.version {
         VERSION_V1 => decompress_v1(bytes, &h),
-        _ => decompress_v2(bytes, &h),
+        VERSION_V2 => decompress_chunked(bytes, &h, UnitEntropy::Embedded),
+        _ => match h.entropy {
+            EntropyStage::Huffman => {
+                let code = h
+                    .shared_code
+                    .as_ref()
+                    .expect("v3 huffman header carries a table");
+                let dec = code.decoder();
+                decompress_chunked(bytes, &h, UnitEntropy::Shared(&dec))
+            }
+            EntropyStage::Raw => decompress_chunked(bytes, &h, UnitEntropy::SharedRaw),
+        },
     }
 }
 
 /// Decodes one backend-wrapped unit into `out` using the calling thread's
-/// scratch: the single decode path shared by v1 (whole stream) and v2
+/// scratch: the single decode path shared by v1 (whole stream) and v2/v3
 /// (each chunk), so backend fallback and scratch handling cannot diverge.
 fn decode_backed_unit(
     kind: Option<LosslessKind>,
@@ -725,6 +1056,7 @@ fn decode_backed_unit(
     block: usize,
     radius: u32,
     abs_eb: f64,
+    entropy: UnitEntropy<'_>,
     out: &mut [f32],
 ) -> Result<(), SzError> {
     SCRATCH.with(|scratch| {
@@ -735,11 +1067,11 @@ fn decode_backed_unit(
                 // borrow the scratch struct for its own buffers.
                 let mut payload = std::mem::take(&mut scratch.payload);
                 k.codec().decompress_into(record, &mut payload)?;
-                let r = decode_unit_into(&payload, block, radius, abs_eb, out, scratch);
+                let r = decode_unit_into(&payload, block, radius, abs_eb, entropy, out, scratch);
                 scratch.payload = payload;
                 r
             }
-            None => decode_unit_into(record, block, radius, abs_eb, out, scratch),
+            None => decode_unit_into(record, block, radius, abs_eb, entropy, out, scratch),
         };
         scratch.trim();
         r
@@ -749,11 +1081,25 @@ fn decode_backed_unit(
 fn decompress_v1(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
     let raw_payload = &bytes[h.payload_at..];
     let mut out = vec![0f32; h.n];
-    decode_backed_unit(h.backend, raw_payload, h.block, h.radius, h.abs_eb, &mut out)?;
+    decode_backed_unit(
+        h.backend,
+        raw_payload,
+        h.block,
+        h.radius,
+        h.abs_eb,
+        UnitEntropy::Embedded,
+        &mut out,
+    )?;
     Ok(out)
 }
 
-fn decompress_v2(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
+/// Chunk-parallel decode shared by v2 and v3; only the entropy source
+/// differs between the two.
+fn decompress_chunked(
+    bytes: &[u8],
+    h: &Header,
+    entropy: UnitEntropy<'_>,
+) -> Result<Vec<f32>, SzError> {
     // Zero-copy chunk table: slice out every record before decoding.
     let mut pos = h.payload_at;
     let mut records: Vec<(Option<LosslessKind>, &[u8])> = Vec::with_capacity(h.n_chunks);
@@ -769,14 +1115,17 @@ fn decompress_v2(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
         // `c * chunk_elems < n` is guaranteed by the header validation, but
         // `(c + 1) * chunk_elems` may overflow for near-usize::MAX `n`.
         let start = c * h.chunk_elems;
-        let end_elem = start.checked_add(h.chunk_elems).ok_or(CodecError::Truncated)?.min(h.n);
+        let end_elem = start
+            .checked_add(h.chunk_elems)
+            .ok_or(CodecError::Truncated)?
+            .min(h.n);
         sizes.push(end_elem - start);
     }
     let mut out = vec![0f32; h.n];
     let (block, radius, abs_eb) = (h.block, h.radius, h.abs_eb);
     parallel_chunks(&mut out, &sizes, |ci, slice| {
         let (kind, record) = records[ci];
-        decode_backed_unit(kind, record, block, radius, abs_eb, slice)
+        decode_backed_unit(kind, record, block, radius, abs_eb, entropy, slice)
     })?;
     Ok(out)
 }
@@ -789,6 +1138,7 @@ fn decode_unit_into(
     block: usize,
     radius: u32,
     abs_eb: f64,
+    entropy: UnitEntropy<'_>,
     out: &mut [f32],
     scratch: &mut Scratch,
 ) -> Result<(), SzError> {
@@ -807,29 +1157,46 @@ fn decode_unit_into(
     pos = sel_end;
     let n_reg = read_varint(payload, &mut pos)? as usize;
     if n_reg > scratch.selectors.len() {
-        return Err(SzError::Codec(CodecError::corrupt("regression param overflow")));
+        return Err(SzError::Codec(CodecError::corrupt(
+            "regression param overflow",
+        )));
     }
     let reg_end = pos
         .checked_add(n_reg.checked_mul(8).ok_or(CodecError::Truncated)?)
         .ok_or(CodecError::Truncated)?;
     let reg_bytes = payload.get(pos..reg_end).ok_or(CodecError::Truncated)?;
     pos = reg_end;
-    let entropy_id = *payload.get(pos).ok_or(CodecError::Truncated)?;
-    pos += 1;
-    match entropy_id {
-        0 => huffman::decode_stream_into(payload, &mut pos, &mut scratch.codes)?,
-        1 => {
-            let m = read_varint(payload, &mut pos)? as usize;
-            if m > n {
-                return Err(SzError::Codec(CodecError::corrupt("code count mismatch")));
+    match entropy {
+        UnitEntropy::Embedded => {
+            let entropy_id = *payload.get(pos).ok_or(CodecError::Truncated)?;
+            pos += 1;
+            match EntropyStage::from_id(entropy_id).map_err(SzError::Codec)? {
+                EntropyStage::Huffman => {
+                    huffman::decode_stream_into(payload, &mut pos, &mut scratch.codes)?
+                }
+                EntropyStage::Raw => {
+                    let m = read_varint(payload, &mut pos)? as usize;
+                    if m > n {
+                        return Err(SzError::Codec(CodecError::corrupt("code count mismatch")));
+                    }
+                    scratch.codes.clear();
+                    scratch.codes.reserve(m);
+                    for _ in 0..m {
+                        scratch.codes.push(read_varint(payload, &mut pos)? as u32);
+                    }
+                }
             }
+        }
+        UnitEntropy::Shared(dec) => {
+            huffman::decode_payload_into(dec, payload, &mut pos, n, &mut scratch.codes)?
+        }
+        UnitEntropy::SharedRaw => {
             scratch.codes.clear();
-            scratch.codes.reserve(m);
-            for _ in 0..m {
+            scratch.codes.reserve(n);
+            for _ in 0..n {
                 scratch.codes.push(read_varint(payload, &mut pos)? as u32);
             }
         }
-        _ => return Err(SzError::Codec(CodecError::corrupt("bad entropy stage id"))),
     };
     if scratch.codes.len() != n {
         return Err(SzError::Codec(CodecError::corrupt("code count mismatch")));
@@ -842,7 +1209,9 @@ fn decode_unit_into(
 
     let expected_blocks = n.div_ceil(block);
     if scratch.selectors.len() != expected_blocks {
-        return Err(SzError::Codec(CodecError::corrupt("selector count mismatch")));
+        return Err(SzError::Codec(CodecError::corrupt(
+            "selector count mismatch",
+        )));
     }
 
     let two_eb = 2.0 * abs_eb;
@@ -858,9 +1227,8 @@ fn decode_unit_into(
                 if ri >= n_reg {
                     return Err(SzError::Codec(CodecError::Truncated));
                 }
-                let a = f32::from_le_bytes(
-                    reg_bytes[ri * 8..ri * 8 + 4].try_into().expect("len 4"),
-                );
+                let a =
+                    f32::from_le_bytes(reg_bytes[ri * 8..ri * 8 + 4].try_into().expect("len 4"));
                 let b = f32::from_le_bytes(
                     reg_bytes[ri * 8 + 4..ri * 8 + 8].try_into().expect("len 4"),
                 );
@@ -879,9 +1247,8 @@ fn decode_unit_into(
                 if vi >= n_verb {
                     return Err(SzError::Codec(CodecError::Truncated));
                 }
-                let x = f32::from_le_bytes(
-                    verb_bytes[vi * 4..vi * 4 + 4].try_into().expect("len 4"),
-                );
+                let x =
+                    f32::from_le_bytes(verb_bytes[vi * 4..vi * 4 + 4].try_into().expect("len 4"));
                 vi += 1;
                 last = if x.is_finite() { x } else { 0.0 };
                 x

@@ -16,12 +16,15 @@
 //! 4. **Lossless backend** — a byte codec (default [`LosslessKind::Zstd`])
 //!    over the Huffman payload and the verbatim-value stream.
 //!
-//! Streams default to the **chunked v2 format**: the array is split into
-//! independently compressed chunks that encode and decode in parallel
-//! across [`dsz_tensor::parallel`] workers while producing bytes that are
-//! identical for any worker count. Legacy monolithic v1 streams still
-//! decode, and `SzConfig { chunk_elems: 0, .. }` still emits them; see the
-//! codec module docs for the wire layout.
+//! Streams default to the **chunked v3 format**: the array is split into
+//! independently compressed chunks (sized adaptively from the layer length
+//! and worker budget) that encode and decode in parallel across
+//! [`dsz_tensor::parallel`] workers while producing bytes that are
+//! identical for any worker count, with all chunks entropy-coded against
+//! one shared Huffman table built from a layer-global histogram. Legacy v1
+//! (monolithic) and v2 (per-chunk tables) streams still decode, and
+//! [`SzFormat`] selects them for emission; see the codec module docs and
+//! `docs/FORMAT.md` for the wire layouts.
 //!
 //! Error bounds can be expressed as absolute, value-range-relative, or PSNR
 //! targets ([`ErrorBound`]), like the SZ library's `ABS` / `REL` / `PSNR`
@@ -29,7 +32,9 @@
 
 mod codec;
 
-pub use codec::{CompressStats, EntropyStage, PredictorMode, SzConfig, SzInfo};
+pub use codec::{
+    adaptive_chunk_elems, CompressStats, EntropyStage, PredictorMode, SzConfig, SzFormat, SzInfo,
+};
 
 use dsz_lossless::CodecError;
 pub use dsz_lossless::LosslessKind;
@@ -93,7 +98,9 @@ pub enum SzError {
 impl fmt::Display for SzError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SzError::BadErrorBound(eb) => write!(f, "error bound must be positive and finite, got {eb}"),
+            SzError::BadErrorBound(eb) => {
+                write!(f, "error bound must be positive and finite, got {eb}")
+            }
             SzError::Codec(e) => write!(f, "sz stream error: {e}"),
         }
     }
@@ -150,7 +157,9 @@ mod tests {
         // Roughly Gaussian weight-like values via sum of uniforms.
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) as f32
         };
         (0..n)
@@ -224,7 +233,11 @@ mod tests {
     fn constant_data_is_tiny() {
         let data = vec![0.125f32; 100_000];
         let blob = compress(&data, ErrorBound::Abs(1e-3)).unwrap();
-        assert!(blob.len() < 2_000, "constant data should collapse, got {}", blob.len());
+        assert!(
+            blob.len() < 2_000,
+            "constant data should collapse, got {}",
+            blob.len()
+        );
         let back = decompress(&blob).unwrap();
         assert!(max_abs_error(&data, &back) <= 1e-3);
     }
@@ -266,7 +279,12 @@ mod tests {
         let noise = lcg_weights(50_000, 11, 0.5);
         let bs = compress(&smooth, ErrorBound::Abs(1e-3)).unwrap();
         let bn = compress(&noise, ErrorBound::Abs(1e-3)).unwrap();
-        assert!(bs.len() * 3 < bn.len(), "smooth {} vs noise {}", bs.len(), bn.len());
+        assert!(
+            bs.len() * 3 < bn.len(),
+            "smooth {} vs noise {}",
+            bs.len(),
+            bn.len()
+        );
     }
 
     #[test]
@@ -277,10 +295,16 @@ mod tests {
             PredictorMode::LorenzoOnly,
             PredictorMode::RegressionOnly,
         ] {
-            let cfg = SzConfig { predictor: mode, ..SzConfig::default() };
+            let cfg = SzConfig {
+                predictor: mode,
+                ..SzConfig::default()
+            };
             let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
             let back = decompress(&blob).unwrap();
-            assert!(max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9), "{mode:?}");
+            assert!(
+                max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9),
+                "{mode:?}"
+            );
         }
     }
 }

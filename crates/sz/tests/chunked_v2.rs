@@ -2,17 +2,21 @@
 //! worker-count combinations, v1 backward compatibility, and container
 //! determinism regardless of parallelism.
 
-use dsz_sz::{decompress, info, max_abs_error, ErrorBound, SzConfig};
+use dsz_sz::{decompress, info, max_abs_error, ErrorBound, SzConfig, SzFormat};
 use dsz_tensor::parallel::with_workers;
 use proptest::prelude::*;
 
 fn weights(n: usize, seed: u64, scale: f32) -> Vec<f32> {
     let mut s = seed;
     let mut next = || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 11) as f64 / (1u64 << 53) as f64) as f32
     };
-    (0..n).map(|_| (next() + next() + next() + next() - 2.0) * scale).collect()
+    (0..n)
+        .map(|_| (next() + next() + next() + next() - 2.0) * scale)
+        .collect()
 }
 
 proptest! {
@@ -26,7 +30,8 @@ proptest! {
     ) {
         // 0 = legacy v1; small chunks force many units; large = one unit.
         let chunk_elems = [0usize, 128, 512, 4096, 1 << 16][chunk_idx];
-        let cfg = SzConfig { chunk_elems, ..SzConfig::default() };
+        let format = if chunk_elems == 0 { SzFormat::V1 } else { SzFormat::V2 };
+        let cfg = SzConfig { chunk_elems, format, ..SzConfig::default() };
         let eb = 1e-3;
         let (blob, back) = with_workers(workers, || {
             let blob = cfg.compress(&data, ErrorBound::Abs(eb)).unwrap();
@@ -59,10 +64,16 @@ proptest! {
 #[test]
 fn container_bytes_deterministic_across_worker_counts() {
     let data = weights(200_000, 7, 0.1);
-    let cfg = SzConfig { chunk_elems: 8192, ..SzConfig::default() };
+    let cfg = SzConfig {
+        chunk_elems: 8192,
+        format: SzFormat::V2,
+        ..SzConfig::default()
+    };
     let reference = with_workers(1, || cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap());
     for workers in [2usize, 3, 4, 8] {
-        let blob = with_workers(workers, || cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap());
+        let blob = with_workers(workers, || {
+            cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap()
+        });
         assert_eq!(blob, reference, "encode bytes differ at {workers} workers");
     }
     let decoded_1 = with_workers(1, || decompress(&reference).unwrap());
@@ -77,15 +88,18 @@ fn container_bytes_deterministic_across_worker_counts() {
     }
 }
 
-/// v1 streams (chunk_elems = 0 encodes the legacy layout) still decode,
+/// v1 streams (`SzFormat::V1` encodes the legacy layout) still decode,
 /// and the header survives the version dispatch.
 #[test]
 fn v1_streams_still_decode() {
     let data = weights(50_000, 13, 0.08);
-    let v1_cfg = SzConfig { chunk_elems: 0, ..SzConfig::default() };
+    let v1_cfg = SzConfig {
+        format: SzFormat::V1,
+        ..SzConfig::default()
+    };
     let blob = v1_cfg.compress(&data, ErrorBound::Abs(2e-3)).unwrap();
     assert_eq!(&blob[..4], b"SZ1D");
-    assert_eq!(blob[4], 1, "chunk_elems = 0 must emit a v1 stream");
+    assert_eq!(blob[4], 1, "SzFormat::V1 must emit a v1 stream");
 
     let i = info(&blob).unwrap();
     assert_eq!(i.version, 1);
@@ -111,13 +125,16 @@ fn v1_streams_still_decode() {
 fn v1_golden_stream_decodes() {
     let original: [f32; 8] = [0.5, 0.25, -0.125, 0.0, 1.0, -1.0, 0.75, -0.5];
     const GOLDEN: [u8; 56] = [
-        0x53, 0x5a, 0x31, 0x44, 0x01, 0x08, 0x7b, 0x14, 0xae, 0x47, 0xe1, 0x7a, 0x84, 0x3f,
-        0x00, 0x80, 0x01, 0x80, 0x80, 0x02, 0xff, 0x03, 0x01, 0x01, 0x00, 0x00, 0x00, 0x08,
-        0x08, 0x00, 0x03, 0x9d, 0xff, 0x01, 0x03, 0x25, 0x03, 0x2c, 0x03, 0x19, 0x03, 0x13,
-        0x03, 0x19, 0x03, 0x26, 0x03, 0x03, 0x85, 0x33, 0x5e, 0x01, 0x00, 0x00, 0x80, 0x3e,
+        0x53, 0x5a, 0x31, 0x44, 0x01, 0x08, 0x7b, 0x14, 0xae, 0x47, 0xe1, 0x7a, 0x84, 0x3f, 0x00,
+        0x80, 0x01, 0x80, 0x80, 0x02, 0xff, 0x03, 0x01, 0x01, 0x00, 0x00, 0x00, 0x08, 0x08, 0x00,
+        0x03, 0x9d, 0xff, 0x01, 0x03, 0x25, 0x03, 0x2c, 0x03, 0x19, 0x03, 0x13, 0x03, 0x19, 0x03,
+        0x26, 0x03, 0x03, 0x85, 0x33, 0x5e, 0x01, 0x00, 0x00, 0x80, 0x3e,
     ];
     // Today's encoder must still produce these bytes for this input…
-    let v1_cfg = SzConfig { chunk_elems: 0, ..SzConfig::default() };
+    let v1_cfg = SzConfig {
+        format: SzFormat::V1,
+        ..SzConfig::default()
+    };
     let encoded = v1_cfg.compress(&original, ErrorBound::Abs(1e-2)).unwrap();
     assert_eq!(encoded, GOLDEN, "v1 encoder output drifted");
     // …and the captured bytes must decode to the captured reconstruction.
@@ -134,7 +151,11 @@ fn v1_golden_stream_decodes() {
 /// Ragged tails: element counts straddling chunk and block boundaries.
 #[test]
 fn chunk_boundary_edge_cases() {
-    let cfg = SzConfig { chunk_elems: 1024, ..SzConfig::default() };
+    let cfg = SzConfig {
+        chunk_elems: 1024,
+        format: SzFormat::V2,
+        ..SzConfig::default()
+    };
     for n in [0usize, 1, 127, 128, 1023, 1024, 1025, 2048, 2049, 5000] {
         let data = weights(n, n as u64 + 1, 0.2);
         let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
@@ -153,10 +174,19 @@ fn chunk_boundary_edge_cases() {
 #[test]
 fn v2_size_overhead_is_bounded() {
     let data = weights(300_000, 3, 0.05);
-    let v1 = SzConfig { chunk_elems: 0, ..SzConfig::default() }
-        .compress(&data, ErrorBound::Abs(1e-3))
-        .unwrap();
-    let v2 = SzConfig::default().compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+    let v1 = SzConfig {
+        format: SzFormat::V1,
+        ..SzConfig::default()
+    }
+    .compress(&data, ErrorBound::Abs(1e-3))
+    .unwrap();
+    let v2 = SzConfig {
+        chunk_elems: 1 << 16,
+        format: SzFormat::V2,
+        ..SzConfig::default()
+    }
+    .compress(&data, ErrorBound::Abs(1e-3))
+    .unwrap();
     let inflation = v2.len() as f64 / v1.len() as f64;
     assert!(inflation < 1.10, "v2 is {inflation:.3}x the v1 size");
 }
@@ -166,10 +196,22 @@ fn v2_size_overhead_is_bounded() {
 fn all_predictors_roundtrip_in_v2() {
     use dsz_sz::PredictorMode;
     let data = weights(20_000, 17, 0.08);
-    for mode in [PredictorMode::Adaptive, PredictorMode::LorenzoOnly, PredictorMode::RegressionOnly] {
-        let cfg = SzConfig { predictor: mode, chunk_elems: 2048, ..SzConfig::default() };
+    for mode in [
+        PredictorMode::Adaptive,
+        PredictorMode::LorenzoOnly,
+        PredictorMode::RegressionOnly,
+    ] {
+        let cfg = SzConfig {
+            predictor: mode,
+            chunk_elems: 2048,
+            format: SzFormat::V2,
+            ..SzConfig::default()
+        };
         let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
         let back = with_workers(4, || decompress(&blob).unwrap());
-        assert!(max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9), "{mode:?}");
+        assert!(
+            max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9),
+            "{mode:?}"
+        );
     }
 }

@@ -1,0 +1,410 @@
+//! Tests pinning the v3 shared-Huffman-table stream format: golden-bytes
+//! v2 compatibility, proptest roundtrips across layer sizes × worker
+//! counts × error bounds, byte determinism, adaptive chunk sizing, the
+//! shared-table size win over v2, and cross-format decode equality.
+
+use dsz_sz::{
+    adaptive_chunk_elems, decompress, info, max_abs_error, EntropyStage, ErrorBound, SzConfig,
+    SzFormat,
+};
+use dsz_tensor::parallel::with_workers;
+use proptest::prelude::*;
+
+fn weights(n: usize, seed: u64, scale: f32) -> Vec<f32> {
+    let mut s = seed;
+    let mut next = || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) as f32
+    };
+    (0..n)
+        .map(|_| (next() + next() + next() + next() - 2.0) * scale)
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A fixed v2 container captured from the v2 encoder (300 lcg-seed-42
+/// weights, chunk_elems = 128 → 3 chunks, eb = 1e-2, default predictor):
+/// the checked-in bytes must decode identically forever, and a
+/// `SzFormat::V2` re-encode of the same input must reproduce them
+/// byte-for-byte, so *any* drift in the v2 wire layout fails here even if
+/// encoder and decoder drift together.
+#[test]
+fn v2_golden_stream_roundtrips() {
+    const GOLDEN_V2: [u8; 322] = [
+        0x53, 0x5a, 0x31, 0x44, 0x02, 0xac, 0x02, 0x7b, 0x14, 0xae, 0x47, 0xe1, 0x7a, 0x84, 0x3f,
+        0x00, 0x80, 0x01, 0x80, 0x80, 0x02, 0x80, 0x01, 0x03, 0xff, 0x72, 0x03, 0x01, 0x01, 0x00,
+        0x00, 0x00, 0x80, 0x01, 0x13, 0xf8, 0xff, 0x01, 0x06, 0x01, 0x07, 0x01, 0x05, 0x01, 0x05,
+        0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x03, 0x01, 0x03, 0x01, 0x03, 0x01, 0x04, 0x01,
+        0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x02, 0x06, 0x01, 0x07, 0x01, 0x07, 0x01, 0x07,
+        0x3f, 0xb4, 0x5e, 0xa0, 0xda, 0x6b, 0x0e, 0x94, 0xdd, 0x88, 0xd2, 0xe4, 0xb3, 0x64, 0xe5,
+        0x5c, 0xa9, 0xce, 0xac, 0x63, 0x83, 0x5c, 0x08, 0x4d, 0xf0, 0x45, 0x28, 0xb0, 0x35, 0x3e,
+        0x36, 0x57, 0x5c, 0x43, 0xfb, 0x17, 0x49, 0xc7, 0xdf, 0x54, 0x54, 0x87, 0xbd, 0xe8, 0xcf,
+        0xa4, 0x32, 0x3a, 0xaf, 0x7e, 0x87, 0xd3, 0xf1, 0xcc, 0x7a, 0x4d, 0x50, 0xac, 0x39, 0x28,
+        0xad, 0xa7, 0xfa, 0x00, 0x00, 0xff, 0x74, 0x03, 0x01, 0x01, 0x00, 0x00, 0x00, 0x80, 0x01,
+        0x14, 0xf6, 0xff, 0x01, 0x07, 0x01, 0x07, 0x01, 0x07, 0x01, 0x06, 0x01, 0x05, 0x01, 0x07,
+        0x01, 0x05, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x03, 0x01, 0x03, 0x01,
+        0x03, 0x01, 0x04, 0x01, 0x03, 0x01, 0x05, 0x01, 0x05, 0x02, 0x07, 0x02, 0x07, 0x3f, 0x13,
+        0xa1, 0xf6, 0xac, 0x71, 0x67, 0x69, 0x36, 0xfc, 0xbd, 0xe8, 0x12, 0xaa, 0x2f, 0x98, 0x3d,
+        0x40, 0x92, 0xcf, 0xb4, 0x7b, 0x52, 0x9a, 0x87, 0x25, 0xb6, 0x90, 0x3e, 0xbb, 0x18, 0x9e,
+        0x52, 0x10, 0x7b, 0xba, 0x70, 0xc3, 0x45, 0xa6, 0xe0, 0xd8, 0xce, 0xbc, 0xd2, 0xeb, 0xff,
+        0xb6, 0x1c, 0x5e, 0xbf, 0xcf, 0x69, 0xaa, 0x38, 0x25, 0x74, 0x05, 0x2e, 0x33, 0x3a, 0xef,
+        0x59, 0x07, 0x00, 0xff, 0x3e, 0x03, 0x01, 0x01, 0x00, 0x00, 0x00, 0x2c, 0x0f, 0xf9, 0xff,
+        0x01, 0x05, 0x01, 0x05, 0x01, 0x05, 0x01, 0x05, 0x01, 0x04, 0x01, 0x05, 0x01, 0x03, 0x01,
+        0x03, 0x01, 0x03, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x03, 0x03, 0x05,
+        0x14, 0x61, 0xcc, 0xb2, 0xc4, 0x8e, 0x92, 0x8c, 0xd3, 0x48, 0x49, 0x6f, 0x98, 0x30, 0x79,
+        0xdb, 0xfb, 0x93, 0x87, 0xb0, 0x0a, 0x00,
+    ];
+    let data = weights(300, 42, 0.1);
+    let cfg = SzConfig {
+        chunk_elems: 128,
+        format: SzFormat::V2,
+        ..SzConfig::default()
+    };
+    let encoded = cfg.compress(&data, ErrorBound::Abs(1e-2)).unwrap();
+    assert_eq!(
+        encoded.as_slice(),
+        &GOLDEN_V2[..],
+        "v2 encoder output drifted"
+    );
+
+    // …and the captured bytes must decode to the captured reconstruction
+    // (FNV-1a over the decoded bit patterns, captured with the bytes).
+    let back = decompress(&GOLDEN_V2).unwrap();
+    assert_eq!(back.len(), 300);
+    assert!(max_abs_error(&data, &back) <= 1e-2 * (1.0 + 1e-9));
+    let mut h = 0xcbf29ce484222325u64;
+    for v in &back {
+        h ^= u64::from(v.to_bits());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    assert_eq!(h, 0x318430bb03f22fd4, "v2 decode drifted");
+    let i = info(&GOLDEN_V2).unwrap();
+    assert_eq!(i.version, 2);
+    assert_eq!(i.chunks, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random layer sizes (empty, singleton, sub-chunk, straddling chunk
+    /// boundaries) × worker counts × error bounds: v3 must roundtrip
+    /// within the bound and produce identical bytes at every worker count.
+    #[test]
+    fn v3_roundtrip_sizes_workers_bounds(
+        size_pick in prop_oneof![
+            Just(0usize),
+            Just(1usize),
+            2usize..700,          // far below any chunk size
+            4000usize..6000,
+            Just(4096usize),      // exactly on a 4Ki chunk boundary
+            Just(4097usize),
+            Just(8192usize),
+        ],
+        chunk_idx in 0usize..3,
+        workers in 1usize..5,
+        eb_idx in 0usize..3,
+    ) {
+        // 0 = adaptive sizing; the explicit sizes force multi-chunk layers.
+        let chunk_elems = [0usize, 512, 4096][chunk_idx];
+        let eb = [1e-2f64, 1e-3, 1e-4][eb_idx];
+        let data = weights(size_pick, size_pick as u64 + 7, 0.1);
+        let cfg = SzConfig { chunk_elems, ..SzConfig::default() };
+
+        let reference = with_workers(1, || cfg.compress(&data, ErrorBound::Abs(eb)).unwrap());
+        let (blob, back) = with_workers(workers, || {
+            let blob = cfg.compress(&data, ErrorBound::Abs(eb)).unwrap();
+            let back = decompress(&blob).unwrap();
+            (blob, back)
+        });
+        prop_assert_eq!(&blob, &reference, "encode bytes differ at {} workers", workers);
+        prop_assert_eq!(back.len(), data.len());
+        prop_assert!(max_abs_error(&data, &back) <= eb * (1.0 + 1e-9));
+
+        let i = info(&blob).unwrap();
+        prop_assert_eq!(i.version, 3);
+        prop_assert_eq!(i.n, data.len());
+        if !data.is_empty() {
+            prop_assert_eq!(i.chunks, data.len().div_ceil(i.chunk_elems));
+        }
+    }
+
+    /// Arbitrary bytes, and bytes doctored to carry the v3 version, must
+    /// never panic the decoder.
+    #[test]
+    fn v3_decoder_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = decompress(&data);
+        let _ = info(&data);
+        let mut doctored = b"SZ1D\x03".to_vec();
+        doctored.extend_from_slice(&data);
+        let _ = decompress(&doctored);
+        let _ = info(&doctored);
+    }
+}
+
+/// Every truncation of a valid v3 stream errors cleanly (no panic, no
+/// wrong-but-Ok decode).
+#[test]
+fn v3_truncations_error() {
+    let data = weights(2000, 3, 0.1);
+    let cfg = SzConfig {
+        chunk_elems: 512,
+        ..SzConfig::default()
+    };
+    let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+    for len in 0..blob.len() {
+        assert!(
+            decompress(&blob[..len]).is_err(),
+            "truncation at {len} decoded"
+        );
+    }
+    assert!(decompress(&blob).is_ok());
+}
+
+/// All-constant input → every chunk quantizes to one symbol → a
+/// degenerate single-entry shared Huffman table. Must roundtrip exactly
+/// (constant data reconstructs within any bound) across chunk counts.
+#[test]
+fn v3_degenerate_single_symbol_table() {
+    for n in [1usize, 4096, 20_000] {
+        let data = vec![0.3125f32; n];
+        let cfg = SzConfig {
+            chunk_elems: 4096,
+            ..SzConfig::default()
+        };
+        let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        let back = decompress(&blob).unwrap();
+        assert_eq!(back.len(), n);
+        assert!(max_abs_error(&data, &back) <= 1e-3, "n={n}");
+        // One shared 2-entry-max table plus ~1 bit/element, then the
+        // backend squeezes the constant bit stream: far below raw size.
+        assert!(
+            blob.len() < n / 4 + 200,
+            "constant n={n} gave {} bytes",
+            blob.len()
+        );
+    }
+}
+
+/// The ROADMAP case the shared table exists for: a small fc layer split
+/// into chunks pays one code book per chunk in v2; v3 must be strictly
+/// smaller on the same data and chunk geometry, and adaptive sizing must
+/// collapse the layer to a single chunk without growing the stream.
+#[test]
+fn v3_smaller_than_v2_on_8ki_layer() {
+    let n = 8192;
+    let data = weights(n, 99, 0.1);
+    let eb = ErrorBound::Abs(1e-3);
+    let v2 = SzConfig {
+        chunk_elems: 4096,
+        format: SzFormat::V2,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    let v3_fixed = SzConfig {
+        chunk_elems: 4096,
+        format: SzFormat::V3,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    let v3_adaptive = SzConfig::default().compress(&data, eb).unwrap();
+    assert!(
+        v3_fixed.len() < v2.len(),
+        "shared table must beat per-chunk tables: v3 {} vs v2 {}",
+        v3_fixed.len(),
+        v2.len()
+    );
+    assert!(
+        v3_adaptive.len() <= v3_fixed.len(),
+        "single-chunk adaptive layout must not exceed the 2-chunk one: {} vs {}",
+        v3_adaptive.len(),
+        v3_fixed.len()
+    );
+    let i = info(&v3_adaptive).unwrap();
+    assert_eq!(
+        i.chunks, 1,
+        "an 8Ki layer must collapse to one adaptive chunk"
+    );
+
+    // Same chunk geometry ⇒ same quantization ⇒ bit-identical decode: the
+    // 4Ki-chunk v2 and v3 streams agree with each other, and the
+    // single-chunk adaptive v3 agrees with the single-unit v1 stream.
+    let v1 = SzConfig {
+        format: SzFormat::V1,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    assert_eq!(
+        bits(&decompress(&v2).unwrap()),
+        bits(&decompress(&v3_fixed).unwrap())
+    );
+    assert_eq!(
+        bits(&decompress(&v1).unwrap()),
+        bits(&decompress(&v3_adaptive).unwrap())
+    );
+}
+
+/// Acceptance sweep: decode output is bit-identical across formats
+/// v1/v2/v3 and across worker counts 1/2/4/8, on a layer large enough for
+/// real multi-chunk layouts. Chunk boundaries reset predictor state, so
+/// bit-identity across *formats* holds exactly when the chunk geometry
+/// matches: v2 and v3 at the same `chunk_elems` share quantization, and a
+/// v1 stream matches any single-chunk layout.
+#[test]
+fn decode_bit_identical_across_formats_and_workers() {
+    let data = weights(150_000, 11, 0.08);
+    let eb = ErrorBound::Abs(1e-3);
+    let n = data.len();
+    let v1 = SzConfig {
+        format: SzFormat::V1,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    // Single-chunk v2/v3 (chunk_elems ≥ n) quantize exactly like v1.
+    let v2_one = SzConfig {
+        format: SzFormat::V2,
+        chunk_elems: n,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    let v3_one = SzConfig {
+        format: SzFormat::V3,
+        chunk_elems: n,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    // Multi-chunk v2/v3 with matching geometry quantize exactly alike.
+    let v2_many = SzConfig {
+        format: SzFormat::V2,
+        chunk_elems: 1 << 14,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    let v3_many = SzConfig {
+        format: SzFormat::V3,
+        chunk_elems: 1 << 14,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+
+    let reference_one = with_workers(1, || decompress(&v1).unwrap());
+    let reference_many = with_workers(1, || decompress(&v3_many).unwrap());
+    assert!(max_abs_error(&data, &reference_one) <= 1e-3 * (1.0 + 1e-9));
+    assert!(max_abs_error(&data, &reference_many) <= 1e-3 * (1.0 + 1e-9));
+
+    let groups: [(&[u8], &[f32]); 5] = [
+        (&v1, &reference_one),
+        (&v2_one, &reference_one),
+        (&v3_one, &reference_one),
+        (&v2_many, &reference_many),
+        (&v3_many, &reference_many),
+    ];
+    for (gi, (blob, want)) in groups.iter().enumerate() {
+        for workers in [1usize, 2, 4, 8] {
+            let got = with_workers(workers, || decompress(blob).unwrap());
+            assert_eq!(
+                bits(&got),
+                bits(want),
+                "stream {gi} decode differs at {workers} workers"
+            );
+        }
+    }
+}
+
+/// v3 containers are byte-deterministic across worker counts even for
+/// layers big enough that the adaptive size formula is in its
+/// size-proportional regime (layout uses the process budget, not the
+/// execution pinning).
+#[test]
+fn v3_adaptive_bytes_deterministic_across_workers() {
+    let data = weights(400_000, 5, 0.1);
+    let cfg = SzConfig::default();
+    let reference = with_workers(1, || cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap());
+    for workers in [2usize, 3, 4, 8] {
+        let blob = with_workers(workers, || {
+            cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap()
+        });
+        assert_eq!(blob, reference, "encode bytes differ at {workers} workers");
+    }
+    let i = info(&reference).unwrap();
+    assert_eq!(i.version, 3);
+    assert_eq!(i.chunks, 400_000usize.div_ceil(i.chunk_elems));
+}
+
+/// The adaptive formula itself: floor for small layers, ceiling for huge
+/// ones, ~4 chunks per worker in between.
+#[test]
+fn adaptive_chunk_formula() {
+    assert_eq!(adaptive_chunk_elems(0, 4), 1 << 14);
+    assert_eq!(adaptive_chunk_elems(8192, 1), 1 << 14);
+    assert_eq!(adaptive_chunk_elems(1 << 16, 1), 1 << 14);
+    assert_eq!(adaptive_chunk_elems(1 << 20, 4), 1 << 16);
+    assert_eq!(adaptive_chunk_elems(usize::MAX / 2, 1), 1 << 18);
+    // Worker count 0 is treated as 1 rather than dividing by zero.
+    assert_eq!(
+        adaptive_chunk_elems(1 << 20, 0),
+        adaptive_chunk_elems(1 << 20, 1)
+    );
+}
+
+/// The raw entropy stage (ablation path) works through the v3 layout too:
+/// entropy id in the layer header, bare varint codes per chunk.
+#[test]
+fn v3_raw_entropy_roundtrips() {
+    let data = weights(10_000, 21, 0.1);
+    let cfg = SzConfig {
+        entropy: EntropyStage::Raw,
+        chunk_elems: 2048,
+        ..SzConfig::default()
+    };
+    let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+    assert_eq!(info(&blob).unwrap().version, 3);
+    let back = with_workers(4, || decompress(&blob).unwrap());
+    assert!(max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9));
+    // And the Huffman default is smaller than raw codes on the same data.
+    let huff = SzConfig {
+        chunk_elems: 2048,
+        ..SzConfig::default()
+    }
+    .compress(&data, ErrorBound::Abs(1e-3))
+    .unwrap();
+    assert!(huff.len() < blob.len());
+}
+
+/// Every predictor mode roundtrips through the shared-table layout.
+#[test]
+fn all_predictors_roundtrip_in_v3() {
+    use dsz_sz::PredictorMode;
+    let data = weights(20_000, 17, 0.08);
+    for mode in [
+        PredictorMode::Adaptive,
+        PredictorMode::LorenzoOnly,
+        PredictorMode::RegressionOnly,
+    ] {
+        let cfg = SzConfig {
+            predictor: mode,
+            chunk_elems: 2048,
+            ..SzConfig::default()
+        };
+        let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        let back = with_workers(4, || decompress(&blob).unwrap());
+        assert!(
+            max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9),
+            "{mode:?}"
+        );
+    }
+}

@@ -24,7 +24,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero-filled matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wraps existing storage (must be `rows * cols` long).
@@ -203,7 +207,10 @@ pub fn im2col(
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     for ox in 0..ow {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        let v = if iy >= 0 && (iy as usize) < shape.h && ix >= 0 && (ix as usize) < shape.w
+                        let v = if iy >= 0
+                            && (iy as usize) < shape.h
+                            && ix >= 0
+                            && (ix as usize) < shape.w
                         {
                             plane[iy as usize * shape.w + ix as usize]
                         } else {
@@ -389,6 +396,9 @@ mod tests {
         col2im(&y, shape, kh, kw, stride, pad, &mut back);
         let lhs: f32 = cx.data.iter().zip(&y.data).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 }

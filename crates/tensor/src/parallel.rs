@@ -32,15 +32,31 @@ pub fn worker_count() -> usize {
     if let Some(n) = WORKER_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
+    layout_workers()
+}
+
+/// Process-level worker budget: `DSZ_THREADS` if set, else
+/// `available_parallelism()` — ignoring any [`with_workers`] override.
+///
+/// Use this for **layout** decisions that must not vary with execution
+/// pinning (e.g. the SZ v3 adaptive chunk size, which is baked into the
+/// container bytes): `with_workers` exists so tests and benches can sweep
+/// execution parallelism while the emitted bytes stay identical.
+pub fn layout_workers() -> usize {
     // The env var cannot change mid-process in any supported way, so read
-    // and parse it once; this sits on the matmul hot path.
+    // and parse it once; this sits on the matmul hot path via
+    // `worker_count`.
     static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
-    if let Some(n) = ENV_THREADS
-        .get_or_init(|| std::env::var("DSZ_THREADS").ok().and_then(|v| v.parse::<usize>().ok()))
-    {
+    if let Some(n) = ENV_THREADS.get_or_init(|| {
+        std::env::var("DSZ_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    }) {
         return (*n).max(1);
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Runs `f` with the calling thread's worker count pinned to `n`.
@@ -156,7 +172,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("job completed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("job completed"))
+        .collect()
 }
 
 /// Shared pointer to the chunk list. Safety mirrors [`SlotWriter`]: each
@@ -179,7 +198,11 @@ where
     E: Send + Sync,
     F: Fn(usize, &mut [T]) -> Result<(), E> + Sync,
 {
-    assert_eq!(sizes.iter().sum::<usize>(), data.len(), "chunk sizes must cover the buffer");
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        data.len(),
+        "chunk sizes must cover the buffer"
+    );
     let budget = worker_count();
     let workers = budget.min(sizes.len().max(1));
     if workers <= 1 {
@@ -362,6 +385,13 @@ mod tests {
         with_workers(4, || {
             assert_eq!(parallel_map(&[0usize], |_| worker_count()), vec![4]);
         });
+    }
+
+    #[test]
+    fn layout_workers_ignores_execution_pinning() {
+        let base = layout_workers();
+        with_workers(1, || assert_eq!(layout_workers(), base));
+        with_workers(64, || assert_eq!(layout_workers(), base));
     }
 
     #[test]

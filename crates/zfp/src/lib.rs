@@ -194,7 +194,11 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
     let mut pos = 5usize;
     let n = read_varint(bytes, &mut pos)? as usize;
     let tol = f64::from_le_bytes(
-        bytes.get(pos..pos + 8).ok_or(CodecError::Truncated)?.try_into().expect("len 8"),
+        bytes
+            .get(pos..pos + 8)
+            .ok_or(CodecError::Truncated)?
+            .try_into()
+            .expect("len 8"),
     );
     pos += 8;
     if !(tol.is_finite() && tol > 0.0) {
@@ -306,12 +310,23 @@ mod tests {
                 worst = worst.max((p[i] - orig[i]).abs());
             }
         }
-        assert!(worst <= 4, "lift roundtrip error {worst} exceeds guard assumption");
+        assert!(
+            worst <= 4,
+            "lift roundtrip error {worst} exceeds guard assumption"
+        );
     }
 
     #[test]
     fn negabinary_roundtrips() {
-        for x in [-1i64, 0, 1, 12345, -98765, i64::from(i32::MAX), i64::from(i32::MIN)] {
+        for x in [
+            -1i64,
+            0,
+            1,
+            12345,
+            -98765,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+        ] {
             assert_eq!(from_negabinary(to_negabinary(x)), x);
         }
     }

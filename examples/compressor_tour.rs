@@ -15,10 +15,16 @@ fn main() {
     // A full-size AlexNet fc7-like pruned weight array.
     let (values, _) = weights::pruned_nonzeros(4096, 4096, 0.09, 7);
     let raw = values.len() * 4;
-    println!("pruned fc7-like data array: {} nonzero weights ({raw} bytes)\n", values.len());
+    println!(
+        "pruned fc7-like data array: {} nonzero weights ({raw} bytes)\n",
+        values.len()
+    );
 
     // --- error-bounded lossy compression ---
-    println!("{:>10} | {:>9} | {:>9} | {:>11} | {:>11}", "bound", "SZ bytes", "SZ ratio", "ZFP bytes", "ZFP ratio");
+    println!(
+        "{:>10} | {:>9} | {:>9} | {:>11} | {:>11}",
+        "bound", "SZ bytes", "SZ ratio", "ZFP bytes", "ZFP ratio"
+    );
     for eb in [1e-2f64, 1e-3, 1e-4] {
         let szb = sz::compress(&values, ErrorBound::Abs(eb)).expect("sz");
         let zfpb = zfp::compress(&values, eb).expect("zfp");
@@ -43,7 +49,11 @@ fn main() {
     ] {
         let blob = SzConfig::default().compress(&values, bound).expect("sz");
         let info = sz::info(&blob).expect("header");
-        println!("  {label:<18} -> abs eb {:.2e}, {} bytes", info.abs_eb, blob.len());
+        println!(
+            "  {label:<18} -> abs eb {:.2e}, {} bytes",
+            info.abs_eb,
+            blob.len()
+        );
     }
 
     // --- lossless codecs on the index stream ---
@@ -51,7 +61,10 @@ fn main() {
     let mut pruned = dense;
     deepsz::prune::prune_to_density(&mut pruned, 0.1);
     let pair = deepsz::sparse::PairArray::from_dense(&pruned, 512, 512);
-    println!("\nlossless codecs on a {}-byte index array:", pair.index.len());
+    println!(
+        "\nlossless codecs on a {}-byte index array:",
+        pair.index.len()
+    );
     for kind in LosslessKind::ALL {
         let blob = kind.codec().compress(&pair.index);
         println!(
@@ -62,5 +75,9 @@ fn main() {
         );
     }
     let (best, blob) = best_fit(&pair.index);
-    println!("  best-fit selection: {} ({} bytes)", best.name(), blob.len());
+    println!(
+        "  best-fit selection: {} ({} bytes)",
+        best.name(),
+        blob.len()
+    );
 }

@@ -23,12 +23,32 @@ fn main() {
     let train_data = digits::dataset(2000, 11);
     let test_data = digits::dataset(500, 12);
     let mut net = zoo::build(Arch::LeNet300, Scale::Full, 7);
-    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        None,
+    );
     let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
-    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() }, &masks);
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            ..Default::default()
+        },
+        &masks,
+    );
 
     let eval = DatasetEvaluator::new(test_data.clone());
-    let cfg = AssessmentConfig { expected_loss: 0.005, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.005,
+        ..Default::default()
+    };
     let (assessments, baseline) = assess_network(&net, &cfg, &eval).expect("assessment");
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
     let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
@@ -38,10 +58,22 @@ fn main() {
     let pair_bytes: usize = assessments.iter().map(|a| a.pair.size_bytes()).sum();
     let dsz_bytes = report.total_bytes;
 
-    println!("shipping fc layers over a {:.1} Mbit/s link:", LINK_BITS_PER_SEC / 1e6);
-    println!("  raw f32      : {raw_bytes:>9} B -> {:>7.2} s", transfer_secs(raw_bytes));
-    println!("  pruned pairs : {pair_bytes:>9} B -> {:>7.2} s", transfer_secs(pair_bytes));
-    println!("  DeepSZ       : {dsz_bytes:>9} B -> {:>7.2} s", transfer_secs(dsz_bytes));
+    println!(
+        "shipping fc layers over a {:.1} Mbit/s link:",
+        LINK_BITS_PER_SEC / 1e6
+    );
+    println!(
+        "  raw f32      : {raw_bytes:>9} B -> {:>7.2} s",
+        transfer_secs(raw_bytes)
+    );
+    println!(
+        "  pruned pairs : {pair_bytes:>9} B -> {:>7.2} s",
+        transfer_secs(pair_bytes)
+    );
+    println!(
+        "  DeepSZ       : {dsz_bytes:>9} B -> {:>7.2} s",
+        transfer_secs(dsz_bytes)
+    );
 
     // Edge side: decode, install, run the first inference batch.
     let t0 = Instant::now();
@@ -63,10 +95,17 @@ fn main() {
         timing.sz_ms,
         timing.reconstruct_ms
     );
-    println!("first-batch accuracy at the edge: {:.2}% (cloud baseline {:.2}%)", top1 * 100.0, baseline * 100.0);
+    println!(
+        "first-batch accuracy at the edge: {:.2}% (cloud baseline {:.2}%)",
+        top1 * 100.0,
+        baseline * 100.0
+    );
     println!(
         "time to first inference: raw {total_raw:.2} s vs DeepSZ {total_dsz:.2} s ({:.1}x faster)",
         total_raw / total_dsz
     );
-    assert!(total_dsz < total_raw, "compression must pay for itself on a slow link");
+    assert!(
+        total_dsz < total_raw,
+        "compression must pay for itself on a slow link"
+    );
 }

@@ -17,23 +17,39 @@ fn main() {
     let spec = FeatureSpec::alexnet_reduced();
     let (train_data, test_data) = deepsz::datagen::features::train_test(&spec, 3000, 1500, 99);
     let mut net = zoo::build(Arch::AlexNet, Scale::Reduced, 5);
-    println!("training reduced AlexNet head ({} fc weights)…", net.fc_bytes() / 4);
+    println!(
+        "training reduced AlexNet head ({} fc weights)…",
+        net.fc_bytes() / 4
+    );
     nn::train(
         &mut net,
         &train_data,
-        &TrainConfig { epochs: 3, lr: 0.02, batch: 100, ..Default::default() },
+        &TrainConfig {
+            epochs: 3,
+            lr: 0.02,
+            batch: 100,
+            ..Default::default()
+        },
         None,
     );
     let (masks, _) = prune::prune_network(&mut net, Arch::AlexNet.pruning_densities());
     prune::retrain(
         &mut net,
         &train_data,
-        &TrainConfig { epochs: 1, lr: 0.005, batch: 100, ..Default::default() },
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.005,
+            batch: 100,
+            ..Default::default()
+        },
         &masks,
     );
 
     let eval = DatasetEvaluator::new(test_data);
-    let cfg = AssessmentConfig { expected_loss: 0.004, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.004,
+        ..Default::default()
+    };
     let (assessments, baseline) = assess_network(&net, &cfg, &eval).expect("assessment");
     println!("baseline top-1 (surrogate task): {:.2}%", baseline * 100.0);
 
@@ -46,13 +62,21 @@ fn main() {
         acc_plan.predicted_loss * 100.0
     );
     for c in &acc_plan.layers {
-        println!("  {}: eb {:.0e} -> {} bytes", c.fc.name, c.eb, c.total_bytes());
+        println!(
+            "  {}: eb {:.0e} -> {} bytes",
+            c.fc.name,
+            c.eb,
+            c.total_bytes()
+        );
     }
 
     // Mode 2: expected ratio — sweep tightening size budgets and watch the
     // accuracy/size trade-off move.
     println!("\nexpected-ratio mode (size budget sweep):");
-    println!("{:>12} | {:>8} | {:>16}", "budget", "achieved", "predicted loss");
+    println!(
+        "{:>12} | {:>8} | {:>16}",
+        "budget", "achieved", "predicted loss"
+    );
     let mut budget = acc_plan.total_bytes * 2;
     for _ in 0..4 {
         match optimize_for_size(&assessments, budget) {

@@ -19,11 +19,29 @@ fn main() {
         Arch::LeNet5.conv_layers(),
         net.fc_layers().len()
     );
-    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, lr: 0.05, ..Default::default() }, None);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 2,
+            lr: 0.05,
+            ..Default::default()
+        },
+        None,
+    );
 
     // Step 1: magnitude pruning + masked retraining (§3.2).
     let (masks, stats) = prune::prune_network(&mut net, Arch::LeNet5.pruning_densities());
-    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.01, ..Default::default() }, &masks);
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.01,
+            ..Default::default()
+        },
+        &masks,
+    );
     for s in &stats {
         println!("  pruned {}: {:.1}% kept", s.name, s.density() * 100.0);
     }
@@ -35,7 +53,10 @@ fn main() {
 
     // Steps 2+3: assessment (Algorithm 1) + optimization (Algorithm 2)
     // at the paper's 0.2% expected loss for the LeNets.
-    let cfg = AssessmentConfig { expected_loss: 0.002, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.002,
+        ..Default::default()
+    };
     let (assessments, baseline) = assess_network(&head, &cfg, &eval).expect("assessment");
     println!("\nbaseline top-1: {:.2}%", baseline * 100.0);
     for a in &assessments {
@@ -52,7 +73,10 @@ fn main() {
     // Step 4: compressed model generation.
     let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
     println!("\nper-layer result (cf. paper Table 2b):");
-    println!("{:>6} | {:>10} | {:>10} | {:>10} | {:>7}", "layer", "original", "pair-array", "DeepSZ", "ratio");
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>10} | {:>7}",
+        "layer", "original", "pair-array", "DeepSZ", "ratio"
+    );
     for l in &report.layers {
         println!(
             "{:>6} | {:>10} | {:>10} | {:>10} | {:>6.1}x",
@@ -63,7 +87,10 @@ fn main() {
             l.ratio()
         );
     }
-    println!("overall fc ratio: {:.1}x (paper: 57.3x on real MNIST)", report.ratio());
+    println!(
+        "overall fc ratio: {:.1}x (paper: 57.3x on real MNIST)",
+        report.ratio()
+    );
 
     // Verify on the decoded model.
     let (decoded, _) = decode_model(&model).expect("decode");

@@ -12,19 +12,44 @@ fn main() {
     let test_data = digits::dataset(600, 2);
     let mut net = zoo::build(Arch::LeNet300, Scale::Full, 42);
     println!("training LeNet-300-100 ({} parameters)…", net.param_count());
-    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        None,
+    );
 
     // 2. Prune to the paper's densities and retrain with masks.
     let (masks, stats) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
     for s in &stats {
-        println!("pruned {}: kept {:.1}% of {} weights", s.name, s.density() * 100.0, s.total);
+        println!(
+            "pruned {}: kept {:.1}% of {} weights",
+            s.name,
+            s.density() * 100.0,
+            s.total
+        );
     }
-    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() }, &masks);
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            ..Default::default()
+        },
+        &masks,
+    );
 
     // 3. Assess error bounds (Algorithm 1) and optimize the configuration
     //    (Algorithm 2) under a 0.5% expected accuracy loss.
     let eval = DatasetEvaluator::new(test_data.clone());
-    let cfg = AssessmentConfig { expected_loss: 0.005, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.005,
+        ..Default::default()
+    };
     let (assessments, baseline) = assess_network(&net, &cfg, &eval).expect("assessment");
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
     for c in &plan.layers {

@@ -55,5 +55,5 @@ pub mod prelude {
     pub use crate::nn::{self, accuracy, zoo, Arch, Dataset, Network, Scale, TrainConfig};
     pub use crate::prune;
     pub use crate::sparse::{Csr, PairArray};
-    pub use crate::sz::{ErrorBound, SzConfig};
+    pub use crate::sz::{ErrorBound, SzConfig, SzFormat};
 }

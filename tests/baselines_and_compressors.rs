@@ -17,7 +17,9 @@ fn pruned_layer(rows: usize, cols: usize, density: f64, seed: u64) -> Vec<f32> {
 /// DeepSZ's compressed bytes for one pruned layer at a fixed bound.
 fn deepsz_bytes(dense: &[f32], rows: usize, cols: usize, eb: f64) -> usize {
     let pair = PairArray::from_dense(dense, rows, cols);
-    let sz = SzConfig::default().compress(&pair.data, ErrorBound::Abs(eb)).unwrap();
+    let sz = SzConfig::default()
+        .compress(&pair.data, ErrorBound::Abs(eb))
+        .unwrap();
     let (_, idx) = best_fit(&pair.index);
     sz.len() + idx.len()
 }
@@ -49,7 +51,9 @@ fn sz_beats_zfp_on_fc_data_arrays() {
         let dense = pruned_layer(rows, cols, density, seed);
         let pair = PairArray::from_dense(&dense, rows, cols);
         for eb in [1e-2, 1e-3, 1e-4] {
-            let sz = SzConfig::default().compress(&pair.data, ErrorBound::Abs(eb)).unwrap();
+            let sz = SzConfig::default()
+                .compress(&pair.data, ErrorBound::Abs(eb))
+                .unwrap();
             let zfp = deepsz::zfp::compress(&pair.data, eb).unwrap();
             assert!(
                 sz.len() < zfp.len(),
@@ -71,7 +75,9 @@ fn weightless_decode_is_structurally_slower_than_deepsz() {
     let (rows, cols) = (1024, 4096);
     let dense = pruned_layer(rows, cols, 0.09, 9);
     let pair = PairArray::from_dense(&dense, rows, cols);
-    let sz_blob = SzConfig::default().compress(&pair.data, ErrorBound::Abs(7e-3)).unwrap();
+    let sz_blob = SzConfig::default()
+        .compress(&pair.data, ErrorBound::Abs(7e-3))
+        .unwrap();
     let (kind, idx_blob) = best_fit(&pair.index);
     let wl = weightless::encode_layer(&dense, rows, cols, &WlConfig::default()).unwrap();
 
@@ -79,7 +85,12 @@ fn weightless_decode_is_structurally_slower_than_deepsz() {
     for _ in 0..3 {
         let index = kind.codec().decompress(&idx_blob).unwrap();
         let data = deepsz::sz::decompress(&sz_blob).unwrap();
-        let p = PairArray { rows, cols, data, index };
+        let p = PairArray {
+            rows,
+            cols,
+            data,
+            index,
+        };
         p.to_dense().unwrap();
     }
     let dsz_t = t0.elapsed();
@@ -88,7 +99,10 @@ fn weightless_decode_is_structurally_slower_than_deepsz() {
         weightless::decode_layer(&wl);
     }
     let wl_t = t0.elapsed();
-    assert!(wl_t > dsz_t, "weightless {wl_t:?} must be slower than deepsz {dsz_t:?}");
+    assert!(
+        wl_t > dsz_t,
+        "weightless {wl_t:?} must be slower than deepsz {dsz_t:?}"
+    );
 }
 
 #[test]
@@ -97,9 +111,26 @@ fn deep_compression_at_low_bits_degrades_more_than_deepsz() {
     let train_data = digits::dataset(1200, 31);
     let test_data = digits::dataset(600, 32);
     let mut net = zoo::build(Arch::LeNet300, Scale::Full, 17);
-    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        None,
+    );
     let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
-    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() }, &masks);
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            ..Default::default()
+        },
+        &masks,
+    );
     let (base, _) = nn::accuracy(&net, &test_data, 200, 5);
 
     // DeepSZ at a moderate bound.
@@ -107,7 +138,9 @@ fn deep_compression_at_low_bits_degrades_more_than_deepsz() {
     for fc in net.fc_layers() {
         let d = net.dense(fc.layer_index);
         let pair = PairArray::from_dense(&d.w.data, d.w.rows, d.w.cols);
-        let blob = SzConfig::default().compress(&pair.data, ErrorBound::Abs(5e-3)).unwrap();
+        let blob = SzConfig::default()
+            .compress(&pair.data, ErrorBound::Abs(5e-3))
+            .unwrap();
         let data = deepsz::sz::decompress(&blob).unwrap();
         dsz_net.dense_mut(fc.layer_index).w.data =
             pair.with_data(data).unwrap().to_dense().unwrap();
@@ -122,7 +155,10 @@ fn deep_compression_at_low_bits_degrades_more_than_deepsz() {
             &d.w.data,
             d.w.rows,
             d.w.cols,
-            &DcConfig { bits: 2, kmeans_iters: 25 },
+            &DcConfig {
+                bits: 2,
+                kmeans_iters: 25,
+            },
         );
         let (dense, ..) = deep_compression::decode_layer(&enc).unwrap();
         dc_net.dense_mut(fc.layer_index).w.data = dense;
@@ -162,7 +198,15 @@ fn model_io_roundtrip_through_compression() {
     // save → load → compress → decode → apply across the io boundary.
     let train_data = digits::dataset(800, 51);
     let mut net = zoo::build(Arch::LeNet300, Scale::Full, 5);
-    nn::train(&mut net, &train_data, &TrainConfig { epochs: 1, ..Default::default() }, None);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        None,
+    );
     let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
     let _ = masks;
 
@@ -172,7 +216,10 @@ fn model_io_roundtrip_through_compression() {
     assert_eq!(net, loaded);
 
     let eval = DatasetEvaluator::new(digits::dataset(300, 52));
-    let cfg = AssessmentConfig { expected_loss: 0.01, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.01,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&loaded, &cfg, &eval).unwrap();
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
     let (model, report) = encode_with_plan(&assessments, &plan).unwrap();

@@ -9,10 +9,23 @@ fn trained_pruned_lenet300() -> (Network, Dataset, Dataset) {
     let train_data = digits::dataset(1500, 11);
     let test_data = digits::dataset(400, 12);
     let mut net = zoo::build(Arch::LeNet300, Scale::Full, 21);
-    let cfg = TrainConfig { epochs: 2, lr: 0.08, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        lr: 0.08,
+        ..Default::default()
+    };
     nn::train(&mut net, &train_data, &cfg, None);
     let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
-    prune::retrain(&mut net, &train_data, &TrainConfig { epochs: 1, lr: 0.02, ..cfg }, &masks);
+    prune::retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            ..cfg
+        },
+        &masks,
+    );
     (net, train_data, test_data)
 }
 
@@ -24,15 +37,25 @@ fn full_pipeline_lenet300() {
         use deepsz::framework::AccuracyEvaluator as _;
         eval.evaluate(&net)
     };
-    assert!(baseline > 0.90, "pruned+retrained baseline accuracy {baseline}");
+    assert!(
+        baseline > 0.90,
+        "pruned+retrained baseline accuracy {baseline}"
+    );
 
     // Algorithm 1: feasible ranges + (Δ, σ) samples per layer.
-    let cfg = AssessmentConfig { expected_loss: 0.01, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.01,
+        ..Default::default()
+    };
     let (assessments, measured_base) = assess_network(&net, &cfg, &eval).unwrap();
     assert_eq!(assessments.len(), 3);
     assert!((measured_base - baseline).abs() < 1e-9);
     for a in &assessments {
-        assert!(!a.points.is_empty(), "layer {} has no assessed points", a.fc.name);
+        assert!(
+            !a.points.is_empty(),
+            "layer {} has no assessed points",
+            a.fc.name
+        );
         // Strong trend: tightest bound costs clearly more than the loosest.
         // (Lorenzo feedback noise makes sizes mildly non-monotonic at the
         // extreme loose end, so per-step shrinkage is only checked with
@@ -96,7 +119,10 @@ fn full_pipeline_lenet300() {
 fn decoded_weights_respect_error_bounds_and_sparsity() {
     let (net, _train, test) = trained_pruned_lenet300();
     let eval = DatasetEvaluator::new(test.take(200));
-    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.02,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
     let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
@@ -124,7 +150,10 @@ fn decoded_weights_respect_error_bounds_and_sparsity() {
 fn expected_ratio_mode_meets_size_budget() {
     let (net, _train, test) = trained_pruned_lenet300();
     let eval = DatasetEvaluator::new(test.take(200));
-    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.02,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
 
     // Take the accuracy-mode plan's size (plus slack for the DP's size
@@ -147,7 +176,10 @@ fn expected_ratio_mode_meets_size_budget() {
 fn container_rejects_corruption_gracefully() {
     let (net, _train, test) = trained_pruned_lenet300();
     let eval = DatasetEvaluator::new(test.take(100));
-    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.02,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
     let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
@@ -158,8 +190,9 @@ fn container_rejects_corruption_gracefully() {
     assert!(decode_model(&bad).is_err());
     // Truncation at any point must error, never panic.
     for cut in [5usize, 20, model.bytes.len() / 2, model.bytes.len() - 1] {
-        let truncated =
-            deepsz::framework::CompressedModel { bytes: model.bytes[..cut].to_vec() };
+        let truncated = deepsz::framework::CompressedModel {
+            bytes: model.bytes[..cut].to_vec(),
+        };
         assert!(decode_model(&truncated).is_err(), "cut at {cut} decoded");
     }
 }
@@ -168,7 +201,10 @@ fn container_rejects_corruption_gracefully() {
 fn applying_to_mismatched_network_fails() {
     let (net, _train, test) = trained_pruned_lenet300();
     let eval = DatasetEvaluator::new(test.take(100));
-    let cfg = AssessmentConfig { expected_loss: 0.02, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.02,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
     let (model, _) = encode_with_plan(&assessments, &plan).unwrap();

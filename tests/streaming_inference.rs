@@ -8,16 +8,31 @@ fn compressed_lenet() -> (Network, deepsz::framework::CompressedModel, Dataset) 
     let train_data = digits::dataset(1000, 71);
     let test_data = digits::dataset(300, 72);
     let mut net = zoo::build(Arch::LeNet300, Scale::Full, 23);
-    nn::train(&mut net, &train_data, &TrainConfig { epochs: 2, ..Default::default() }, None);
+    nn::train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        None,
+    );
     let (masks, _) = prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
     prune::retrain(
         &mut net,
         &train_data,
-        &TrainConfig { epochs: 1, lr: 0.02, ..Default::default() },
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            ..Default::default()
+        },
         &masks,
     );
     let eval = DatasetEvaluator::new(test_data.clone());
-    let cfg = AssessmentConfig { expected_loss: 0.01, ..Default::default() };
+    let cfg = AssessmentConfig {
+        expected_loss: 0.01,
+        ..Default::default()
+    };
     let (assessments, _) = assess_network(&net, &cfg, &eval).unwrap();
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).unwrap();
     let (model, _) = encode_with_plan(&assessments, &plan).unwrap();
@@ -35,11 +50,18 @@ fn streaming_forward_matches_eager_decode() {
 fn peak_memory_is_bounded_by_largest_layer() {
     let (net, model, test) = compressed_lenet();
     // Prefetch off: the strict memory bound of one resident layer.
-    let streaming = CompressedFcModel::new(&net, &model).unwrap().with_prefetch(false);
+    let streaming = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch(false);
     let probe = test.batch(0, 16);
     let (_, stats) = streaming.forward(&probe).unwrap();
     // Peak = largest single fc layer (ip1: 300×784), not the sum.
-    let largest = net.fc_layers().iter().map(|f| f.dense_bytes()).max().unwrap();
+    let largest = net
+        .fc_layers()
+        .iter()
+        .map(|f| f.dense_bytes())
+        .max()
+        .unwrap();
     let total: usize = net.fc_layers().iter().map(|f| f.dense_bytes()).sum();
     assert_eq!(stats.peak_dense_bytes, largest);
     assert_eq!(stats.total_dense_bytes, total);
@@ -57,14 +79,20 @@ fn prefetch_holds_at_most_two_layers_and_matches_serial() {
     // single-core hosts (budget < 2 falls back to the serial path).
     let (out_pre, stats_pre) =
         deepsz::tensor::parallel::with_workers(4, || streaming.forward(&probe)).unwrap();
-    let serial = CompressedFcModel::new(&net, &model).unwrap().with_prefetch(false);
+    let serial = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch(false);
     let (out_ser, stats_ser) = serial.forward(&probe).unwrap();
     // Overlapped decode must not change the numerics.
     assert_eq!(out_pre, out_ser);
     assert_eq!(stats_pre.total_dense_bytes, stats_ser.total_dense_bytes);
     // Prefetch keeps the executing layer plus one in-flight decode.
     let dense: Vec<usize> = net.fc_layers().iter().map(|f| f.dense_bytes()).collect();
-    let max_pair = dense.windows(2).map(|w| w[0] + w[1]).max().unwrap_or(dense[0]);
+    let max_pair = dense
+        .windows(2)
+        .map(|w| w[0] + w[1])
+        .max()
+        .unwrap_or(dense[0]);
     assert!(stats_pre.peak_dense_bytes <= max_pair);
     assert!(stats_pre.peak_dense_bytes >= stats_ser.peak_dense_bytes);
     let total: usize = dense.iter().sum();
