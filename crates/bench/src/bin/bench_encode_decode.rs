@@ -13,7 +13,9 @@ use dsz_core::{decode_model, encode_with_plan, encode_with_plan_config, LayerAss
 use dsz_nn::{zoo, Arch, Scale};
 use dsz_sparse::PairArray;
 use dsz_sz::{ErrorBound, SzConfig, SzFormat};
-use dsz_tensor::parallel::{with_workers, worker_count};
+use dsz_tensor::parallel::{layout_workers, parallel_map, with_workers, worker_count};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Median wall time (ms) of `runs` calls to `f`.
@@ -27,6 +29,64 @@ fn median_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     times[times.len() / 2]
+}
+
+/// The pre-pool per-call `std::thread::scope` parallel map, preserved here
+/// as the fresh-spawn baseline that `pool_reuse_speedup` compares the
+/// persistent pool against. Work distribution matches `parallel_map` (an
+/// atomic claim queue); only the execution substrate differs.
+fn scoped_spawn_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n.max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().expect("slot") = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("job completed"))
+        .collect()
+}
+
+/// Measures pool-vs-fresh-spawn wall time on a small-layer workload, where
+/// per-call thread-spawn overhead dominates the actual compression work.
+/// Returns `(pooled_ms, scoped_ms)`.
+fn pool_reuse_times(workers: usize) -> (f64, f64) {
+    // A dozen tiny layers of 64 weights each: well under the 16 Ki
+    // adaptive chunk floor, so each job is a single-chunk compress with no
+    // nested fan-out — the parallel-map dispatch itself is a large share
+    // of the measured cost.
+    let jobs: Vec<Vec<f32>> = (0..12)
+        .map(|i| dsz_datagen::weights::trained_fc_weights(8, 8, 0xF00D ^ (i as u64) << 4))
+        .collect();
+    let cfg = SzConfig::default();
+    let compress = |d: &Vec<f32>| cfg.compress(d, ErrorBound::Abs(1e-3)).expect("compress");
+    let pooled_ms = with_workers(workers, || {
+        median_ms(15, || {
+            let _ = parallel_map(&jobs, compress);
+        })
+    });
+    let scoped_ms = median_ms(15, || {
+        let _ = scoped_spawn_map(&jobs, workers, compress);
+    });
+    (pooled_ms, scoped_ms)
 }
 
 fn main() {
@@ -180,11 +240,20 @@ fn main() {
         println!("note: single-core host — speedups are expected to be ~1.0x here");
     }
 
+    // Pool-reuse benefit on spawn-overhead-dominated work. Pin 4 workers
+    // so the dispatch path is exercised even on single-core hosts (the old
+    // scoped implementation paid 4 thread spawns per call here).
+    let pool_bench_workers = 4;
+    let (pooled_ms, scoped_ms) = pool_reuse_times(pool_bench_workers);
+    let pool_reuse_speedup = scoped_ms / pooled_ms.max(1e-9);
+    println!(
+        "pool reuse ({} workers, 12 × 64-weight layers): pooled {:.3} ms vs fresh-spawn {:.3} ms ({:.2}x)",
+        pool_bench_workers, pooled_ms, scoped_ms, pool_reuse_speedup
+    );
+
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"workload\": \"vgg16_reduced_fc_surrogate\",\n"
-    ));
+    json.push_str("  \"workload\": \"vgg16_reduced_fc_surrogate\",\n");
     json.push_str(&format!("  \"layers\": {},\n", assessments.len()));
     json.push_str(&format!("  \"dense_weights\": {},\n", n_weights));
     json.push_str(&format!("  \"container_bytes\": {},\n", report.total_bytes));
@@ -201,6 +270,17 @@ fn main() {
         report.ratio()
     ));
     json.push_str(&format!("  \"host_parallelism\": {},\n", host));
+    json.push_str(&format!("  \"layout_workers\": {},\n", layout_workers()));
+    json.push_str(&format!(
+        "  \"pool_bench_workers\": {},\n",
+        pool_bench_workers
+    ));
+    json.push_str(&format!("  \"pool_reuse_pooled_ms\": {:.3},\n", pooled_ms));
+    json.push_str(&format!("  \"pool_reuse_scoped_ms\": {:.3},\n", scoped_ms));
+    json.push_str(&format!(
+        "  \"pool_reuse_speedup\": {:.3},\n",
+        pool_reuse_speedup
+    ));
     json.push_str("  \"runs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

@@ -9,8 +9,10 @@
 //!
 //! # Threading model
 //!
-//! Both directions parallelize at two levels, the thread-pool analogue of
-//! the paper's per-layer multi-GPU encoding:
+//! Both directions parallelize at two levels — the paper's per-layer
+//! multi-GPU encoding mapped onto the persistent worker pool
+//! (`dsz_tensor::pool`; execution model in `docs/PARALLEL.md`), so no
+//! thread is spawned on the encode or decode hot path:
 //!
 //! * **Across layers** — [`encode_with_plan`] compresses every layer's
 //!   data/index streams through [`dsz_tensor::parallel::parallel_map`]
@@ -18,9 +20,10 @@
 //!   deterministic for any worker count); [`decode_model`] first parses
 //!   the container into zero-copy per-layer records, then decodes layers
 //!   through the same work queue.
-//! * **Within a layer** — the SZ v2 chunked stream format fans a single
+//! * **Within a layer** — the chunked SZ stream formats fan a single
 //!   layer's (de)compression out across workers too (see
-//!   `dsz_sz`'s codec docs), so even single-layer workloads scale.
+//!   `dsz_sz`'s codec docs), at the divided nested budget, so even
+//!   single-layer workloads scale.
 //!
 //! [`DecodeTiming`] accumulates per-stage times *summed over layers* (they
 //! overlap in wall-clock when layers decode concurrently); `wall_ms` is
@@ -132,7 +135,8 @@ pub fn encode_with_plan_config(
         .zip(&plan.layers)
         .map(|(a, c)| (a, c.eb))
         .collect();
-    let blobs: Vec<Result<(Vec<u8>, Vec<u8>), DeepSzError>> = parallel_map(&jobs, |&(a, eb)| {
+    type LayerBlobs = Result<(Vec<u8>, Vec<u8>), DeepSzError>;
+    let blobs: Vec<LayerBlobs> = parallel_map(&jobs, |&(a, eb)| {
         let sz_blob = sz.compress(&a.pair.data, ErrorBound::Abs(eb))?;
         let idx_blob = a.index_codec.codec().compress(&a.pair.index);
         Ok((sz_blob, idx_blob))

@@ -3,22 +3,36 @@
 //! utilization").
 //!
 //! Instead of decoding every fc layer up front, [`CompressedFcModel`] keeps
-//! the container bytes resident and materializes one dense layer at a time
-//! during the forward pass, dropping it as soon as its matmul is done. Peak
-//! weight memory becomes `max(layer)` instead of `sum(layers)` — for
-//! VGG-16's fc stack that is a 411 MB high-water mark instead of 494 MB,
-//! and with the compressed container as the only persistent copy, resident
-//! model state shrinks by the full compression ratio.
+//! the container bytes resident and materializes dense layers during the
+//! forward pass, dropping each as soon as its matmul is done. Peak weight
+//! memory becomes `max(layer)` instead of `sum(layers)` — for VGG-16's fc
+//! stack that is a 411 MB high-water mark instead of 494 MB, and with the
+//! compressed container as the only persistent copy, resident model state
+//! shrinks by the full compression ratio.
 //!
 //! # Prefetch
 //!
-//! By default the forward pass **prefetch-decodes layer *k+1* on a worker
-//! thread while layer *k*'s matmul runs**, hiding decode latency behind
-//! compute (the same overlap the paper uses across GPUs). Prefetch holds at
-//! most two dense layers at once, so the peak becomes
-//! `max(layer_k + layer_{k+1})`; call [`CompressedFcModel::with_prefetch`]
-//! with `false` to trade the overlap back for the strict `max(layer)`
-//! bound.
+//! By default the forward pass **prefetch-decodes the next fc layer on a
+//! pool worker while the current layer's matmul runs**, hiding decode
+//! latency behind compute (the same overlap the paper uses across GPUs).
+//! Prefetch is budgeted on two axes:
+//!
+//! * [`CompressedFcModel::with_prefetch_depth`] — how many layers ahead may
+//!   be decoding/decoded beyond the executing one (default 1; deep fc
+//!   stacks hide more latency at depth ≥ 2). Depth 0 is fully serial and
+//!   preserves the strict `max(layer)` bound.
+//! * [`CompressedFcModel::with_decoded_bytes_budget`] — a cap on the dense
+//!   bytes live at once (executing layer + every in-flight prefetch). A
+//!   prefetch that would exceed the cap is simply not scheduled; the layer
+//!   decodes inline when its turn comes, so the cap is never violated by
+//!   prefetching (a single layer larger than the cap still has to
+//!   materialize alone to execute).
+//!
+//! Decode tasks run on the persistent worker pool
+//! ([`dsz_tensor::pool::scope`]); joining a task that no pool worker picked
+//! up steals it inline, so prefetch degrades gracefully to serial order on
+//! busy or single-core hosts. [`CompressedFcModel::with_prefetch`] with
+//! `false` is shorthand for depth 0.
 
 use crate::pipeline::{
     decode_model, decode_record, parse_records, CompressedModel, DecodedLayer, RawLayerRecord,
@@ -26,6 +40,8 @@ use crate::pipeline::{
 use crate::DeepSzError;
 use dsz_lossless::LosslessKind;
 use dsz_nn::{Batch, Layer, Network};
+use dsz_tensor::pool;
+use std::collections::VecDeque;
 
 /// One fc layer kept in compressed form.
 #[derive(Debug, Clone)]
@@ -70,14 +86,17 @@ pub struct CompressedFcModel {
     /// The non-fc skeleton (fc layers carry empty weight buffers).
     skeleton: Network,
     layers: Vec<CompressedLayer>,
-    prefetch: bool,
+    /// Layers ahead of the executing one that may be decoding/decoded.
+    prefetch_depth: usize,
+    /// Cap on live dense bytes (executing + in-flight prefetches).
+    decoded_bytes_budget: Option<usize>,
 }
 
 /// Memory accounting from a streaming forward pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StreamingStats {
-    /// Peak bytes of dense fc weights resident at any instant (with
-    /// prefetch on, the executing layer plus the one being decoded).
+    /// Peak bytes of dense fc weights resident at any instant (the
+    /// executing layer plus every in-flight prefetch decode).
     pub peak_dense_bytes: usize,
     /// Sum of dense fc weights (what eager decoding would hold).
     pub total_dense_bytes: usize,
@@ -89,7 +108,7 @@ impl CompressedFcModel {
     /// Builds a streaming model from a network skeleton and its compressed
     /// container. The skeleton's fc weights are discarded (replaced by
     /// empty buffers) — only shapes and non-fc layers are kept. Prefetch
-    /// is on by default.
+    /// depth defaults to 1 with no decoded-bytes cap.
     pub fn new(net: &Network, model: &CompressedModel) -> Result<Self, DeepSzError> {
         let mut skeleton = net.clone();
         let layers: Vec<CompressedLayer> = parse_records(&model.bytes)?
@@ -129,24 +148,41 @@ impl CompressedFcModel {
         Ok(Self {
             skeleton,
             layers,
-            prefetch: true,
+            prefetch_depth: 1,
+            decoded_bytes_budget: None,
         })
     }
 
-    /// Enables or disables decode prefetch (see the module docs for the
-    /// memory/latency trade).
-    pub fn with_prefetch(mut self, on: bool) -> Self {
-        self.prefetch = on;
+    /// Enables (depth 1) or disables (depth 0) decode prefetch — shorthand
+    /// for [`Self::with_prefetch_depth`].
+    pub fn with_prefetch(self, on: bool) -> Self {
+        self.with_prefetch_depth(usize::from(on))
+    }
+
+    /// Sets how many fc layers ahead of the executing one may be
+    /// decoding/decoded concurrently. Depth 0 decodes inline (strict
+    /// `max(layer)` dense peak); depth `d ≥ 1` holds at most the executing
+    /// layer plus `d` prefetches, subject to the decoded-bytes budget.
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch_depth = depth;
+        self
+    }
+
+    /// Caps the dense bytes live at once (executing layer + in-flight
+    /// prefetches). `None` removes the cap. Prefetches that would exceed
+    /// the cap wait; execution itself is never blocked.
+    pub fn with_decoded_bytes_budget(mut self, bytes: Option<usize>) -> Self {
+        self.decoded_bytes_budget = bytes;
         self
     }
 
     /// Forward pass, materializing fc layers on demand. Returns the output
     /// batch and the memory accounting.
     pub fn forward(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
-        if self.prefetch {
-            self.forward_prefetch(x)
-        } else {
+        if self.prefetch_depth == 0 {
             self.forward_serial(x)
+        } else {
+            self.forward_prefetch(x)
         }
     }
 
@@ -190,10 +226,10 @@ impl CompressedFcModel {
         Ok((cur, stats))
     }
 
-    /// Pipelined forward: while layer *k*'s matmul runs, a scoped worker
-    /// thread decodes layer *k+1* (lossless + SZ + reconstruction — the SZ
-    /// chunks additionally fan out internally). Peak dense residency is
-    /// one executing layer plus one in-flight decode.
+    /// Pipelined forward: while layer *k*'s matmul runs, pool tasks decode
+    /// up to `prefetch_depth` upcoming layers (lossless + SZ +
+    /// reconstruction — the SZ chunks additionally fan out internally),
+    /// bounded by the decoded-bytes budget.
     fn forward_prefetch(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
             compressed_bytes: self
@@ -215,69 +251,113 @@ impl CompressedFcModel {
             })
             .collect();
         for &i in &order {
-            self.compressed_for(i)?; // fail before spawning anything
+            self.compressed_for(i)?; // fail before scheduling anything
         }
 
-        // The decode worker runs concurrently with the matmul thread, so
-        // the caller's worker budget is split between them (each side at
-        // least 1). Setting the pin inside the spawned thread also
-        // propagates a `with_workers` override, whose thread-local would
-        // otherwise be unset there.
+        // Decode tasks run concurrently with the matmul thread, so the
+        // caller's worker budget is split between the two sides (each side
+        // at least 1). Pinning inside the spawned task also propagates a
+        // `with_workers` override, whose thread-local would otherwise be
+        // unset on a pool worker.
         let budget = dsz_tensor::parallel::worker_count();
         if budget < 2 {
             // No second thread to overlap with: honoring a 1-thread pin
-            // means not spawning a concurrent decode at all.
+            // means not running any concurrent decode at all.
             return self.forward_serial(x);
         }
+        let depth = self.prefetch_depth;
+        let bytes_budget = self.decoded_bytes_budget.unwrap_or(usize::MAX);
         let decode_budget = budget / 2;
         let compute_budget = budget - decode_budget;
-        std::thread::scope(|s| {
-            let mut pending: Option<
-                std::thread::ScopedJoinHandle<'_, Result<DecodedLayer, DeepSzError>>,
-            > = None;
+        // The decode half of the budget is shared by all in-flight decodes.
+        let per_decode_budget = (decode_budget / depth).max(1);
+
+        // In-flight prefetch bookkeeping: (position in execution `order`,
+        // decode task handle, target dense bytes).
+        type Prefetch<'scope> = (
+            usize,
+            pool::TaskHandle<'scope, Result<DecodedLayer, DeepSzError>>,
+            usize,
+        );
+        pool::scope(|s| {
+            let mut pending: VecDeque<Prefetch<'_>> = VecDeque::new();
+            let mut pending_bytes = 0usize;
             let mut next_ord = 0usize;
-            if let Some(&i0) = order.first() {
-                let c = self.compressed_for(i0).expect("validated above");
-                pending = Some(s.spawn(move || {
-                    dsz_tensor::parallel::with_workers(decode_budget, || c.decode())
-                }));
-                next_ord = 1;
+
+            // Schedules prefetch decodes while depth and the bytes budget
+            // allow, given the dense bytes currently held by execution.
+            // (A macro rather than a closure: the spawned handles carry the
+            // scope lifetime, which a closure signature cannot name.)
+            macro_rules! schedule {
+                ($executing_bytes:expr) => {
+                    while pending.len() < depth && next_ord < order.len() {
+                        let c = self
+                            .compressed_for(order[next_ord])
+                            .expect("validated above");
+                        let bytes = c.dense_bytes();
+                        if $executing_bytes + pending_bytes + bytes > bytes_budget {
+                            break;
+                        }
+                        let handle = s.spawn(move || {
+                            dsz_tensor::parallel::with_workers(per_decode_budget, || c.decode())
+                        });
+                        pending.push_back((next_ord, handle, bytes));
+                        pending_bytes += bytes;
+                        next_ord += 1;
+                    }
+                };
             }
+
+            // Warm the pipeline so leading non-fc layers (e.g. a conv
+            // stack) overlap with the first decodes.
+            schedule!(0);
+
+            let mut cur_ord = 0usize;
             let mut cur = x.clone();
             for layer in &self.skeleton.layers {
                 match layer {
                     Layer::Dense(d) if d.w.data.is_empty() => {
-                        let handle = pending.take().expect("prefetch scheduled");
-                        let decoded = handle.join().map_err(|_| {
-                            DeepSzError::BadContainer("decode worker panicked".into())
-                        })??;
-                        // Kick off the next decode before this matmul.
-                        let mut inflight = 0usize;
-                        if let Some(&inext) = order.get(next_ord) {
-                            let c = self.compressed_for(inext).expect("validated above");
-                            pending = Some(s.spawn(move || {
-                                dsz_tensor::parallel::with_workers(decode_budget, || c.decode())
-                            }));
-                            inflight = c.dense_bytes();
-                            next_ord += 1;
-                        }
+                        let decoded = match pending.front() {
+                            Some(&(ord, _, _)) if ord == cur_ord => {
+                                let (_, handle, bytes) = pending.pop_front().expect("front exists");
+                                pending_bytes -= bytes;
+                                handle.join()?
+                            }
+                            // Not prefetched (depth exhausted by the bytes
+                            // budget): decode inline, like the serial path.
+                            _ => {
+                                next_ord = next_ord.max(cur_ord + 1);
+                                self.compressed_for(order[cur_ord])
+                                    .expect("validated above")
+                                    .decode()?
+                            }
+                        };
+                        cur_ord += 1;
                         let dense_bytes = decoded.dense.len() * 4;
-                        stats.peak_dense_bytes = stats.peak_dense_bytes.max(dense_bytes + inflight);
                         stats.total_dense_bytes += dense_bytes;
+                        // Top the pipeline back up now that the executing
+                        // layer's footprint is known.
+                        schedule!(dense_bytes);
+                        stats.peak_dense_bytes =
+                            stats.peak_dense_bytes.max(dense_bytes + pending_bytes);
                         let mut live = d.clone();
                         live.w.data = decoded.dense;
                         cur = forward_sharing_budget(
                             &Layer::Dense(live),
                             &cur,
-                            pending.is_some(),
+                            !pending.is_empty(),
                             compute_budget,
                         ); // dense weights dropped here
                     }
                     other => {
-                        // Non-fc layers also share cores with an in-flight
-                        // decode (e.g. the conv stack before the first fc).
-                        cur =
-                            forward_sharing_budget(other, &cur, pending.is_some(), compute_budget);
+                        // Non-fc layers also share cores with in-flight
+                        // decodes (e.g. the conv stack before the first fc).
+                        cur = forward_sharing_budget(
+                            other,
+                            &cur,
+                            !pending.is_empty(),
+                            compute_budget,
+                        );
                     }
                 }
             }

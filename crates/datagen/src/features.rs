@@ -89,8 +89,8 @@ pub fn train_test(
         for i in 0..n {
             let class = i % spec.classes;
             let p = &protos[class];
-            for d in 0..spec.dim {
-                x.push((p[d] + spec.noise * normal(&mut rng)).max(0.0));
+            for &pd in p.iter().take(spec.dim) {
+                x.push((pd + spec.noise * normal(&mut rng)).max(0.0));
             }
             labels.push(class as u16);
         }

@@ -162,10 +162,7 @@ pub fn tokenize(data: &[u8], p: &LzParams) -> Vec<Token> {
                 let take_here = if p.lazy && i + 1 < n {
                     insert(&mut head, &mut prev, i);
                     let next = find_best(&head, &prev, i + 1);
-                    match next {
-                        Some((_, _, ns)) if ns > score + 6 => false,
-                        _ => true,
-                    }
+                    !matches!(next, Some((_, _, ns)) if ns > score + 6)
                 } else {
                     true
                 };

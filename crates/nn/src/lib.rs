@@ -9,6 +9,12 @@
 //! Networks are flat [`Layer`] sequences; activations flow as [`Batch`]es of
 //! CHW volumes. Dense layers store weights as an `out × in` row-major
 //! [`dsz_tensor::Matrix`], matching the paper's `ip/fc` dimension tables.
+//!
+//! Layer forward/backward matmuls parallelize over output rows on the
+//! persistent worker pool (`dsz_tensor::pool`) and respect the calling
+//! thread's `with_workers` budget — which is how streaming inference
+//! shares cores between a matmul and concurrent prefetch decodes (see
+//! `docs/PARALLEL.md`).
 
 pub mod io;
 pub mod layers;

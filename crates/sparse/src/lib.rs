@@ -21,8 +21,9 @@ pub const PAD_MARKER: u8 = 255;
 pub const BITS_PER_ENTRY: usize = 40;
 
 /// Entry count below which [`PairArray::to_dense`] stays serial: the gap
-/// walk is one add + one store per entry, so thread spawn overhead only
-/// pays for itself on decode-path-sized layers.
+/// walk is one add + one store per entry, so even pooled dispatch (an
+/// enqueue + condvar wakeup per call since PR 3) only pays for itself on
+/// decode-path-sized layers.
 const MIN_PARALLEL_ENTRIES: usize = 1 << 15;
 
 /// Walks a gap-stream segment from running cursor `start`, invoking

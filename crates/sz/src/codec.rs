@@ -55,8 +55,10 @@
 //! [`decompress`] fan chunks out over [`dsz_tensor::parallel`] workers
 //! (encode via `parallel_map`, decode via `parallel_chunks` straight into
 //! disjoint slices of the output buffer — no per-chunk allocation or
-//! concatenation). Chunk payloads are byte-identical regardless of worker
-//! count, so containers stay deterministic. Each worker thread reuses a
+//! concatenation), which since PR 3 dispatch onto the persistent worker
+//! pool (`dsz_tensor::pool`, see `docs/PARALLEL.md`) instead of spawning
+//! threads per call. Chunk payloads are byte-identical regardless of
+//! worker count or pool occupancy, so containers stay deterministic. Each worker thread reuses a
 //! thread-local scratch ([`huffman::decode_stream_into`],
 //! [`rle::decompress_into`], `Codec::decompress_into`) to keep the decode
 //! hot loop allocation-light.
@@ -624,8 +626,8 @@ impl SzConfig {
     }
 
     /// Encodes one compression unit (the whole array for v1, one chunk for
-    /// v2) into a self-contained payload: selector RLE + regression params
-    /// + entropy-coded quantization codes (own code book) + verbatim
+    /// v2) into a self-contained payload: selector RLE, regression params,
+    /// entropy-coded quantization codes (own code book), and verbatim
     /// values.
     fn encode_unit(&self, data: &[f32], q: QuantParams) -> (Vec<u8>, ChunkCounts) {
         let unit = self.quantize_unit(data, q);
@@ -894,7 +896,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
         _ => {
             let chunk_elems = read_varint(bytes, &mut pos)? as usize;
             let n_chunks = read_varint(bytes, &mut pos)? as usize;
-            if chunk_elems == 0 || chunk_elems % block != 0 {
+            if chunk_elems == 0 || !chunk_elems.is_multiple_of(block) {
                 return Err(SzError::Codec(CodecError::corrupt("bad SZ chunk size")));
             }
             if n_chunks != n.div_ceil(chunk_elems) {

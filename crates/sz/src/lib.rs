@@ -232,7 +232,14 @@ mod tests {
     #[test]
     fn constant_data_is_tiny() {
         let data = vec![0.125f32; 100_000];
-        let blob = compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        // Pin a single chunk: the default adaptive geometry tracks
+        // `DSZ_THREADS` (more workers → more chunks → more framing), and
+        // this test asserts an absolute size, not a chunk count.
+        let cfg = SzConfig {
+            chunk_elems: data.len(),
+            ..SzConfig::default()
+        };
+        let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
         assert!(
             blob.len() < 2_000,
             "constant data should collapse, got {}",
@@ -240,6 +247,16 @@ mod tests {
         );
         let back = decompress(&blob).unwrap();
         assert!(max_abs_error(&data, &back) <= 1e-3);
+
+        // The adaptive default still collapses ~400 KB to a few KB at any
+        // worker budget (each chunk pays its own small framing).
+        let adaptive = compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        assert!(
+            adaptive.len() < 8_000,
+            "adaptive geometry should still collapse, got {}",
+            adaptive.len()
+        );
+        assert!(max_abs_error(&data, &decompress(&adaptive).unwrap()) <= 1e-3);
     }
 
     #[test]

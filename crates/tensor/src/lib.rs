@@ -3,10 +3,17 @@
 //! The paper runs on Caffe + cuDNN; the framework itself only needs forward
 //! passes (and SGD retraining for the pruning step), so this crate provides
 //! exactly that foundation: a row-major [`Matrix`], cache-blocked matrix
-//! multiplication parallelized with scoped threads, and the im2col transform
-//! used to lower convolutions to matmul.
+//! multiplication parallelized over the persistent worker pool, and the
+//! im2col transform used to lower convolutions to matmul.
+//!
+//! Execution model: the [`parallel`] helpers enqueue work onto the
+//! lazily-initialized long-lived pool in [`pool`] (the caller always
+//! participates, so nothing ever waits on pool availability); worker
+//! budgets nest by division so parallelism composes without multiplying
+//! threads. `docs/PARALLEL.md` documents the model end to end.
 
 pub mod parallel;
+pub mod pool;
 
 use parallel::parallel_for_rows;
 

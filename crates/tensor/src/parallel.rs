@@ -1,23 +1,41 @@
-//! Scoped-thread data parallelism.
+//! Pooled data parallelism.
 //!
-//! A tiny rayon-style toolkit over `std::thread::scope`, so closures may
-//! borrow from the caller and no dependency is needed:
+//! A tiny rayon-style toolkit whose closures may borrow from the caller and
+//! which needs no dependency:
 //!
 //! * [`parallel_for_rows`] — split an output buffer into contiguous row
-//!   chunks, one task per chunk (matmul-style loops).
+//!   chunks claimed off a work queue (matmul-style loops).
 //! * [`parallel_map`] — run independent jobs through a dynamic work queue,
 //!   collecting results in input order. Result slots are written lock-free:
 //!   the atomic queue hands each index to exactly one worker, so every slot
-//!   has a single writer and the scope join publishes the writes.
+//!   has a single writer and the batch retirement publishes the writes.
 //! * [`parallel_chunks`] — split a mutable buffer into caller-sized
 //!   disjoint chunks and fill them in parallel with fallible workers (the
-//!   chunked SZ v2 decoder's primitive).
+//!   chunked SZ decoder's primitive).
+//!
+//! Since PR 3 every helper executes on the persistent worker pool in
+//! [`crate::pool`] instead of spawning fresh `std::thread::scope` threads
+//! per call: the caller participates in its own batch and up to
+//! `workers - 1` condvar-parked pool threads join in, so per-call overhead
+//! is an enqueue + wakeup rather than thread creation. Outputs stay
+//! byte-identical for any worker count (and any pool occupancy) because
+//! work items are indexed and every slot has exactly one writer; see
+//! `docs/PARALLEL.md` for the full execution model.
 //!
 //! Worker count resolves, in order: a thread-local [`with_workers`]
 //! override (used by determinism tests), the `DSZ_THREADS` environment
 //! variable, then `available_parallelism()`. On a single-core host every
-//! helper degrades to a plain loop with no thread spawn.
+//! helper degrades to a plain loop touching no queue at all.
+//!
+//! # Budget nesting
+//!
+//! A helper running `w` ways out of a budget of `n` pins each execution
+//! (including the caller's own participation) to an inner budget of
+//! `(n / w).max(1)`, so nested parallel sections subdivide instead of
+//! multiplying the live thread count. The inline fallback (budget ≤ 1 or
+//! trivially small input) keeps the *full* budget visible to nested calls.
 
+use crate::pool;
 use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,8 +80,8 @@ pub fn layout_workers() -> usize {
 /// Runs `f` with the calling thread's worker count pinned to `n`.
 ///
 /// The pin follows the work through nested parallel sections: when a
-/// helper here spawns `w` workers out of a budget of `n`, each worker's
-/// own nested parallel calls see a budget of `n / w` (at least 1), so the
+/// helper here runs `w` ways out of a budget of `n`, each execution's own
+/// nested parallel calls see a budget of `n / w` (at least 1), so the
 /// total live thread count stays ~`n` instead of multiplying per level.
 /// Used by tests asserting thread-count-independent output and by benches
 /// comparing 1-thread vs N-thread timings.
@@ -79,14 +97,24 @@ pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Minimum rows per spawned task; below this the work runs inline.
+/// Minimum rows per work item; below this the work runs inline.
 const MIN_ROWS_PER_TASK: usize = 8;
 
+/// Shared pointer to per-item state (result slots, chunk slices, …).
+/// Safety: the atomic work queue hands each index to exactly one execution,
+/// so all writes target disjoint items, and the pool batch retirement
+/// happens-before the submitting caller's reads.
+struct RawItems<T>(*mut T);
+
+unsafe impl<T: Send> Sync for RawItems<T> {}
+
 /// Splits `out` (logically `rows × row_width`) into disjoint row chunks and
-/// calls `f(first_row, chunk)` for each, in parallel.
+/// calls `f(first_row, chunk)` for each, in parallel on the pool.
 ///
 /// `f` must be pure with respect to its chunk (it owns it exclusively); it
-/// may read any shared captured state.
+/// may read any shared captured state. Nested parallel calls inside `f` see
+/// the divided budget `(budget / workers).max(1)`, the same rule as
+/// [`parallel_map`].
 pub fn parallel_for_rows<F>(rows: usize, out: &mut [f32], row_width: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -95,42 +123,51 @@ where
     if out.is_empty() {
         return;
     }
-    let workers = worker_count();
-    if workers <= 1 || rows <= MIN_ROWS_PER_TASK {
+    let budget = worker_count();
+    if budget <= 1 || rows <= MIN_ROWS_PER_TASK {
         f(0, out);
         return;
     }
-    let chunk_rows = rows.div_ceil(workers).max(MIN_ROWS_PER_TASK);
-    std::thread::scope(|s| {
-        let mut rest = out;
-        let mut row0 = 0usize;
-        while !rest.is_empty() {
-            let take = (chunk_rows * row_width).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let fr = &f;
-            let r0 = row0;
-            s.spawn(move || {
-                WORKER_OVERRIDE.with(|c| c.set(Some(1)));
-                fr(r0, head)
-            });
-            row0 += take / row_width;
-            rest = tail;
-        }
-    });
+    let chunk_rows = rows.div_ceil(budget).max(MIN_ROWS_PER_TASK);
+    let mut chunks: Vec<(usize, &mut [f32])> = Vec::with_capacity(rows.div_ceil(chunk_rows));
+    let mut rest = out;
+    let mut row0 = 0usize;
+    while !rest.is_empty() {
+        let take = (chunk_rows * row_width).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((row0, head));
+        row0 += take / row_width;
+        rest = tail;
+    }
+    let n = chunks.len();
+    let workers = budget.min(n);
+    let inner_budget = (budget / workers).max(1);
+    let items = RawItems(chunks.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    {
+        let items = &items;
+        let next = &next;
+        let fr = &f;
+        pool::run_batch(workers - 1, &move || {
+            with_workers(inner_budget, || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: `i` is claimed exactly once, so this execution
+                // holds the only live reference to chunk `i`.
+                let (r0, chunk) = unsafe { &mut *items.0.add(i) };
+                fr(*r0, chunk);
+            })
+        });
+    }
 }
 
-/// Shared pointer to result slots. Safety: the atomic work queue hands each
-/// index to exactly one worker, so all writes are to disjoint slots, and
-/// the `thread::scope` join happens-before the caller reads them.
-struct SlotWriter<R>(*mut Option<R>);
-
-unsafe impl<R: Send> Sync for SlotWriter<R> {}
-
 /// Runs independent jobs (e.g. per-layer or per-chunk compression tasks)
-/// across threads, collecting results in input order. A dynamic work queue
-/// keeps uneven job costs balanced — this is the thread-level stand-in for
-/// the paper's multi-GPU parallel encoding. Slot writes are lock-free (one
-/// writer per slot, published by the scope join).
+/// across pool workers, collecting results in input order. A dynamic work
+/// queue keeps uneven job costs balanced — this is the thread-level
+/// stand-in for the paper's multi-GPU parallel encoding. Slot writes are
+/// lock-free (one writer per slot, published by the batch retirement).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -144,50 +181,41 @@ where
         // Inline: the full budget stays visible to nested parallel calls.
         return items.iter().map(&f).collect();
     }
-    // Divide the budget across nesting levels: each worker's own nested
+    // Divide the budget across nesting levels: each execution's own nested
     // parallel sections (e.g. chunked SZ inside a per-layer job) get the
     // remaining share instead of multiplying the thread count.
     let inner_budget = (budget / workers).max(1);
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
-    let slots = SlotWriter(results.as_mut_ptr());
+    let slots = RawItems(results.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
+    {
         let slots = &slots;
         let next = &next;
         let fr = &f;
-        for _ in 0..workers {
-            s.spawn(move || {
-                WORKER_OVERRIDE.with(|c| c.set(Some(inner_budget)));
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = fr(&items[i]);
-                    // SAFETY: `i` came from the queue exactly once, so this
-                    // slot has no other writer; the scope join publishes it.
-                    unsafe { *slots.0.add(i) = Some(r) };
+        pool::run_batch(workers - 1, &move || {
+            with_workers(inner_budget, || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-            });
-        }
-    });
+                let r = fr(&items[i]);
+                // SAFETY: `i` came from the queue exactly once, so this
+                // slot has no other writer; batch retirement publishes it.
+                unsafe { *slots.0.add(i) = Some(r) };
+            })
+        });
+    }
     results
         .into_iter()
         .map(|r| r.expect("job completed"))
         .collect()
 }
 
-/// Shared pointer to the chunk list. Safety mirrors [`SlotWriter`]: each
-/// chunk index is claimed by exactly one worker via the atomic queue.
-struct ChunkList<'a, T>(*mut &'a mut [T]);
-
-unsafe impl<T: Send> Sync for ChunkList<'_, T> {}
-
 /// Splits `data` into consecutive chunks of the given `sizes` (which must
 /// sum to `data.len()`) and runs `f(chunk_index, chunk)` for each in
-/// parallel. The first worker error (if any) is returned; remaining queued
-/// chunks are skipped once an error is observed.
+/// parallel on the pool. The first worker error (if any) is returned;
+/// remaining queued chunks are skipped once an error is observed.
 ///
 /// This is the disjoint-slot primitive behind chunk-parallel SZ decoding:
 /// every chunk decodes straight into its slice of the final buffer, so the
@@ -223,7 +251,7 @@ where
     }
     let n = chunks.len();
     let inner_budget = (budget / workers).max(1);
-    let list = ChunkList(chunks.as_mut_ptr());
+    let list = RawItems(chunks.as_mut_ptr());
     let next = AtomicUsize::new(0);
     // Per-chunk error slots so the *lowest-index* error is reported, the
     // same one the serial path would return — otherwise which of several
@@ -234,38 +262,35 @@ where
     // record its own error if it has one.
     let mut errors: Vec<Option<E>> = Vec::with_capacity(n);
     errors.resize_with(n, || None);
-    let err_slots = SlotWriter(errors.as_mut_ptr());
+    let err_slots = RawItems(errors.as_mut_ptr());
     let failed = std::sync::atomic::AtomicBool::new(false);
-    std::thread::scope(|s| {
+    {
         let list = &list;
         let next = &next;
         let fr = &f;
         let err_slots = &err_slots;
         let failed = &failed;
-        for _ in 0..workers {
-            s.spawn(move || {
-                WORKER_OVERRIDE.with(|c| c.set(Some(inner_budget)));
-                loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // SAFETY: `i` is claimed exactly once, so this worker
-                    // holds the only live reference to chunk `i` and its
-                    // error slot.
-                    let chunk: &mut [T] = unsafe { &mut *list.0.add(i) };
-                    if let Err(e) = fr(i, chunk) {
-                        unsafe { *err_slots.0.add(i) = Some(e) };
-                        failed.store(true, Ordering::Relaxed);
-                        break;
-                    }
+        pool::run_batch(workers - 1, &move || {
+            with_workers(inner_budget, || loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
                 }
-            });
-        }
-    });
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: `i` is claimed exactly once, so this execution
+                // holds the only live reference to chunk `i` and its error
+                // slot.
+                let chunk: &mut [T] = unsafe { &mut *list.0.add(i) };
+                if let Err(e) = fr(i, chunk) {
+                    unsafe { *err_slots.0.add(i) = Some(e) };
+                    failed.store(true, Ordering::Relaxed);
+                    break;
+                }
+            })
+        });
+    }
     match errors.into_iter().flatten().next() {
         Some(e) => Err(e),
         None => Ok(()),
@@ -275,6 +300,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn parallel_for_rows_covers_everything() {
@@ -297,6 +323,27 @@ mod tests {
     fn parallel_for_rows_empty() {
         let mut out: Vec<f32> = vec![];
         parallel_for_rows(0, &mut out, 5, |_, _| panic!("no work expected"));
+    }
+
+    #[test]
+    fn parallel_for_rows_divides_nested_budget() {
+        // 8-way budget over 32 rows → chunk_rows = 8 → 4 chunks claimed by
+        // up to 4 executions, each of which must see a nested budget of 2
+        // (the old implementation hard-pinned this to 1).
+        let rows = 32;
+        let width = 4;
+        let mut out = vec![0f32; rows * width];
+        with_workers(8, || {
+            parallel_for_rows(rows, &mut out, width, |_, chunk| {
+                let nested = worker_count() as f32;
+                for v in chunk.iter_mut() {
+                    *v = nested;
+                }
+            });
+        });
+        for v in &out {
+            assert_eq!(*v, 2.0, "inner budget must be (8 / 4).max(1) = 2");
+        }
     }
 
     #[test]
@@ -323,6 +370,29 @@ mod tests {
         let out = with_workers(4, || parallel_map(&items, |&x| vec![x as u8; x]));
         for (i, v) in out.iter().enumerate() {
             assert_eq!(v.len(), i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_panic_propagates_and_pool_recovers() {
+        // A panicking job must unwind out of `parallel_map` (not hang, not
+        // get swallowed) and must not poison the pool for later calls.
+        let items: Vec<usize> = (0..16).collect();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            with_workers(4, || {
+                parallel_map(&items, |&x| {
+                    if x == 7 {
+                        panic!("job 7 exploded");
+                    }
+                    x
+                })
+            })
+        }));
+        assert!(r.is_err(), "panic must propagate to the caller");
+        // The pool still serves subsequent batches correctly.
+        let out = with_workers(4, || parallel_map(&items, |&x| x + 1));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i + 1);
         }
     }
 
@@ -367,14 +437,14 @@ mod tests {
 
     #[test]
     fn nested_parallelism_divides_the_budget() {
-        // 4 workers over 4 jobs: each worker's nested budget collapses to 1.
+        // 4 workers over 4 jobs: each job's nested budget collapses to 1.
         with_workers(4, || {
             let items = [0usize; 4];
             for c in parallel_map(&items, |_| worker_count()) {
                 assert_eq!(c, 1);
             }
         });
-        // 8-thread budget over 2 jobs: each worker keeps 4 for nesting.
+        // 8-thread budget over 2 jobs: each job keeps 4 for nesting.
         with_workers(8, || {
             let items = [0usize; 2];
             for c in parallel_map(&items, |_| worker_count()) {
@@ -384,6 +454,26 @@ mod tests {
         // Single job runs inline: the full budget stays visible.
         with_workers(4, || {
             assert_eq!(parallel_map(&[0usize], |_| worker_count()), vec![4]);
+        });
+    }
+
+    #[test]
+    fn pool_workers_restore_their_budget_between_jobs() {
+        // A pool worker that ran a pinned job must not leak the pin into
+        // later jobs: `with_workers` inside the batch body restores the
+        // thread-local on exit. Two back-to-back calls with different
+        // budgets must each observe their own division.
+        with_workers(8, || {
+            let items = [0usize; 2];
+            for c in parallel_map(&items, |_| worker_count()) {
+                assert_eq!(c, 4);
+            }
+        });
+        with_workers(6, || {
+            let items = [0usize; 3];
+            for c in parallel_map(&items, |_| worker_count()) {
+                assert_eq!(c, 2);
+            }
         });
     }
 

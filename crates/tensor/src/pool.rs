@@ -1,0 +1,598 @@
+//! Lazily-initialized persistent worker pool.
+//!
+//! Every data-parallel helper in [`crate::parallel`] used to spawn fresh
+//! `std::thread::scope` threads per call; thread spawn costs tens of
+//! microseconds, which dominates small fc layers (the `pool_reuse_speedup`
+//! field in `BENCH_encode_decode.json` tracks exactly this). This module
+//! replaces the per-call spawns with a process-global pool of long-lived,
+//! condvar-parked workers that jobs are enqueued onto. Two entry points:
+//!
+//! * [`run_batch`] — the scoped-`Fn` primitive behind `parallel_for_rows`,
+//!   `parallel_map`, and `parallel_chunks`: the caller hands over a
+//!   work-claiming loop body, `extra` pool workers run it concurrently with
+//!   the caller (which always participates, so progress never depends on
+//!   pool availability), and the call returns only when every execution has
+//!   finished — the same borrow-safety contract as `std::thread::scope`.
+//! * [`scope`] / [`PoolScope::spawn`] — one-shot borrowed tasks with a
+//!   joinable [`TaskHandle`], used by `dsz_core`'s streaming prefetch to
+//!   overlap layer decode with matmul. A handle joined before any worker
+//!   picks the task up **steals and runs it inline**, so depth-limited
+//!   prefetch degrades gracefully to serial execution on busy or
+//!   single-core hosts instead of deadlocking.
+//!
+//! # Lifecycle and sizing
+//!
+//! The pool starts empty and grows on demand: when a batch or task needs
+//! more concurrency than there are idle workers, new threads are spawned up
+//! to [`MAX_POOL_THREADS`], and every spawned worker is kept forever
+//! (parked on a condvar when the queue is empty). Worker count therefore
+//! converges to the peak concurrency the process ever requested — for the
+//! default configuration that is `available_parallelism()` (or
+//! `DSZ_THREADS`) minus the participating caller.
+//!
+//! # Safety model
+//!
+//! Jobs carry lifetime-erased pointers to caller-stack closures. The erasure
+//! is sound because submission sites block until the pool can no longer
+//! reach the closure: [`run_batch`] revokes unclaimed tickets under the pool
+//! lock and then waits for in-flight executions to hit zero; [`scope`]
+//! steals-or-waits every spawned task before returning. Completion counters
+//! are updated under a mutex, so worker writes (result slots, chunk fills)
+//! happen-before the submitter's reads.
+//!
+//! # Panics
+//!
+//! A panicking job never takes a pool worker down or leaves the pool
+//! wedged: workers catch the unwind, record the payload, and go back to the
+//! queue; the panic resumes on the submitting thread (from [`run_batch`],
+//! from [`TaskHandle::join`], or from [`scope`] exit for never-joined
+//! tasks).
+//!
+//! See `docs/PARALLEL.md` for the full execution model, including how the
+//! worker-budget nesting rules from [`crate::parallel`] interact with
+//! pooled execution.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool threads. Tests deliberately oversubscribe small hosts
+/// (`with_workers(8)` sweeps on a 1-core CI box), so the cap is far above
+/// any realistic core count rather than tied to it.
+pub const MAX_POOL_THREADS: usize = 256;
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Lifetime-erased `&'env (dyn Fn() + Sync)`. Sound to send across threads
+/// because the submitting call blocks until no worker can still dereference
+/// it (see module docs).
+#[derive(Clone, Copy)]
+struct BatchBody(*const (dyn Fn() + Sync));
+
+unsafe impl Send for BatchBody {}
+unsafe impl Sync for BatchBody {}
+
+/// Mutable state of one batch job, guarded by [`BatchJob::state`].
+struct BatchState {
+    /// Executions not yet claimed by a worker. The submitter zeroes this to
+    /// revoke the job once its own participation finishes.
+    tickets: usize,
+    /// Claimed executions still running.
+    active: usize,
+    /// First panic recorded by a worker execution.
+    panic: Option<PanicPayload>,
+}
+
+/// A multi-ticket scoped job: up to `tickets` workers each run `body` once.
+struct BatchJob {
+    body: BatchBody,
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+/// One-shot task lifecycle. `Queued` owns the erased closure until a worker
+/// (or a stealing joiner) claims it.
+enum TaskSlot {
+    Queued(Box<dyn FnOnce() + Send + 'static>),
+    Running,
+    Finished(Option<PanicPayload>),
+    /// Panic payload already delivered to a joiner.
+    Joined,
+}
+
+/// A one-shot spawned task (see [`PoolScope::spawn`]).
+struct TaskJob {
+    slot: Mutex<TaskSlot>,
+    done: Condvar,
+}
+
+/// A unit a pool worker can pick off the queue.
+enum Work {
+    Batch(Arc<BatchJob>),
+    Task(Arc<TaskJob>),
+}
+
+/// Global queue + thread accounting, guarded by [`Pool::state`].
+struct PoolState {
+    queue: VecDeque<Work>,
+    /// Threads spawned so far (never shrinks).
+    spawned: usize,
+    /// Threads currently parked waiting for work.
+    idle: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here when the queue is empty.
+    work_ready: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            spawned: 0,
+            idle: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+/// Number of worker threads the pool has spawned so far (diagnostics /
+/// tests; the pool only ever grows).
+pub fn pool_thread_count() -> usize {
+    pool().state.lock().expect("pool lock").spawned
+}
+
+/// With the pool lock held, spawns enough workers that `demand` units of
+/// queued work can start promptly, up to [`MAX_POOL_THREADS`].
+fn ensure_workers(state: &mut PoolState, demand: usize) {
+    let deficit = demand.saturating_sub(state.idle);
+    let can_spawn = deficit.min(MAX_POOL_THREADS.saturating_sub(state.spawned));
+    for _ in 0..can_spawn {
+        state.spawned += 1;
+        std::thread::Builder::new()
+            .name(format!("dsz-pool-{}", state.spawned - 1))
+            .spawn(worker_loop)
+            .expect("spawn pool worker");
+    }
+}
+
+/// The persistent per-thread loop: claim work, run it, park when idle.
+fn worker_loop() {
+    let p = pool();
+    let mut state = p.state.lock().expect("pool lock");
+    loop {
+        if let Some(work) = claim(&mut state.queue) {
+            drop(state);
+            match work {
+                Work::Batch(job) => run_batch_body(&job),
+                Work::Task(task) => run_task(&task),
+            }
+            state = p.state.lock().expect("pool lock");
+        } else {
+            state.idle += 1;
+            state = p.work_ready.wait(state).expect("pool lock");
+            state.idle -= 1;
+        }
+    }
+}
+
+/// Pops one claimable unit of work. A batch job stays queued until its last
+/// ticket is claimed; tasks are single-claim.
+fn claim(queue: &mut VecDeque<Work>) -> Option<Work> {
+    match queue.front()? {
+        Work::Batch(job) => {
+            let job = job.clone();
+            let mut s = job.state.lock().expect("batch lock");
+            debug_assert!(s.tickets > 0, "ticketless batch left on queue");
+            s.tickets -= 1;
+            s.active += 1;
+            let drained = s.tickets == 0;
+            drop(s);
+            if drained {
+                queue.pop_front();
+            }
+            Some(Work::Batch(job))
+        }
+        Work::Task(_) => queue.pop_front(),
+    }
+}
+
+/// Runs one claimed execution of a batch body and retires it.
+fn run_batch_body(job: &BatchJob) {
+    // SAFETY: the ticket was claimed while `tickets > 0`, which the
+    // submitter only revokes *before* waiting for `active == 0`; it cannot
+    // return (invalidating the borrow) until this execution retires below.
+    let body = unsafe { &*job.body.0 };
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let mut s = job.state.lock().expect("batch lock");
+    s.active -= 1;
+    if let Err(p) = result {
+        s.panic.get_or_insert(p);
+    }
+    if s.tickets == 0 && s.active == 0 {
+        job.done.notify_all();
+    }
+}
+
+/// Runs a claimed one-shot task to completion.
+fn run_task(task: &TaskJob) {
+    let f = {
+        let mut slot = task.slot.lock().expect("task lock");
+        match std::mem::replace(&mut *slot, TaskSlot::Running) {
+            TaskSlot::Queued(f) => f,
+            // A joiner stole it between our queue pop and this lock — put
+            // the observed state back and walk away.
+            other => {
+                *slot = other;
+                return;
+            }
+        }
+    };
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let mut slot = task.slot.lock().expect("task lock");
+    *slot = TaskSlot::Finished(result.err());
+    task.done.notify_all();
+}
+
+/// Runs `body` once on the calling thread and up to `extra` more times on
+/// pool workers, returning once every started execution has finished.
+///
+/// This is the engine under the `parallel_*` helpers: `body` is a
+/// work-claiming loop over an atomic index queue, so it is correct (if
+/// slower) for *fewer* than `extra + 1` copies to run — any copies the pool
+/// cannot supply are simply absorbed by the participants that did start.
+/// A panic in any execution resumes on the calling thread after the batch
+/// fully retires; the pool workers themselves survive.
+pub fn run_batch(extra: usize, body: &(dyn Fn() + Sync)) {
+    if extra == 0 {
+        body();
+        return;
+    }
+    // SAFETY: erases `body`'s borrow to 'static; this call revokes and
+    // waits out every execution before returning, so no worker touches the
+    // closure after the real lifetime ends.
+    let body_static: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+    let job = Arc::new(BatchJob {
+        body: BatchBody(body_static),
+        state: Mutex::new(BatchState {
+            tickets: extra,
+            active: 0,
+            panic: None,
+        }),
+        done: Condvar::new(),
+    });
+    let p = pool();
+    {
+        let mut state = p.state.lock().expect("pool lock");
+        ensure_workers(&mut state, extra);
+        state.queue.push_back(Work::Batch(job.clone()));
+        if extra == 1 {
+            p.work_ready.notify_one();
+        } else {
+            p.work_ready.notify_all();
+        }
+    }
+    // The caller always participates — the batch makes progress even when
+    // every pool worker is busy or the thread cap is exhausted.
+    let caller_result = catch_unwind(AssertUnwindSafe(body));
+    // Revoke unclaimed tickets, then wait out in-flight executions. After
+    // this block no worker holds (or can ever claim) the erased borrow.
+    {
+        let mut state = p.state.lock().expect("pool lock");
+        let mut s = job.state.lock().expect("batch lock");
+        if s.tickets > 0 {
+            s.tickets = 0;
+            state
+                .queue
+                .retain(|w| !matches!(w, Work::Batch(j) if Arc::ptr_eq(j, &job)));
+        }
+        drop(state);
+        while s.active > 0 {
+            s = job.done.wait(s).expect("batch lock");
+        }
+    }
+    if let Err(p) = caller_result {
+        resume_unwind(p);
+    }
+    let worker_panic = job.state.lock().expect("batch lock").panic.take();
+    if let Some(p) = worker_panic {
+        resume_unwind(p);
+    }
+}
+
+/// A scope in which borrowed one-shot tasks can be spawned onto the pool.
+/// Mirrors `std::thread::scope`: every task is guaranteed finished (run by
+/// a worker, or stolen by a joiner / the scope exit) before [`scope`]
+/// returns, so tasks may borrow anything that outlives the scope.
+pub struct PoolScope<'scope, 'env: 'scope> {
+    tasks: Mutex<Vec<Arc<TaskJob>>>,
+    _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a task spawned in a [`PoolScope`].
+pub struct TaskHandle<'scope, T> {
+    task: Arc<TaskJob>,
+    result: Arc<Mutex<Option<T>>>,
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// Spawns `f` onto the pool, returning a joinable handle. If no worker
+    /// picks the task up before [`TaskHandle::join`] (or scope exit), the
+    /// joining thread runs it inline.
+    pub fn spawn<T, F>(&'scope self, f: F) -> TaskHandle<'scope, T>
+    where
+        T: Send + 'scope,
+        F: FnOnce() -> T + Send + 'scope,
+    {
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let slot = result.clone();
+        let run = move || {
+            let r = f();
+            *slot.lock().expect("result lock") = Some(r);
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(run);
+        // SAFETY: the scope (or an earlier join) waits for the task to
+        // finish before 'scope ends, so the erased closure cannot be called
+        // after its borrows expire.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        let task = Arc::new(TaskJob {
+            slot: Mutex::new(TaskSlot::Queued(boxed)),
+            done: Condvar::new(),
+        });
+        self.tasks.lock().expect("scope lock").push(task.clone());
+        let p = pool();
+        {
+            let mut state = p.state.lock().expect("pool lock");
+            ensure_workers(&mut state, 1);
+            state.queue.push_back(Work::Task(task.clone()));
+            p.work_ready.notify_one();
+        }
+        TaskHandle {
+            task,
+            result,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Drives `task` to the `Finished` state: steals it if still queued, waits
+/// if running. Returns any panic payload exactly once.
+fn finish_task(task: &Arc<TaskJob>) -> Option<PanicPayload> {
+    // Racing a worker for the claim: remove from the queue first so a
+    // worker cannot start it mid-steal.
+    {
+        let mut state = pool().state.lock().expect("pool lock");
+        state
+            .queue
+            .retain(|w| !matches!(w, Work::Task(t) if Arc::ptr_eq(t, task)));
+    }
+    let stolen = {
+        let mut slot = task.slot.lock().expect("task lock");
+        match std::mem::replace(&mut *slot, TaskSlot::Running) {
+            TaskSlot::Queued(f) => Some(f),
+            other => {
+                *slot = other;
+                None
+            }
+        }
+    };
+    if let Some(f) = stolen {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        let mut slot = task.slot.lock().expect("task lock");
+        *slot = TaskSlot::Finished(result.err());
+        task.done.notify_all();
+    }
+    let mut slot = task.slot.lock().expect("task lock");
+    loop {
+        match &mut *slot {
+            TaskSlot::Finished(p) => {
+                let p = p.take();
+                *slot = TaskSlot::Joined;
+                return p;
+            }
+            TaskSlot::Joined => return None,
+            _ => slot = task.done.wait(slot).expect("task lock"),
+        }
+    }
+}
+
+impl<T> TaskHandle<'_, T> {
+    /// Waits for the task (stealing it inline if still queued) and returns
+    /// its result. Panics from the task resume here.
+    pub fn join(self) -> T {
+        if let Some(p) = finish_task(&self.task) {
+            resume_unwind(p);
+        }
+        self.result
+            .lock()
+            .expect("result lock")
+            .take()
+            .expect("task finished without a result")
+    }
+}
+
+/// Creates a [`PoolScope`], runs `f` in it, and returns once every spawned
+/// task has finished. Panics from `f` or from never-joined tasks resume on
+/// the caller after all tasks retire (first task panic wins if `f`
+/// succeeded).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> R,
+{
+    let s = PoolScope {
+        tasks: Mutex::new(Vec::new()),
+        _scope: std::marker::PhantomData,
+        _env: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    // Retire every spawned task (joined ones are already `Joined`) before
+    // any borrow can expire — even when `f` itself panicked. Drained in a
+    // loop because a task may spawn further tasks while we finish it; the
+    // scope may only return once a full pass finds the list empty.
+    let mut task_panic: Option<PanicPayload> = None;
+    loop {
+        let tasks = std::mem::take(&mut *s.tasks.lock().expect("scope lock"));
+        if tasks.is_empty() {
+            break;
+        }
+        for task in &tasks {
+            if let Some(p) = finish_task(task) {
+                task_panic.get_or_insert(p);
+            }
+        }
+    }
+    match result {
+        Ok(r) => {
+            if let Some(p) = task_panic {
+                resume_unwind(p);
+            }
+            r
+        }
+        Err(p) => resume_unwind(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_batch_zero_extra_runs_inline() {
+        let hits = AtomicUsize::new(0);
+        run_batch(0, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_batch_runs_caller_plus_extras_at_most() {
+        // Claim-loop style body: counts executions, not work items.
+        for extra in [1usize, 3, 7] {
+            let execs = AtomicUsize::new(0);
+            run_batch(extra, &|| {
+                execs.fetch_add(1, Ordering::Relaxed);
+            });
+            let got = execs.load(Ordering::Relaxed);
+            assert!(
+                (1..=extra + 1).contains(&got),
+                "extra={extra} executions={got}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_batch_propagates_panic_and_pool_survives() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_batch(2, &|| panic!("batch boom"));
+        }));
+        let msg = *r.expect_err("must propagate").downcast::<&str>().unwrap();
+        assert_eq!(msg, "batch boom");
+        // Pool still serves work afterwards.
+        let hits = AtomicUsize::new(0);
+        run_batch(2, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn scope_task_join_returns_value() {
+        let x = 21;
+        let doubled = scope(|s| {
+            let h = s.spawn(|| x * 2);
+            h.join()
+        });
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn scope_waits_for_unjoined_tasks() {
+        let flag = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                flag.store(7, Ordering::SeqCst);
+            });
+        });
+        // The scope exit must have stolen-or-waited the task.
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn scope_task_panic_resumes_on_join() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| s.spawn(|| panic!("task boom")).join())
+        }));
+        let msg = *r.expect_err("must propagate").downcast::<&str>().unwrap();
+        assert_eq!(msg, "task boom");
+        // And an unjoined panicking task surfaces at scope exit.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("unjoined boom"));
+            })
+        }));
+        assert!(r.is_err());
+        // Pool remains healthy.
+        assert_eq!(scope(|s| s.spawn(|| 5).join()), 5);
+    }
+
+    #[test]
+    fn scope_waits_for_tasks_spawned_by_tasks() {
+        // A task spawning further tasks must not let them escape the scope
+        // wait — the lifetime-erasure contract depends on it.
+        let inner_ran = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                s.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    inner_ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(inner_ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_tasks_complete_out_of_order_joins() {
+        scope(|s| {
+            let handles: Vec<_> = (0..16).map(|i| s.spawn(move || i * i)).collect();
+            for (i, h) in handles.into_iter().enumerate().rev() {
+                assert_eq!(h.join(), i * i);
+            }
+        });
+    }
+
+    #[test]
+    fn nested_batches_make_progress() {
+        // A batch body that itself submits a batch must not deadlock, even
+        // when the pool has no free workers: participants drive everything.
+        let inner_hits = AtomicUsize::new(0);
+        run_batch(2, &|| {
+            run_batch(2, &|| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(inner_hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn pool_threads_are_reused() {
+        for _ in 0..32 {
+            run_batch(2, &|| {});
+        }
+        // 32 batches × 2 extras would be 64 scoped threads; the pool must
+        // have satisfied them with far fewer persistent workers.
+        assert!(pool_thread_count() <= MAX_POOL_THREADS);
+        assert!(pool_thread_count() >= 1);
+    }
+}

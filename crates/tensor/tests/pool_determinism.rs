@@ -1,0 +1,78 @@
+//! Property tests: every pooled parallel helper must produce output
+//! identical to its serial (1-worker) execution for any pool size. Outputs
+//! are a function of the indexed work items alone — which thread claims an
+//! item, how many pool workers exist, and what ran on the pool before must
+//! all be invisible.
+
+use dsz_tensor::parallel::{parallel_chunks, parallel_for_rows, parallel_map, with_workers};
+use proptest::prelude::*;
+
+/// Position-dependent fill so any chunk-boundary or ordering mistake shows
+/// up as a value mismatch, not just a coverage gap.
+fn fill_rows(rows: usize, width: usize, seed: u32, workers: usize) -> Vec<f32> {
+    let mut out = vec![0f32; rows * width];
+    with_workers(workers, || {
+        parallel_for_rows(rows, &mut out, width, |r0, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let r = r0 + i / width;
+                let c = i % width;
+                *v = ((r * 31 + c * 7) as u32 ^ seed) as f32;
+            }
+        });
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_map_matches_serial_for_pool_sizes_1_to_8(
+        items in proptest::collection::vec(any::<u32>(), 0..220),
+    ) {
+        let job = |&x: &u32| u64::from(x).wrapping_mul(0x9E3779B9) ^ 0xA5A5;
+        let serial = with_workers(1, || parallel_map(&items, job));
+        for workers in 1..=8usize {
+            let pooled = with_workers(workers, || parallel_map(&items, job));
+            prop_assert_eq!(&pooled, &serial, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn parallel_for_rows_matches_serial_for_pool_sizes_1_to_8(
+        rows in 1usize..120,
+        width in 1usize..9,
+        seed in any::<u32>(),
+    ) {
+        let serial = fill_rows(rows, width, seed, 1);
+        for workers in 2..=8usize {
+            let pooled = fill_rows(rows, width, seed, workers);
+            prop_assert_eq!(&pooled, &serial, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_matches_serial_for_pool_sizes_1_to_8(
+        sizes in proptest::collection::vec(0usize..40, 0..14),
+        seed in any::<u32>(),
+    ) {
+        let total: usize = sizes.iter().sum();
+        let run = |workers: usize| {
+            let mut buf = vec![0u32; total];
+            with_workers(workers, || {
+                parallel_chunks(&mut buf, &sizes, |ci, chunk| -> Result<(), ()> {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (ci as u32).wrapping_mul(2654435761) ^ (j as u32) ^ seed;
+                    }
+                    Ok(())
+                })
+            })
+            .unwrap();
+            buf
+        };
+        let serial = run(1);
+        for workers in 2..=8usize {
+            prop_assert_eq!(&run(workers), &serial, "workers={}", workers);
+        }
+    }
+}

@@ -4,6 +4,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+# Sweep the process worker budget: DSZ_THREADS=1 exercises every inline
+# fallback, DSZ_THREADS=4 exercises pooled dispatch + budget nesting.
+DSZ_THREADS=1 cargo test -q
+DSZ_THREADS=4 cargo test -q
+cargo clippy --workspace -q -- -D warnings
 cargo fmt --check
 echo "tier1: OK"

@@ -100,6 +100,72 @@ fn prefetch_holds_at_most_two_layers_and_matches_serial() {
 }
 
 #[test]
+fn prefetch_depths_zero_one_two_are_equivalent() {
+    let (net, model, test) = compressed_lenet();
+    let probe = test.batch(0, 16);
+    let serial = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch_depth(0);
+    let (out0, stats0) = serial.forward(&probe).unwrap();
+    for depth in [1usize, 2, 3] {
+        let m = CompressedFcModel::new(&net, &model)
+            .unwrap()
+            .with_prefetch_depth(depth);
+        // Pin a multi-thread budget so the overlapped path runs even on
+        // single-core hosts.
+        let (out, stats) = deepsz::tensor::parallel::with_workers(4, || m.forward(&probe)).unwrap();
+        assert_eq!(out, out0, "depth {depth} must not change the numerics");
+        assert_eq!(stats.total_dense_bytes, stats0.total_dense_bytes);
+        // Deeper pipelines may hold more dense bytes, never fewer layers'
+        // worth than the serial bound.
+        assert!(stats.peak_dense_bytes >= stats0.peak_dense_bytes);
+    }
+}
+
+#[test]
+fn deep_prefetch_pins_high_water_mark_to_decoded_bytes_budget() {
+    let (net, model, test) = compressed_lenet();
+    let probe = test.batch(0, 16);
+    let dense: Vec<usize> = net.fc_layers().iter().map(|f| f.dense_bytes()).collect();
+    assert_eq!(dense.len(), 3, "LeNet-300 fc stack");
+    let total: usize = dense.iter().sum();
+
+    // Depth 2 with no bytes budget: while the first (largest) layer
+    // executes, both remaining layers are in flight — the whole stack is
+    // the high-water mark.
+    let unbounded = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch_depth(2);
+    let (out_u, stats_u) =
+        deepsz::tensor::parallel::with_workers(4, || unbounded.forward(&probe)).unwrap();
+    assert_eq!(stats_u.peak_dense_bytes, total);
+
+    // An explicit budget of the two largest layers blocks the third
+    // prefetch exactly: the high-water mark lands on the budget.
+    let budget = dense[0] + dense[1];
+    assert!(budget < total);
+    let bounded = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch_depth(2)
+        .with_decoded_bytes_budget(Some(budget));
+    let (out_b, stats_b) =
+        deepsz::tensor::parallel::with_workers(4, || bounded.forward(&probe)).unwrap();
+    assert_eq!(stats_b.peak_dense_bytes, budget);
+    assert_eq!(out_b, out_u, "bytes budget must not change the numerics");
+
+    // A budget smaller than any single layer suppresses prefetch entirely,
+    // restoring the serial max(layer) bound (execution is never blocked).
+    let strict = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch_depth(2)
+        .with_decoded_bytes_budget(Some(1));
+    let (out_s, stats_s) =
+        deepsz::tensor::parallel::with_workers(4, || strict.forward(&probe)).unwrap();
+    assert_eq!(stats_s.peak_dense_bytes, *dense.iter().max().unwrap());
+    assert_eq!(out_s, out_u);
+}
+
+#[test]
 fn materialize_round_trips_to_a_working_network() {
     let (net, model, test) = compressed_lenet();
     let (baseline, _) = nn::accuracy(&net, &test, 100, 5);
