@@ -9,7 +9,9 @@
 use dsz_bench::tables::print_table;
 use dsz_bench::workloads::{paper_error_bounds, reduced_pruning_densities};
 use dsz_core::optimizer::{ChosenLayer, Plan};
-use dsz_core::{decode_model, encode_with_plan, encode_with_plan_config, LayerAssessment};
+use dsz_core::{
+    decode_model, encode_with_plan, encode_with_plan_config, DataCodecKind, LayerAssessment,
+};
 use dsz_nn::{zoo, Arch, Scale};
 use dsz_sparse::PairArray;
 use dsz_sz::{ErrorBound, SzConfig, SzFormat};
@@ -106,12 +108,22 @@ fn main() {
         let pair = PairArray::from_dense(&dense, fc.rows, fc.cols);
         let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
         let eb = ebs[li % ebs.len()];
+        // Per-layer codec competition through the same rule the
+        // assessment applies (smallest stream wins, SZ tie-break).
+        let candidates: Vec<_> = DataCodecKind::ALL
+            .iter()
+            .map(|k| k.instance(&SzConfig::default()))
+            .collect();
+        let (winner, _) = dsz_core::codec::compete(&candidates, &pair.data, ErrorBound::Abs(eb))
+            .expect("codec competition");
+        let codec = candidates[winner].kind();
         chosen.push(ChosenLayer {
             fc: fc.clone(),
             eb,
             degradation: 0.0,
             data_bytes: 0,
             index_bytes: index_blob.len(),
+            codec,
             point_index: 0,
         });
         assessments.push(LayerAssessment {
@@ -152,10 +164,11 @@ fn main() {
     }
     let mut rows: Vec<Row> = Vec::new();
     let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
-    // Same stack through the v2 layout at the same (adaptive) chunk
-    // geometry, so the ratio isolates exactly what v3 changes — one
-    // shared Huffman table instead of a code book per chunk — and tracks
-    // it across PRs.
+    // Same stack through the SZ v2 layout at the same (adaptive) chunk
+    // geometry, so the ratio isolates exactly what the default (v4)
+    // changes — one shared, backend-compressed Huffman table instead of a
+    // code book per chunk — and tracks it across PRs. Layers whose codec
+    // competition picked ZFP are identical on both sides.
     let v2_cfg = SzConfig {
         format: SzFormat::V2,
         ..SzConfig::default()
@@ -229,12 +242,28 @@ fn main() {
         ],
         &table,
     );
+    let zfp_win_layers = report
+        .layers
+        .iter()
+        .filter(|l| l.data_codec == DataCodecKind::Zfp)
+        .count();
     println!(
-        "container: {} bytes (v3), fc compression ratio {:.1}x; v2 layout would be {} bytes (v3/v2 = {:.4})",
+        "container: {} bytes (default SZ v4), fc compression ratio {:.1}x; SZ v2 layout would be {} bytes (default/v2 = {:.4})",
         report.total_bytes,
         report.ratio(),
         v2_report.total_bytes,
         report.total_bytes as f64 / v2_report.total_bytes.max(1) as f64
+    );
+    println!(
+        "per-layer codec competition: {} of {} layers chose ZFP ({})",
+        zfp_win_layers,
+        report.layers.len(),
+        report
+            .layers
+            .iter()
+            .map(|l| format!("{}={}", l.name, l.data_codec.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     if host == 1 {
         println!("note: single-core host — speedups are expected to be ~1.0x here");
@@ -262,9 +291,23 @@ fn main() {
         v2_report.total_bytes
     ));
     json.push_str(&format!(
-        "  \"v3_over_v2_size_ratio\": {:.4},\n",
+        "  \"default_over_v2_size_ratio\": {:.4},\n",
         report.total_bytes as f64 / v2_report.total_bytes.max(1) as f64
     ));
+    json.push_str(&format!(
+        "  \"codec_choice\": [{}],\n",
+        report
+            .layers
+            .iter()
+            .map(|l| format!(
+                "{{\"layer\": \"{}\", \"codec\": \"{}\"}}",
+                l.name,
+                l.data_codec.name()
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"zfp_win_layers\": {},\n", zfp_win_layers));
     json.push_str(&format!(
         "  \"compression_ratio\": {:.3},\n",
         report.ratio()

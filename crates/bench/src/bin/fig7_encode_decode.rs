@@ -114,8 +114,8 @@ fn main() {
             // are summed across concurrently-decoded layers (CPU-time-like),
             // so they can legitimately exceed the wall total.
             format!(
-                "{:.1} ms wall (stage sums: lossless {:.1} + SZ {:.1} + reconstruct {:.1})",
-                t.wall_ms, t.lossless_ms, t.sz_ms, t.reconstruct_ms
+                "{:.1} ms wall (stage sums: lossless {:.1} + lossy {:.1} + reconstruct {:.1})",
+                t.wall_ms, t.lossless_ms, t.lossy_ms, t.reconstruct_ms
             ),
             format!("{dc_dec:.1} ms"),
             format!("{wl_dec:.1} ms"),

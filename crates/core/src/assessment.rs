@@ -10,15 +10,19 @@
 //!   1e-2, 2e-2, …) and stops at the first bound whose Δ exceeds the user's
 //!   expected accuracy loss ε★ — the range's end point.
 //!
-//! Each test compresses *one* layer's condensed data array with SZ,
-//! reconstructs the network with only that layer replaced, and measures
-//! inference accuracy — linear in layers instead of exponential in the
-//! brute-force combination search. Tests for different layers are
-//! independent and run through a work queue ([`dsz_tensor::parallel`]),
-//! the thread-level analogue of the paper's multi-GPU encoding; each
-//! test's SZ compression additionally fans out over the chunked v2 stream
-//! format, so single-layer assessments scale past one core too.
+//! Each test compresses *one* layer's condensed data array with every
+//! candidate [`DataCodec`] (SZ, ZFP, … — the smaller stream wins the
+//! point, making the paper's Fig. 2 SZ-vs-ZFP comparison per layer and
+//! per bound instead of once globally), reconstructs the network with
+//! only that layer replaced, and measures inference accuracy — linear in
+//! layers instead of exponential in the brute-force combination search.
+//! Tests for different layers are independent and run through a work
+//! queue ([`dsz_tensor::parallel`]), the thread-level analogue of the
+//! paper's multi-GPU encoding; each test's SZ compression additionally
+//! fans out over the chunked stream formats, so single-layer assessments
+//! scale past one core too.
 
+use crate::codec::{DataCodec, DataCodecKind};
 use crate::evaluator::AccuracyEvaluator;
 use crate::DeepSzError;
 use dsz_lossless::best_fit;
@@ -28,7 +32,7 @@ use dsz_sz::{ErrorBound, SzConfig};
 use dsz_tensor::parallel::parallel_map;
 
 /// Assessment parameters (defaults mirror §3.3/§5.1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AssessmentConfig {
     /// First error bound of the outer scan (paper default 10⁻³; push to
     /// 10⁻⁴ for very sensitive nets).
@@ -40,8 +44,14 @@ pub struct AssessmentConfig {
     pub distortion_criterion: f64,
     /// ε★ — the user's expected accuracy loss (absolute fraction).
     pub expected_loss: f64,
-    /// SZ configuration used for every compression test.
+    /// SZ configuration used by the SZ candidate in every compression
+    /// test.
     pub sz: SzConfig,
+    /// Candidate data codecs competed at every sampled bound; the
+    /// smallest stream wins the point (ties keep the earlier entry).
+    /// Restrict to `vec![DataCodecKind::Sz]` to reproduce the paper's
+    /// SZ-only pipeline exactly.
+    pub candidates: Vec<DataCodecKind>,
 }
 
 impl Default for AssessmentConfig {
@@ -52,6 +62,7 @@ impl Default for AssessmentConfig {
             distortion_criterion: 0.001,
             expected_loss: 0.004,
             sz: SzConfig::default(),
+            candidates: DataCodecKind::ALL.to_vec(),
         }
     }
 }
@@ -64,8 +75,12 @@ pub struct EbPoint {
     /// Accuracy degradation Δ(ℓ; eb) = baseline − accuracy (may be
     /// slightly negative when noise helps).
     pub degradation: f64,
-    /// SZ-compressed size of the layer's data array at this bound.
+    /// Compressed size of the layer's data array at this bound, under
+    /// the winning codec.
     pub data_bytes: usize,
+    /// The codec that won this bound's size competition (Δ is measured
+    /// on its reconstruction).
+    pub codec: DataCodecKind,
 }
 
 /// Assessment result for one fc layer.
@@ -91,20 +106,25 @@ impl LayerAssessment {
     }
 }
 
-/// Tests Δ and σ for `layer` at `eb`: SZ-compress the data array, rebuild
-/// the network with only this layer reconstructed, and evaluate.
+/// Tests Δ and σ for `layer` at `eb`: every candidate codec compresses
+/// the data array and the smallest stream wins; the network is rebuilt
+/// with only this layer reconstructed from the winner and evaluated.
+///
+/// Only the winner is decoded and evaluated — the losers' blobs are
+/// dropped unmeasured, so adding candidates scales the (cheap) compress
+/// cost but not the (dominant) inference cost.
 fn test_point(
     net: &Network,
     baseline: f64,
     fc: &FcLayerRef,
     pair: &PairArray,
     eb: f64,
-    cfg: &AssessmentConfig,
+    codecs: &[Box<dyn DataCodec>],
     eval: &dyn AccuracyEvaluator,
 ) -> Result<EbPoint, DeepSzError> {
-    let blob = cfg.sz.compress(&pair.data, ErrorBound::Abs(eb))?;
+    let (winner, blob) = crate::codec::compete(codecs, &pair.data, ErrorBound::Abs(eb))?;
     let data_bytes = blob.len();
-    let restored = dsz_sz::decompress(&blob)?;
+    let restored = codecs[winner].decode(&blob)?;
     let dense = pair.with_data(restored)?.to_dense()?;
     let mut candidate = net.clone();
     candidate.dense_mut(fc.layer_index).w.data = dense;
@@ -113,6 +133,7 @@ fn test_point(
         eb,
         degradation: baseline - acc,
         data_bytes,
+        codec: codecs[winner].kind(),
     })
 }
 
@@ -140,13 +161,15 @@ fn assess_layer(
     let pair = PairArray::from_dense(&dense.data, dense.rows, dense.cols);
     let index_blob_input = pair.index.clone();
     let (index_codec, index_blob) = best_fit(&index_blob_input);
+    let codecs: Vec<Box<dyn DataCodec>> =
+        cfg.candidates.iter().map(|k| k.instance(&cfg.sz)).collect();
 
     // Outer scan: find the decade where distortion first appears.
     let mut points: Vec<EbPoint> = Vec::new();
     let mut range_start = None;
     let mut beta = cfg.start_eb;
     while beta <= cfg.max_eb * (1.0 + 1e-9) {
-        let p = test_point(net, baseline, fc, &pair, beta, cfg, eval)?;
+        let p = test_point(net, baseline, fc, &pair, beta, &codecs, eval)?;
         let distorted = p.degradation > cfg.distortion_criterion;
         points.push(p);
         if distorted {
@@ -169,7 +192,7 @@ fn assess_layer(
             loop {
                 // Skip bounds already tested in the outer scan.
                 if !points.iter().any(|p| (p.eb - eb).abs() < 1e-12) {
-                    let p = test_point(net, baseline, fc, &pair, eb, cfg, eval)?;
+                    let p = test_point(net, baseline, fc, &pair, eb, &codecs, eval)?;
                     let stop = p.degradation > cfg.expected_loss;
                     points.push(p);
                     if stop {
@@ -210,6 +233,11 @@ pub fn assess_network(
     cfg: &AssessmentConfig,
     eval: &dyn AccuracyEvaluator,
 ) -> Result<(Vec<LayerAssessment>, f64), DeepSzError> {
+    if cfg.candidates.is_empty() {
+        return Err(DeepSzError::Infeasible(
+            "AssessmentConfig::candidates must name at least one data codec".into(),
+        ));
+    }
     let baseline = eval.evaluate(net);
     let fcs = net.fc_layers();
     let results = parallel_map(&fcs, |fc| assess_layer(net, baseline, fc, cfg, eval));

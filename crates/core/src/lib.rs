@@ -6,20 +6,26 @@
 //! 1. **Network pruning** (delegated to [`dsz_prune`]).
 //! 2. **Error bound assessment** ([`assessment`], Algorithm 1): per fc
 //!    layer, find the feasible error-bound range by testing inference
-//!    accuracy with only that layer reconstructed from SZ, and collect
-//!    `(error bound → accuracy degradation, compressed size)` samples.
+//!    accuracy with only that layer reconstructed from a lossy
+//!    compression, and collect `(error bound → accuracy degradation,
+//!    compressed size)` samples — at each bound the candidate
+//!    [`codec::DataCodec`]s (SZ, ZFP) compete and the smaller stream
+//!    wins the point, making the paper's Fig. 2 comparison per layer.
 //! 3. **Optimization of the error-bound configuration** ([`optimizer`],
 //!    Algorithm 2): a knapsack-style dynamic program picks per-layer error
 //!    bounds minimizing total size under the user's expected accuracy loss
 //!    (or maximizing accuracy under a size budget — the expected-ratio
 //!    mode), justified by the approximate additivity of per-layer
 //!    degradations (Eq. 1, [`linearity`]).
-//! 4. **Compressed model generation** ([`pipeline`]): SZ on each layer's
-//!    `data` array at its chosen bound, best-fit lossless coding of the
-//!    `index` array, packed into a self-describing container. Decoding
-//!    reverses the three stages with per-stage timing (Fig. 7b).
+//! 4. **Compressed model generation** ([`pipeline`]): each layer's
+//!    `data` array compressed with its chosen codec at its chosen bound,
+//!    best-fit lossless coding of the `index` array, packed into a
+//!    self-describing container (DSZM v2) that records the per-layer
+//!    codec id. Decoding reverses the three stages with per-stage timing
+//!    (Fig. 7b).
 
 pub mod assessment;
+pub mod codec;
 pub mod evaluator;
 pub mod linearity;
 pub mod optimizer;
@@ -27,12 +33,13 @@ pub mod pipeline;
 pub mod streaming;
 
 pub use assessment::{assess_network, AssessmentConfig, EbPoint, LayerAssessment};
+pub use codec::{compete, DataCodec, DataCodecKind, SzCodec, ZfpCodec};
 pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator};
 pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{
-    apply_decoded, decode_model, encode_with_plan, encode_with_plan_config, CompressedModel,
-    DecodeTiming, DecodedLayer, EncodeReport,
+    apply_decoded, decode_model, encode_with_plan, encode_with_plan_config, encode_with_plan_v1,
+    CompressedModel, DecodeTiming, DecodedLayer, EncodeReport,
 };
 pub use streaming::{CompressedFcModel, StreamingStats};
 

@@ -11,13 +11,14 @@
 //! to a size budget.
 
 use crate::assessment::LayerAssessment;
+use crate::codec::DataCodecKind;
 use crate::DeepSzError;
 use dsz_nn::FcLayerRef;
 
 /// Budget grid resolution (the paper iterates ϵ over `[0..100]·ε★`).
 const GRID: usize = 100;
 
-/// The error bound chosen for one layer.
+/// The error bound (and data codec) chosen for one layer.
 #[derive(Debug, Clone)]
 pub struct ChosenLayer {
     /// Which layer.
@@ -26,10 +27,13 @@ pub struct ChosenLayer {
     pub eb: f64,
     /// Measured single-layer degradation at this bound.
     pub degradation: f64,
-    /// SZ-compressed data-array bytes at this bound.
+    /// Compressed data-array bytes at this bound (under `codec`).
     pub data_bytes: usize,
     /// Lossless-compressed index-array bytes.
     pub index_bytes: usize,
+    /// Data codec that won this layer's assessment at this bound — the
+    /// encode pipeline compresses the layer with exactly this codec.
+    pub codec: DataCodecKind,
     /// Index of the chosen point in the layer's assessment.
     pub point_index: usize,
 }
@@ -218,6 +222,7 @@ fn build_plan(assessments: &[LayerAssessment], picked: &[usize]) -> Plan {
             degradation: p.degradation,
             data_bytes: p.data_bytes,
             index_bytes: a.index_bytes,
+            codec: p.codec,
             point_index: pi,
         });
     }
@@ -298,6 +303,7 @@ mod tests {
                     eb,
                     degradation,
                     data_bytes,
+                    codec: DataCodecKind::Sz,
                 })
                 .collect(),
         }

@@ -1,11 +1,20 @@
 //! Compressed model generation and decoding — step 4 (§3.5).
 //!
 //! Encoding takes the assessment + plan and emits a self-describing
-//! container: per fc layer, the SZ-compressed `data` array at the chosen
-//! error bound and the best-fit-lossless-compressed `index` array.
-//! Decoding reverses the stages — lossless decompression, SZ decompression,
-//! sparse-matrix reconstruction — and reports the time spent in each, which
-//! is exactly the breakdown of the paper's Figure 7b.
+//! **DSZM v2** container: per fc layer, the `data` array compressed with
+//! the plan's chosen [`crate::codec::DataCodec`] at the chosen error bound (the
+//! one-byte codec id is recorded in the layer record), and the
+//! best-fit-lossless-compressed `index` array. Decoding reverses the
+//! stages — lossless decompression, lossy data decompression through the
+//! codec registry, sparse-matrix reconstruction — and reports the time
+//! spent in each, which is exactly the breakdown of the paper's
+//! Figure 7b.
+//!
+//! Legacy DSZM v1 containers (no codec id; data is always an SZ stream)
+//! keep decoding via the version-byte dispatch, mirroring the SZ
+//! v1/v2/v3/v4 stream precedent; [`encode_with_plan_v1`] still emits
+//! them for compatibility artifacts (and rejects plans that chose a
+//! non-SZ codec anywhere, since v1 cannot represent that).
 //!
 //! # Threading model
 //!
@@ -31,6 +40,7 @@
 //! is the signature of parallel decode.
 
 use crate::assessment::LayerAssessment;
+use crate::codec::DataCodecKind;
 use crate::optimizer::Plan;
 use crate::DeepSzError;
 use dsz_lossless::bits::{read_varint, write_varint};
@@ -42,7 +52,8 @@ use dsz_tensor::parallel::parallel_map;
 use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"DSZM";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
 
 /// A serialized compressed model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,9 +69,11 @@ pub struct EncodedLayerReport {
     pub name: String,
     /// Chosen error bound.
     pub eb: f64,
+    /// Lossy codec the data array was compressed with.
+    pub data_codec: DataCodecKind,
     /// Lossless codec picked for the index array.
     pub index_codec: LosslessKind,
-    /// SZ data-stream bytes.
+    /// Compressed data-stream bytes.
     pub data_bytes: usize,
     /// Lossless index-stream bytes.
     pub index_bytes: usize,
@@ -98,14 +111,16 @@ impl EncodeReport {
     }
 }
 
-/// Encodes the assessed layers according to `plan` into a container,
-/// using the default SZ configuration (the chunked v3 stream format with
-/// one shared Huffman table per layer and adaptive chunk sizing).
+/// Encodes the assessed layers according to `plan` into a DSZM v2
+/// container, compressing each layer's data array with the plan's chosen
+/// codec (SZ layers use the default configuration: the chunked v4 stream
+/// format with one shared Huffman table per layer and adaptive chunk
+/// sizing).
 ///
-/// Per-layer compression (SZ data stream + lossless index stream) runs in
-/// parallel across a work queue; serialization of the finished blobs is
-/// sequential, so container bytes are deterministic regardless of worker
-/// count.
+/// Per-layer compression (lossy data stream + lossless index stream)
+/// runs in parallel across a work queue; serialization of the finished
+/// blobs is sequential, so container bytes are deterministic regardless
+/// of worker count.
 pub fn encode_with_plan(
     assessments: &[LayerAssessment],
     plan: &Plan,
@@ -115,13 +130,50 @@ pub fn encode_with_plan(
 
 /// [`encode_with_plan`] with an explicit SZ configuration, so callers can
 /// pin a stream format (e.g. [`dsz_sz::SzFormat::V2`] for compatibility
-/// artifacts or A/B size comparisons) or a fixed chunk size. The decode
-/// path needs no matching knob — SZ streams are self-describing and
-/// dispatch on their version byte.
+/// artifacts or A/B size comparisons) or a fixed chunk size for the
+/// layers whose chosen codec is SZ. The decode path needs no matching
+/// knob — every data stream is self-describing, and the container's
+/// per-layer codec id picks the decoder.
 pub fn encode_with_plan_config(
     assessments: &[LayerAssessment],
     plan: &Plan,
     sz: &dsz_sz::SzConfig,
+) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
+    encode_container(assessments, plan, sz, VERSION_V2)
+}
+
+/// Emits the legacy DSZM v1 container layout (no per-layer codec id) for
+/// compatibility artifacts and the golden-bytes tests that pin v1 decode.
+/// Errors if any layer's chosen codec is not SZ — v1 records cannot name
+/// a codec, so SZ is the only thing they can carry. For the same reason
+/// an [`dsz_sz::SzFormat::V4`] configuration is clamped to
+/// [`dsz_sz::SzFormat::V3`]: the v1 container era predates the v4
+/// stream, so its readers reject v4 layers, and a compatibility artifact
+/// they cannot decode would be useless.
+pub fn encode_with_plan_v1(
+    assessments: &[LayerAssessment],
+    plan: &Plan,
+    sz: &dsz_sz::SzConfig,
+) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
+    if let Some(c) = plan.layers.iter().find(|c| c.codec != DataCodecKind::Sz) {
+        return Err(DeepSzError::BadContainer(format!(
+            "DSZM v1 cannot represent codec {} chosen for layer {}; encode a v2 container",
+            c.codec.name(),
+            c.fc.name
+        )));
+    }
+    let mut sz = *sz;
+    if sz.format == dsz_sz::SzFormat::V4 {
+        sz.format = dsz_sz::SzFormat::V3;
+    }
+    encode_container(assessments, plan, &sz, VERSION_V1)
+}
+
+fn encode_container(
+    assessments: &[LayerAssessment],
+    plan: &Plan,
+    sz: &dsz_sz::SzConfig,
+    version: u8,
 ) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
     assert_eq!(
         assessments.len(),
@@ -130,36 +182,41 @@ pub fn encode_with_plan_config(
     );
     let t0 = Instant::now();
 
-    let jobs: Vec<(&LayerAssessment, f64)> = assessments
+    let jobs: Vec<(&LayerAssessment, f64, DataCodecKind)> = assessments
         .iter()
         .zip(&plan.layers)
-        .map(|(a, c)| (a, c.eb))
+        .map(|(a, c)| (a, c.eb, c.codec))
         .collect();
     type LayerBlobs = Result<(Vec<u8>, Vec<u8>), DeepSzError>;
-    let blobs: Vec<LayerBlobs> = parallel_map(&jobs, |&(a, eb)| {
-        let sz_blob = sz.compress(&a.pair.data, ErrorBound::Abs(eb))?;
+    let blobs: Vec<LayerBlobs> = parallel_map(&jobs, |&(a, eb, kind)| {
+        let data_blob = kind
+            .instance(sz)
+            .encode(&a.pair.data, ErrorBound::Abs(eb))?;
         let idx_blob = a.index_codec.codec().compress(&a.pair.index);
-        Ok((sz_blob, idx_blob))
+        Ok((data_blob, idx_blob))
     });
 
     let mut bytes = Vec::new();
     bytes.extend_from_slice(MAGIC);
-    bytes.push(VERSION);
+    bytes.push(version);
     write_varint(&mut bytes, plan.layers.len() as u64);
 
     let mut reports = Vec::with_capacity(plan.layers.len());
     let mut total_dense = 0usize;
     for ((a, c), blob) in assessments.iter().zip(&plan.layers).zip(blobs) {
-        let (sz_blob, idx_blob) = blob?;
+        let (data_blob, idx_blob) = blob?;
         write_varint(&mut bytes, a.fc.name.len() as u64);
         bytes.extend_from_slice(a.fc.name.as_bytes());
         write_varint(&mut bytes, a.fc.layer_index as u64);
         write_varint(&mut bytes, a.pair.rows as u64);
         write_varint(&mut bytes, a.pair.cols as u64);
         bytes.extend_from_slice(&c.eb.to_le_bytes());
+        if version >= VERSION_V2 {
+            bytes.push(c.codec.id());
+        }
         bytes.push(a.index_codec.id());
-        write_varint(&mut bytes, sz_blob.len() as u64);
-        bytes.extend_from_slice(&sz_blob);
+        write_varint(&mut bytes, data_blob.len() as u64);
+        bytes.extend_from_slice(&data_blob);
         write_varint(&mut bytes, idx_blob.len() as u64);
         bytes.extend_from_slice(&idx_blob);
 
@@ -167,8 +224,9 @@ pub fn encode_with_plan_config(
         reports.push(EncodedLayerReport {
             name: a.fc.name.clone(),
             eb: c.eb,
+            data_codec: c.codec,
             index_codec: a.index_codec,
-            data_bytes: sz_blob.len(),
+            data_bytes: data_blob.len(),
             index_bytes: idx_blob.len(),
             dense_bytes: a.pair.dense_bytes(),
             pair_bytes: a.pair.size_bytes(),
@@ -209,8 +267,9 @@ pub struct DecodedLayer {
 pub struct DecodeTiming {
     /// Lossless index-array decompression (ms, summed over layers).
     pub lossless_ms: f64,
-    /// SZ data-array decompression (ms, summed over layers).
-    pub sz_ms: f64,
+    /// Lossy data-array decompression (ms, summed over layers) — the SZ
+    /// or ZFP stage, per the layer's codec id.
+    pub lossy_ms: f64,
     /// Sparse → dense matrix reconstruction (ms, summed over layers).
     pub reconstruct_ms: f64,
     /// End-to-end elapsed decode time (ms).
@@ -220,7 +279,7 @@ pub struct DecodeTiming {
 impl DecodeTiming {
     /// Total per-stage decode time (ms, summed over layers).
     pub fn total_ms(&self) -> f64 {
-        self.lossless_ms + self.sz_ms + self.reconstruct_ms
+        self.lossless_ms + self.lossy_ms + self.reconstruct_ms
     }
 }
 
@@ -230,18 +289,22 @@ pub(crate) struct RawLayerRecord<'a> {
     pub(crate) layer_index: usize,
     pub(crate) rows: usize,
     pub(crate) cols: usize,
+    pub(crate) data_codec: DataCodecKind,
     pub(crate) codec: LosslessKind,
-    pub(crate) sz_blob: &'a [u8],
+    pub(crate) data_blob: &'a [u8],
     pub(crate) idx_blob: &'a [u8],
 }
 
 /// Parses the container framing into per-layer records without decoding
 /// any payload (shared by [`decode_model`] and the streaming loader).
+/// Dispatches on the container version byte: v1 records carry no data
+/// codec id (SZ is implied), v2 records name their codec.
 pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, DeepSzError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(DeepSzError::BadContainer("bad magic".into()));
     }
-    if bytes[4] != VERSION {
+    let version = bytes[4];
+    if !(VERSION_V1..=VERSION_V2).contains(&version) {
         return Err(DeepSzError::BadContainer("unsupported version".into()));
     }
     let mut pos = 5usize;
@@ -264,12 +327,19 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
                 .expect("len 8"),
         );
         pos += 8;
+        let data_codec = if version >= VERSION_V2 {
+            let id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+            pos += 1;
+            DataCodecKind::from_id(id)?
+        } else {
+            DataCodecKind::Sz
+        };
         let codec = LosslessKind::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)?;
         pos += 1;
-        let sz_len = read_varint(bytes, &mut pos)? as usize;
-        let sz_end = pos.checked_add(sz_len).ok_or(CodecError::Truncated)?;
-        let sz_blob = bytes.get(pos..sz_end).ok_or(CodecError::Truncated)?;
-        pos = sz_end;
+        let data_len = read_varint(bytes, &mut pos)? as usize;
+        let data_end = pos.checked_add(data_len).ok_or(CodecError::Truncated)?;
+        let data_blob = bytes.get(pos..data_end).ok_or(CodecError::Truncated)?;
+        pos = data_end;
         let idx_len = read_varint(bytes, &mut pos)? as usize;
         let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
         let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?;
@@ -279,8 +349,9 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
             layer_index,
             rows,
             cols,
+            data_codec,
             codec,
-            sz_blob,
+            data_blob,
             idx_blob,
         });
     }
@@ -288,7 +359,9 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
 }
 
 /// Decodes one parsed record through the three stages, returning the layer
-/// plus `(lossless, sz, reconstruct)` stage times in ms.
+/// plus `(lossless, lossy, reconstruct)` stage times in ms. The data
+/// stage dispatches through the [`crate::codec::DataCodec`] registry on the record's
+/// codec id, so it is uniform across SZ and ZFP layers.
 pub(crate) fn decode_record(
     r: &RawLayerRecord<'_>,
 ) -> Result<(DecodedLayer, [f64; 3]), DeepSzError> {
@@ -297,8 +370,8 @@ pub(crate) fn decode_record(
     let lossless_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
-    let data = dsz_sz::decompress(r.sz_blob)?;
-    let sz_ms = t.elapsed().as_secs_f64() * 1e3;
+    let data = r.data_codec.codec().decode(r.data_blob)?;
+    let lossy_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
     if data.len() != index.len() {
@@ -323,7 +396,7 @@ pub(crate) fn decode_record(
             rows: r.rows,
             cols: r.cols,
         },
-        [lossless_ms, sz_ms, reconstruct_ms],
+        [lossless_ms, lossy_ms, reconstruct_ms],
     ))
 }
 
@@ -341,9 +414,9 @@ pub fn decode_model(
     let mut layers = Vec::with_capacity(records.len());
     let mut timing = DecodeTiming::default();
     for r in results {
-        let (layer, [lossless, sz, reconstruct]) = r?;
+        let (layer, [lossless, lossy, reconstruct]) = r?;
         timing.lossless_ms += lossless;
-        timing.sz_ms += sz;
+        timing.lossy_ms += lossy;
         timing.reconstruct_ms += reconstruct;
         layers.push(layer);
     }

@@ -34,6 +34,7 @@
 //! busy or single-core hosts. [`CompressedFcModel::with_prefetch`] with
 //! `false` is shorthand for depth 0.
 
+use crate::codec::DataCodecKind;
 use crate::pipeline::{
     decode_model, decode_record, parse_records, CompressedModel, DecodedLayer, RawLayerRecord,
 };
@@ -50,28 +51,31 @@ struct CompressedLayer {
     layer_index: usize,
     rows: usize,
     cols: usize,
+    data_codec: DataCodecKind,
     codec: LosslessKind,
-    sz_blob: Vec<u8>,
+    data_blob: Vec<u8>,
     idx_blob: Vec<u8>,
 }
 
 impl CompressedLayer {
     fn decode(&self) -> Result<DecodedLayer, DeepSzError> {
-        // Same three-stage decode as the eager path; timing discarded.
+        // Same three-stage decode as the eager path (the data stage
+        // dispatches through the DataCodec registry); timing discarded.
         let record = RawLayerRecord {
             name: &self.name,
             layer_index: self.layer_index,
             rows: self.rows,
             cols: self.cols,
+            data_codec: self.data_codec,
             codec: self.codec,
-            sz_blob: &self.sz_blob,
+            data_blob: &self.data_blob,
             idx_blob: &self.idx_blob,
         };
         decode_record(&record).map(|(layer, _)| layer)
     }
 
     fn compressed_bytes(&self) -> usize {
-        self.sz_blob.len() + self.idx_blob.len()
+        self.data_blob.len() + self.idx_blob.len()
     }
 
     fn dense_bytes(&self) -> usize {
@@ -118,8 +122,9 @@ impl CompressedFcModel {
                 layer_index: r.layer_index,
                 rows: r.rows,
                 cols: r.cols,
+                data_codec: r.data_codec,
                 codec: r.codec,
-                sz_blob: r.sz_blob.to_vec(),
+                data_blob: r.data_blob.to_vec(),
                 idx_blob: r.idx_blob.to_vec(),
             })
             .collect();
@@ -227,9 +232,9 @@ impl CompressedFcModel {
     }
 
     /// Pipelined forward: while layer *k*'s matmul runs, pool tasks decode
-    /// up to `prefetch_depth` upcoming layers (lossless + SZ +
-    /// reconstruction — the SZ chunks additionally fan out internally),
-    /// bounded by the decoded-bytes budget.
+    /// up to `prefetch_depth` upcoming layers (lossless + lossy data via
+    /// the layer's codec — SZ chunks additionally fan out internally —
+    /// + reconstruction), bounded by the decoded-bytes budget.
     fn forward_prefetch(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
             compressed_bytes: self

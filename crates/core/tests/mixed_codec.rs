@@ -1,0 +1,246 @@
+//! Mixed-codec model coverage: containers where different layers chose
+//! different [`dsz_core::DataCodec`]s must roundtrip bit-exactly through
+//! both the eager `decode_model` path and `CompressedFcModel` streaming
+//! inference, with container bytes deterministic across worker counts
+//! (and across `DSZ_THREADS=1/4` — the tier-1 gate runs this suite under
+//! both, and the FNV pin below would catch any divergence).
+
+use dsz_core::optimizer::{ChosenLayer, Plan};
+use dsz_core::streaming::streaming_matches_eager;
+use dsz_core::{
+    apply_decoded, decode_model, encode_with_plan_config, CompressedFcModel, DataCodecKind,
+    LayerAssessment,
+};
+use dsz_nn::{zoo, Arch, FcLayerRef, Scale};
+use dsz_sparse::PairArray;
+use dsz_sz::{max_abs_error, SzConfig};
+use dsz_tensor::parallel::with_workers;
+use proptest::prelude::*;
+
+/// Builds an assessment + plan over `layers` of `(rows, cols, eb, codec)`
+/// with deterministic pruned trained-like weights.
+fn fixture(layers: &[(usize, usize, f64, DataCodecKind)]) -> (Vec<LayerAssessment>, Plan) {
+    let mut assessments = Vec::new();
+    let mut chosen = Vec::new();
+    for (li, &(rows, cols, eb, codec)) in layers.iter().enumerate() {
+        let mut dense = dsz_datagen::weights::trained_fc_weights(rows, cols, 0xAB ^ (li as u64));
+        dsz_prune::prune_to_density(&mut dense, 0.35);
+        let pair = PairArray::from_dense(&dense, rows, cols);
+        let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
+        let fc = FcLayerRef {
+            layer_index: li,
+            name: format!("fc{li}"),
+            rows,
+            cols,
+        };
+        chosen.push(ChosenLayer {
+            fc: fc.clone(),
+            eb,
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            codec,
+            point_index: 0,
+        });
+        assessments.push(LayerAssessment {
+            fc,
+            pair,
+            index_codec,
+            index_bytes: index_blob.len(),
+            points: Vec::new(),
+        });
+    }
+    (
+        assessments,
+        Plan {
+            layers: chosen,
+            predicted_loss: 0.0,
+            total_bytes: 0,
+        },
+    )
+}
+
+/// Worker-count-independent SZ geometry so container bytes are a pure
+/// function of the input (host core count and `DSZ_THREADS` excluded).
+fn pinned_sz() -> SzConfig {
+    SzConfig {
+        chunk_elems: 4096,
+        ..SzConfig::default()
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A model with one SZ layer and one ZFP layer roundtrips bit-exactly:
+/// `decode_model` reproduces, per layer, exactly what that layer's own
+/// codec decodes from its own stream.
+#[test]
+fn mixed_codec_model_roundtrips_bit_exactly() {
+    let (assessments, plan) = fixture(&[
+        (48, 64, 1e-3, DataCodecKind::Sz),
+        (32, 40, 1e-3, DataCodecKind::Zfp),
+    ]);
+    let (model, report) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+    assert_eq!(report.layers[0].data_codec, DataCodecKind::Sz);
+    assert_eq!(report.layers[1].data_codec, DataCodecKind::Zfp);
+
+    let (decoded, _) = decode_model(&model).unwrap();
+    assert_eq!(decoded.len(), 2);
+    for ((d, a), c) in decoded.iter().zip(&assessments).zip(&plan.layers) {
+        // Reference: encode + decode this layer alone through its codec.
+        let blob = c
+            .codec
+            .instance(&pinned_sz())
+            .encode(&a.pair.data, dsz_sz::ErrorBound::Abs(c.eb))
+            .unwrap();
+        let data = c.codec.codec().decode(&blob).unwrap();
+        let want = a.pair.with_data(data).unwrap().to_dense().unwrap();
+        assert_eq!(
+            d.dense.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "layer {} not bit-exact",
+            d.name
+        );
+        // And the bound holds against the original weights.
+        let orig = &assessments[d.layer_index].pair;
+        let orig_dense = orig.to_dense().unwrap();
+        assert!(max_abs_error(&orig_dense, &d.dense) <= c.eb * (1.0 + 1e-9));
+    }
+}
+
+/// Same mixed container through streaming inference: the forward pass
+/// that decodes layers on demand (with prefetch) must agree exactly with
+/// eager decode + apply, on a real network skeleton.
+#[test]
+fn mixed_codec_streaming_matches_eager() {
+    let mut net = zoo::build(Arch::LeNet300, Scale::Full, 5);
+    let _ = dsz_prune::prune_network(&mut net, Arch::LeNet300.pruning_densities());
+
+    // Plan straight over the network's own pruned weights, alternating
+    // codecs across the three fc layers.
+    let kinds = [DataCodecKind::Sz, DataCodecKind::Zfp, DataCodecKind::Sz];
+    let mut assessments = Vec::new();
+    let mut chosen = Vec::new();
+    for (i, fc) in net.fc_layers().into_iter().enumerate() {
+        let dense = &net.dense(fc.layer_index).w;
+        let pair = PairArray::from_dense(&dense.data, dense.rows, dense.cols);
+        let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
+        chosen.push(ChosenLayer {
+            fc: fc.clone(),
+            eb: 1e-3,
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            codec: kinds[i % kinds.len()],
+            point_index: 0,
+        });
+        assessments.push(LayerAssessment {
+            fc,
+            pair,
+            index_codec,
+            index_bytes: index_blob.len(),
+            points: Vec::new(),
+        });
+    }
+    let plan = Plan {
+        layers: chosen,
+        predicted_loss: 0.0,
+        total_bytes: 0,
+    };
+    let (model, report) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+    assert_eq!(report.layers[1].data_codec, DataCodecKind::Zfp);
+
+    let probe = dsz_datagen::digits::dataset(64, 9).batch(0, 32);
+    assert!(streaming_matches_eager(&net, &model, &probe).unwrap());
+
+    // Depth-2 prefetch and the serial path agree with eager too.
+    let mut eager = net.clone();
+    let (decoded, _) = decode_model(&model).unwrap();
+    apply_decoded(&mut eager, decoded).unwrap();
+    let want = eager.forward(&probe);
+    for depth in [0usize, 2] {
+        let streaming = CompressedFcModel::new(&net, &model)
+            .unwrap()
+            .with_prefetch_depth(depth);
+        let (got, _) = streaming.forward(&probe).unwrap();
+        assert!(got == want, "depth-{depth} streaming diverged from eager");
+    }
+}
+
+/// Container bytes are deterministic across execution worker counts and
+/// across processes: with the chunk geometry pinned, the FNV of the
+/// mixed-codec container is a constant — running the suite under
+/// `DSZ_THREADS=1` and `DSZ_THREADS=4` (as `scripts/tier1.sh` does)
+/// checks the bytes are identical in both environments.
+#[test]
+fn mixed_codec_container_bytes_deterministic() {
+    let layers = [
+        (40, 50, 1e-2, DataCodecKind::Sz),
+        (30, 30, 1e-3, DataCodecKind::Zfp),
+        (20, 25, 1e-3, DataCodecKind::Sz),
+    ];
+    let encode = || {
+        let (assessments, plan) = fixture(&layers);
+        encode_with_plan_config(&assessments, &plan, &pinned_sz())
+            .unwrap()
+            .0
+            .bytes
+    };
+    let reference = with_workers(1, encode);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            with_workers(workers, encode),
+            reference,
+            "container bytes differ at {workers} workers"
+        );
+    }
+    assert_eq!(
+        fnv(&reference),
+        0x5faf_30e0_2b34_98e1,
+        "mixed-codec container bytes drifted (update the pin only on an \
+         intentional format change)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random shapes × alternating codec assignments × worker counts:
+    /// every layer of a mixed container reconstructs within its bound,
+    /// under both codec orders.
+    #[test]
+    fn mixed_codec_roundtrips_within_bound(
+        rows in 4usize..40,
+        cols in 4usize..40,
+        eb_idx in 0usize..3,
+        zfp_first in any::<bool>(),
+        workers in 1usize..5,
+    ) {
+        let eb = [1e-2f64, 1e-3, 1e-4][eb_idx];
+        let (a, b) = if zfp_first {
+            (DataCodecKind::Zfp, DataCodecKind::Sz)
+        } else {
+            (DataCodecKind::Sz, DataCodecKind::Zfp)
+        };
+        let (assessments, plan) = fixture(&[(rows, cols, eb, a), (cols, rows, eb, b)]);
+        let decoded = with_workers(workers, || {
+            let (model, _) =
+                encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+            decode_model(&model).unwrap().0
+        });
+        for (d, c) in decoded.iter().zip(&plan.layers) {
+            let orig = assessments[d.layer_index].pair.to_dense().unwrap();
+            prop_assert!(
+                max_abs_error(&orig, &d.dense) <= c.eb * (1.0 + 1e-9),
+                "layer {} violated eb {}", d.name, c.eb
+            );
+        }
+    }
+}

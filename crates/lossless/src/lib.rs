@@ -75,6 +75,11 @@ pub trait Codec: Sync {
         *out = self.decompress(data)?;
         Ok(())
     }
+    /// The decompressed length the stream's header claims, read without
+    /// decoding any payload. Decoders verify the real length as they go;
+    /// this lets callers of untrusted streams reject an absurd claim
+    /// *before* the decode loop commits memory to it.
+    fn declared_len(&self, data: &[u8]) -> Result<usize, CodecError>;
 }
 
 /// DEFLATE-like codec (the paper's "gzip" role).
@@ -94,6 +99,9 @@ impl Codec for Gzipish {
     fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
         lz::decode_tokens_into(data, out)
     }
+    fn declared_len(&self, data: &[u8]) -> Result<usize, CodecError> {
+        bits::read_varint(data, &mut 0).map(|v| v as usize)
+    }
 }
 
 /// Ratio-oriented large-window codec (the paper's "Zstandard" role).
@@ -112,6 +120,9 @@ impl Codec for Zstdish {
     }
     fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
         zstdish::decompress_into(data, out)
+    }
+    fn declared_len(&self, data: &[u8]) -> Result<usize, CodecError> {
+        bits::read_varint(data, &mut 0).map(|v| v as usize)
     }
 }
 
@@ -141,6 +152,13 @@ impl Codec for Bloscish {
     }
     fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
         bloscish::decompress_into(data, out)
+    }
+    fn declared_len(&self, data: &[u8]) -> Result<usize, CodecError> {
+        // 1-byte shuffle typesize, then the LZ body's raw_len varint.
+        if data.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        bits::read_varint(&data[1..], &mut 0).map(|v| v as usize)
     }
 }
 

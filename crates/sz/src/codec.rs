@@ -22,7 +22,7 @@
 //!          | chunk_elems | n_chunks | chunk record * n_chunks
 //!   ```
 //!
-//! * **v3** (default) — chunked like v2, but the quantization codes of
+//! * **v3** — chunked like v2, but the quantization codes of
 //!   *all* chunks are entropy-coded against **one shared canonical
 //!   Huffman table** carried in the layer header. Encoding is two-pass
 //!   (COMET-style): pass one quantizes chunks in parallel and pools a
@@ -36,6 +36,26 @@
 //!   "SZ1D" | 0x03 | n | abs_eb f64 | predictor | block | radius
 //!          | chunk_elems | n_chunks | entropy_id
 //!          | shared huffman table (entropy_id 0 only)
+//!          | chunk record * n_chunks
+//!   ```
+//!
+//! * **v4** (default) — identical to v3 except the shared Huffman table
+//!   itself goes through the lossless backend competition
+//!   ([`dsz_lossless::best_fit`]; disabled together with
+//!   [`SzConfig::backend`], so `backend: None` streams stay backend-free
+//!   end to end): a flag byte precedes the table, `0xff` meaning the
+//!   table is stored raw (the v3 serialization — small tables stay raw
+//!   because compression would not pay for its framing) and any
+//!   [`LosslessKind`] id meaning `[len varint][compressed table bytes]`
+//!   follows. Wide-alphabet tables (tight bounds over noisy layers)
+//!   shave a few hundred bytes per layer; everything after the table is
+//!   byte-identical to v3.
+//!
+//!   ```text
+//!   "SZ1D" | 0x04 | n | abs_eb f64 | predictor | block | radius
+//!          | chunk_elems | n_chunks | entropy_id
+//!          | table_flag u8                       (entropy_id 0 only)
+//!          |   0xff: raw table | else: len varint + backed table bytes
 //!          | chunk record * n_chunks
 //!   ```
 //!
@@ -63,10 +83,10 @@
 //! [`rle::decompress_into`], `Codec::decompress_into`) to keep the decode
 //! hot loop allocation-light.
 //!
-//! v1 and v2 streams still decode (the version byte dispatches); setting
-//! [`SzConfig::format`] to [`SzFormat::V1`] / [`SzFormat::V2`] makes the
-//! encoder emit those layouts for compatibility tests and single-stream
-//! comparisons.
+//! v1, v2, and v3 streams still decode (the version byte dispatches);
+//! setting [`SzConfig::format`] to [`SzFormat::V1`] / [`SzFormat::V2`] /
+//! [`SzFormat::V3`] makes the encoder emit those layouts for
+//! compatibility tests and single-stream comparisons.
 //!
 //! [`with_workers`]: dsz_tensor::parallel::with_workers
 
@@ -74,7 +94,7 @@ use crate::{ErrorBound, SzError};
 use dsz_lossless::bits::{read_varint, write_varint};
 use dsz_lossless::huffman;
 use dsz_lossless::huffman::{HuffmanCode, HuffmanDecoder, HuffmanEncoder};
-use dsz_lossless::{rle, CodecError, LosslessKind};
+use dsz_lossless::{best_fit, rle, CodecError, LosslessKind};
 use dsz_tensor::parallel::{layout_workers, parallel_chunks, parallel_map};
 use std::cell::RefCell;
 
@@ -82,6 +102,7 @@ const MAGIC: &[u8; 4] = b"SZ1D";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 const VERSION_V3: u8 = 3;
+const VERSION_V4: u8 = 4;
 
 /// Decode-side cap on elements per compressed byte, checked before the
 /// output buffer is allocated so a crafted header cannot demand absurd
@@ -159,8 +180,11 @@ pub enum SzFormat {
     V1,
     /// Chunked v2: every chunk carries its own Huffman table.
     V2,
-    /// Chunked v3 with one shared Huffman table per layer (default).
+    /// Chunked v3 with one shared Huffman table per layer (stored raw).
     V3,
+    /// v3 layout with the shared table backend-compressed via
+    /// [`dsz_lossless::best_fit`] when that wins (default).
+    V4,
 }
 
 /// Tunable compressor configuration. The defaults mirror SZ 2.x plus the
@@ -198,7 +222,7 @@ impl Default for SzConfig {
             entropy: EntropyStage::Huffman,
             backend: Some(LosslessKind::Zstd),
             chunk_elems: 0,
-            format: SzFormat::V3,
+            format: SzFormat::V4,
         }
     }
 }
@@ -207,7 +231,8 @@ impl Default for SzConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SzInfo {
     /// Stream format version (1 = monolithic, 2 = chunked with per-chunk
-    /// tables, 3 = chunked with a shared table).
+    /// tables, 3 = chunked with a shared table, 4 = shared table behind
+    /// the lossless backend competition).
     pub version: u8,
     /// Element count.
     pub n: usize,
@@ -401,7 +426,8 @@ impl SzConfig {
         match self.format {
             SzFormat::V1 => self.compress_v1(data, q),
             SzFormat::V2 => self.compress_v2(data, q),
-            SzFormat::V3 => self.compress_v3(data, q),
+            SzFormat::V3 => self.compress_shared_table(data, q, VERSION_V3),
+            SzFormat::V4 => self.compress_shared_table(data, q, VERSION_V4),
         }
     }
 
@@ -501,7 +527,8 @@ impl SzConfig {
         Ok((out, stats))
     }
 
-    /// Chunked v3 stream: two-pass encode with one shared Huffman table.
+    /// Chunked v3/v4 stream: two-pass encode with one shared Huffman
+    /// table (raw in the v3 header, backend-competed in v4).
     ///
     /// Pass one quantizes every chunk in parallel (fresh predictor state
     /// per chunk, exactly as v2) and pools a global histogram of the
@@ -510,10 +537,11 @@ impl SzConfig {
     /// payload in parallel against the shared encoder. Both passes are
     /// pure per chunk, so container bytes are deterministic for any
     /// execution worker count.
-    fn compress_v3(
+    fn compress_shared_table(
         &self,
         data: &[f32],
         q: QuantParams,
+        version: u8,
     ) -> Result<(Vec<u8>, CompressStats), SzError> {
         let n = data.len();
         let chunk = self.resolve_chunk_len(n, q.block);
@@ -574,12 +602,16 @@ impl SzConfig {
         });
 
         let mut out = Vec::with_capacity(records.iter().map(Vec::len).sum::<usize>() + 64);
-        self.write_common_header(&mut out, VERSION_V3, n, q);
+        self.write_common_header(&mut out, version, n, q);
         write_varint(&mut out, chunk as u64);
         write_varint(&mut out, n_chunks as u64);
         out.push(self.entropy.id());
         if let Some((code, _)) = &shared {
-            code.serialize(&mut out);
+            if version == VERSION_V3 {
+                code.serialize(&mut out);
+            } else {
+                write_backed_table(&mut out, code, self.backend.is_some());
+            }
         }
         let mut counts = ChunkCounts::default();
         for (record, u) in records.iter().zip(&units) {
@@ -794,6 +826,71 @@ impl SzConfig {
     }
 }
 
+/// Serializes the v4 shared-table field: the raw code book competes
+/// *all* lossless backends ([`best_fit`] — the table is written once per
+/// layer, so unlike per-chunk payloads the three trial compressions are
+/// affordable) and the compressed form is kept only when it beats the
+/// raw bytes *including* its length framing — so small tables stay raw
+/// behind the `0xff` flag. With the backend disabled (`backend: None`)
+/// the table is always stored raw, keeping such streams backend-free
+/// end to end.
+fn write_backed_table(out: &mut Vec<u8>, code: &HuffmanCode, backend_enabled: bool) {
+    let mut raw = Vec::new();
+    code.serialize(&mut raw);
+    if backend_enabled {
+        let (kind, comp) = best_fit(&raw);
+        let mut framed = Vec::with_capacity(comp.len() + 6);
+        write_varint(&mut framed, comp.len() as u64);
+        framed.extend_from_slice(&comp);
+        if framed.len() < raw.len() {
+            out.push(kind.id());
+            out.extend_from_slice(&framed);
+            return;
+        }
+    }
+    out.push(0xff);
+    out.extend_from_slice(&raw);
+}
+
+/// Decode-side cap on a backed shared table's decompressed size. A
+/// serialized table costs ≤ 6 bytes per coded symbol, and the canonical
+/// code's 24-bit length limit bounds real alphabets far below this —
+/// 16 MiB covers every encodable table with orders-of-magnitude margin
+/// while stopping a crafted stream from demanding gigabytes.
+const MAX_TABLE_BYTES: usize = 1 << 24;
+
+/// Parses the v4 shared-table field written by [`write_backed_table`].
+fn read_backed_table(bytes: &[u8], pos: &mut usize) -> Result<HuffmanCode, SzError> {
+    let flag = *bytes.get(*pos).ok_or(CodecError::Truncated)?;
+    *pos += 1;
+    match read_backend_id(flag)? {
+        None => HuffmanCode::deserialize(bytes, pos).map_err(SzError::Codec),
+        Some(kind) => {
+            let len = read_varint(bytes, pos)? as usize;
+            let end = pos.checked_add(len).ok_or(CodecError::Truncated)?;
+            let comp = bytes.get(*pos..end).ok_or(CodecError::Truncated)?;
+            *pos = end;
+            // Reject an absurd declared size before the backend's decode
+            // loop commits memory to it (the real length is still
+            // verified during decompression).
+            if kind.codec().declared_len(comp)? > MAX_TABLE_BYTES {
+                return Err(SzError::Codec(CodecError::corrupt(
+                    "backed huffman table too large",
+                )));
+            }
+            let raw = kind.codec().decompress(comp)?;
+            let mut table_pos = 0usize;
+            let code = HuffmanCode::deserialize(&raw, &mut table_pos).map_err(SzError::Codec)?;
+            if table_pos != raw.len() {
+                return Err(SzError::Codec(CodecError::corrupt(
+                    "trailing bytes after backed huffman table",
+                )));
+            }
+            Ok(code)
+        }
+    }
+}
+
 /// One compression unit's quantized-but-not-yet-entropy-coded streams.
 struct QuantizedUnit {
     /// Quantization codes, one per element ([`ESCAPE`] marks verbatim).
@@ -842,13 +939,13 @@ struct Header {
     radius: u32,
     /// v1 only: whole-payload backend.
     backend: Option<LosslessKind>,
-    /// v2/v3: elements per chunk (equals `n` for v1).
+    /// v2+: elements per chunk (equals `n` for v1).
     chunk_elems: usize,
-    /// v2/v3: chunk count (1 for non-empty v1 streams).
+    /// v2+: chunk count (1 for non-empty v1 streams).
     n_chunks: usize,
-    /// v3 only: entropy stage shared by every chunk.
+    /// v3/v4 only: entropy stage shared by every chunk.
     entropy: EntropyStage,
-    /// v3 + Huffman only: the shared code book from the layer header.
+    /// v3/v4 + Huffman only: the shared code book from the layer header.
     shared_code: Option<HuffmanCode>,
     payload_at: usize,
 }
@@ -858,7 +955,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
         return Err(SzError::Codec(CodecError::corrupt("bad SZ magic")));
     }
     let version = bytes[4];
-    if !(VERSION_V1..=VERSION_V3).contains(&version) {
+    if !(VERSION_V1..=VERSION_V4).contains(&version) {
         return Err(SzError::Codec(CodecError::corrupt(
             "unsupported SZ version",
         )));
@@ -902,15 +999,20 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
             if n_chunks != n.div_ceil(chunk_elems) {
                 return Err(SzError::Codec(CodecError::corrupt("bad SZ chunk count")));
             }
-            if version == VERSION_V3 {
+            if version >= VERSION_V3 {
                 // The shared entropy stage and (for Huffman) the layer-wide
-                // code book sit between the chunk geometry and the records.
+                // code book sit between the chunk geometry and the records;
+                // v4 additionally backend-compresses the code book behind a
+                // flag byte.
                 entropy = EntropyStage::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)
                     .map_err(SzError::Codec)?;
                 pos += 1;
                 if entropy == EntropyStage::Huffman {
-                    shared_code =
-                        Some(HuffmanCode::deserialize(bytes, &mut pos).map_err(SzError::Codec)?);
+                    shared_code = Some(if version == VERSION_V3 {
+                        HuffmanCode::deserialize(bytes, &mut pos).map_err(SzError::Codec)?
+                    } else {
+                        read_backed_table(bytes, &mut pos)?
+                    });
                 }
             }
             // Every chunk record needs at least 2 bytes (backend id + len),
@@ -1020,16 +1122,18 @@ enum UnitEntropy<'a> {
     /// v1/v2: an entropy-stage byte plus (for Huffman) the unit's own code
     /// book are embedded in each payload.
     Embedded,
-    /// v3 Huffman: the shared decoder built once from the layer header;
+    /// v3/v4 Huffman: the shared decoder built once from the layer header;
     /// the code count equals the unit's element count.
     Shared(&'a HuffmanDecoder),
-    /// v3 raw stage: bare varints, count equal to the unit's element count.
+    /// v3/v4 raw stage: bare varints, count equal to the unit's element
+    /// count.
     SharedRaw,
 }
 
 /// Decompresses a stream; see [`crate::decompress`]. Dispatches on the
-/// version byte: v1 decodes serially, v2/v3 fan chunks out across workers
-/// (v3 additionally builds its shared Huffman decoder exactly once).
+/// version byte: v1 decodes serially, v2/v3/v4 fan chunks out across
+/// workers (v3/v4 additionally build their shared Huffman decoder exactly
+/// once).
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
     let h = parse_header(bytes)?;
     match h.version {
@@ -1040,7 +1144,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
                 let code = h
                     .shared_code
                     .as_ref()
-                    .expect("v3 huffman header carries a table");
+                    .expect("v3/v4 huffman header carries a table");
                 let dec = code.decoder();
                 decompress_chunked(bytes, &h, UnitEntropy::Shared(&dec))
             }

@@ -16,15 +16,16 @@
 //! 4. **Lossless backend** — a byte codec (default [`LosslessKind::Zstd`])
 //!    over the Huffman payload and the verbatim-value stream.
 //!
-//! Streams default to the **chunked v3 format**: the array is split into
+//! Streams default to the **chunked v4 format**: the array is split into
 //! independently compressed chunks (sized adaptively from the layer length
 //! and worker budget) that encode and decode in parallel across
 //! [`dsz_tensor::parallel`] workers while producing bytes that are
 //! identical for any worker count, with all chunks entropy-coded against
-//! one shared Huffman table built from a layer-global histogram. Legacy v1
-//! (monolithic) and v2 (per-chunk tables) streams still decode, and
-//! [`SzFormat`] selects them for emission; see the codec module docs and
-//! `docs/FORMAT.md` for the wire layouts.
+//! one shared Huffman table built from a layer-global histogram (itself
+//! backend-compressed when that wins). Legacy v1 (monolithic), v2
+//! (per-chunk tables), and v3 (raw shared table) streams still decode,
+//! and [`SzFormat`] selects them for emission; see the codec module docs
+//! and `docs/FORMAT.md` for the wire layouts.
 //!
 //! Error bounds can be expressed as absolute, value-range-relative, or PSNR
 //! targets ([`ErrorBound`]), like the SZ library's `ABS` / `REL` / `PSNR`

@@ -1,7 +1,9 @@
-//! Tests pinning the v3 shared-Huffman-table stream format: golden-bytes
-//! v2 compatibility, proptest roundtrips across layer sizes × worker
-//! counts × error bounds, byte determinism, adaptive chunk sizing, the
-//! shared-table size win over v2, and cross-format decode equality.
+//! Tests pinning the v3/v4 shared-Huffman-table stream formats:
+//! golden-bytes v2 and v3 compatibility, proptest roundtrips across
+//! layer sizes × worker counts × error bounds × formats, byte
+//! determinism, adaptive chunk sizing, the shared-table size win over
+//! v2, the v4 backend-compressed table win over v3, and cross-format
+//! decode equality.
 
 use dsz_sz::{
     adaptive_chunk_elems, decompress, info, max_abs_error, EntropyStage, ErrorBound, SzConfig,
@@ -92,8 +94,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Random layer sizes (empty, singleton, sub-chunk, straddling chunk
-    /// boundaries) × worker counts × error bounds: v3 must roundtrip
-    /// within the bound and produce identical bytes at every worker count.
+    /// boundaries) × worker counts × error bounds × shared-table formats:
+    /// v3 and v4 must roundtrip within the bound and produce identical
+    /// bytes at every worker count.
     #[test]
     fn v3_roundtrip_sizes_workers_bounds(
         size_pick in prop_oneof![
@@ -108,12 +111,14 @@ proptest! {
         chunk_idx in 0usize..3,
         workers in 1usize..5,
         eb_idx in 0usize..3,
+        fmt_idx in 0usize..2,
     ) {
         // 0 = adaptive sizing; the explicit sizes force multi-chunk layers.
         let chunk_elems = [0usize, 512, 4096][chunk_idx];
         let eb = [1e-2f64, 1e-3, 1e-4][eb_idx];
+        let format = [SzFormat::V3, SzFormat::V4][fmt_idx];
         let data = weights(size_pick, size_pick as u64 + 7, 0.1);
-        let cfg = SzConfig { chunk_elems, ..SzConfig::default() };
+        let cfg = SzConfig { chunk_elems, format, ..SzConfig::default() };
 
         let reference = with_workers(1, || cfg.compress(&data, ErrorBound::Abs(eb)).unwrap());
         let (blob, back) = with_workers(workers, || {
@@ -126,45 +131,51 @@ proptest! {
         prop_assert!(max_abs_error(&data, &back) <= eb * (1.0 + 1e-9));
 
         let i = info(&blob).unwrap();
-        prop_assert_eq!(i.version, 3);
+        prop_assert_eq!(i.version, [3u8, 4][fmt_idx]);
         prop_assert_eq!(i.n, data.len());
         if !data.is_empty() {
             prop_assert_eq!(i.chunks, data.len().div_ceil(i.chunk_elems));
         }
     }
 
-    /// Arbitrary bytes, and bytes doctored to carry the v3 version, must
-    /// never panic the decoder.
+    /// Arbitrary bytes, and bytes doctored to carry the v3 or v4 version,
+    /// must never panic the decoder.
     #[test]
     fn v3_decoder_never_panics_on_garbage(
         data in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let _ = decompress(&data);
         let _ = info(&data);
-        let mut doctored = b"SZ1D\x03".to_vec();
-        doctored.extend_from_slice(&data);
-        let _ = decompress(&doctored);
-        let _ = info(&doctored);
+        for version in [3u8, 4] {
+            let mut doctored = b"SZ1D".to_vec();
+            doctored.push(version);
+            doctored.extend_from_slice(&data);
+            let _ = decompress(&doctored);
+            let _ = info(&doctored);
+        }
     }
 }
 
-/// Every truncation of a valid v3 stream errors cleanly (no panic, no
-/// wrong-but-Ok decode).
+/// Every truncation of a valid v3 or v4 stream errors cleanly (no panic,
+/// no wrong-but-Ok decode).
 #[test]
 fn v3_truncations_error() {
     let data = weights(2000, 3, 0.1);
-    let cfg = SzConfig {
-        chunk_elems: 512,
-        ..SzConfig::default()
-    };
-    let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
-    for len in 0..blob.len() {
-        assert!(
-            decompress(&blob[..len]).is_err(),
-            "truncation at {len} decoded"
-        );
+    for format in [SzFormat::V3, SzFormat::V4] {
+        let cfg = SzConfig {
+            chunk_elems: 512,
+            format,
+            ..SzConfig::default()
+        };
+        let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        for len in 0..blob.len() {
+            assert!(
+                decompress(&blob[..len]).is_err(),
+                "{format:?} truncation at {len} decoded"
+            );
+        }
+        assert!(decompress(&blob).is_ok());
     }
-    assert!(decompress(&blob).is_ok());
 }
 
 /// All-constant input → every chunk quantizes to one symbol → a
@@ -300,18 +311,34 @@ fn decode_bit_identical_across_formats_and_workers() {
     }
     .compress(&data, eb)
     .unwrap();
+    let v4_one = SzConfig {
+        format: SzFormat::V4,
+        chunk_elems: n,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
+    let v4_many = SzConfig {
+        format: SzFormat::V4,
+        chunk_elems: 1 << 14,
+        ..SzConfig::default()
+    }
+    .compress(&data, eb)
+    .unwrap();
 
     let reference_one = with_workers(1, || decompress(&v1).unwrap());
     let reference_many = with_workers(1, || decompress(&v3_many).unwrap());
     assert!(max_abs_error(&data, &reference_one) <= 1e-3 * (1.0 + 1e-9));
     assert!(max_abs_error(&data, &reference_many) <= 1e-3 * (1.0 + 1e-9));
 
-    let groups: [(&[u8], &[f32]); 5] = [
+    let groups: [(&[u8], &[f32]); 7] = [
         (&v1, &reference_one),
         (&v2_one, &reference_one),
         (&v3_one, &reference_one),
+        (&v4_one, &reference_one),
         (&v2_many, &reference_many),
         (&v3_many, &reference_many),
+        (&v4_many, &reference_many),
     ];
     for (gi, (blob, want)) in groups.iter().enumerate() {
         for workers in [1usize, 2, 4, 8] {
@@ -341,7 +368,7 @@ fn v3_adaptive_bytes_deterministic_across_workers() {
         assert_eq!(blob, reference, "encode bytes differ at {workers} workers");
     }
     let i = info(&reference).unwrap();
-    assert_eq!(i.version, 3);
+    assert_eq!(i.version, 4);
     assert_eq!(i.chunks, 400_000usize.div_ceil(i.chunk_elems));
 }
 
@@ -372,7 +399,7 @@ fn v3_raw_entropy_roundtrips() {
         ..SzConfig::default()
     };
     let blob = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
-    assert_eq!(info(&blob).unwrap().version, 3);
+    assert_eq!(info(&blob).unwrap().version, 4);
     let back = with_workers(4, || decompress(&blob).unwrap());
     assert!(max_abs_error(&data, &back) <= 1e-3 * (1.0 + 1e-9));
     // And the Huffman default is smaller than raw codes on the same data.
@@ -407,4 +434,189 @@ fn all_predictors_roundtrip_in_v3() {
             "{mode:?}"
         );
     }
+}
+
+/// A fixed v3 stream captured from the v3 encoder before v4 became the
+/// default (300 lcg-seed-42 weights, chunk_elems = 128 → 3 chunks,
+/// eb = 1e-2): the checked-in bytes must decode identically forever, and
+/// a `SzFormat::V3` re-encode of the same input must reproduce them
+/// byte-for-byte, so any drift in the v3 wire layout fails here even if
+/// encoder and decoder drift together.
+#[test]
+fn v3_golden_stream_roundtrips() {
+    const GOLDEN_V3: [u8; 248] = [
+        0x53, 0x5a, 0x31, 0x44, 0x03, 0xac, 0x02, 0x7b, 0x14, 0xae, 0x47, 0xe1, 0x7a, 0x84, 0x3f,
+        0x00, 0x80, 0x01, 0x80, 0x80, 0x02, 0x80, 0x01, 0x03, 0x00, 0x16, 0xf6, 0xff, 0x01, 0x08,
+        0x01, 0x08, 0x01, 0x06, 0x01, 0x06, 0x01, 0x05, 0x01, 0x06, 0x01, 0x05, 0x01, 0x04, 0x01,
+        0x04, 0x01, 0x03, 0x01, 0x03, 0x01, 0x03, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04,
+        0x01, 0x04, 0x01, 0x05, 0x01, 0x07, 0x01, 0x06, 0x01, 0x07, 0x01, 0x07, 0xff, 0x47, 0x03,
+        0x01, 0x01, 0x00, 0x00, 0x40, 0xdc, 0x35, 0x40, 0x96, 0x65, 0x2f, 0x28, 0xaa, 0xe0, 0xa9,
+        0x8e, 0x6b, 0xc8, 0x8c, 0x7e, 0xa4, 0x5c, 0x3d, 0x86, 0x71, 0x72, 0x20, 0x14, 0xc1, 0x0f,
+        0x5c, 0x8e, 0xc9, 0xb6, 0xde, 0xfd, 0x88, 0xb3, 0x51, 0xf6, 0x22, 0x68, 0xf8, 0x6d, 0x25,
+        0x55, 0xbe, 0x3f, 0xa8, 0xbb, 0x43, 0xe1, 0x15, 0x8f, 0xbe, 0x8b, 0x5d, 0x7e, 0xf5, 0x58,
+        0xb6, 0x53, 0xcc, 0x5e, 0x48, 0x8d, 0x85, 0x6a, 0x01, 0x00, 0xff, 0x47, 0x03, 0x01, 0x01,
+        0x00, 0x00, 0x40, 0x65, 0x96, 0xec, 0x5a, 0xd5, 0x74, 0x64, 0x6d, 0xf5, 0x73, 0x44, 0xa4,
+        0xc0, 0xa3, 0x70, 0x96, 0xe4, 0x11, 0x77, 0xb1, 0x59, 0x9e, 0x59, 0x77, 0x20, 0x83, 0x29,
+        0xef, 0xd9, 0x08, 0xeb, 0x42, 0x5a, 0x68, 0x17, 0xa1, 0x63, 0x8d, 0x08, 0x4f, 0xb5, 0xed,
+        0x76, 0x3f, 0x99, 0x7f, 0xbf, 0xff, 0xce, 0xb6, 0x5e, 0xef, 0x35, 0x8c, 0x44, 0x14, 0x52,
+        0x84, 0xe9, 0x84, 0x1b, 0xfd, 0xcc, 0x1a, 0x00, 0xff, 0x1c, 0x03, 0x01, 0x01, 0x00, 0x00,
+        0x15, 0x36, 0xe8, 0x7b, 0x24, 0x96, 0xa5, 0x34, 0x78, 0x0a, 0x21, 0xc9, 0x9b, 0x81, 0x21,
+        0x77, 0xcd, 0x7a, 0xc9, 0x87, 0x18, 0x25, 0x00,
+    ];
+    let data = weights(300, 42, 0.1);
+    let cfg = SzConfig {
+        chunk_elems: 128,
+        format: SzFormat::V3,
+        ..SzConfig::default()
+    };
+    let encoded = cfg.compress(&data, ErrorBound::Abs(1e-2)).unwrap();
+    assert_eq!(
+        encoded.as_slice(),
+        &GOLDEN_V3[..],
+        "v3 encoder output drifted"
+    );
+
+    let back = decompress(&GOLDEN_V3).unwrap();
+    assert_eq!(back.len(), 300);
+    assert!(max_abs_error(&data, &back) <= 1e-2 * (1.0 + 1e-9));
+    let mut h = 0xcbf29ce484222325u64;
+    for v in &back {
+        h ^= u64::from(v.to_bits());
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    assert_eq!(h, 0x318430bb03f22fd4, "v3 decode drifted");
+    let i = info(&GOLDEN_V3).unwrap();
+    assert_eq!(i.version, 3);
+    assert_eq!(i.chunks, 3);
+}
+
+/// The point of v4 (ROADMAP "backend-compress the v3 shared table"): on a
+/// wide-alphabet table — a tight bound over noisy data spreads the
+/// quantization codes across thousands of symbols — running the code book
+/// through `best_fit` must make the stream strictly smaller than v3,
+/// while decoding bit-identically.
+#[test]
+fn v4_backed_table_beats_v3_on_wide_alphabets() {
+    let data = weights(60_000, 13, 0.4);
+    let eb = ErrorBound::Abs(1e-6);
+    let mk = |format| SzConfig {
+        chunk_elems: 1 << 14,
+        format,
+        ..SzConfig::default()
+    };
+    let v3 = mk(SzFormat::V3).compress(&data, eb).unwrap();
+    let v4 = mk(SzFormat::V4).compress(&data, eb).unwrap();
+    assert!(
+        v4.len() < v3.len(),
+        "backed table must win on a wide alphabet: v4 {} vs v3 {}",
+        v4.len(),
+        v3.len()
+    );
+    assert_eq!(
+        bits(&decompress(&v3).unwrap()),
+        bits(&decompress(&v4).unwrap()),
+        "v3 and v4 must reconstruct identically at the same geometry"
+    );
+}
+
+/// `backend: None` must disable the table competition too: the v4
+/// stream of a backend-free config contains no backend id anywhere —
+/// every chunk record *and* the table flag say "raw" — and still
+/// roundtrips.
+#[test]
+fn v4_backend_none_keeps_table_raw() {
+    // Wide alphabet (tight bound over noise): with the backend enabled
+    // this table compresses (see the test above), so a raw table here
+    // proves the knob — not the size rule — kept it raw.
+    let data = weights(60_000, 13, 0.4);
+    let cfg = SzConfig {
+        chunk_elems: 1 << 14,
+        backend: None,
+        ..SzConfig::default()
+    };
+    let blob = cfg.compress(&data, ErrorBound::Abs(1e-6)).unwrap();
+    let i = info(&blob).unwrap();
+    assert_eq!(i.version, 4);
+    assert_eq!(i.backend, None, "chunk records must be raw");
+    let back = decompress(&blob).unwrap();
+    assert!(max_abs_error(&data, &back) <= 1e-6 * (1.0 + 1e-9));
+    // Same stream with the backend enabled is strictly smaller (both the
+    // table and the chunk payloads compress on this data).
+    let backed = SzConfig {
+        chunk_elems: 1 << 14,
+        ..SzConfig::default()
+    }
+    .compress(&data, ErrorBound::Abs(1e-6))
+    .unwrap();
+    assert!(backed.len() < blob.len());
+    assert_eq!(bits(&back), bits(&decompress(&backed).unwrap()));
+}
+
+/// Small tables must stay raw behind the 0xff flag: on an easy layer the
+/// v4 stream is exactly the v3 stream plus the one flag byte (and the
+/// version byte differs), never larger.
+#[test]
+fn v4_small_table_stays_raw() {
+    let data = weights(4096, 7, 0.05);
+    let eb = ErrorBound::Abs(1e-2);
+    let mk = |format| SzConfig {
+        chunk_elems: 4096,
+        format,
+        ..SzConfig::default()
+    };
+    let v3 = mk(SzFormat::V3).compress(&data, eb).unwrap();
+    let v4 = mk(SzFormat::V4).compress(&data, eb).unwrap();
+    assert_eq!(
+        v4.len(),
+        v3.len() + 1,
+        "a small raw table must cost exactly the flag byte"
+    );
+    // Beyond the version byte, the streams differ only by the inserted
+    // 0xff flag: everything before it and everything after it agrees.
+    assert_eq!(v3[..4], v4[..4]);
+    assert_eq!((v3[4], v4[4]), (3, 4));
+    let split = v3
+        .iter()
+        .zip(&v4)
+        .skip(5)
+        .position(|(a, b)| a != b)
+        .map(|p| p + 5)
+        .expect("streams must diverge at the flag byte");
+    assert_eq!(v4[split], 0xff, "flag byte must mark a raw table");
+    assert_eq!(v3[split..], v4[split + 1..], "raw table + records drifted");
+    assert_eq!(
+        bits(&decompress(&v3).unwrap()),
+        bits(&decompress(&v4).unwrap())
+    );
+}
+
+/// A crafted v4 stream whose backed table declares a multi-gigabyte
+/// decompressed size must be rejected by the declared-length guard
+/// before the backend's decode loop commits any memory to it.
+#[test]
+fn v4_backed_table_size_bomb_rejected() {
+    use dsz_lossless::bits::write_varint;
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"SZ1D");
+    bytes.push(4); // version
+    write_varint(&mut bytes, 128); // n
+    bytes.extend_from_slice(&1e-3f64.to_le_bytes());
+    bytes.push(0); // predictor: adaptive
+    write_varint(&mut bytes, 128); // block
+    write_varint(&mut bytes, 1 << 15); // radius
+    write_varint(&mut bytes, 128); // chunk_elems
+    write_varint(&mut bytes, 1); // n_chunks
+    bytes.push(0); // entropy: huffman
+    bytes.push(1); // table flag: zstd-backed
+                   // Backed blob: a zstd-like stream whose header claims 2^40 raw bytes.
+    let mut bomb = Vec::new();
+    write_varint(&mut bomb, 1u64 << 40);
+    bomb.extend_from_slice(&[4, 0, 0, 0, 0]); // junk past the claim
+    write_varint(&mut bytes, bomb.len() as u64);
+    bytes.extend_from_slice(&bomb);
+    let err = decompress(&bytes).unwrap_err();
+    assert!(
+        format!("{err}").contains("table too large"),
+        "expected the size guard, got: {err}"
+    );
 }

@@ -57,7 +57,7 @@ pub fn worker_count() -> usize {
 /// `available_parallelism()` — ignoring any [`with_workers`] override.
 ///
 /// Use this for **layout** decisions that must not vary with execution
-/// pinning (e.g. the SZ v3 adaptive chunk size, which is baked into the
+/// pinning (e.g. the SZ v3/v4 adaptive chunk size, which is baked into the
 /// container bytes): `with_workers` exists so tests and benches can sweep
 /// execution parallelism while the emitted bytes stay identical.
 pub fn layout_workers() -> usize {

@@ -183,8 +183,19 @@ pub fn compress(data: &[f32], tol: f64) -> Result<Vec<u8>, CodecError> {
     Ok(out)
 }
 
-/// Decompresses a stream produced by [`compress`].
-pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+/// Header information of a compressed ZFP stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZfpInfo {
+    /// Stream format version.
+    pub version: u8,
+    /// Element count.
+    pub n: usize,
+    /// Absolute accuracy tolerance the stream was encoded at.
+    pub tol: f64,
+}
+
+/// Parses the self-describing header, returning `(info, payload offset)`.
+fn parse_header(bytes: &[u8]) -> Result<(ZfpInfo, usize), CodecError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(CodecError::corrupt("bad ZFP magic"));
     }
@@ -204,9 +215,38 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
     if !(tol.is_finite() && tol > 0.0) {
         return Err(CodecError::corrupt("bad ZFP tolerance"));
     }
+    Ok((
+        ZfpInfo {
+            version: VERSION,
+            n,
+            tol,
+        },
+        pos,
+    ))
+}
+
+/// Reads the self-describing stream header — the ZFP analogue of
+/// [`dsz_sz::info`], for inspecting the per-layer data streams a DSZM
+/// container records under codec id 1 (see `docs/FORMAT.md`).
+pub fn info(bytes: &[u8]) -> Result<ZfpInfo, CodecError> {
+    parse_header(bytes).map(|(i, _)| i)
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+    let (ZfpInfo { n, tol, .. }, mut pos) = parse_header(bytes)?;
     let payload_len = read_varint(bytes, &mut pos)? as usize;
     let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
     let payload = bytes.get(pos..end).ok_or(CodecError::Truncated)?;
+
+    // Cheapest encodable block is MODE_ZERO: 2 bits for 4 samples, i.e.
+    // 16 elements per payload byte. A header claiming more than the
+    // (bounds-checked) payload could possibly carry is corrupt — checked
+    // before the output allocation so a crafted count cannot demand
+    // absurd memory (the SZ decoder guards identically).
+    if n > payload.len().saturating_mul(16).saturating_add(3) {
+        return Err(CodecError::corrupt("element count exceeds stream capacity"));
+    }
 
     let mut r = BitReader::new(payload);
     let mut out = Vec::with_capacity(n);
@@ -395,5 +435,32 @@ mod tests {
         assert!(compress(&[1.0], 0.0).is_err());
         assert!(compress(&[1.0], f64::NAN).is_err());
         assert!(decompress(b"nope").is_err());
+        assert!(info(b"nope").is_err());
+    }
+
+    #[test]
+    fn absurd_element_count_rejected_before_allocation() {
+        // A tiny stream whose header claims 2^40 elements must error out
+        // of the capacity check, not attempt a multi-TB allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        write_varint(&mut bytes, 1u64 << 40);
+        bytes.extend_from_slice(&1e-3f64.to_le_bytes());
+        write_varint(&mut bytes, 4); // payload_len
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert!(decompress(&bytes).is_err());
+        // The header itself still parses (info allocates nothing).
+        assert_eq!(info(&bytes).unwrap().n, 1 << 40);
+    }
+
+    #[test]
+    fn info_reports_header() {
+        let data = lcg(777, 5, 0.2);
+        let blob = compress(&data, 2e-3).unwrap();
+        let i = info(&blob).unwrap();
+        assert_eq!(i.version, 1);
+        assert_eq!(i.n, 777);
+        assert!((i.tol - 2e-3).abs() < 1e-15);
     }
 }

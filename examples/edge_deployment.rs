@@ -89,10 +89,10 @@ fn main() {
     let total_dsz = transfer_secs(dsz_bytes) + decode_s + infer_s;
     let total_raw = transfer_secs(raw_bytes) + infer_s;
     println!(
-        "\nedge decode {:.0} ms wall (per-layer stage sums: lossless {:.1} / SZ {:.1} / reconstruct {:.1})",
+        "\nedge decode {:.0} ms wall (per-layer stage sums: lossless {:.1} / lossy {:.1} / reconstruct {:.1})",
         decode_s * 1e3,
         timing.lossless_ms,
-        timing.sz_ms,
+        timing.lossy_ms,
         timing.reconstruct_ms
     );
     println!(

@@ -54,9 +54,10 @@ fn main() {
     let plan = optimize_for_accuracy(&assessments, cfg.expected_loss).expect("plan");
     for c in &plan.layers {
         println!(
-            "layer {}: error bound {:.0e}, predicted degradation {:+.3}%",
+            "layer {}: error bound {:.0e} via {}, predicted degradation {:+.3}%",
             c.fc.name,
             c.eb,
+            c.codec.name(),
             c.degradation * 100.0
         );
     }

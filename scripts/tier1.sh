@@ -4,10 +4,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo build --release --examples
 # Sweep the process worker budget: DSZ_THREADS=1 exercises every inline
 # fallback, DSZ_THREADS=4 exercises pooled dispatch + budget nesting.
 DSZ_THREADS=1 cargo test -q
 DSZ_THREADS=4 cargo test -q
+# Smoke-test the full user-facing pipeline (train → prune → assess →
+# optimize → encode → decode) exactly as the README-level docs run it.
+cargo run --release --example quickstart >/dev/null
 cargo clippy --workspace -q -- -D warnings
 cargo fmt --check
 echo "tier1: OK"

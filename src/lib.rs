@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::framework::{
         apply_decoded, assess_network, cache_features, decode_model, encode_with_plan,
         linearity_experiment, optimize_for_accuracy, optimize_for_size, AccuracyEvaluator,
-        AssessmentConfig, DatasetEvaluator, Plan,
+        AssessmentConfig, DataCodec, DataCodecKind, DatasetEvaluator, Plan, SzCodec, ZfpCodec,
     };
     pub use crate::nn::{self, accuracy, zoo, Arch, Dataset, Network, Scale, TrainConfig};
     pub use crate::prune;
