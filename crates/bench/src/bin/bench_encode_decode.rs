@@ -1,6 +1,9 @@
 //! Encode/decode scaling bench: 1-thread vs N-thread wall time for the
 //! full container pipeline on a VGG-16-surrogate fc stack, plus the
-//! chunk-parallel SZ stream on the largest layer alone.
+//! chunk-parallel SZ stream on the largest layer alone, plus the
+//! error-bound assessment (Algorithm 1) — the pipeline's dominant cost —
+//! through both its engines (incremental vs. the preserved full-clone
+//! baseline; see `docs/ASSESSMENT.md`).
 //!
 //! Emits a human-readable table and a machine-readable
 //! `BENCH_encode_decode.json` in the working directory so the perf
@@ -10,12 +13,15 @@ use dsz_bench::tables::print_table;
 use dsz_bench::workloads::{paper_error_bounds, reduced_pruning_densities};
 use dsz_core::optimizer::{ChosenLayer, Plan};
 use dsz_core::{
-    decode_model, encode_with_plan, encode_with_plan_config, DataCodecKind, LayerAssessment,
+    assess_network, assess_network_full, decode_model, encode_with_plan, encode_with_plan_config,
+    AssessmentConfig, DataCodecKind, DatasetEvaluator, LayerAssessment,
 };
-use dsz_nn::{zoo, Arch, Scale};
+use dsz_datagen::features;
+use dsz_nn::{zoo, Arch, DenseLayer, Layer, Network, Scale};
 use dsz_sparse::PairArray;
 use dsz_sz::{ErrorBound, SzConfig, SzFormat};
 use dsz_tensor::parallel::{layout_workers, parallel_map, with_workers, worker_count};
+use dsz_tensor::{Matrix, VolShape};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -101,11 +107,22 @@ fn main() {
 
     let mut assessments: Vec<LayerAssessment> = Vec::new();
     let mut chosen: Vec<ChosenLayer> = Vec::new();
+    let mut head_layers: Vec<Layer> = Vec::new();
     for (li, fc) in net.fc_layers().into_iter().enumerate() {
         let mut dense =
             dsz_datagen::weights::trained_fc_weights(fc.rows, fc.cols, 0x5EED ^ (li as u64) << 8);
         dsz_prune::prune_to_density(&mut dense, densities[li % densities.len()]);
         let pair = PairArray::from_dense(&dense, fc.rows, fc.cols);
+        // The same pruned stack as a runnable fc head, for the assessment
+        // bench below.
+        if li > 0 {
+            head_layers.push(Layer::ReLU);
+        }
+        head_layers.push(Layer::Dense(DenseLayer {
+            name: fc.name.clone(),
+            w: Matrix::from_vec(fc.rows, fc.cols, dense.clone()),
+            b: vec![0.0; fc.rows],
+        }));
         let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
         let eb = ebs[li % ebs.len()];
         // Per-layer codec competition through the same rule the
@@ -160,7 +177,7 @@ fn main() {
         workers: usize,
         encode_ms: f64,
         decode_ms: f64,
-        sz_decode_ms: f64,
+        lossy_decode_ms: f64,
     }
     let mut rows: Vec<Row> = Vec::new();
     let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
@@ -195,7 +212,7 @@ fn main() {
                 let _ = decode_model(&model).expect("decode");
             })
         });
-        let sz_decode_ms = with_workers(w, || {
+        let lossy_decode_ms = with_workers(w, || {
             median_ms(5, || {
                 let _ = dsz_sz::decompress(&sz_blob).expect("sz decode");
             })
@@ -204,7 +221,7 @@ fn main() {
             workers: w,
             encode_ms,
             decode_ms,
-            sz_decode_ms,
+            lossy_decode_ms,
         });
     }
 
@@ -226,8 +243,8 @@ fn main() {
                 ),
                 format!(
                     "{:.1} ms ({:.2}x)",
-                    r.sz_decode_ms,
-                    base.sz_decode_ms / r.sz_decode_ms
+                    r.lossy_decode_ms,
+                    base.lossy_decode_ms / r.lossy_decode_ms
                 ),
             ]
         })
@@ -280,6 +297,49 @@ fn main() {
         pool_bench_workers, pooled_ms, scoped_ms, pool_reuse_speedup
     );
 
+    // Error-bound assessment (Algorithm 1) — the paper's dominant cost —
+    // on the same pruned stack as a runnable fc head: incremental engine
+    // (prefix cache + suffix pass + scratch arenas) vs. the preserved
+    // full-clone path. Both walk identical points; the wall-clock ratio is
+    // the trajectory metric.
+    let head = Network {
+        input_shape: VolShape {
+            c: net.fc_layers()[0].cols,
+            h: 1,
+            w: 1,
+        },
+        layers: head_layers,
+    };
+    let (_, eval_data) =
+        features::train_test(&features::FeatureSpec::vgg16_reduced(), 0, 256, 0xA55E55);
+    let eval = DatasetEvaluator::new(eval_data);
+    let assess_cfg = AssessmentConfig::default();
+    let t0 = Instant::now();
+    let (full_assess, full_base) = assess_network_full(&head, &assess_cfg, &eval).expect("full");
+    let assessment_full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let (incr_assess, incr_base) = assess_network(&head, &assess_cfg, &eval).expect("incremental");
+    let assessment_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        full_base.to_bits(),
+        incr_base.to_bits(),
+        "baseline diverged"
+    );
+    for (a, b) in full_assess.iter().zip(&incr_assess) {
+        assert_eq!(a.points, b.points, "{}: engines diverged", a.fc.name);
+    }
+    let assessment_points: usize = incr_assess.iter().map(|a| a.points.len()).sum();
+    let assessment_incremental_speedup = assessment_full_ms / assessment_ms.max(1e-9);
+    println!(
+        "assessment ({} points over {} layers, {} eval samples): incremental {:.1} ms vs full-clone {:.1} ms ({:.2}x)",
+        assessment_points,
+        incr_assess.len(),
+        256,
+        assessment_ms,
+        assessment_full_ms,
+        assessment_incremental_speedup
+    );
+
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
     json.push_str("  \"workload\": \"vgg16_reduced_fc_surrogate\",\n");
@@ -324,14 +384,27 @@ fn main() {
         "  \"pool_reuse_speedup\": {:.3},\n",
         pool_reuse_speedup
     ));
+    json.push_str(&format!(
+        "  \"assessment_points\": {},\n",
+        assessment_points
+    ));
+    json.push_str(&format!("  \"assessment_ms\": {:.3},\n", assessment_ms));
+    json.push_str(&format!(
+        "  \"assessment_full_ms\": {:.3},\n",
+        assessment_full_ms
+    ));
+    json.push_str(&format!(
+        "  \"assessment_incremental_speedup\": {:.3},\n",
+        assessment_incremental_speedup
+    ));
     json.push_str("  \"runs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \"sz_decode_ms\": {:.3}}}{}\n",
+            "    {{\"threads\": {}, \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \"lossy_decode_ms\": {:.3}}}{}\n",
             r.workers,
             r.encode_ms,
             r.decode_ms,
-            r.sz_decode_ms,
+            r.lossy_decode_ms,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

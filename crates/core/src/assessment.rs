@@ -16,20 +16,40 @@
 //! per bound instead of once globally), reconstructs the network with
 //! only that layer replaced, and measures inference accuracy — linear in
 //! layers instead of exponential in the brute-force combination search.
-//! Tests for different layers are independent and run through a work
-//! queue ([`dsz_tensor::parallel`]), the thread-level analogue of the
-//! paper's multi-GPU encoding; each test's SZ compression additionally
-//! fans out over the chunked stream formats, so single-layer assessments
-//! scale past one core too.
+//!
+//! Assessment is the dominant cost of the whole pipeline (it is why the
+//! paper reaches for multi-GPU encoding, §5.2), so two engines exist:
+//!
+//! * **Incremental** (default whenever the evaluator exposes its dataset,
+//!   [`AccuracyEvaluator::dataset`]): activations upstream of the mutated
+//!   layer never change between tests, so they are cached once
+//!   ([`crate::evaluator::IncrementalEvaluator`]) and each point replays
+//!   only the suffix — with the decoded values, the reconstructed dense
+//!   matrix, and every activation living in per-worker scratch arenas
+//!   that are reused across all points of a layer. Within a decade walk
+//!   the sampled bounds are known before their outcomes, so batches of
+//!   points run concurrently on [`dsz_tensor::pool`] (results past a stop
+//!   condition are discarded speculation); together with the per-layer
+//!   fan-out this parallelizes the whole `(layer × point)` frontier while
+//!   keeping each layer's point sequence deterministic.
+//! * **Full** ([`assess_network_full`]): the reference path — clone the
+//!   network, overwrite one layer, evaluate end to end. Kept for opaque
+//!   evaluators, as the equivalence oracle (both engines produce
+//!   bit-identical assessments), and as the baseline the
+//!   `assessment_incremental_speedup` benchmark measures against.
+//!
+//! `docs/ASSESSMENT.md` walks the algorithm, the prefix-cache memory
+//! model, and the scratch-buffer ownership rules.
 
 use crate::codec::{DataCodec, DataCodecKind};
-use crate::evaluator::AccuracyEvaluator;
+use crate::evaluator::{AccuracyEvaluator, IncrementalEvaluator};
 use crate::DeepSzError;
 use dsz_lossless::best_fit;
-use dsz_nn::{FcLayerRef, Network};
+use dsz_nn::{DenseLayer, FcLayerRef, Network, SuffixScratch};
 use dsz_sparse::PairArray;
 use dsz_sz::{ErrorBound, SzConfig};
-use dsz_tensor::parallel::parallel_map;
+use dsz_tensor::parallel::{parallel_map, worker_count};
+use std::sync::Mutex;
 
 /// Assessment parameters (defaults mirror §3.3/§5.1).
 #[derive(Debug, Clone)]
@@ -106,14 +126,23 @@ impl LayerAssessment {
     }
 }
 
-/// Tests Δ and σ for `layer` at `eb`: every candidate codec compresses
-/// the data array and the smallest stream wins; the network is rebuilt
-/// with only this layer reconstructed from the winner and evaluated.
+/// Float-tolerant error-bound identity. The decade walk regenerates
+/// bounds arithmetically (`eb + base`, `beta / 10`), so two visits to the
+/// same nominal bound can differ by a rounding step — every comparison of
+/// sampled bounds goes through this one predicate.
+fn same_eb(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+/// Tests Δ and σ for `layer` at `eb` through the full-evaluation
+/// reference path: every candidate codec compresses the data array and
+/// the smallest stream wins; the network is cloned with only this layer
+/// reconstructed from the winner and evaluated end to end.
 ///
 /// Only the winner is decoded and evaluated — the losers' blobs are
 /// dropped unmeasured, so adding candidates scales the (cheap) compress
 /// cost but not the (dominant) inference cost.
-fn test_point(
+fn test_point_full(
     net: &Network,
     baseline: f64,
     fc: &FcLayerRef,
@@ -149,98 +178,374 @@ fn next_eb(eb: f64, base: f64) -> (f64, f64) {
     }
 }
 
-/// Runs Algorithm 1 for one layer.
-fn assess_layer(
-    net: &Network,
-    baseline: f64,
-    fc: &FcLayerRef,
-    cfg: &AssessmentConfig,
-    eval: &dyn AccuracyEvaluator,
-) -> Result<LayerAssessment, DeepSzError> {
-    let dense = &net.dense(fc.layer_index).w;
-    let pair = PairArray::from_dense(&dense.data, dense.rows, dense.cols);
-    let index_blob_input = pair.index.clone();
-    let (index_codec, index_blob) = best_fit(&index_blob_input);
-    let codecs: Vec<Box<dyn DataCodec>> =
-        cfg.candidates.iter().map(|k| k.instance(&cfg.sz)).collect();
+/// One layer's point-evaluation engine: either the preserved full-clone
+/// reference path or the incremental suffix path. The driver hands an
+/// engine batches of *untested* bounds; an engine may evaluate a batch
+/// concurrently but must return one result per bound, in input order,
+/// with every point independent of batch composition. Errors stay
+/// per-point so the driver can discard everything past a stop condition
+/// — results *and* failures — as wasted speculation; a serial walk would
+/// never have evaluated those bounds, so their errors must not surface.
+trait PointEngine {
+    fn test_points(&self, ebs: &[f64]) -> Vec<Result<EbPoint, DeepSzError>>;
+}
 
-    // Outer scan: find the decade where distortion first appears.
+/// Reference engine: full clone + end-to-end evaluation per point. Only
+/// ever driven with batches of one, so its work matches the pre-engine
+/// implementation exactly — it is the baseline that
+/// `assessment_incremental_speedup` measures against.
+struct FullEngine<'x> {
+    net: &'x Network,
+    baseline: f64,
+    fc: &'x FcLayerRef,
+    pair: &'x PairArray,
+    codecs: &'x [Box<dyn DataCodec>],
+    eval: &'x dyn AccuracyEvaluator,
+}
+
+impl PointEngine for FullEngine<'_> {
+    fn test_points(&self, ebs: &[f64]) -> Vec<Result<EbPoint, DeepSzError>> {
+        ebs.iter()
+            .map(|&eb| {
+                test_point_full(
+                    self.net,
+                    self.baseline,
+                    self.fc,
+                    self.pair,
+                    eb,
+                    self.codecs,
+                    self.eval,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-worker scratch arena for incremental test points, reused across
+/// all points of a layer: after the first point of a layer, a test
+/// allocates nothing but codec-internal encode buffers (and scratch
+/// growth when a bigger layer arrives).
+struct PointCtx {
+    /// Scratch candidate: a copy of the assessed layer whose weight
+    /// buffer is overwritten in place per point — the arena's one dense
+    /// matrix. The original network is never touched.
+    layer: DenseLayer,
+    /// Decode target — the arena's one decode buffer.
+    decoded: Vec<f32>,
+    /// Suffix activation ping-pong buffers.
+    fwd: SuffixScratch,
+}
+
+impl PointCtx {
+    fn new(layer: &DenseLayer) -> Self {
+        Self {
+            layer: layer.clone(),
+            decoded: Vec::new(),
+            fwd: SuffixScratch::default(),
+        }
+    }
+}
+
+/// Incremental engine: decode into scratch, rebuild the dense matrix in
+/// the scratch candidate's weight buffer, score via the cached-prefix
+/// suffix pass. Batches fan out over [`dsz_tensor::pool`] with one
+/// scratch context per concurrent job.
+struct IncrementalEngine<'x> {
+    ie: &'x IncrementalEvaluator<'x>,
+    baseline: f64,
+    fc: &'x FcLayerRef,
+    pair: &'x PairArray,
+    codecs: &'x [Box<dyn DataCodec>],
+    ctxs: Vec<Mutex<PointCtx>>,
+}
+
+impl IncrementalEngine<'_> {
+    fn test_one(&self, eb: f64, ctx: &mut PointCtx) -> Result<EbPoint, DeepSzError> {
+        let (winner, blob) =
+            crate::codec::compete(self.codecs, &self.pair.data, ErrorBound::Abs(eb))?;
+        let data_bytes = blob.len();
+        self.codecs[winner].decode_into(&blob, &mut ctx.decoded)?;
+        self.pair
+            .to_dense_with(&ctx.decoded, &mut ctx.layer.w.data)?;
+        let acc = self
+            .ie
+            .evaluate_candidate(self.fc.layer_index, &ctx.layer, &mut ctx.fwd);
+        Ok(EbPoint {
+            eb,
+            degradation: self.baseline - acc,
+            data_bytes,
+            codec: self.codecs[winner].kind(),
+        })
+    }
+}
+
+impl PointEngine for IncrementalEngine<'_> {
+    fn test_points(&self, ebs: &[f64]) -> Vec<Result<EbPoint, DeepSzError>> {
+        let k = self.ctxs.len().min(ebs.len()).min(worker_count());
+        if k <= 1 {
+            let ctx = &mut *self.ctxs[0].lock().expect("point ctx");
+            return ebs.iter().map(|&eb| self.test_one(eb, ctx)).collect();
+        }
+        // Contiguous slices, one per scratch context; each mutex is taken
+        // by exactly one job, so the locks never contend — they only
+        // launder the `&mut PointCtx` across the pool boundary. Every
+        // point keeps its own result (no short-circuit): whether an error
+        // matters is the driver's walk-order decision.
+        let per = ebs.len().div_ceil(k);
+        let jobs: Vec<(&[f64], &Mutex<PointCtx>)> = ebs.chunks(per).zip(&self.ctxs).collect();
+        let results = parallel_map(&jobs, |&(chunk, ctx)| {
+            let ctx = &mut *ctx.lock().expect("point ctx");
+            chunk
+                .iter()
+                .map(|&eb| self.test_one(eb, ctx))
+                .collect::<Vec<Result<EbPoint, DeepSzError>>>()
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Runs Algorithm 1's two walks for one layer through `engine`.
+///
+/// `max_batch` is the speculation width: how many untested bounds are
+/// handed to the engine at once. Bounds within a walk are known before
+/// their outcomes, so a batch's points are independent; the walk replays
+/// the batch in order and discards everything past the first stop
+/// condition, which keeps the returned sequence identical to a strict
+/// serial walk (`max_batch = 1` *is* the strict serial walk, and what the
+/// reference engine always gets).
+fn run_algorithm1(
+    cfg: &AssessmentConfig,
+    engine: &dyn PointEngine,
+    max_batch: usize,
+) -> Result<Vec<EbPoint>, DeepSzError> {
+    let max_batch = max_batch.max(1);
     let mut points: Vec<EbPoint> = Vec::new();
-    let mut range_start = None;
+
+    // Outer scan: the decade ladder is known upfront; batches of it are
+    // evaluated speculatively and everything past the first distorted
+    // bound is discarded.
+    let mut decades: Vec<f64> = Vec::new();
     let mut beta = cfg.start_eb;
     while beta <= cfg.max_eb * (1.0 + 1e-9) {
-        let p = test_point(net, baseline, fc, &pair, beta, &codecs, eval)?;
-        let distorted = p.degradation > cfg.distortion_criterion;
-        points.push(p);
-        if distorted {
-            range_start = Some(beta / 10.0);
-            break;
-        }
+        decades.push(beta);
         beta *= 10.0;
     }
-
-    match range_start {
-        None => {
-            // Even the loosest bound keeps accuracy: the feasible range is
-            // the whole scan; the collected decade points suffice.
+    let mut range_start = None;
+    let mut di = 0usize;
+    'outer: while di < decades.len() {
+        let hi = (di + max_batch).min(decades.len());
+        for r in engine.test_points(&decades[di..hi]) {
+            // An error only surfaces once the walk actually reaches its
+            // position — a failure in a speculated point past the stop is
+            // discarded along with the result, as serial never ran it.
+            let p = r?;
+            let distorted = p.degradation > cfg.distortion_criterion;
+            let eb = p.eb;
+            points.push(p);
+            if distorted {
+                range_start = Some(eb / 10.0);
+                break 'outer;
+            }
         }
-        Some(start) => {
-            // Check procedure: walk from the range start in decade steps
-            // until Δ exceeds ε★ (the range end).
-            let mut eb = start;
-            let mut base = start;
+        di = hi;
+    }
+
+    // Check procedure: walk from the range start in decade steps until Δ
+    // exceeds ε★ (the range end). Bounds already tested by the outer scan
+    // are consulted, not re-evaluated.
+    if let Some(start) = range_start {
+        let mut cursor = Some((start, start));
+        'walk: while let Some((mut eb, mut base)) = cursor {
+            // Collect one batch: consecutive walk bounds, at most
+            // `max_batch` of them untested, never past max_eb.
+            let mut batch: Vec<(f64, Option<bool>)> = Vec::new();
+            let mut fresh = 0usize;
             loop {
-                // Skip bounds already tested in the outer scan.
-                if !points.iter().any(|p| (p.eb - eb).abs() < 1e-12) {
-                    let p = test_point(net, baseline, fc, &pair, eb, &codecs, eval)?;
-                    let stop = p.degradation > cfg.expected_loss;
-                    points.push(p);
-                    if stop {
-                        break;
-                    }
-                } else if points
+                let tested = points
                     .iter()
-                    .find(|p| (p.eb - eb).abs() < 1e-12)
-                    .is_some_and(|p| p.degradation > cfg.expected_loss)
-                {
-                    break;
+                    .find(|p| same_eb(p.eb, eb))
+                    .map(|p| p.degradation > cfg.expected_loss);
+                if tested.is_none() {
+                    fresh += 1;
                 }
+                batch.push((eb, tested));
                 let (e2, b2) = next_eb(eb, base);
                 eb = e2;
                 base = b2;
                 if eb > cfg.max_eb * (1.0 + 1e-9) {
+                    cursor = None;
                     break;
+                }
+                if fresh >= max_batch {
+                    cursor = Some((eb, base));
+                    break;
+                }
+            }
+            let fresh_ebs: Vec<f64> = batch
+                .iter()
+                .filter(|(_, tested)| tested.is_none())
+                .map(|&(eb, _)| eb)
+                .collect();
+            let mut evald = engine.test_points(&fresh_ebs).into_iter();
+            // Replay the walk order, applying the stop rule; trailing
+            // results past a stop — including failures — are discarded
+            // speculation (serial would never have evaluated them).
+            for (_, tested) in batch {
+                match tested {
+                    Some(stops) => {
+                        if stops {
+                            break 'walk;
+                        }
+                    }
+                    None => {
+                        let p = evald.next().expect("one result per fresh bound")?;
+                        let stop = p.degradation > cfg.expected_loss;
+                        points.push(p);
+                        if stop {
+                            break 'walk;
+                        }
+                    }
                 }
             }
         }
     }
 
     points.sort_by(|a, b| a.eb.partial_cmp(&b.eb).expect("finite eb"));
-    points.dedup_by(|a, b| (a.eb - b.eb).abs() < 1e-12);
+    points.dedup_by(|a, b| same_eb(a.eb, b.eb));
+    Ok(points)
+}
+
+/// The per-layer work shared by both engines: the sparse two-array form
+/// and the (bound-independent) best-fit lossless coding of its index.
+fn layer_pair_and_index(
+    net: &Network,
+    fc: &FcLayerRef,
+) -> (PairArray, dsz_lossless::LosslessKind, usize) {
+    let dense = &net.dense(fc.layer_index).w;
+    let pair = PairArray::from_dense(&dense.data, dense.rows, dense.cols);
+    let (index_codec, index_blob) = best_fit(&pair.index);
+    (pair, index_codec, index_blob.len())
+}
+
+/// Runs Algorithm 1 for one layer through the full-evaluation reference
+/// engine (strict serial walk).
+fn assess_layer_full(
+    net: &Network,
+    baseline: f64,
+    fc: &FcLayerRef,
+    cfg: &AssessmentConfig,
+    eval: &dyn AccuracyEvaluator,
+) -> Result<LayerAssessment, DeepSzError> {
+    let (pair, index_codec, index_bytes) = layer_pair_and_index(net, fc);
+    let codecs: Vec<Box<dyn DataCodec>> =
+        cfg.candidates.iter().map(|k| k.instance(&cfg.sz)).collect();
+    let engine = FullEngine {
+        net,
+        baseline,
+        fc,
+        pair: &pair,
+        codecs: &codecs,
+        eval,
+    };
+    let points = run_algorithm1(cfg, &engine, 1)?;
     Ok(LayerAssessment {
         fc: fc.clone(),
         pair,
         index_codec,
-        index_bytes: index_blob.len(),
+        index_bytes,
         points,
     })
 }
 
-/// Runs Algorithm 1 over every fc layer of `net` (already pruned).
-/// Returns per-layer assessments plus the measured baseline accuracy.
-pub fn assess_network(
+/// Runs Algorithm 1 for one layer through the incremental engine, with
+/// one scratch context per worker available at this nesting level.
+fn assess_layer_incremental(
     net: &Network,
+    ie: &IncrementalEvaluator<'_>,
+    baseline: f64,
+    fc: &FcLayerRef,
     cfg: &AssessmentConfig,
-    eval: &dyn AccuracyEvaluator,
-) -> Result<(Vec<LayerAssessment>, f64), DeepSzError> {
+) -> Result<LayerAssessment, DeepSzError> {
+    let (pair, index_codec, index_bytes) = layer_pair_and_index(net, fc);
+    let codecs: Vec<Box<dyn DataCodec>> =
+        cfg.candidates.iter().map(|k| k.instance(&cfg.sz)).collect();
+    let width = worker_count();
+    let ctxs: Vec<Mutex<PointCtx>> = (0..width)
+        .map(|_| Mutex::new(PointCtx::new(net.dense(fc.layer_index))))
+        .collect();
+    let engine = IncrementalEngine {
+        ie,
+        baseline,
+        fc,
+        pair: &pair,
+        codecs: &codecs,
+        ctxs,
+    };
+    let points = run_algorithm1(cfg, &engine, width)?;
+    Ok(LayerAssessment {
+        fc: fc.clone(),
+        pair,
+        index_codec,
+        index_bytes,
+        points,
+    })
+}
+
+fn validate(cfg: &AssessmentConfig) -> Result<(), DeepSzError> {
     if cfg.candidates.is_empty() {
         return Err(DeepSzError::Infeasible(
             "AssessmentConfig::candidates must name at least one data codec".into(),
         ));
     }
+    Ok(())
+}
+
+/// Runs Algorithm 1 over every fc layer of `net` (already pruned).
+/// Returns per-layer assessments plus the measured baseline accuracy.
+///
+/// When the evaluator exposes its dataset ([`AccuracyEvaluator::dataset`],
+/// which [`crate::DatasetEvaluator`] does), assessment runs on the
+/// incremental engine — prefix activations cached once, per-point cost
+/// only the suffix from the mutated layer, scratch arenas reused across
+/// points. Otherwise it falls back to [`assess_network_full`]. Both paths
+/// return bit-identical assessments.
+pub fn assess_network(
+    net: &Network,
+    cfg: &AssessmentConfig,
+    eval: &dyn AccuracyEvaluator,
+) -> Result<(Vec<LayerAssessment>, f64), DeepSzError> {
+    validate(cfg)?;
+    let Some((data, batch)) = eval.dataset() else {
+        return assess_network_full(net, cfg, eval);
+    };
+    let ie = IncrementalEvaluator::new(net, data, batch);
+    let baseline = ie.baseline();
+    let fcs = net.fc_layers();
+    let results = parallel_map(&fcs, |fc| {
+        assess_layer_incremental(net, &ie, baseline, fc, cfg)
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok((out, baseline))
+}
+
+/// [`assess_network`] through the full-evaluation reference path: every
+/// point clones the network and evaluates it end to end via
+/// [`AccuracyEvaluator::evaluate`]. This is the implementation every
+/// evaluator gets when it cannot expose a dataset, the oracle the
+/// incremental engine's equivalence suite compares against, and the
+/// baseline of the `assessment_incremental_speedup` benchmark.
+pub fn assess_network_full(
+    net: &Network,
+    cfg: &AssessmentConfig,
+    eval: &dyn AccuracyEvaluator,
+) -> Result<(Vec<LayerAssessment>, f64), DeepSzError> {
+    validate(cfg)?;
     let baseline = eval.evaluate(net);
     let fcs = net.fc_layers();
-    let results = parallel_map(&fcs, |fc| assess_layer(net, baseline, fc, cfg, eval));
+    let results = parallel_map(&fcs, |fc| assess_layer_full(net, baseline, fc, cfg, eval));
     let mut out = Vec::with_capacity(results.len());
     for r in results {
         out.push(r?);
@@ -277,5 +582,135 @@ mod tests {
         }
         assert!((seen[8] - 9e-3).abs() < 1e-12);
         assert!((seen[9] - 1e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_eb_tolerates_rounding_but_separates_neighbors() {
+        assert!(same_eb(1e-2, 1e-2 + 1e-15));
+        assert!(!same_eb(1e-2, 2e-2));
+        assert!(!same_eb(1e-3, 2e-3));
+    }
+
+    /// A scripted engine that records which bounds were requested and
+    /// returns canned degradations (or errors, past `fail_above`); proves
+    /// the speculative driver visits and keeps exactly the serial walk's
+    /// points, and discards speculated failures with the results.
+    struct Scripted {
+        /// Δ returned for a bound: distorting decades and the stop bound.
+        delta: fn(f64) -> f64,
+        /// Bounds for which evaluation errors instead of producing a point.
+        fails: fn(f64) -> bool,
+        asked: Mutex<Vec<f64>>,
+    }
+
+    impl PointEngine for Scripted {
+        fn test_points(&self, ebs: &[f64]) -> Vec<Result<EbPoint, DeepSzError>> {
+            self.asked.lock().unwrap().extend_from_slice(ebs);
+            ebs.iter()
+                .map(|&eb| {
+                    if (self.fails)(eb) {
+                        return Err(DeepSzError::Infeasible(format!("scripted failure at {eb}")));
+                    }
+                    Ok(EbPoint {
+                        eb,
+                        degradation: (self.delta)(eb),
+                        data_bytes: (eb * 1e6) as usize,
+                        codec: DataCodecKind::Sz,
+                    })
+                })
+                .collect()
+        }
+    }
+
+    fn scripted_delta(eb: f64) -> f64 {
+        // One threshold covers both walks: the 1e-2 decade distorts the
+        // outer scan (range starts at 1e-3) and 6e-3 stops the check walk.
+        if eb >= 6e-3 - 1e-15 {
+            0.05
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn speculative_batches_keep_the_serial_point_sequence() {
+        let cfg = AssessmentConfig {
+            expected_loss: 0.004,
+            ..Default::default()
+        };
+        let mut sequences = Vec::new();
+        for max_batch in [1usize, 2, 4, 9] {
+            let engine = Scripted {
+                delta: scripted_delta,
+                fails: |_| false,
+                asked: Mutex::new(Vec::new()),
+            };
+            let points = run_algorithm1(&cfg, &engine, max_batch).unwrap();
+            sequences.push(points);
+        }
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0], "speculation changed the output");
+        }
+        // Serial expectation: decades 1e-3 (clean), 1e-2 (distorted) →
+        // range starts at 1e-3; walk 2e-3..6e-3 stops at 6e-3.
+        let ebs: Vec<f64> = sequences[0].iter().map(|p| p.eb).collect();
+        assert_eq!(ebs.len(), 7, "{ebs:?}");
+        for (got, want) in ebs.iter().zip([1e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3, 1e-2]) {
+            assert!(same_eb(*got, want), "{ebs:?}");
+        }
+    }
+
+    #[test]
+    fn serial_driver_never_overfetches() {
+        // With max_batch = 1 the engine must be asked exactly the bounds
+        // the original serial loop would have tested, in the same order.
+        let cfg = AssessmentConfig {
+            expected_loss: 0.004,
+            ..Default::default()
+        };
+        let engine = Scripted {
+            delta: scripted_delta,
+            fails: |_| false,
+            asked: Mutex::new(Vec::new()),
+        };
+        run_algorithm1(&cfg, &engine, 1).unwrap();
+        let asked = engine.asked.into_inner().unwrap();
+        for (got, want) in asked.iter().zip([1e-3, 1e-2, 2e-3, 3e-3, 4e-3, 5e-3, 6e-3]) {
+            assert!(same_eb(*got, want), "{asked:?}");
+        }
+        assert_eq!(asked.len(), 7, "{asked:?}");
+    }
+
+    #[test]
+    fn discarded_speculation_errors_do_not_surface() {
+        // The walk stops at 6e-3; 7e-3..9e-3 are only ever evaluated as
+        // speculation. Failing exactly those bounds must not abort the
+        // assessment at any speculation width — serial never runs them —
+        // while a failure at a bound the walk *does* reach must surface.
+        let cfg = AssessmentConfig {
+            expected_loss: 0.004,
+            ..Default::default()
+        };
+        for max_batch in [1usize, 4, 9] {
+            let engine = Scripted {
+                delta: scripted_delta,
+                fails: |eb| eb > 6e-3 + 1e-15 && eb < 1e-2 - 1e-15,
+                asked: Mutex::new(Vec::new()),
+            };
+            let points = run_algorithm1(&cfg, &engine, max_batch)
+                .unwrap_or_else(|e| panic!("max_batch={max_batch}: {e}"));
+            assert_eq!(points.len(), 7, "max_batch={max_batch}");
+        }
+        for max_batch in [1usize, 4] {
+            let engine = Scripted {
+                delta: scripted_delta,
+                fails: |eb| same_eb(eb, 5e-3), // before the stop: reachable
+                asked: Mutex::new(Vec::new()),
+            };
+            assert!(
+                run_algorithm1(&cfg, &engine, max_batch).is_err(),
+                "max_batch={max_batch}: reachable failure must surface"
+            );
+        }
     }
 }

@@ -40,6 +40,17 @@ pub trait DataCodec: Sync + Send {
     fn encode(&self, data: &[f32], bound: ErrorBound) -> Result<Vec<u8>, DeepSzError>;
     /// Decompresses a stream produced by [`DataCodec::encode`].
     fn decode(&self, bytes: &[u8]) -> Result<Vec<f32>, DeepSzError>;
+    /// [`DataCodec::decode`] into a caller-owned buffer (cleared and
+    /// refilled, capacity reused) so repeated-decode loops — the
+    /// incremental assessment engine decodes one stream per sampled
+    /// `(layer, eb)` point — allocate only on buffer growth. Output must
+    /// be byte-identical to [`DataCodec::decode`]; the default
+    /// implementation guarantees that by delegating to it, at the cost of
+    /// the allocation.
+    fn decode_into(&self, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), DeepSzError> {
+        *out = self.decode(bytes)?;
+        Ok(())
+    }
 }
 
 /// Identifies a lossy data codec inside serialized containers — the data
@@ -166,6 +177,10 @@ impl DataCodec for SzCodec {
     fn decode(&self, bytes: &[u8]) -> Result<Vec<f32>, DeepSzError> {
         Ok(dsz_sz::decompress(bytes)?)
     }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), DeepSzError> {
+        Ok(dsz_sz::decompress_into(bytes, out)?)
+    }
 }
 
 /// [`DataCodec`] over the ZFP-style fixed-accuracy compressor
@@ -184,6 +199,10 @@ impl DataCodec for ZfpCodec {
 
     fn decode(&self, bytes: &[u8]) -> Result<Vec<f32>, DeepSzError> {
         Ok(dsz_zfp::decompress(bytes)?)
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), DeepSzError> {
+        Ok(dsz_zfp::decompress_into(bytes, out)?)
     }
 }
 
@@ -224,6 +243,29 @@ mod tests {
             assert_eq!(back.len(), data.len(), "{}", kind.name());
             let err = dsz_sz::max_abs_error(&data, &back);
             assert!(err <= 1e-3 * (1.0 + 1e-9), "{}: err {err}", kind.name());
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_decode_byte_for_byte() {
+        let data = weights(3000, 17);
+        let mut out = vec![5.0f32; 7]; // dirty, wrongly sized
+        for kind in DataCodecKind::ALL {
+            let codec = kind.codec();
+            let blob = codec.encode(&data, ErrorBound::Abs(1e-3)).unwrap();
+            let want = codec.decode(&blob).unwrap();
+            codec.decode_into(&blob, &mut out).unwrap();
+            assert_eq!(out.len(), want.len(), "{}", kind.name());
+            assert!(
+                out.iter()
+                    .zip(&want)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{}: decode_into diverged from decode",
+                kind.name()
+            );
+            let cap = out.capacity();
+            codec.decode_into(&blob, &mut out).unwrap();
+            assert_eq!(out.capacity(), cap, "{}: steady-state realloc", kind.name());
         }
     }
 

@@ -4,8 +4,14 @@
 //! touches conv layers, the conv features of the test set can be computed
 //! once and cached; every subsequent test only runs the fc head. This is the
 //! same reason the paper's per-test cost is a forward pass, not a retrain.
+//!
+//! [`IncrementalEvaluator`] pushes the idea one layer further: *within* the
+//! fc head, a test that perturbs layer ℓ leaves every activation upstream
+//! of ℓ unchanged, so those are cached too ([`dsz_nn::PrefixCache`]) and a
+//! test pays only the suffix from ℓ onward, into caller-owned scratch —
+//! the engine behind incremental assessment (see `docs/ASSESSMENT.md`).
 
-use dsz_nn::{accuracy, Dataset, Network};
+use dsz_nn::{accuracy, count_topk_hits, Dataset, DenseLayer, Network, PrefixCache, SuffixScratch};
 
 /// Something that can score a network's top-1 accuracy on the test set.
 pub trait AccuracyEvaluator: Sync {
@@ -14,6 +20,18 @@ pub trait AccuracyEvaluator: Sync {
 
     /// Top-1 and top-k accuracy (k = 5 by default, like the paper).
     fn evaluate_topk(&self, net: &Network) -> (f64, f64);
+
+    /// The dataset and batch size behind this evaluator, when
+    /// [`AccuracyEvaluator::evaluate`] is exactly a batched top-1 sweep of
+    /// a dataset (`dsz_nn::accuracy` semantics). Assessment uses this to
+    /// build its incremental engine; the `None` default keeps custom
+    /// evaluators opaque and routes them through the full-evaluation
+    /// reference path. Implementations returning `Some` promise that
+    /// `evaluate(net)` equals the batched sweep bit for bit — incremental
+    /// and full assessment are interchangeable only under that contract.
+    fn dataset(&self) -> Option<(&Dataset, usize)> {
+        None
+    }
 }
 
 /// Evaluates on a held-out [`Dataset`] in fixed-size batches.
@@ -45,6 +63,92 @@ impl AccuracyEvaluator for DatasetEvaluator {
 
     fn evaluate_topk(&self, net: &Network) -> (f64, f64) {
         accuracy(net, &self.data, self.batch, self.topk)
+    }
+
+    fn dataset(&self) -> Option<(&Dataset, usize)> {
+        Some((&self.data, self.batch))
+    }
+}
+
+/// Incremental accuracy evaluation for single-layer perturbations.
+///
+/// Built once per assessment: one full forward sweep over the evaluation
+/// set records the activations entering every fc layer (and the baseline
+/// outputs). Scoring a candidate reconstruction of layer ℓ then replays
+/// only the suffix from ℓ, with the candidate's weights substituted by
+/// reference — no network clone, no per-test allocation beyond the
+/// caller's scratch growth. Results are bit-identical to evaluating a
+/// mutated clone of the full network, because prefix activations are
+/// byte-equal by construction and the suffix runs the same kernels
+/// ([`dsz_nn::Network::forward_from`]).
+pub struct IncrementalEvaluator<'a> {
+    net: &'a Network,
+    data: &'a Dataset,
+    cache: PrefixCache,
+    baseline_top1: f64,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Runs the prefix sweep over `data` in batches of `batch`, caching
+    /// activations at every fc-layer input boundary of `net`.
+    pub fn new(net: &'a Network, data: &'a Dataset, batch: usize) -> Self {
+        let boundaries: Vec<usize> = net.fc_layers().iter().map(|fc| fc.layer_index).collect();
+        let cache = PrefixCache::build(net, data, batch, &boundaries);
+        let baseline_top1 = if data.is_empty() {
+            0.0
+        } else {
+            let mut hits = 0usize;
+            let mut lo = 0usize;
+            for bi in 0..cache.batch_count() {
+                let (bn, feats, out) = cache.batch_output(bi);
+                hits += count_topk_hits(out, feats, data.label_slice(lo, lo + bn), 1);
+                lo += bn;
+            }
+            hits as f64 / data.len() as f64
+        };
+        Self {
+            net,
+            data,
+            cache,
+            baseline_top1,
+        }
+    }
+
+    /// Baseline top-1 accuracy of the unperturbed network, measured from
+    /// the cached outputs (identical to `evaluate(net)` on the dataset).
+    pub fn baseline(&self) -> f64 {
+        self.baseline_top1
+    }
+
+    /// Bytes held by the cached prefix activations.
+    pub fn cached_bytes(&self) -> usize {
+        self.cache.cached_bytes()
+    }
+
+    /// Top-1 accuracy with `candidate` substituted for the dense layer at
+    /// `layer_index`. `scratch` is caller-owned so concurrent tests of
+    /// different candidates each bring their own buffers.
+    pub fn evaluate_candidate(
+        &self,
+        layer_index: usize,
+        candidate: &DenseLayer,
+        scratch: &mut SuffixScratch,
+    ) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        let mut lo = 0usize;
+        for bi in 0..self.cache.batch_count() {
+            let (bn, shape, input) = self.cache.batch_input(layer_index, bi);
+            let out =
+                self.net
+                    .forward_from(layer_index, Some(candidate), bn, shape, input, scratch);
+            let feats = self.cache.batch_output(bi).1;
+            hits += count_topk_hits(out, feats, self.data.label_slice(lo, lo + bn), 1);
+            lo += bn;
+        }
+        hits as f64 / self.data.len() as f64
     }
 }
 
@@ -90,6 +194,31 @@ mod tests {
         let (a_head, k_head) = head_eval.evaluate_topk(&head);
         assert!((a_full - a_head).abs() < 1e-9, "{a_full} vs {a_head}");
         assert!((k_full - k_head).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_candidate_matches_full_clone_evaluation() {
+        let net = zoo::build(Arch::LeNet5, Scale::Full, 7);
+        let data = dsz_datagen_digits(120);
+        let eval = DatasetEvaluator::new(data.clone());
+        let ie = IncrementalEvaluator::new(&net, &data, eval.batch);
+        assert_eq!(ie.baseline().to_bits(), eval.evaluate(&net).to_bits());
+        let mut scratch = SuffixScratch::default();
+        for fc in net.fc_layers() {
+            let mut candidate = net.dense(fc.layer_index).clone();
+            for (i, w) in candidate.w.data.iter_mut().enumerate() {
+                *w += ((i % 5) as f32 - 2.0) * 2e-3;
+            }
+            let incr = ie.evaluate_candidate(fc.layer_index, &candidate, &mut scratch);
+            let mut mutated = net.clone();
+            *mutated.dense_mut(fc.layer_index) = candidate;
+            assert_eq!(
+                incr.to_bits(),
+                eval.evaluate(&mutated).to_bits(),
+                "layer {}",
+                fc.name
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!    compressed size)` samples — at each bound the candidate
 //!    [`codec::DataCodec`]s (SZ, ZFP) compete and the smaller stream
 //!    wins the point, making the paper's Fig. 2 comparison per layer.
+//!    The default engine is *incremental* (prefix-activation caching +
+//!    scratch-arena suffix evaluation, bit-identical to the preserved
+//!    full path — `docs/ASSESSMENT.md`), since assessment is the
+//!    pipeline's dominant cost.
 //! 3. **Optimization of the error-bound configuration** ([`optimizer`],
 //!    Algorithm 2): a knapsack-style dynamic program picks per-layer error
 //!    bounds minimizing total size under the user's expected accuracy loss
@@ -32,9 +36,11 @@ pub mod optimizer;
 pub mod pipeline;
 pub mod streaming;
 
-pub use assessment::{assess_network, AssessmentConfig, EbPoint, LayerAssessment};
+pub use assessment::{
+    assess_network, assess_network_full, AssessmentConfig, EbPoint, LayerAssessment,
+};
 pub use codec::{compete, DataCodec, DataCodecKind, SzCodec, ZfpCodec};
-pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator};
+pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator, IncrementalEvaluator};
 pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{

@@ -1,0 +1,152 @@
+//! Equivalence suite: incremental vs. full-evaluation assessment.
+//!
+//! The incremental engine (prefix-activation cache + suffix pass +
+//! scratch arenas) must be *bit-identical* to the full-clone reference
+//! path — same baseline accuracy, same `EbPoint` sequence (eb, Δ, bytes,
+//! winning codec) for every layer — on a multi-layer zoo network, across
+//! execution worker counts. `scripts/tier1.sh` runs this whole suite
+//! under `DSZ_THREADS=1` and `=4`, sweeping the process budget too.
+
+use dsz_core::{
+    assess_network, assess_network_full, AccuracyEvaluator, AssessmentConfig, DatasetEvaluator,
+    LayerAssessment,
+};
+use dsz_datagen::digits;
+use dsz_nn::{train, zoo, Arch, Network, Scale, TrainConfig};
+use dsz_prune::{prune_network, retrain};
+use dsz_tensor::parallel::with_workers;
+
+/// A pruned + briefly retrained LeNet-300-100: enough signal that
+/// Algorithm 1's distortion criterion actually fires and the check walk
+/// runs deep, so the equivalence covers both walks.
+fn trained_workload() -> (Network, DatasetEvaluator) {
+    let train_data = digits::dataset(700, 41);
+    let test_data = digits::dataset(260, 42);
+    let mut net = zoo::build(Arch::LeNet300, Scale::Full, 4242);
+    train(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+        None,
+    );
+    let (masks, _) = prune_network(&mut net, Arch::LeNet300.pruning_densities());
+    retrain(
+        &mut net,
+        &train_data,
+        &TrainConfig {
+            epochs: 1,
+            lr: 0.02,
+            ..Default::default()
+        },
+        &masks,
+    );
+    (net, DatasetEvaluator::new(test_data))
+}
+
+fn assert_identical(a: &[LayerAssessment], b: &[LayerAssessment], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: layer count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.fc, y.fc, "{what}: layer ref");
+        assert_eq!(x.index_codec, y.index_codec, "{what}: index codec");
+        assert_eq!(x.index_bytes, y.index_bytes, "{what}: index bytes");
+        assert_eq!(x.pair, y.pair, "{what}: pair array");
+        assert_eq!(
+            x.points.len(),
+            y.points.len(),
+            "{what}: point count for {} ({:?} vs {:?})",
+            x.fc.name,
+            x.points.iter().map(|p| p.eb).collect::<Vec<_>>(),
+            y.points.iter().map(|p| p.eb).collect::<Vec<_>>()
+        );
+        for (p, q) in x.points.iter().zip(&y.points) {
+            assert_eq!(
+                p.eb.to_bits(),
+                q.eb.to_bits(),
+                "{what}: eb for {}",
+                x.fc.name
+            );
+            assert_eq!(
+                p.degradation.to_bits(),
+                q.degradation.to_bits(),
+                "{what}: Δ at eb {} for {}",
+                p.eb,
+                x.fc.name
+            );
+            assert_eq!(p.data_bytes, q.data_bytes, "{what}: σ at eb {}", p.eb);
+            assert_eq!(p.codec, q.codec, "{what}: codec at eb {}", p.eb);
+        }
+    }
+}
+
+#[test]
+fn incremental_assessment_is_bit_identical_to_full() {
+    let (net, eval) = trained_workload();
+    let cfg = AssessmentConfig {
+        expected_loss: 0.01,
+        ..Default::default()
+    };
+    let (full, base_full) = assess_network_full(&net, &cfg, &eval).unwrap();
+    // Sanity: the workload must exercise the check walk, not only the
+    // decade scan, or this suite proves less than it claims.
+    assert!(
+        full.iter().any(|a| a.points.len() > 4),
+        "workload too flat: {:?}",
+        full.iter().map(|a| a.points.len()).collect::<Vec<_>>()
+    );
+    // The default path picks the incremental engine for DatasetEvaluator;
+    // sweep execution worker counts for both engines — the speculative
+    // batching must never change the output.
+    for workers in [1usize, 4] {
+        let (incr, base_incr) =
+            with_workers(workers, || assess_network(&net, &cfg, &eval).unwrap());
+        assert_eq!(
+            base_incr.to_bits(),
+            base_full.to_bits(),
+            "baseline (workers={workers})"
+        );
+        assert_identical(&full, &incr, &format!("workers={workers}"));
+    }
+    let (full4, base_full4) = with_workers(4, || assess_network_full(&net, &cfg, &eval).unwrap());
+    assert_eq!(base_full4.to_bits(), base_full.to_bits());
+    assert_identical(&full, &full4, "full path workers=4");
+}
+
+#[test]
+fn conv_prefix_network_assesses_identically() {
+    // Untrained LeNet-5: the walk is short (accuracy is flat), but the
+    // prefix cache must replay the conv feature extractor bit-exactly.
+    let net = zoo::build(Arch::LeNet5, Scale::Full, 77);
+    let eval = DatasetEvaluator::new(digits::dataset(90, 43));
+    let cfg = AssessmentConfig::default();
+    let (full, base_full) = assess_network_full(&net, &cfg, &eval).unwrap();
+    let (incr, base_incr) = assess_network(&net, &cfg, &eval).unwrap();
+    assert_eq!(base_incr.to_bits(), base_full.to_bits());
+    assert_identical(&full, &incr, "lenet5");
+}
+
+#[test]
+fn opaque_evaluator_falls_back_to_the_full_path() {
+    // An evaluator that hides its dataset must still assess correctly
+    // (through the reference engine) and agree with the transparent one.
+    struct Opaque(DatasetEvaluator);
+    impl AccuracyEvaluator for Opaque {
+        fn evaluate(&self, net: &Network) -> f64 {
+            self.0.evaluate(net)
+        }
+        fn evaluate_topk(&self, net: &Network) -> (f64, f64) {
+            self.0.evaluate_topk(net)
+        }
+    }
+    let net = zoo::build(Arch::LeNet300, Scale::Full, 99);
+    let data = digits::dataset(60, 44);
+    let transparent = DatasetEvaluator::new(data.clone());
+    let opaque = Opaque(DatasetEvaluator::new(data));
+    let cfg = AssessmentConfig::default();
+    let (a, base_a) = assess_network(&net, &cfg, &transparent).unwrap();
+    let (b, base_b) = assess_network(&net, &cfg, &opaque).unwrap();
+    assert_eq!(base_a.to_bits(), base_b.to_bits());
+    assert_identical(&a, &b, "opaque vs transparent");
+}

@@ -1,0 +1,49 @@
+//! Property test: every [`DataCodec`]'s `decode_into` must match its
+//! allocating `decode` byte-for-byte, for both registry codecs, across
+//! array sizes, error bounds, and dirty pre-used scratch buffers — the
+//! contract the incremental assessment arena relies on.
+
+use dsz_core::DataCodecKind;
+use dsz_sz::ErrorBound;
+use proptest::prelude::*;
+
+fn weights(n: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((s >> 11) as f64 / (1u64 << 53) as f64) as f32 - 0.5) * 0.2
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decode_into_matches_decode(
+        n in prop_oneof![Just(0usize), 1usize..2000, Just(65_537usize)],
+        seed in 0u64..1000,
+        eb_exp in 2u32..5,
+        junk in 0usize..64,
+    ) {
+        let data = weights(n, seed);
+        let bound = ErrorBound::Abs(10f64.powi(-(eb_exp as i32)));
+        // One shared scratch across codecs and cases: reuse with stale
+        // contents/capacity is exactly the steady-state the arena sees.
+        let mut out = vec![0.25f32; junk];
+        for kind in DataCodecKind::ALL {
+            let codec = kind.codec();
+            let blob = codec.encode(&data, bound).unwrap();
+            let want = codec.decode(&blob).unwrap();
+            codec.decode_into(&blob, &mut out).unwrap();
+            prop_assert_eq!(out.len(), want.len(), "{}", kind.name());
+            prop_assert!(
+                out.iter().zip(&want).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{}: scratch decode diverged", kind.name()
+            );
+        }
+    }
+}

@@ -15,14 +15,24 @@
 //! thread's `with_workers` budget — which is how streaming inference
 //! shares cores between a matmul and concurrent prefetch decodes (see
 //! `docs/PARALLEL.md`).
+//!
+//! The [`incremental`] module splits inference into a cached prefix and a
+//! scratch-resident suffix pass ([`PrefixCache`], [`Network::forward_from`])
+//! so that repeated single-layer perturbation tests — DeepSZ's error-bound
+//! assessment — pay only the network downstream of the perturbed layer;
+//! `docs/ASSESSMENT.md` documents the model.
 
+pub mod incremental;
 pub mod io;
 pub mod layers;
 pub mod train;
 pub mod zoo;
 
+pub use incremental::{PrefixCache, SuffixScratch};
 pub use layers::{ConvLayer, DenseLayer, Layer, LayerGrad, PoolAux};
-pub use train::{accuracy, softmax_xent, train, Dataset, Sgd, TrainConfig, TrainStats};
+pub use train::{
+    accuracy, count_topk_hits, softmax_xent, train, Dataset, Sgd, TrainConfig, TrainStats,
+};
 pub use zoo::{Arch, Scale};
 
 use dsz_tensor::VolShape;

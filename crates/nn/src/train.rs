@@ -91,6 +91,19 @@ fn in_top_k(row: &[f32], label: u16, k: usize) -> bool {
     better < k
 }
 
+/// Counts labels hit by the top-`k` of their logit row. `out` is a flat
+/// `labels.len() × features` logit buffer — the shared scoring primitive
+/// behind [`accuracy`] and the incremental suffix evaluation, kept in one
+/// place so the two paths cannot diverge.
+pub fn count_topk_hits(out: &[f32], features: usize, labels: &[u16], k: usize) -> usize {
+    assert_eq!(out.len(), labels.len() * features, "logit buffer mismatch");
+    labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, &label)| in_top_k(&out[i * features..(i + 1) * features], label, k))
+        .count()
+}
+
 /// Accuracy over a dataset, evaluated in batches. Returns `(top1, topk)`
 /// fractions in `[0, 1]`; `topk` uses `k` (the paper reports top-5).
 pub fn accuracy(net: &Network, data: &Dataset, batch: usize, k: usize) -> (f64, f64) {
@@ -105,15 +118,9 @@ pub fn accuracy(net: &Network, data: &Dataset, batch: usize, k: usize) -> (f64, 
         let hi = (lo + batch).min(n);
         let out = net.forward(&data.batch(lo, hi));
         let kk = out.features();
-        for (i, &label) in data.label_slice(lo, hi).iter().enumerate() {
-            let row = &out.data[i * kk..(i + 1) * kk];
-            if in_top_k(row, label, 1) {
-                hit1 += 1;
-            }
-            if in_top_k(row, label, k) {
-                hitk += 1;
-            }
-        }
+        let labels = data.label_slice(lo, hi);
+        hit1 += count_topk_hits(&out.data, kk, labels, 1);
+        hitk += count_topk_hits(&out.data, kk, labels, k);
         lo = hi;
     }
     (hit1 as f64 / n as f64, hitk as f64 / n as f64)

@@ -135,27 +135,54 @@ impl PairArray {
     /// and single-worker budgets take the serial path; both paths produce
     /// identical output (and the same error on corrupt streams).
     pub fn to_dense(&self) -> Result<Vec<f32>, SparseError> {
-        if self.data.len() != self.index.len() {
-            return Err(SparseError::LengthMismatch);
-        }
-        let mut out = vec![0f32; self.rows * self.cols];
-        let workers = worker_count();
-        if workers <= 1 || self.index.len() < MIN_PARALLEL_ENTRIES {
-            self.fill_dense_serial(&mut out)?;
-        } else {
-            self.fill_dense_parallel(&mut out, workers)?;
-        }
+        let mut out = Vec::new();
+        self.to_dense_into(&mut out)?;
         Ok(out)
     }
 
+    /// [`PairArray::to_dense`] into a caller-owned buffer: `out` is
+    /// resized (reusing capacity) to `rows × cols`, zeroed, and filled.
+    /// The scratch-arena entry point for loops that reconstruct many
+    /// candidates — steady state allocates only when the buffer grows.
+    /// Output bytes are identical to the allocating twin's.
+    pub fn to_dense_into(&self, out: &mut Vec<f32>) -> Result<(), SparseError> {
+        self.to_dense_with(&self.data, out)
+    }
+
+    /// Like [`PairArray::to_dense_into`] but reconstructing from a
+    /// *replacement* data array (e.g. freshly decompressed values) without
+    /// materializing a new `PairArray`. Equivalent to
+    /// `self.with_data(data.to_vec())?.to_dense()` — values at padding
+    /// positions are ignored either way, because the gap walk never writes
+    /// a padding entry — minus both allocations.
+    pub fn to_dense_with(&self, data: &[f32], out: &mut Vec<f32>) -> Result<(), SparseError> {
+        if data.len() != self.index.len() {
+            return Err(SparseError::LengthMismatch);
+        }
+        out.clear();
+        out.resize(self.rows * self.cols, 0.0);
+        let workers = worker_count();
+        if workers <= 1 || self.index.len() < MIN_PARALLEL_ENTRIES {
+            self.fill_dense_serial(data, out)?;
+        } else {
+            self.fill_dense_parallel(data, out, workers)?;
+        }
+        Ok(())
+    }
+
     /// Serial gap walk (the reference implementation).
-    fn fill_dense_serial(&self, out: &mut [f32]) -> Result<(), SparseError> {
+    fn fill_dense_serial(&self, data: &[f32], out: &mut [f32]) -> Result<(), SparseError> {
         let len = out.len();
-        walk_entries(&self.index, &self.data, -1, len, |p, v| out[p] = v)
+        walk_entries(&self.index, data, -1, len, |p, v| out[p] = v)
     }
 
     /// Segmented parallel reconstruction; see [`PairArray::to_dense`].
-    fn fill_dense_parallel(&self, out: &mut [f32], workers: usize) -> Result<(), SparseError> {
+    fn fill_dense_parallel(
+        &self,
+        data: &[f32],
+        out: &mut [f32],
+        workers: usize,
+    ) -> Result<(), SparseError> {
         let entries = self.index.len();
         // Segment boundaries, adjusted so no segment starts with a gap-0
         // entry: a gap-0 entry re-writes the running cursor's position
@@ -202,22 +229,16 @@ impl PairArray {
         let shared = DenseOut(out.as_mut_ptr());
         let results: Vec<Result<(), SparseError>> = parallel_map(&jobs, |&(lo, hi, start)| {
             let shared = &shared;
-            walk_entries(
-                &self.index[lo..hi],
-                &self.data[lo..hi],
-                start,
-                len,
-                |p, v| {
-                    // SAFETY: positions are non-decreasing along the gap
-                    // stream and every segment starts with a nonzero advance
-                    // (boundary rule above), so this segment's writes all land
-                    // strictly after the previous segment's last write — each
-                    // slot has at most one writing thread, `p < len` is
-                    // checked by the walk, and the scope join inside
-                    // `parallel_map` publishes the writes.
-                    unsafe { *shared.0.add(p) = v };
-                },
-            )
+            walk_entries(&self.index[lo..hi], &data[lo..hi], start, len, |p, v| {
+                // SAFETY: positions are non-decreasing along the gap
+                // stream and every segment starts with a nonzero advance
+                // (boundary rule above), so this segment's writes all land
+                // strictly after the previous segment's last write — each
+                // slot has at most one writing thread, `p < len` is
+                // checked by the walk, and the scope join inside
+                // `parallel_map` publishes the writes.
+                unsafe { *shared.0.add(p) = v };
+            })
         });
         results.into_iter().collect()
     }

@@ -34,6 +34,42 @@ proptest! {
     }
 
     #[test]
+    fn to_dense_into_matches_allocating_twin((rows, cols, dense) in sparse_matrix()) {
+        let pa = PairArray::from_dense(&dense, rows, cols);
+        let want = pa.to_dense().unwrap();
+        // A dirty, wrongly-sized scratch buffer must come out byte-equal.
+        let mut out = vec![9.0f32; 3];
+        pa.to_dense_into(&mut out).unwrap();
+        prop_assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn to_dense_with_matches_with_data_then_to_dense(
+        (rows, cols, dense) in sparse_matrix(),
+        delta in -0.5f32..0.5,
+    ) {
+        let pa = PairArray::from_dense(&dense, rows, cols);
+        // Replacement values, deliberately nonzero at padding slots too.
+        let replacement: Vec<f32> = pa.data.iter().map(|v| v + delta).collect();
+        let want = pa.with_data(replacement.clone()).unwrap().to_dense().unwrap();
+        let mut out = Vec::new();
+        pa.to_dense_with(&replacement, &mut out).unwrap();
+        prop_assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Length mismatch errors exactly like the allocating path.
+        let mut short = replacement;
+        short.pop();
+        if !short.is_empty() || !pa.index.is_empty() {
+            prop_assert!(pa.to_dense_with(&short, &mut out).is_err());
+        }
+    }
+
+    #[test]
     fn csr_roundtrips((rows, cols, dense) in sparse_matrix()) {
         let csr = Csr::from_dense(&dense, rows, cols);
         prop_assert_eq!(csr.to_dense(), dense.clone());

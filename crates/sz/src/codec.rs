@@ -1135,10 +1135,22 @@ enum UnitEntropy<'a> {
 /// workers (v3/v4 additionally build their shared Huffman decoder exactly
 /// once).
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer: `out` is resized (reusing
+/// its capacity) to the stream's element count and filled. The scratch
+/// entry point for loops decoding many streams — steady state allocates
+/// only when the buffer grows. Output bytes equal the allocating twin's.
+pub fn decompress_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), SzError> {
     let h = parse_header(bytes)?;
+    out.clear();
+    out.resize(h.n, 0.0);
     match h.version {
-        VERSION_V1 => decompress_v1(bytes, &h),
-        VERSION_V2 => decompress_chunked(bytes, &h, UnitEntropy::Embedded),
+        VERSION_V1 => decompress_v1(bytes, &h, out),
+        VERSION_V2 => decompress_chunked(bytes, &h, UnitEntropy::Embedded, out),
         _ => match h.entropy {
             EntropyStage::Huffman => {
                 let code = h
@@ -1146,9 +1158,9 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
                     .as_ref()
                     .expect("v3/v4 huffman header carries a table");
                 let dec = code.decoder();
-                decompress_chunked(bytes, &h, UnitEntropy::Shared(&dec))
+                decompress_chunked(bytes, &h, UnitEntropy::Shared(&dec), out)
             }
-            EntropyStage::Raw => decompress_chunked(bytes, &h, UnitEntropy::SharedRaw),
+            EntropyStage::Raw => decompress_chunked(bytes, &h, UnitEntropy::SharedRaw, out),
         },
     }
 }
@@ -1184,9 +1196,8 @@ fn decode_backed_unit(
     })
 }
 
-fn decompress_v1(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
+fn decompress_v1(bytes: &[u8], h: &Header, out: &mut [f32]) -> Result<(), SzError> {
     let raw_payload = &bytes[h.payload_at..];
-    let mut out = vec![0f32; h.n];
     decode_backed_unit(
         h.backend,
         raw_payload,
@@ -1194,9 +1205,8 @@ fn decompress_v1(bytes: &[u8], h: &Header) -> Result<Vec<f32>, SzError> {
         h.radius,
         h.abs_eb,
         UnitEntropy::Embedded,
-        &mut out,
-    )?;
-    Ok(out)
+        out,
+    )
 }
 
 /// Chunk-parallel decode shared by v2 and v3; only the entropy source
@@ -1205,7 +1215,8 @@ fn decompress_chunked(
     bytes: &[u8],
     h: &Header,
     entropy: UnitEntropy<'_>,
-) -> Result<Vec<f32>, SzError> {
+    out: &mut [f32],
+) -> Result<(), SzError> {
     // Zero-copy chunk table: slice out every record before decoding.
     let mut pos = h.payload_at;
     let mut records: Vec<(Option<LosslessKind>, &[u8])> = Vec::with_capacity(h.n_chunks);
@@ -1227,13 +1238,11 @@ fn decompress_chunked(
             .min(h.n);
         sizes.push(end_elem - start);
     }
-    let mut out = vec![0f32; h.n];
     let (block, radius, abs_eb) = (h.block, h.radius, h.abs_eb);
-    parallel_chunks(&mut out, &sizes, |ci, slice| {
+    parallel_chunks(out, &sizes, |ci, slice| {
         let (kind, record) = records[ci];
         decode_backed_unit(kind, record, block, radius, abs_eb, entropy, slice)
-    })?;
-    Ok(out)
+    })
 }
 
 /// Decodes one compression unit's payload into `out` (whose length is the

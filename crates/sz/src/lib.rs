@@ -125,6 +125,13 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, SzError> {
     codec::decompress(bytes)
 }
 
+/// [`decompress`] into a caller-owned buffer (resized, capacity reused) —
+/// the scratch entry point for repeated-decode loops such as incremental
+/// assessment. Output bytes equal the allocating twin's.
+pub fn decompress_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), SzError> {
+    codec::decompress_into(bytes, out)
+}
+
 /// Reads the self-describing header of a compressed stream.
 pub fn info(bytes: &[u8]) -> Result<SzInfo, SzError> {
     codec::info(bytes)

@@ -115,14 +115,28 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// weight rows as output neurons).
 pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols, b.cols, "matmul_transb inner dimension mismatch");
-    let (m, k, n) = (a.rows, a.cols, b.rows);
-    let mut c = Matrix::zeros(m, n);
-    let adata = &a.data;
+    let mut c = Vec::new();
+    matmul_transb_into(&a.data, a.rows, a.cols, b, &mut c);
+    Matrix::from_vec(a.rows, b.rows, c)
+}
+
+/// `C = A·Bᵀ` into a caller-owned buffer: `a` is an `m×k` row-major slice,
+/// `b` is `n×k`, and `out` is resized to `m·n` (reusing its capacity).
+/// This is the allocation-free kernel behind [`matmul_transb`]; the
+/// suffix-forward scratch path (`dsz_nn::Network::forward_from`) calls it
+/// directly so repeated inference tests reuse one activation buffer. Both
+/// entry points share one loop, so their outputs are bit-identical.
+pub fn matmul_transb_into(a: &[f32], m: usize, k: usize, b: &Matrix, out: &mut Vec<f32>) {
+    assert_eq!(a.len(), m * k, "matmul_transb_into lhs shape mismatch");
+    assert_eq!(b.cols, k, "matmul_transb_into inner dimension mismatch");
+    let n = b.rows;
+    out.clear();
+    out.resize(m * n, 0.0);
     let bdata = &b.data;
-    parallel_for_rows(m, &mut c.data, n, |r0, rows_chunk| {
+    parallel_for_rows(m, out, n, |r0, rows_chunk| {
         for (ri, crow) in rows_chunk.chunks_exact_mut(n).enumerate() {
             let r = r0 + ri;
-            let arow = &adata[r * k..(r + 1) * k];
+            let arow = &a[r * k..(r + 1) * k];
             for (j, cv) in crow.iter_mut().enumerate() {
                 let brow = &bdata[j * k..(j + 1) * k];
                 let mut acc = 0f32;
@@ -133,7 +147,6 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     });
-    c
 }
 
 /// `C = Aᵀ·B` where A is `k×m`, B is `k×n` (gradient wrt weights).
@@ -320,6 +333,21 @@ mod tests {
         let b = rand_matrix(17, 21, 4);
         let want = naive_matmul(&a, &b.transpose());
         assert_close(&matmul_transb(&a, &b), &want, 1e-3);
+    }
+
+    #[test]
+    fn matmul_transb_into_reuses_buffer_bit_identically() {
+        let a = rand_matrix(9, 31, 21);
+        let b = rand_matrix(5, 31, 22);
+        let want = matmul_transb(&a, &b);
+        // A dirty, differently-sized scratch buffer must come out identical.
+        let mut out = vec![7.0f32; 3];
+        matmul_transb_into(&a.data, a.rows, a.cols, &b, &mut out);
+        assert_eq!(out, want.data);
+        let cap = out.capacity();
+        matmul_transb_into(&a.data, a.rows, a.cols, &b, &mut out);
+        assert_eq!(out, want.data);
+        assert_eq!(out.capacity(), cap, "steady-state call must not realloc");
     }
 
     #[test]

@@ -234,6 +234,15 @@ pub fn info(bytes: &[u8]) -> Result<ZfpInfo, CodecError> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer: `out` is cleared and filled
+/// (capacity reused), so repeated-decode loops allocate only on growth.
+/// Output bytes equal the allocating twin's.
+pub fn decompress_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), CodecError> {
     let (ZfpInfo { n, tol, .. }, mut pos) = parse_header(bytes)?;
     let payload_len = read_varint(bytes, &mut pos)? as usize;
     let end = pos.checked_add(payload_len).ok_or(CodecError::Truncated)?;
@@ -249,7 +258,8 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
     }
 
     let mut r = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     let mut remaining = n;
     while remaining > 0 {
         let take = remaining.min(4);
@@ -302,7 +312,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
         }
         remaining -= take;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Maximum pointwise absolute error over finite value pairs.

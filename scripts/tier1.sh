@@ -12,6 +12,10 @@ DSZ_THREADS=4 cargo test -q
 # Smoke-test the full user-facing pipeline (train → prune → assess →
 # optimize → encode → decode) exactly as the README-level docs run it.
 cargo run --release --example quickstart >/dev/null
+# Smoke-run the perf-trajectory bench: refreshes BENCH_encode_decode.json
+# (encode/decode scaling, pool reuse, and the incremental-vs-full
+# assessment speedup, which also re-proves the two engines agree).
+cargo run --release -p dsz_bench --bin bench_encode_decode >/dev/null
 cargo clippy --workspace -q -- -D warnings
 cargo fmt --check
 echo "tier1: OK"

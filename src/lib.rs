@@ -48,9 +48,10 @@ pub use dsz_zfp as zfp;
 pub mod prelude {
     pub use crate::datagen::{digits, features, weights};
     pub use crate::framework::{
-        apply_decoded, assess_network, cache_features, decode_model, encode_with_plan,
-        linearity_experiment, optimize_for_accuracy, optimize_for_size, AccuracyEvaluator,
-        AssessmentConfig, DataCodec, DataCodecKind, DatasetEvaluator, Plan, SzCodec, ZfpCodec,
+        apply_decoded, assess_network, assess_network_full, cache_features, decode_model,
+        encode_with_plan, linearity_experiment, optimize_for_accuracy, optimize_for_size,
+        AccuracyEvaluator, AssessmentConfig, DataCodec, DataCodecKind, DatasetEvaluator,
+        IncrementalEvaluator, Plan, SzCodec, ZfpCodec,
     };
     pub use crate::nn::{self, accuracy, zoo, Arch, Dataset, Network, Scale, TrainConfig};
     pub use crate::prune;
