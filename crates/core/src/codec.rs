@@ -24,6 +24,10 @@
 //! [`DataCodecKind::codec`], which needs no configuration because every
 //! stream is self-describing.
 
+// Decode dispatches on untrusted stream bytes: malformed input must
+// surface as an error, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::DeepSzError;
 use dsz_sz::{ErrorBound, SzConfig};
 use std::sync::OnceLock;
@@ -51,6 +55,12 @@ pub trait DataCodec: Sync + Send {
         *out = self.decode(bytes)?;
         Ok(())
     }
+    /// Element count the stream's header *declares* it decodes to, read
+    /// without decompressing anything. Untrusted-container validation
+    /// cross-checks this against the record's dims before any decode work
+    /// is scheduled, so a mutated length field is rejected instead of
+    /// sizing an allocation (`docs/ROBUSTNESS.md`).
+    fn declared_elems(&self, bytes: &[u8]) -> Result<usize, DeepSzError>;
 }
 
 /// Identifies a lossy data codec inside serialized containers — the data
@@ -181,6 +191,10 @@ impl DataCodec for SzCodec {
     fn decode_into(&self, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), DeepSzError> {
         Ok(dsz_sz::decompress_into(bytes, out)?)
     }
+
+    fn declared_elems(&self, bytes: &[u8]) -> Result<usize, DeepSzError> {
+        Ok(dsz_sz::info(bytes)?.n)
+    }
 }
 
 /// [`DataCodec`] over the ZFP-style fixed-accuracy compressor
@@ -203,6 +217,10 @@ impl DataCodec for ZfpCodec {
 
     fn decode_into(&self, bytes: &[u8], out: &mut Vec<f32>) -> Result<(), DeepSzError> {
         Ok(dsz_zfp::decompress_into(bytes, out)?)
+    }
+
+    fn declared_elems(&self, bytes: &[u8]) -> Result<usize, DeepSzError> {
+        Ok(dsz_zfp::info(bytes)?.n)
     }
 }
 

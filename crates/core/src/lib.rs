@@ -45,9 +45,10 @@ pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{
     apply_decoded, decode_model, encode_with_plan, encode_with_plan_config, encode_with_plan_v1,
-    CompressedModel, DecodeTiming, DecodedLayer, EncodeReport,
+    encode_with_plan_v2, verify_container, CompressedModel, DecodeTiming, DecodedLayer,
+    EncodeReport,
 };
-pub use streaming::{CompressedFcModel, StreamingStats};
+pub use streaming::{CompressedFcModel, DecodePolicy, StreamingStats};
 
 use std::fmt;
 
@@ -62,6 +63,24 @@ pub enum DeepSzError {
     Sparse(dsz_sparse::SparseError),
     /// Invalid container bytes.
     BadContainer(String),
+    /// A layer's record failed validation or decoding at a specific stage
+    /// of the decode pipeline, so callers of untrusted containers learn
+    /// *which* layer and *where* it broke (`docs/ROBUSTNESS.md` lists the
+    /// stage vocabulary).
+    Corrupt {
+        /// Name of the layer whose record failed.
+        layer: String,
+        /// Decode stage that rejected it: `"validate"`, `"checksum"`,
+        /// `"cross-check"`, `"lossless-index"`, `"lossy-data"`, or
+        /// `"reconstruct"`.
+        stage: &'static str,
+        /// Underlying cause.
+        detail: String,
+    },
+    /// Several layers failed to decode — the aggregate report produced by
+    /// [`streaming::DecodePolicy::ReportBadLayers`]. Each element is the
+    /// per-layer failure (usually [`DeepSzError::Corrupt`]).
+    BadLayers(Vec<DeepSzError>),
     /// No feasible configuration under the requested constraint.
     Infeasible(String),
 }
@@ -73,6 +92,23 @@ impl fmt::Display for DeepSzError {
             DeepSzError::Codec(e) => write!(f, "lossless: {e}"),
             DeepSzError::Sparse(e) => write!(f, "sparse: {e}"),
             DeepSzError::BadContainer(m) => write!(f, "container: {m}"),
+            DeepSzError::Corrupt {
+                layer,
+                stage,
+                detail,
+            } => {
+                write!(f, "layer {layer}: corrupt at {stage} stage: {detail}")
+            }
+            DeepSzError::BadLayers(errs) => {
+                write!(f, "{} layer(s) failed to decode: ", errs.len())?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
             DeepSzError::Infeasible(m) => write!(f, "infeasible: {m}"),
         }
     }

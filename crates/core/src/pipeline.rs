@@ -39,12 +39,16 @@
 //! the end-to-end elapsed time, so `wall_ms < lossless + sz + reconstruct`
 //! is the signature of parallel decode.
 
+// Containers are untrusted input: every malformed byte must surface as a
+// `DeepSzError`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::assessment::LayerAssessment;
 use crate::codec::DataCodecKind;
 use crate::optimizer::Plan;
 use crate::DeepSzError;
 use dsz_lossless::bits::{read_varint, write_varint};
-use dsz_lossless::{CodecError, LosslessKind};
+use dsz_lossless::{fnv1a, CodecError, LosslessKind};
 use dsz_nn::Network;
 use dsz_sparse::PairArray;
 use dsz_sz::ErrorBound;
@@ -54,6 +58,33 @@ use std::time::Instant;
 const MAGIC: &[u8; 4] = b"DSZM";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
+const VERSION_V3: u8 = 3;
+/// Closing magic of the v3 trailer; its presence distinguishes "v3
+/// container with a damaged tail" from "not a v3 container at all" in
+/// error messages only — every integrity decision rests on the checksums.
+const TRAILER_MAGIC: &[u8; 4] = b"DSZ3";
+/// Fixed v3 trailer: `footer_start u64 LE | container_fnv u64 LE | "DSZ3"`.
+const TRAILER_LEN: usize = 20;
+/// Upper bound on `rows × cols` accepted from a container record — a
+/// corrupt dim field must not size an allocation. 2^28 f32 elements is a
+/// 1 GiB dense layer, ~2.6× the largest real fc layer (VGG-16 fc6).
+const MAX_LAYER_ELEMS: usize = 1 << 28;
+
+/// Bounds-checked little-endian `u64` read at byte offset `off`.
+#[inline]
+fn read_u64_le(bytes: &[u8], off: usize) -> Option<u64> {
+    let b: [u8; 8] = bytes.get(off..off.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(b))
+}
+
+/// Shorthand for a [`DeepSzError::Corrupt`] at a named decode stage.
+fn corrupt(layer: &str, stage: &'static str, detail: impl std::fmt::Display) -> DeepSzError {
+    DeepSzError::Corrupt {
+        layer: layer.to_string(),
+        stage,
+        detail: detail.to_string(),
+    }
+}
 
 /// A serialized compressed model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,6 +170,20 @@ pub fn encode_with_plan_config(
     plan: &Plan,
     sz: &dsz_sz::SzConfig,
 ) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
+    encode_container(assessments, plan, sz, VERSION_V3)
+}
+
+/// Emits the DSZM v2 container layout — the v3 record layout minus the
+/// checksummed footer/trailer — for compatibility artifacts, size A/Bs
+/// (the bench tracks the v3-over-v2 integrity tax), and the golden-bytes
+/// tests that pin v2 decode. Prefer the default ([`encode_with_plan`]):
+/// v2 containers carry no integrity information, so storage corruption
+/// can surface as plausible-but-wrong weights instead of an error.
+pub fn encode_with_plan_v2(
+    assessments: &[LayerAssessment],
+    plan: &Plan,
+    sz: &dsz_sz::SzConfig,
+) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
     encode_container(assessments, plan, sz, VERSION_V2)
 }
 
@@ -203,8 +248,11 @@ fn encode_container(
 
     let mut reports = Vec::with_capacity(plan.layers.len());
     let mut total_dense = 0usize;
+    // v3 footer entries: (record offset, record len, data fnv, index fnv).
+    let mut footer: Vec<(usize, usize, u64, u64)> = Vec::new();
     for ((a, c), blob) in assessments.iter().zip(&plan.layers).zip(blobs) {
         let (data_blob, idx_blob) = blob?;
+        let record_start = bytes.len();
         write_varint(&mut bytes, a.fc.name.len() as u64);
         bytes.extend_from_slice(a.fc.name.as_bytes());
         write_varint(&mut bytes, a.fc.layer_index as u64);
@@ -219,6 +267,14 @@ fn encode_container(
         bytes.extend_from_slice(&data_blob);
         write_varint(&mut bytes, idx_blob.len() as u64);
         bytes.extend_from_slice(&idx_blob);
+        if version >= VERSION_V3 {
+            footer.push((
+                record_start,
+                bytes.len() - record_start,
+                fnv1a(&data_blob),
+                fnv1a(&idx_blob),
+            ));
+        }
 
         total_dense += a.pair.dense_bytes();
         reports.push(EncodedLayerReport {
@@ -231,6 +287,22 @@ fn encode_container(
             dense_bytes: a.pair.dense_bytes(),
             pair_bytes: a.pair.size_bytes(),
         });
+    }
+    if version >= VERSION_V3 {
+        // Footer index (per-layer spans + blob checksums), then the fixed
+        // trailer: footer offset, whole-container FNV over every byte that
+        // precedes the checksum field, closing magic. See `docs/FORMAT.md`.
+        let footer_start = bytes.len() as u64;
+        for (off, len, data_fnv, idx_fnv) in footer {
+            write_varint(&mut bytes, off as u64);
+            write_varint(&mut bytes, len as u64);
+            bytes.extend_from_slice(&data_fnv.to_le_bytes());
+            bytes.extend_from_slice(&idx_fnv.to_le_bytes());
+        }
+        bytes.extend_from_slice(&footer_start.to_le_bytes());
+        let container_fnv = fnv1a(&bytes);
+        bytes.extend_from_slice(&container_fnv.to_le_bytes());
+        bytes.extend_from_slice(TRAILER_MAGIC);
     }
     let total = bytes.len();
     Ok((
@@ -298,52 +370,117 @@ pub(crate) struct RawLayerRecord<'a> {
 /// Parses the container framing into per-layer records without decoding
 /// any payload (shared by [`decode_model`] and the streaming loader).
 /// Dispatches on the container version byte: v1 records carry no data
-/// codec id (SZ is implied), v2 records name their codec.
+/// codec id (SZ is implied), v2 records name their codec, v3 appends a
+/// checksummed footer/trailer that is verified here — whole-container
+/// FNV first, then per-record spans and blob checksums — *before* any
+/// payload is handed to a decompressor (`docs/FORMAT.md`).
 pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, DeepSzError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(DeepSzError::BadContainer("bad magic".into()));
     }
     let version = bytes[4];
-    if !(VERSION_V1..=VERSION_V2).contains(&version) {
+    if !(VERSION_V1..=VERSION_V3).contains(&version) {
         return Err(DeepSzError::BadContainer("unsupported version".into()));
     }
+
+    // v3: authenticate the whole byte string before trusting any field in
+    // it. A container that fails here never reaches the record parser.
+    let records_end = if version >= VERSION_V3 {
+        let len = bytes.len();
+        if len < 6 + TRAILER_LEN {
+            return Err(DeepSzError::BadContainer(
+                "v3 container shorter than its trailer".into(),
+            ));
+        }
+        if &bytes[len - 4..] != TRAILER_MAGIC {
+            return Err(DeepSzError::BadContainer("v3 trailer magic missing".into()));
+        }
+        let stored_fnv = read_u64_le(bytes, len - 12).ok_or(CodecError::Truncated)?;
+        let actual_fnv = fnv1a(&bytes[..len - 12]);
+        if stored_fnv != actual_fnv {
+            return Err(corrupt(
+                "<container>",
+                "checksum",
+                format!("container fnv mismatch: stored {stored_fnv:#018x}, computed {actual_fnv:#018x}"),
+            ));
+        }
+        let footer_start = read_u64_le(bytes, len - TRAILER_LEN).ok_or(CodecError::Truncated)?;
+        let footer_start = usize::try_from(footer_start)
+            .map_err(|_| DeepSzError::BadContainer("footer offset overflows".into()))?;
+        if footer_start < 6 || footer_start > len - TRAILER_LEN {
+            return Err(DeepSzError::BadContainer(
+                "footer offset out of bounds".into(),
+            ));
+        }
+        footer_start
+    } else {
+        bytes.len()
+    };
+    let region = &bytes[..records_end];
+
     let mut pos = 5usize;
-    let n_layers = read_varint(bytes, &mut pos)? as usize;
+    let n_layers = read_varint(region, &mut pos)? as usize;
+    // Each record occupies at least a dozen bytes; a count beyond the
+    // container size is corrupt and must not size the allocation below.
+    if n_layers > region.len() {
+        return Err(DeepSzError::BadContainer(
+            "layer count exceeds container size".into(),
+        ));
+    }
     let mut records = Vec::with_capacity(n_layers);
+    // v3 cross-check material: where each record actually landed.
+    let mut spans: Vec<(usize, usize)> =
+        Vec::with_capacity(if version >= VERSION_V3 { n_layers } else { 0 });
     for _ in 0..n_layers {
-        let name_len = read_varint(bytes, &mut pos)? as usize;
+        let record_start = pos;
+        let name_len = read_varint(region, &mut pos)? as usize;
         let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
-        let name = std::str::from_utf8(bytes.get(pos..name_end).ok_or(CodecError::Truncated)?)
+        let name = std::str::from_utf8(region.get(pos..name_end).ok_or(CodecError::Truncated)?)
             .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?;
         pos = name_end;
-        let layer_index = read_varint(bytes, &mut pos)? as usize;
-        let rows = read_varint(bytes, &mut pos)? as usize;
-        let cols = read_varint(bytes, &mut pos)? as usize;
-        let _eb = f64::from_le_bytes(
-            bytes
-                .get(pos..pos + 8)
-                .ok_or(CodecError::Truncated)?
-                .try_into()
-                .expect("len 8"),
-        );
-        pos += 8;
+        let layer_index = read_varint(region, &mut pos)? as usize;
+        let rows = read_varint(region, &mut pos)? as usize;
+        let cols = read_varint(region, &mut pos)? as usize;
+        match rows.checked_mul(cols) {
+            Some(elems) if elems <= MAX_LAYER_ELEMS => {}
+            _ => {
+                return Err(corrupt(
+                    name,
+                    "validate",
+                    format!(
+                        "dims {rows}x{cols} overflow or exceed the {MAX_LAYER_ELEMS}-element cap"
+                    ),
+                ))
+            }
+        }
+        let eb_end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+        let eb_bytes: [u8; 8] = region
+            .get(pos..eb_end)
+            .ok_or(CodecError::Truncated)?
+            .try_into()
+            .map_err(|_| CodecError::Truncated)?;
+        let _eb = f64::from_le_bytes(eb_bytes);
+        pos = eb_end;
         let data_codec = if version >= VERSION_V2 {
-            let id = *bytes.get(pos).ok_or(CodecError::Truncated)?;
+            let id = *region.get(pos).ok_or(CodecError::Truncated)?;
             pos += 1;
             DataCodecKind::from_id(id)?
         } else {
             DataCodecKind::Sz
         };
-        let codec = LosslessKind::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)?;
+        let codec = LosslessKind::from_id(*region.get(pos).ok_or(CodecError::Truncated)?)?;
         pos += 1;
-        let data_len = read_varint(bytes, &mut pos)? as usize;
+        let data_len = read_varint(region, &mut pos)? as usize;
         let data_end = pos.checked_add(data_len).ok_or(CodecError::Truncated)?;
-        let data_blob = bytes.get(pos..data_end).ok_or(CodecError::Truncated)?;
+        let data_blob = region.get(pos..data_end).ok_or(CodecError::Truncated)?;
         pos = data_end;
-        let idx_len = read_varint(bytes, &mut pos)? as usize;
+        let idx_len = read_varint(region, &mut pos)? as usize;
         let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
-        let idx_blob = bytes.get(pos..idx_end).ok_or(CodecError::Truncated)?;
+        let idx_blob = region.get(pos..idx_end).ok_or(CodecError::Truncated)?;
         pos = idx_end;
+        if version >= VERSION_V3 {
+            spans.push((record_start, pos - record_start));
+        }
         records.push(RawLayerRecord {
             name,
             layer_index,
@@ -355,28 +492,144 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
             idx_blob,
         });
     }
+
+    if version >= VERSION_V3 {
+        // The records must fill the region exactly — trailing slack would
+        // be bytes the footer never indexed.
+        if pos != records_end {
+            return Err(DeepSzError::BadContainer(
+                "records do not end at the footer".into(),
+            ));
+        }
+        // Footer: per record `offset varint | len varint | data_fnv u64 |
+        // idx_fnv u64`, consumed exactly, cross-checked against where the
+        // records actually parsed and what their blobs hash to.
+        let footer = &bytes[records_end..bytes.len() - TRAILER_LEN];
+        let mut fpos = 0usize;
+        for (rec, &(start, len)) in records.iter().zip(&spans) {
+            let f_off = read_varint(footer, &mut fpos)? as usize;
+            let f_len = read_varint(footer, &mut fpos)? as usize;
+            let f_data_fnv = read_u64_le(footer, fpos).ok_or(CodecError::Truncated)?;
+            fpos += 8;
+            let f_idx_fnv = read_u64_le(footer, fpos).ok_or(CodecError::Truncated)?;
+            fpos += 8;
+            if f_off != start || f_len != len {
+                return Err(corrupt(
+                    rec.name,
+                    "checksum",
+                    format!(
+                        "footer span {f_off}+{f_len} disagrees with parsed record at {start}+{len}"
+                    ),
+                ));
+            }
+            if f_data_fnv != fnv1a(rec.data_blob) {
+                return Err(corrupt(rec.name, "checksum", "data blob fnv mismatch"));
+            }
+            if f_idx_fnv != fnv1a(rec.idx_blob) {
+                return Err(corrupt(rec.name, "checksum", "index blob fnv mismatch"));
+            }
+        }
+        if fpos != footer.len() {
+            return Err(DeepSzError::BadContainer(
+                "footer has trailing bytes".into(),
+            ));
+        }
+    }
     Ok(records)
+}
+
+/// Verifies a container's structural integrity without decompressing any
+/// payload: framing, version dispatch, and — for v3 — the whole-container
+/// FNV-1a, footer spans, and per-blob checksums. Returns the layer count.
+/// For v1/v2 containers (no integrity information on the wire) this only
+/// proves the framing parses. Cost is one linear hash pass over the
+/// bytes; the bench reports it as `checksum_verify_ms`.
+pub fn verify_container(model: &CompressedModel) -> Result<usize, DeepSzError> {
+    parse_records(&model.bytes).map(|r| r.len())
 }
 
 /// Decodes one parsed record through the three stages, returning the layer
 /// plus `(lossless, lossy, reconstruct)` stage times in ms. The data
 /// stage dispatches through the [`crate::codec::DataCodec`] registry on the record's
 /// codec id, so it is uniform across SZ and ZFP layers.
+///
+/// Every failure is a [`DeepSzError::Corrupt`] naming the layer and the
+/// stage that rejected it. Declared stream sizes are cross-checked
+/// against the record's dims *before* any decompression runs, so a
+/// mutated length field cannot size an allocation or burn decode time.
 pub(crate) fn decode_record(
     r: &RawLayerRecord<'_>,
 ) -> Result<(DecodedLayer, [f64; 3]), DeepSzError> {
+    let elems = match r.rows.checked_mul(r.cols) {
+        Some(e) if e <= MAX_LAYER_ELEMS => e,
+        _ => {
+            return Err(corrupt(
+                r.name,
+                "validate",
+                format!(
+                    "dims {}x{} overflow or exceed the {MAX_LAYER_ELEMS}-element cap",
+                    r.rows, r.cols
+                ),
+            ))
+        }
+    };
+    // Condensed entries = nonzeros + zero-run pads (at most one pad per
+    // 255-element gap), so a valid record never declares more than this.
+    let max_entries = elems + elems / 255 + 1;
+    let data_elems = r
+        .data_codec
+        .codec()
+        .declared_elems(r.data_blob)
+        .map_err(|e| corrupt(r.name, "cross-check", format!("data stream header: {e}")))?;
+    let idx_elems = r
+        .codec
+        .codec()
+        .declared_len(r.idx_blob)
+        .map_err(|e| corrupt(r.name, "cross-check", format!("index stream header: {e}")))?;
+    if data_elems != idx_elems {
+        return Err(corrupt(
+            r.name,
+            "cross-check",
+            format!("data stream declares {data_elems} elements, index stream {idx_elems}"),
+        ));
+    }
+    if data_elems > max_entries {
+        return Err(corrupt(
+            r.name,
+            "cross-check",
+            format!(
+                "{data_elems} declared entries exceed the {max_entries}-entry cap of a {}x{} layer",
+                r.rows, r.cols
+            ),
+        ));
+    }
+
     let t = Instant::now();
-    let index = r.codec.codec().decompress(r.idx_blob)?;
+    let index = r
+        .codec
+        .codec()
+        .decompress(r.idx_blob)
+        .map_err(|e| corrupt(r.name, "lossless-index", e))?;
     let lossless_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
-    let data = r.data_codec.codec().decode(r.data_blob)?;
+    let data = r
+        .data_codec
+        .codec()
+        .decode(r.data_blob)
+        .map_err(|e| corrupt(r.name, "lossy-data", e))?;
     let lossy_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
     if data.len() != index.len() {
-        return Err(DeepSzError::BadContainer(
-            "data/index length mismatch".into(),
+        return Err(corrupt(
+            r.name,
+            "cross-check",
+            format!(
+                "decoded {} data elements but {} index entries",
+                data.len(),
+                index.len()
+            ),
         ));
     }
     let pair = PairArray {
@@ -385,7 +638,9 @@ pub(crate) fn decode_record(
         data,
         index,
     };
-    let dense = pair.to_dense()?;
+    let dense = pair
+        .to_dense()
+        .map_err(|e| corrupt(r.name, "reconstruct", e))?;
     let reconstruct_ms = t.elapsed().as_secs_f64() * 1e3;
 
     Ok((

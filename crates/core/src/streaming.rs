@@ -34,6 +34,10 @@
 //! busy or single-core hosts. [`CompressedFcModel::with_prefetch`] with
 //! `false` is shorthand for depth 0.
 
+// Streaming decodes untrusted container blobs on pool workers: malformed
+// input must come back as an `Err`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::codec::DataCodecKind;
 use crate::pipeline::{
     decode_model, decode_record, parse_records, CompressedModel, DecodedLayer, RawLayerRecord,
@@ -43,6 +47,23 @@ use dsz_lossless::LosslessKind;
 use dsz_nn::{Batch, Layer, Network};
 use dsz_tensor::pool;
 use std::collections::VecDeque;
+
+/// What a forward pass (or [`CompressedFcModel::materialize`]) does when a
+/// layer's record fails to decode.
+///
+/// Inference cannot proceed without the layer either way — the policy
+/// controls how much the caller learns from the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodePolicy {
+    /// Return the first layer's error immediately (default).
+    #[default]
+    FailFast,
+    /// After the first failure, decode every remaining layer too (on the
+    /// error path only — the happy path pays nothing) and return
+    /// [`DeepSzError::BadLayers`] aggregating *all* failures, so one pass
+    /// over a damaged container enumerates every bad layer.
+    ReportBadLayers,
+}
 
 /// One fc layer kept in compressed form.
 #[derive(Debug, Clone)]
@@ -94,6 +115,8 @@ pub struct CompressedFcModel {
     prefetch_depth: usize,
     /// Cap on live dense bytes (executing + in-flight prefetches).
     decoded_bytes_budget: Option<usize>,
+    /// What to do when a layer fails to decode.
+    decode_policy: DecodePolicy,
 }
 
 /// Memory accounting from a streaming forward pass.
@@ -155,6 +178,7 @@ impl CompressedFcModel {
             layers,
             prefetch_depth: 1,
             decoded_bytes_budget: None,
+            decode_policy: DecodePolicy::default(),
         })
     }
 
@@ -179,6 +203,32 @@ impl CompressedFcModel {
     pub fn with_decoded_bytes_budget(mut self, bytes: Option<usize>) -> Self {
         self.decoded_bytes_budget = bytes;
         self
+    }
+
+    /// Sets the per-layer decode failure policy (see [`DecodePolicy`]).
+    pub fn with_decode_policy(mut self, policy: DecodePolicy) -> Self {
+        self.decode_policy = policy;
+        self
+    }
+
+    /// Error path of [`DecodePolicy::ReportBadLayers`]: given the first
+    /// failure, decode every *other* layer (results discarded) and fold
+    /// every failure into one [`DeepSzError::BadLayers`] report. Under
+    /// [`DecodePolicy::FailFast`] the first error passes through as-is.
+    fn decode_failure(&self, failed_layer_index: usize, first: DeepSzError) -> DeepSzError {
+        if self.decode_policy == DecodePolicy::FailFast {
+            return first;
+        }
+        let mut errs = vec![first];
+        for c in &self.layers {
+            if c.layer_index == failed_layer_index {
+                continue;
+            }
+            if let Err(e) = c.decode() {
+                errs.push(e);
+            }
+        }
+        DeepSzError::BadLayers(errs)
     }
 
     /// Forward pass, materializing fc layers on demand. Returns the output
@@ -213,7 +263,10 @@ impl CompressedFcModel {
         for (i, layer) in self.skeleton.layers.iter().enumerate() {
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
-                    let decoded = self.compressed_for(i)?.decode()?;
+                    let decoded = self
+                        .compressed_for(i)?
+                        .decode()
+                        .map_err(|e| self.decode_failure(i, e))?;
                     let dense_bytes = decoded.dense.len() * 4;
                     stats.peak_dense_bytes = stats.peak_dense_bytes.max(dense_bytes);
                     stats.total_dense_bytes += dense_bytes;
@@ -255,9 +308,12 @@ impl CompressedFcModel {
                 _ => None,
             })
             .collect();
-        for &i in &order {
-            self.compressed_for(i)?; // fail before scheduling anything
-        }
+        // Resolve every blob up front: fails before scheduling anything,
+        // and the later lookups become infallible indexing.
+        let blobs: Vec<&CompressedLayer> = order
+            .iter()
+            .map(|&i| self.compressed_for(i))
+            .collect::<Result<_, _>>()?;
 
         // Decode tasks run concurrently with the matmul thread, so the
         // caller's worker budget is split between the two sides (each side
@@ -296,9 +352,7 @@ impl CompressedFcModel {
             macro_rules! schedule {
                 ($executing_bytes:expr) => {
                     while pending.len() < depth && next_ord < order.len() {
-                        let c = self
-                            .compressed_for(order[next_ord])
-                            .expect("validated above");
+                        let c = blobs[next_ord];
                         let bytes = c.dense_bytes();
                         if $executing_bytes + pending_bytes + bytes > bytes_budget {
                             break;
@@ -324,17 +378,21 @@ impl CompressedFcModel {
                     Layer::Dense(d) if d.w.data.is_empty() => {
                         let decoded = match pending.front() {
                             Some(&(ord, _, _)) if ord == cur_ord => {
-                                let (_, handle, bytes) = pending.pop_front().expect("front exists");
+                                let Some((_, handle, bytes)) = pending.pop_front() else {
+                                    unreachable!("front checked above")
+                                };
                                 pending_bytes -= bytes;
-                                handle.join()?
+                                handle
+                                    .join()
+                                    .map_err(|e| self.decode_failure(order[cur_ord], e))?
                             }
                             // Not prefetched (depth exhausted by the bytes
                             // budget): decode inline, like the serial path.
                             _ => {
                                 next_ord = next_ord.max(cur_ord + 1);
-                                self.compressed_for(order[cur_ord])
-                                    .expect("validated above")
-                                    .decode()?
+                                blobs[cur_ord]
+                                    .decode()
+                                    .map_err(|e| self.decode_failure(order[cur_ord], e))?
                             }
                         };
                         cur_ord += 1;
@@ -375,7 +433,9 @@ impl CompressedFcModel {
     pub fn materialize(&self) -> Result<Network, DeepSzError> {
         let mut net = self.skeleton.clone();
         for c in &self.layers {
-            let decoded = c.decode()?;
+            let decoded = c
+                .decode()
+                .map_err(|e| self.decode_failure(c.layer_index, e))?;
             let Layer::Dense(d) = &mut net.layers[c.layer_index] else {
                 unreachable!("validated at construction")
             };

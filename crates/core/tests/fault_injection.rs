@@ -1,0 +1,307 @@
+//! Deterministic fault-injection campaign over every serialized format
+//! generation (`docs/ROBUSTNESS.md`).
+//!
+//! For each generation — SZ streams v1–v4, DSZM containers v1–v3 — the
+//! harness takes a valid artifact, applies ≥ 1000 seeded mutations
+//! (bit-flips, byte stomps, truncations, splices, varint/length-field
+//! rewrites via [`dsz_datagen::corrupt::Corruptor`]), and decodes each
+//! mutant. The invariants:
+//!
+//! * **No panics, ever.** Decoders return `Err` on malformed input; a
+//!   panic anywhere in the campaign fails the test.
+//! * **No silent success on v3.** The checksummed DSZM v3 container must
+//!   reject *every* mutant whose bytes differ from the original — a
+//!   corrupted artifact never decodes to plausible-but-wrong weights.
+//!   (v1/v2 and the SZ streams carry no integrity data, so a mutant that
+//!   happens to parse may legally decode there; they only promise not to
+//!   panic or over-allocate.)
+//!
+//! Every mutation is a pure function of its seed, so a failure replays
+//! exactly from the seed in the panic message.
+
+use dsz_core::optimizer::{ChosenLayer, Plan};
+use dsz_core::{
+    decode_model, encode_with_plan_config, encode_with_plan_v1, encode_with_plan_v2,
+    verify_container, CompressedFcModel, CompressedModel, DataCodecKind, DecodePolicy, DeepSzError,
+    LayerAssessment,
+};
+use dsz_datagen::corrupt::Corruptor;
+use dsz_nn::FcLayerRef;
+use dsz_sparse::PairArray;
+use dsz_sz::{ErrorBound, SzConfig, SzFormat};
+
+/// Seeded mutations per format generation (the acceptance floor is 1000).
+const CAMPAIGN: u64 = 1200;
+
+/// Two-layer deterministic fixture; shapes chain (32 → 24 → 16) so the
+/// layers also work as a real network for the streaming-policy tests.
+fn fixture() -> (Vec<LayerAssessment>, Plan) {
+    let shapes = [(24usize, 32usize), (16, 24)];
+    let ebs = [1e-2f64, 1e-3];
+    let mut assessments = Vec::new();
+    let mut chosen = Vec::new();
+    for (li, &(rows, cols)) in shapes.iter().enumerate() {
+        let mut dense = dsz_datagen::weights::trained_fc_weights(rows, cols, 0xFA1 + li as u64);
+        dsz_prune::prune_to_density(&mut dense, 0.35);
+        let pair = PairArray::from_dense(&dense, rows, cols);
+        let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
+        let fc = FcLayerRef {
+            layer_index: li,
+            name: format!("fc{li}"),
+            rows,
+            cols,
+        };
+        chosen.push(ChosenLayer {
+            fc: fc.clone(),
+            eb: ebs[li],
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            codec: DataCodecKind::Sz,
+            point_index: 0,
+        });
+        assessments.push(LayerAssessment {
+            fc,
+            pair,
+            index_codec,
+            index_bytes: index_blob.len(),
+            points: Vec::new(),
+        });
+    }
+    (
+        assessments,
+        Plan {
+            layers: chosen,
+            predicted_loss: 0.0,
+            total_bytes: 0,
+        },
+    )
+}
+
+fn pinned_sz() -> SzConfig {
+    SzConfig {
+        chunk_elems: 4096,
+        ..SzConfig::default()
+    }
+}
+
+/// Runs the seeded campaign over one artifact. `decode` returns whether
+/// the mutant decoded successfully; when `checksummed`, any changed-bytes
+/// mutant that decodes is a silent-success failure.
+fn campaign(generation: &str, base: &[u8], checksummed: bool, decode: impl Fn(&[u8]) -> bool) {
+    let mut skipped = 0u64;
+    for seed in 0..CAMPAIGN {
+        let mut c = Corruptor::new(seed);
+        let mut mutant = base.to_vec();
+        let mutation = c.mutate(&mut mutant);
+        if mutant == base {
+            // e.g. a splice whose source equals its destination.
+            skipped += 1;
+            continue;
+        }
+        let ok = decode(&mutant);
+        if checksummed {
+            assert!(
+                !ok,
+                "{generation}: seed {seed} ({mutation:?}) decoded a corrupted artifact"
+            );
+        }
+    }
+    assert!(
+        skipped < CAMPAIGN / 10,
+        "{generation}: {skipped} no-op mutations — campaign too weak"
+    );
+}
+
+/// SZ stream generations v1–v4: every mutant errors or decodes, never
+/// panics, and allocations stay behind the declared-len caps.
+#[test]
+fn sz_stream_generations_never_panic() {
+    let data = dsz_datagen::weights::trained_fc_weights(48, 40, 0x5EED);
+    for (format, name) in [
+        (SzFormat::V1, "SZ v1"),
+        (SzFormat::V2, "SZ v2"),
+        (SzFormat::V3, "SZ v3"),
+        (SzFormat::V4, "SZ v4"),
+    ] {
+        let cfg = SzConfig {
+            format,
+            ..pinned_sz()
+        };
+        let stream = cfg.compress(&data, ErrorBound::Abs(1e-3)).unwrap();
+        campaign(name, &stream, false, |mutant| {
+            dsz_sz::decompress(mutant).is_ok()
+        });
+    }
+}
+
+/// DSZM v1 and v2 containers (no integrity data): mutants must never
+/// panic; decoding is allowed to succeed.
+#[test]
+fn dszm_v1_v2_containers_never_panic() {
+    let (assessments, plan) = fixture();
+    let (v1, _) = encode_with_plan_v1(&assessments, &plan, &pinned_sz()).unwrap();
+    let (v2, _) = encode_with_plan_v2(&assessments, &plan, &pinned_sz()).unwrap();
+    for (model, name) in [(v1, "DSZM v1"), (v2, "DSZM v2")] {
+        campaign(name, &model.bytes, false, |mutant| {
+            decode_model(&CompressedModel {
+                bytes: mutant.to_vec(),
+            })
+            .is_ok()
+        });
+    }
+}
+
+/// DSZM v3: *every* changed-bytes mutant is rejected — the whole-container
+/// checksum leaves no silent-success path — and verification agrees with
+/// decode on each mutant.
+#[test]
+fn dszm_v3_rejects_every_corruption() {
+    let (assessments, plan) = fixture();
+    let (v3, _) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+    assert_eq!(verify_container(&v3).unwrap(), 2, "intact v3 must verify");
+    campaign("DSZM v3", &v3.bytes, true, |mutant| {
+        let model = CompressedModel {
+            bytes: mutant.to_vec(),
+        };
+        let verified = verify_container(&model).is_ok();
+        let decoded = decode_model(&model).is_ok();
+        assert_eq!(
+            verified, decoded,
+            "verify_container and decode_model disagree on a mutant"
+        );
+        decoded
+    });
+}
+
+/// An intact v3 container round-trips bit-identically regardless of the
+/// worker count (the tier-1 gate also runs this whole suite under
+/// `DSZ_THREADS=1` and `=4`).
+#[test]
+fn dszm_v3_intact_roundtrip_is_bit_identical_across_workers() {
+    let (assessments, plan) = fixture();
+    let (v3, _) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+    let decode_bits = |workers: usize| {
+        dsz_tensor::parallel::with_workers(workers, || {
+            decode_model(&v3)
+                .unwrap()
+                .0
+                .into_iter()
+                .flat_map(|l| l.dense.into_iter().map(f32::to_bits))
+                .collect::<Vec<u32>>()
+        })
+    };
+    let want = decode_bits(1);
+    assert_eq!(decode_bits(4), want, "decode differs at 4 workers");
+    // And against the source weights: the decoded values obey each bound.
+    let mut off = 0usize;
+    for (a, c) in assessments.iter().zip(&plan.layers) {
+        let orig = a.pair.to_dense().unwrap();
+        let got: Vec<f32> = want[off..off + orig.len()]
+            .iter()
+            .map(|&b| f32::from_bits(b))
+            .collect();
+        assert!(dsz_sz::max_abs_error(&orig, &got) <= c.eb * (1.0 + 1e-9));
+        off += orig.len();
+    }
+}
+
+/// Stomps the version byte of every embedded SZ stream whose magic starts
+/// at or after `from`, returning how many were hit. Framing (lengths,
+/// offsets) is untouched, so the container still parses and the failure
+/// surfaces in the per-layer decode stage.
+fn break_sz_streams(bytes: &mut [u8], from: usize) -> usize {
+    let mut hit = 0;
+    for i in from..bytes.len().saturating_sub(5) {
+        if &bytes[i..i + 4] == b"SZ1D" {
+            bytes[i + 4] = 0x7f; // unsupported stream version
+            hit += 1;
+        }
+    }
+    hit
+}
+
+/// Streaming decode-failure policy: `FailFast` surfaces the first bad
+/// layer; `ReportBadLayers` enumerates every bad layer in one pass. The
+/// prefetch worker path must route errors back as `Err` too.
+#[test]
+fn decode_policy_routes_streaming_errors() {
+    // Build a network whose fc layers match the fixture exactly.
+    let (assessments, plan) = fixture();
+    let mut net = dsz_nn::Network {
+        input_shape: dsz_tensor::VolShape { c: 32, h: 1, w: 1 },
+        layers: Vec::new(),
+    };
+    for a in &assessments {
+        net.layers.push(dsz_nn::Layer::Dense(dsz_nn::DenseLayer {
+            name: a.fc.name.clone(),
+            w: dsz_tensor::Matrix {
+                rows: a.fc.rows,
+                cols: a.fc.cols,
+                data: a.pair.to_dense().unwrap(),
+            },
+            b: vec![0.0; a.fc.rows],
+        }));
+    }
+    // A v2 container (no container checksum, so parsing succeeds) with
+    // every layer's SZ stream version byte stomped.
+    let (mut v2, _) = encode_with_plan_v2(&assessments, &plan, &pinned_sz()).unwrap();
+    assert_eq!(break_sz_streams(&mut v2.bytes, 0), 2);
+
+    let probe = dsz_nn::Batch::from_features(4, 32, vec![0.1; 4 * 32]);
+
+    for depth in [0usize, 1] {
+        let fail_fast = CompressedFcModel::new(&net, &v2)
+            .unwrap()
+            .with_prefetch_depth(depth);
+        let err = fail_fast.forward(&probe).unwrap_err();
+        assert!(
+            matches!(err, DeepSzError::Corrupt { .. }),
+            "depth {depth}: FailFast should surface the first Corrupt error, got: {err}"
+        );
+
+        let report_all = CompressedFcModel::new(&net, &v2)
+            .unwrap()
+            .with_prefetch_depth(depth)
+            .with_decode_policy(DecodePolicy::ReportBadLayers);
+        let err = report_all.forward(&probe).unwrap_err();
+        let DeepSzError::BadLayers(errs) = err else {
+            panic!("depth {depth}: expected BadLayers, got: {err}");
+        };
+        assert_eq!(errs.len(), 2, "both damaged layers should be reported");
+        assert!(errs
+            .iter()
+            .all(|e| matches!(e, DeepSzError::Corrupt { .. })));
+    }
+
+    // materialize() obeys the policy too.
+    let err = CompressedFcModel::new(&net, &v2)
+        .unwrap()
+        .with_decode_policy(DecodePolicy::ReportBadLayers)
+        .materialize()
+        .unwrap_err();
+    assert!(matches!(err, DeepSzError::BadLayers(e) if e.len() == 2));
+}
+
+/// The structured error names the failing layer and stage.
+#[test]
+fn corrupt_errors_name_layer_and_stage() {
+    let (assessments, plan) = fixture();
+    let (mut v2, _) = encode_with_plan_v2(&assessments, &plan, &pinned_sz()).unwrap();
+    // Damage only the second layer's stream.
+    let second = v2
+        .bytes
+        .windows(4)
+        .enumerate()
+        .filter(|(_, w)| w == b"SZ1D")
+        .map(|(i, _)| i)
+        .nth(1)
+        .unwrap();
+    assert_eq!(break_sz_streams(&mut v2.bytes, second), 1);
+    let err = decode_model(&v2).unwrap_err();
+    let DeepSzError::Corrupt { layer, stage, .. } = err else {
+        panic!("expected Corrupt, got: {err}");
+    };
+    assert_eq!(layer, "fc1");
+    assert_eq!(stage, "cross-check"); // bad version fails the header peek
+}

@@ -203,7 +203,7 @@ fn mixed_codec_container_bytes_deterministic() {
     }
     assert_eq!(
         fnv(&reference),
-        0x5faf_30e0_2b34_98e1,
+        0xb919_4735_a1b3_4c67, // DSZM v3 (checksummed footer) generation
         "mixed-codec container bytes drifted (update the pin only on an \
          intentional format change)"
     );

@@ -1,0 +1,191 @@
+//! Deterministic fault injection for serialized streams and containers.
+//!
+//! The robustness harness (`crates/core/tests/fault_injection.rs`,
+//! `docs/ROBUSTNESS.md`) feeds thousands of seeded mutations of valid
+//! artifacts to the decoders and requires an `Err` — never a panic, an
+//! unbounded allocation, or (for checksummed formats) a silent success.
+//! This module is the mutation side: a [`Corruptor`] is a small seeded
+//! PRNG plus a catalogue of the corruption shapes that actually happen to
+//! bytes at rest or in transit — single-bit flips, byte stomps,
+//! truncations, splices, and targeted length-field mutations. Everything
+//! is a pure function of the seed, so a failing case replays exactly from
+//! the seed printed by the harness.
+
+/// SplitMix64 — tiny, seedable, and with a full-period 64-bit state walk,
+/// so distinct seeds give distinct mutation streams.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    state: u64,
+}
+
+/// One applied mutation, for harness diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flipped a single bit: (byte offset, bit index).
+    BitFlip(usize, u8),
+    /// Overwrote a byte with an arbitrary value: (offset, new value).
+    ByteSet(usize, u8),
+    /// Truncated the buffer to the given length.
+    Truncate(usize),
+    /// Replaced the range `start..start+len` with bytes copied from
+    /// another offset of the same buffer (a torn-write / misdirected-read
+    /// model): (dst start, src start, len).
+    Splice(usize, usize, usize),
+    /// Rewrote the varint at the given offset to a new value — the
+    /// length-field attack: (offset, new value).
+    VarintRewrite(usize, u64),
+}
+
+impl Corruptor {
+    /// A corruptor whose whole mutation stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Avoid the all-zero fixpoint-ish start for seed 0.
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64 output function).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Applies one randomly shaped mutation to `bytes`, returning what was
+    /// done. The buffer is never left byte-identical to the input unless
+    /// it was empty (a flip of its own output is re-rolled by the caller
+    /// comparing bytes — splices can no-op when source equals
+    /// destination content, so harnesses should skip unchanged buffers).
+    pub fn mutate(&mut self, bytes: &mut Vec<u8>) -> Mutation {
+        if bytes.is_empty() {
+            return Mutation::Truncate(0);
+        }
+        match self.below(5) {
+            0 => {
+                let off = self.below(bytes.len());
+                let bit = (self.next_u64() % 8) as u8;
+                bytes[off] ^= 1 << bit;
+                Mutation::BitFlip(off, bit)
+            }
+            1 => {
+                let off = self.below(bytes.len());
+                let val = (self.next_u64() & 0xff) as u8;
+                bytes[off] = val;
+                Mutation::ByteSet(off, val)
+            }
+            2 => {
+                let keep = self.below(bytes.len());
+                bytes.truncate(keep);
+                Mutation::Truncate(keep)
+            }
+            3 => {
+                let len = 1 + self.below(bytes.len().min(64));
+                let dst = self.below(bytes.len() - len + 1);
+                let src = self.below(bytes.len() - len + 1);
+                let copied: Vec<u8> = bytes[src..src + len].to_vec();
+                bytes[dst..dst + len].copy_from_slice(&copied);
+                Mutation::Splice(dst, src, len)
+            }
+            _ => {
+                // Length-field attack: find a plausible varint start and
+                // rewrite it to a adversarial value (huge, zero, or small).
+                let off = self.below(bytes.len());
+                let val = match self.below(3) {
+                    0 => self.next_u64(),          // huge
+                    1 => 0,                        // zero
+                    _ => self.next_u64() & 0xffff, // small-but-wrong
+                };
+                rewrite_varint(bytes, off, val);
+                Mutation::VarintRewrite(off, val)
+            }
+        }
+    }
+}
+
+/// Overwrites whatever is at `off` with the LEB128 varint encoding of
+/// `val`, replacing the varint-shaped run that was there (bytes with the
+/// continuation bit set, plus one terminator). The buffer grows or
+/// shrinks as needed, which also perturbs every downstream offset — the
+/// most realistic form of a corrupted length field.
+pub fn rewrite_varint(bytes: &mut Vec<u8>, off: usize, val: u64) {
+    let mut end = off;
+    while end < bytes.len() && bytes[end] & 0x80 != 0 {
+        end += 1;
+    }
+    end = (end + 1).min(bytes.len());
+    let mut enc = Vec::with_capacity(10);
+    let mut v = val;
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            enc.push(b);
+            break;
+        }
+        enc.push(b | 0x80);
+    }
+    bytes.splice(off..end, enc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_mutations() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        for seed in [0u64, 1, 0xdead_beef] {
+            let mut a = base.clone();
+            let mut b = base.clone();
+            let ma = Corruptor::new(seed).mutate(&mut a);
+            let mb = Corruptor::new(seed).mutate(&mut b);
+            assert_eq!(ma, mb);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let distinct: std::collections::HashSet<Vec<u8>> = (0..32u64)
+            .map(|seed| {
+                let mut v = base.clone();
+                Corruptor::new(seed).mutate(&mut v);
+                v
+            })
+            .collect();
+        assert!(distinct.len() > 16, "seeds barely diverge");
+    }
+
+    #[test]
+    fn varint_rewrite_roundtrips_through_reader() {
+        let mut bytes = vec![0xff, 0x01, 0xaa, 0xbb]; // varint 255, then data
+        rewrite_varint(&mut bytes, 0, 5);
+        assert_eq!(bytes, vec![0x05, 0xaa, 0xbb]);
+        rewrite_varint(&mut bytes, 0, 300);
+        assert_eq!(bytes, vec![0xac, 0x02, 0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn mutations_stay_in_bounds() {
+        for seed in 0..200u64 {
+            let mut c = Corruptor::new(seed);
+            let mut v: Vec<u8> = (0..97u8).collect();
+            for _ in 0..16 {
+                c.mutate(&mut v);
+                assert!(v.len() <= 97 + 160, "unexpected growth");
+                if v.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`weights`] — full-size synthesized "trained" fc-layer weights with a
 //!   Laplace-like magnitude distribution in the paper's typical ±0.3 range,
 //!   for the storage/ratio experiments that never run inference.
+//! * [`corrupt`] — seeded, replayable byte-level fault injection for the
+//!   untrusted-container robustness harness (`docs/ROBUSTNESS.md`).
 
+pub mod corrupt;
 pub mod digits;
 pub mod features;
 pub mod weights;

@@ -57,7 +57,9 @@ impl BitWriter {
             }
             let free = 8 - self.used;
             let take = free.min(n);
-            let last = self.buf.last_mut().expect("buffer non-empty");
+            let Some(last) = self.buf.last_mut() else {
+                unreachable!("buffer non-empty: pushed above when used == 0")
+            };
             *last |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
             self.used = (self.used + take) % 8;
             value >>= take;

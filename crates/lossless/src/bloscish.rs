@@ -100,19 +100,24 @@ fn lz_fast_compress(data: &[u8], p: &LzParams) -> Vec<u8> {
 fn lz_fast_decompress(data: &[u8], min_match: usize) -> Result<Vec<u8>, CodecError> {
     let mut pos = 0usize;
     let raw_len = read_varint(data, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(raw_len);
+    let mut out = Vec::with_capacity(raw_len.min(crate::MAX_PREALLOC));
     while out.len() < raw_len {
         let lit = read_varint(data, &mut pos)? as usize;
         let end = pos.checked_add(lit).ok_or(CodecError::Truncated)?;
         let bytes = data.get(pos..end).ok_or(CodecError::Truncated)?;
+        if bytes.len() > raw_len - out.len() {
+            return Err(CodecError::corrupt("blosc literal run overflows raw_len"));
+        }
         out.extend_from_slice(bytes);
         pos = end;
         if out.len() >= raw_len {
             break;
         }
-        let len = read_varint(data, &mut pos)? as usize + min_match;
+        let len = (read_varint(data, &mut pos)? as usize)
+            .checked_add(min_match)
+            .ok_or_else(|| CodecError::corrupt("blosc match length overflow"))?;
         let dist = read_varint(data, &mut pos)? as usize;
-        if dist == 0 || dist > out.len() || out.len() + len > raw_len {
+        if dist == 0 || dist > out.len() || len > raw_len - out.len() {
             return Err(CodecError::corrupt("bad match in blosc stream"));
         }
         let start = out.len() - dist;

@@ -295,8 +295,11 @@ fn build_lengths(counts: &[u64]) -> Vec<(u32, u8)> {
         .collect();
     let mut next = n;
     while heap.len() > 1 {
-        let std::cmp::Reverse((c1, a)) = heap.pop().expect("heap len > 1");
-        let std::cmp::Reverse((c2, b)) = heap.pop().expect("heap len > 1");
+        let (Some(std::cmp::Reverse((c1, a))), Some(std::cmp::Reverse((c2, b)))) =
+            (heap.pop(), heap.pop())
+        else {
+            unreachable!("loop guard: heap holds at least two nodes")
+        };
         parent[a] = next;
         parent[b] = next;
         heap.push(std::cmp::Reverse((c1 + c2, next)));

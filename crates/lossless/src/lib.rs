@@ -16,6 +16,10 @@
 //! All are exposed through the [`Codec`] trait plus the [`best_fit`] helper
 //! that mirrors the framework's "try all, keep the smallest" behaviour.
 
+// Decoders take untrusted bytes: every failure must surface as a
+// `CodecError`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bits;
 pub mod bloscish;
 pub mod huffman;
@@ -57,7 +61,19 @@ impl std::error::Error for CodecError {}
 /// lengths. Decoders verify real lengths as they go; this only bounds how
 /// much a corrupt header can make them pre-allocate (growth past the cap
 /// is amortized as usual).
-pub(crate) const MAX_PREALLOC: usize = 1 << 24;
+pub const MAX_PREALLOC: usize = 1 << 24;
+
+/// 64-bit FNV-1a over `bytes` — the integrity checksum of the DSZM v3
+/// container footer (`docs/FORMAT.md`). Not cryptographic: it detects
+/// storage/transport corruption, not adversarial collisions.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A byte-oriented lossless codec.
 pub trait Codec: Sync {
@@ -222,7 +238,7 @@ pub fn best_fit(data: &[u8]) -> (LosslessKind, Vec<u8>) {
         .iter()
         .map(|&k| (k, k.codec().compress(data)))
         .min_by_key(|(_, blob)| blob.len())
-        .expect("at least one codec")
+        .unwrap_or_else(|| unreachable!("LosslessKind::ALL is nonempty"))
 }
 
 #[cfg(test)]

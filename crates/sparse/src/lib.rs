@@ -12,6 +12,11 @@
 //! the lossless codec compresses. Classic [`Csr`] is provided for size
 //! comparisons and for the dense reconstruction path.
 
+// Reconstruction runs on container-supplied (untrusted) dims and streams:
+// failures must surface as `SparseError`, never a panic
+// (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use dsz_tensor::parallel::{parallel_map, worker_count};
 use std::fmt;
 
@@ -70,6 +75,9 @@ pub enum SparseError {
     LengthMismatch,
     /// Decoded position falls outside `rows × cols`.
     PositionOverflow,
+    /// `rows × cols` overflows `usize` — only reachable from corrupt
+    /// container dims, never from a matrix that fit in memory.
+    DimsOverflow,
 }
 
 impl fmt::Display for SparseError {
@@ -77,6 +85,7 @@ impl fmt::Display for SparseError {
         match self {
             SparseError::LengthMismatch => write!(f, "data and index arrays differ in length"),
             SparseError::PositionOverflow => write!(f, "sparse entry beyond matrix bounds"),
+            SparseError::DimsOverflow => write!(f, "rows x cols overflows"),
         }
     }
 }
@@ -159,8 +168,12 @@ impl PairArray {
         if data.len() != self.index.len() {
             return Err(SparseError::LengthMismatch);
         }
+        let elems = self
+            .rows
+            .checked_mul(self.cols)
+            .ok_or(SparseError::DimsOverflow)?;
         out.clear();
-        out.resize(self.rows * self.cols, 0.0);
+        out.resize(elems, 0.0);
         let workers = worker_count();
         if workers <= 1 || self.index.len() < MIN_PARALLEL_ENTRIES {
             self.fill_dense_serial(data, out)?;

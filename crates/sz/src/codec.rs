@@ -971,7 +971,7 @@ fn parse_header(bytes: &[u8]) -> Result<Header, SzError> {
         .get(pos..pos + 8)
         .ok_or(CodecError::Truncated)?
         .try_into()
-        .expect("slice length checked");
+        .map_err(|_| CodecError::Truncated)?;
     let abs_eb = f64::from_le_bytes(eb_bytes);
     pos += 8;
     let predictor = PredictorMode::from_id(*bytes.get(pos).ok_or(CodecError::Truncated)?)
@@ -1153,10 +1153,13 @@ pub fn decompress_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<(), SzError> 
         VERSION_V2 => decompress_chunked(bytes, &h, UnitEntropy::Embedded, out),
         _ => match h.entropy {
             EntropyStage::Huffman => {
-                let code = h
-                    .shared_code
-                    .as_ref()
-                    .expect("v3/v4 huffman header carries a table");
+                let Some(code) = h.shared_code.as_ref() else {
+                    // parse_header always installs the table for v3/v4
+                    // Huffman streams; defensive rather than unreachable.
+                    return Err(SzError::Codec(CodecError::corrupt(
+                        "v3/v4 huffman stream without a shared code book",
+                    )));
+                };
                 let dec = code.decoder();
                 decompress_chunked(bytes, &h, UnitEntropy::Shared(&dec), out)
             }
@@ -1181,6 +1184,18 @@ fn decode_backed_unit(
         let scratch = &mut *scratch.borrow_mut();
         let r = match kind {
             Some(k) => {
+                // Declared-len gate (the PR 4 pattern, extended to every
+                // backend): a legitimate unit payload for `out.len()`
+                // elements is far under 32 bytes/element (codes ≤ 5-byte
+                // varints, verbatim 4 bytes, selectors/params amortized),
+                // so reject absurd declared lengths before the backend
+                // decode commits memory or time to them.
+                let declared = k.codec().declared_len(record)?;
+                if declared > out.len().saturating_mul(32).saturating_add(1024) {
+                    return Err(SzError::Codec(CodecError::corrupt(
+                        "unit payload length exceeds element capacity",
+                    )));
+                }
                 // Move the payload scratch out so the unit decoder can
                 // borrow the scratch struct for its own buffers.
                 let mut payload = std::mem::take(&mut scratch.payload);
@@ -1243,6 +1258,17 @@ fn decompress_chunked(
         let (kind, record) = records[ci];
         decode_backed_unit(kind, record, block, radius, abs_eb, entropy, slice)
     })
+}
+
+/// Bounds-checked little-endian `f32` read at byte offset `off`.
+#[inline]
+fn read_f32_le(bytes: &[u8], off: usize) -> Result<f32, SzError> {
+    let b: [u8; 4] = bytes
+        .get(off..off.checked_add(4).ok_or(CodecError::Truncated)?)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .map_err(|_| CodecError::Truncated)?;
+    Ok(f32::from_le_bytes(b))
 }
 
 /// Decodes one compression unit's payload into `out` (whose length is the
@@ -1342,11 +1368,8 @@ fn decode_unit_into(
                 if ri >= n_reg {
                     return Err(SzError::Codec(CodecError::Truncated));
                 }
-                let a =
-                    f32::from_le_bytes(reg_bytes[ri * 8..ri * 8 + 4].try_into().expect("len 4"));
-                let b = f32::from_le_bytes(
-                    reg_bytes[ri * 8 + 4..ri * 8 + 8].try_into().expect("len 4"),
-                );
+                let a = read_f32_le(reg_bytes, ri * 8)?;
+                let b = read_f32_le(reg_bytes, ri * 8 + 4)?;
                 ri += 1;
                 Some((a, b))
             }
@@ -1362,8 +1385,7 @@ fn decode_unit_into(
                 if vi >= n_verb {
                     return Err(SzError::Codec(CodecError::Truncated));
                 }
-                let x =
-                    f32::from_le_bytes(verb_bytes[vi * 4..vi * 4 + 4].try_into().expect("len 4"));
+                let x = read_f32_le(verb_bytes, vi * 4)?;
                 vi += 1;
                 last = if x.is_finite() { x } else { 0.0 };
                 x

@@ -31,6 +31,10 @@
 //! targets ([`ErrorBound`]), like the SZ library's `ABS` / `REL` / `PSNR`
 //! modes.
 
+// Decode takes untrusted bytes: every failure must surface as an
+// `SzError`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod codec;
 
 pub use codec::{

@@ -18,6 +18,10 @@
 //! reconstructed sample is bounded by the tolerance. Blocks containing
 //! non-finite values fall back to verbatim storage.
 
+// Decode takes untrusted bytes: every failure must surface as a
+// `CodecError`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use dsz_lossless::bits::{read_varint, write_varint, BitReader, BitWriter};
 use dsz_lossless::CodecError;
 
@@ -204,14 +208,14 @@ fn parse_header(bytes: &[u8]) -> Result<(ZfpInfo, usize), CodecError> {
     }
     let mut pos = 5usize;
     let n = read_varint(bytes, &mut pos)? as usize;
-    let tol = f64::from_le_bytes(
-        bytes
-            .get(pos..pos + 8)
-            .ok_or(CodecError::Truncated)?
-            .try_into()
-            .expect("len 8"),
-    );
-    pos += 8;
+    let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+    let tol_bytes: [u8; 8] = bytes
+        .get(pos..end)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .map_err(|_| CodecError::Truncated)?;
+    let tol = f64::from_le_bytes(tol_bytes);
+    pos = end;
     if !(tol.is_finite() && tol > 0.0) {
         return Err(CodecError::corrupt("bad ZFP tolerance"));
     }

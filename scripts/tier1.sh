@@ -9,6 +9,12 @@ cargo build --release --examples
 # fallback, DSZ_THREADS=4 exercises pooled dispatch + budget nesting.
 DSZ_THREADS=1 cargo test -q
 DSZ_THREADS=4 cargo test -q
+# Robustness gate (docs/ROBUSTNESS.md): the seeded fault-injection
+# campaign over every format generation must stay green — no panics
+# anywhere, no silent success on checksummed DSZM v3 containers. Already
+# part of the workspace sweeps above; run it by name so a failure here
+# is unmistakable in the log.
+cargo test -q -p dsz_core --test fault_injection
 # Smoke-test the full user-facing pipeline (train → prune → assess →
 # optimize → encode → decode) exactly as the README-level docs run it.
 cargo run --release --example quickstart >/dev/null
@@ -16,6 +22,10 @@ cargo run --release --example quickstart >/dev/null
 # (encode/decode scaling, pool reuse, and the incremental-vs-full
 # assessment speedup, which also re-proves the two engines agree).
 cargo run --release -p dsz_bench --bin bench_encode_decode >/dev/null
+# This also enforces the panic-free-decode lints: the decode modules of
+# sz/lossless/zfp/sparse/core carry scoped in-source
+# `deny(clippy::unwrap_used, clippy::expect_used)` attributes, so any new
+# unwrap/expect there fails this line.
 cargo clippy --workspace -q -- -D warnings
 cargo fmt --check
 echo "tier1: OK"
