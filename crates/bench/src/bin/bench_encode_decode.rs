@@ -15,13 +15,15 @@ use dsz_core::optimizer::{ChosenLayer, Plan};
 use dsz_core::{
     assess_network, assess_network_full, decode_model, encode_with_plan, encode_with_plan_config,
     encode_with_plan_v2, verify_container, AssessmentConfig, DataCodecKind, DatasetEvaluator,
-    LayerAssessment,
+    LayerAssessment, SeekableContainer, SpillCache,
 };
 use dsz_datagen::features;
 use dsz_nn::{zoo, Arch, DenseLayer, Layer, Network, Scale};
 use dsz_sparse::PairArray;
 use dsz_sz::{ErrorBound, SzConfig, SzFormat};
-use dsz_tensor::parallel::{layout_workers, parallel_map, with_workers, worker_count};
+use dsz_tensor::parallel::{
+    clamp_to_host, layout_workers, parallel_map, with_workers, worker_count,
+};
 use dsz_tensor::{Matrix, VolShape};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -246,6 +248,50 @@ fn main() {
         });
     }
 
+    // Random access through the seekable reader: open cost (trailer +
+    // footer only, no payload work) and a single mid-stack layer decode,
+    // vs the full sequential decode above. The half-decode acceptance
+    // bound is deliberately loose — on this 3-layer stack one layer is
+    // roughly a third of the work.
+    let seek_open_ms = median_ms(9, || {
+        let _ = SeekableContainer::open_slice(&model.bytes).expect("seek open");
+    });
+    let seek = SeekableContainer::open_slice(&model.bytes).expect("seek open");
+    let mid = seek.layer_count() / 2;
+    let random_access_layer_ms = median_ms(5, || {
+        let _ = seek.layer(mid).expect("random access layer");
+    });
+    // Spill rehydration: quota 0 parks the decoded payload on disk, so
+    // every fetch is a read + FNV verify + f32 reassembly — the cost a
+    // repeat forward pays instead of a container re-decode.
+    let spill_payload = seek.layer(mid).expect("mid layer").dense;
+    let spill_dir = std::env::temp_dir().join(format!("dsz-bench-spill-{}", std::process::id()));
+    let spill = SpillCache::new(&spill_dir, 0).expect("spill cache");
+    let mut spill_times: Vec<f64> = (0..9)
+        .map(|_| {
+            spill
+                .store(mid, spill_payload.clone())
+                .expect("spill store");
+            let t0 = Instant::now();
+            let got = spill.fetch(mid).expect("spill fetch").expect("parked");
+            assert_eq!(got.len(), spill_payload.len());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    spill_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let spill_rehydrate_ms = spill_times[spill_times.len() / 2];
+    std::fs::remove_dir_all(&spill_dir).ok();
+    println!(
+        "random access: seek open {:.3} ms, layer {}/{} decode {:.3} ms (full decode {:.1} ms); spill rehydrate {:.3} ms for {} weights",
+        seek_open_ms,
+        mid,
+        seek.layer_count(),
+        random_access_layer_ms,
+        rows[0].decode_ms,
+        spill_rehydrate_ms,
+        spill_payload.len()
+    );
+
     let base = &rows[0];
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -387,6 +433,15 @@ fn main() {
         "  \"checksum_verify_ms\": {:.3},\n",
         checksum_verify_ms
     ));
+    json.push_str(&format!("  \"seek_open_ms\": {:.3},\n", seek_open_ms));
+    json.push_str(&format!(
+        "  \"random_access_layer_ms\": {:.3},\n",
+        random_access_layer_ms
+    ));
+    json.push_str(&format!(
+        "  \"spill_rehydrate_ms\": {:.3},\n",
+        spill_rehydrate_ms
+    ));
     json.push_str(&format!(
         "  \"codec_choice\": [{}],\n",
         report
@@ -442,11 +497,38 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
-    let last = rows.last().expect("at least one run");
+    json.push_str(&format!("  \"decode_ms\": {:.3},\n", base.decode_ms));
+    // Speedup at "max threads" means max *effective* threads: requests
+    // above the host's parallelism are clamped, so oversubscribed rows
+    // are re-runs of the widest real configuration and comparing against
+    // them only measures noise. On a 1-core host every row collapses to
+    // the base row and both speedups are exactly 1.0 by construction —
+    // that IS the fix (the pre-clamp code oversubscribed and landed
+    // below 1.0).
+    let max_effective = rows
+        .iter()
+        .map(|r| clamp_to_host(r.workers))
+        .max()
+        .expect("at least one run");
+    let widest = rows
+        .iter()
+        .find(|r| clamp_to_host(r.workers) == max_effective)
+        .expect("at least one run");
+    let (decode_speedup, encode_speedup) = if widest.workers == base.workers {
+        (1.0, 1.0)
+    } else {
+        (
+            base.decode_ms / widest.decode_ms,
+            base.encode_ms / widest.encode_ms,
+        )
+    };
+    json.push_str(&format!(
+        "  \"effective_max_threads\": {},\n",
+        max_effective
+    ));
     json.push_str(&format!(
         "  \"decode_speedup_max_threads\": {:.3},\n  \"encode_speedup_max_threads\": {:.3}\n",
-        base.decode_ms / last.decode_ms,
-        base.encode_ms / last.encode_ms
+        decode_speedup, encode_speedup
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_encode_decode.json", &json).expect("write BENCH_encode_decode.json");

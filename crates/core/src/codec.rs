@@ -6,7 +6,7 @@
 //! the lossless index path already has ([`dsz_lossless::best_fit`]):
 //! every error-bounded compressor of condensed `f32` arrays implements
 //! [`DataCodec`], streams are self-describing, and a stable one-byte
-//! [`DataCodecKind`] id recorded per layer in the DSZM v2 container lets
+//! [`DataCodecKind`] id recorded per layer in the DSZM container (v2+) lets
 //! *each layer* keep whichever codec wins its own comparison
 //! (Weightless-style encodings differ enough per layer that the global
 //! winner is not always the local one).
@@ -79,7 +79,7 @@ impl DataCodecKind {
     /// global winner — is the tie-break).
     pub const ALL: [DataCodecKind; 2] = [DataCodecKind::Sz, DataCodecKind::Zfp];
 
-    /// Stable one-byte wire id (the DSZM v2 per-layer `data_codec` field).
+    /// Stable one-byte wire id (the DSZM v2+ per-layer `data_codec` field).
     pub fn id(self) -> u8 {
         match self {
             DataCodecKind::Sz => 0,

@@ -24,9 +24,12 @@
 //! 4. **Compressed model generation** ([`pipeline`]): each layer's
 //!    `data` array compressed with its chosen codec at its chosen bound,
 //!    best-fit lossless coding of the `index` array, packed into a
-//!    self-describing container (DSZM v2) that records the per-layer
-//!    codec id. Decoding reverses the three stages with per-stage timing
-//!    (Fig. 7b).
+//!    self-describing container (DSZM v4: checksummed footer index over
+//!    64-byte-aligned records) that records the per-layer codec id.
+//!    Decoding reverses the three stages with per-stage timing
+//!    (Fig. 7b); [`seek::SeekableContainer`] random-accesses single
+//!    layers, and [`streaming::CompressedFcModel`] can spill decoded
+//!    layers to disk under a memory quota ([`spill`]).
 
 pub mod assessment;
 pub mod codec;
@@ -34,6 +37,8 @@ pub mod evaluator;
 pub mod linearity;
 pub mod optimizer;
 pub mod pipeline;
+pub mod seek;
+pub mod spill;
 pub mod streaming;
 
 pub use assessment::{
@@ -45,9 +50,11 @@ pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{
     apply_decoded, decode_model, encode_with_plan, encode_with_plan_config, encode_with_plan_v1,
-    encode_with_plan_v2, verify_container, CompressedModel, DecodeTiming, DecodedLayer,
-    EncodeReport,
+    encode_with_plan_v2, encode_with_plan_v3, verify_container, CompressedModel, DecodeTiming,
+    DecodedLayer, EncodeReport,
 };
+pub use seek::{ByteSource, FileSource, SeekableContainer};
+pub use spill::{SpillCache, SpillStats};
 pub use streaming::{CompressedFcModel, DecodePolicy, StreamingStats};
 
 use std::fmt;
@@ -71,8 +78,9 @@ pub enum DeepSzError {
         /// Name of the layer whose record failed.
         layer: String,
         /// Decode stage that rejected it: `"validate"`, `"checksum"`,
-        /// `"cross-check"`, `"lossless-index"`, `"lossy-data"`, or
-        /// `"reconstruct"`.
+        /// `"cross-check"`, `"lossless-index"`, `"lossy-data"`,
+        /// `"reconstruct"`, or `"spill"` (a damaged on-disk spill file,
+        /// [`spill::SpillCache`]).
         stage: &'static str,
         /// Underlying cause.
         detail: String,

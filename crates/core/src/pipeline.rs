@@ -1,20 +1,24 @@
 //! Compressed model generation and decoding — step 4 (§3.5).
 //!
 //! Encoding takes the assessment + plan and emits a self-describing
-//! **DSZM v2** container: per fc layer, the `data` array compressed with
+//! **DSZM v4** container: per fc layer, the `data` array compressed with
 //! the plan's chosen [`crate::codec::DataCodec`] at the chosen error bound (the
 //! one-byte codec id is recorded in the layer record), and the
-//! best-fit-lossless-compressed `index` array. Decoding reverses the
-//! stages — lossless decompression, lossy data decompression through the
-//! codec registry, sparse-matrix reconstruction — and reports the time
-//! spent in each, which is exactly the breakdown of the paper's
-//! Figure 7b.
+//! best-fit-lossless-compressed `index` array — each record starting on
+//! a 64-byte boundary, indexed and digested by a checksummed footer
+//! (`docs/FORMAT.md`) so [`crate::seek::SeekableContainer`] can
+//! random-access single layers. Decoding reverses the stages — lossless
+//! decompression, lossy data decompression through the codec registry,
+//! sparse-matrix reconstruction — and reports the time spent in each,
+//! which is exactly the breakdown of the paper's Figure 7b.
 //!
-//! Legacy DSZM v1 containers (no codec id; data is always an SZ stream)
-//! keep decoding via the version-byte dispatch, mirroring the SZ
-//! v1/v2/v3/v4 stream precedent; [`encode_with_plan_v1`] still emits
-//! them for compatibility artifacts (and rejects plans that chose a
-//! non-SZ codec anywhere, since v1 cannot represent that).
+//! Older DSZM generations (v3: checksummed but unaligned; v2: no
+//! integrity data; v1: no codec id, data always an SZ stream) keep
+//! decoding via the version-byte dispatch, mirroring the SZ v1/v2/v3/v4
+//! stream precedent; [`encode_with_plan_v3`]/[`encode_with_plan_v2`]/
+//! [`encode_with_plan_v1`] still emit them for compatibility artifacts
+//! (v1 rejects plans that chose a non-SZ codec anywhere, since it
+//! cannot represent that).
 //!
 //! # Threading model
 //!
@@ -55,16 +59,23 @@ use dsz_sz::ErrorBound;
 use dsz_tensor::parallel::parallel_map;
 use std::time::Instant;
 
-const MAGIC: &[u8; 4] = b"DSZM";
+pub(crate) const MAGIC: &[u8; 4] = b"DSZM";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
-const VERSION_V3: u8 = 3;
-/// Closing magic of the v3 trailer; its presence distinguishes "v3
-/// container with a damaged tail" from "not a v3 container at all" in
-/// error messages only — every integrity decision rests on the checksums.
-const TRAILER_MAGIC: &[u8; 4] = b"DSZ3";
-/// Fixed v3 trailer: `footer_start u64 LE | container_fnv u64 LE | "DSZ3"`.
-const TRAILER_LEN: usize = 20;
+pub(crate) const VERSION_V3: u8 = 3;
+pub(crate) const VERSION_V4: u8 = 4;
+/// Closing magic of the v3/v4 trailer; its presence distinguishes "a
+/// container with a damaged tail" from "not a checksummed container at
+/// all" in error messages only — every integrity decision rests on the
+/// checksums.
+pub(crate) const TRAILER_MAGIC_V3: &[u8; 4] = b"DSZ3";
+pub(crate) const TRAILER_MAGIC_V4: &[u8; 4] = b"DSZ4";
+/// Fixed v3/v4 trailer: `footer_start u64 LE | container_fnv u64 LE |
+/// closing magic`.
+pub(crate) const TRAILER_LEN: usize = 20;
+/// v4 records start on this boundary (zero padding before each record) so
+/// a seekable reader's per-layer slices are kernel-page friendly.
+pub(crate) const RECORD_ALIGN: usize = 64;
 /// Upper bound on `rows × cols` accepted from a container record — a
 /// corrupt dim field must not size an allocation. 2^28 f32 elements is a
 /// 1 GiB dense layer, ~2.6× the largest real fc layer (VGG-16 fc6).
@@ -72,13 +83,44 @@ const MAX_LAYER_ELEMS: usize = 1 << 28;
 
 /// Bounds-checked little-endian `u64` read at byte offset `off`.
 #[inline]
-fn read_u64_le(bytes: &[u8], off: usize) -> Option<u64> {
+pub(crate) fn read_u64_le(bytes: &[u8], off: usize) -> Option<u64> {
     let b: [u8; 8] = bytes.get(off..off.checked_add(8)?)?.try_into().ok()?;
     Some(u64::from_le_bytes(b))
 }
 
+/// Reads a varint that will be used as a length/offset/count, rejecting
+/// values that do not fit `usize` instead of truncating them with `as`
+/// (on 32-bit hosts an unchecked cast would let a 2^32+k length alias a
+/// small one and slip past the span cross-checks).
+pub(crate) fn read_varint_len(
+    region: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<usize, DeepSzError> {
+    let v = read_varint(region, pos)?;
+    usize::try_from(v)
+        .map_err(|_| DeepSzError::BadContainer(format!("{what} {v} overflows this host's usize")))
+}
+
+/// FNV-1a over `tag` (little-endian) followed by `bytes` — the v4
+/// per-record digest. Folding the record's footer ordinal into the hash
+/// means a footer entry copied from another position cannot vouch for a
+/// record it was not computed over.
+pub(crate) fn fnv1a_tagged(tag: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in tag.to_le_bytes().iter().chain(bytes) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Shorthand for a [`DeepSzError::Corrupt`] at a named decode stage.
-fn corrupt(layer: &str, stage: &'static str, detail: impl std::fmt::Display) -> DeepSzError {
+pub(crate) fn corrupt(
+    layer: &str,
+    stage: &'static str,
+    detail: impl std::fmt::Display,
+) -> DeepSzError {
     DeepSzError::Corrupt {
         layer: layer.to_string(),
         stage,
@@ -142,7 +184,7 @@ impl EncodeReport {
     }
 }
 
-/// Encodes the assessed layers according to `plan` into a DSZM v2
+/// Encodes the assessed layers according to `plan` into a DSZM v4
 /// container, compressing each layer's data array with the plan's chosen
 /// codec (SZ layers use the default configuration: the chunked v4 stream
 /// format with one shared Huffman table per layer and adaptive chunk
@@ -166,6 +208,21 @@ pub fn encode_with_plan(
 /// knob — every data stream is self-describing, and the container's
 /// per-layer codec id picks the decoder.
 pub fn encode_with_plan_config(
+    assessments: &[LayerAssessment],
+    plan: &Plan,
+    sz: &dsz_sz::SzConfig,
+) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
+    encode_container(assessments, plan, sz, VERSION_V4)
+}
+
+/// Emits the DSZM v3 container layout — the v4 layout minus record
+/// alignment and the per-record digest — for compatibility artifacts and
+/// the golden-bytes tests that pin v3 decode. Prefer the default
+/// ([`encode_with_plan`]): v3's footer checksums cover only the data/index
+/// blobs, so the seekable reader's *per-layer* verification is weaker on
+/// v3 than on v4 (whole-container verification is equally strong on both;
+/// see `docs/ROBUSTNESS.md`).
+pub fn encode_with_plan_v3(
     assessments: &[LayerAssessment],
     plan: &Plan,
     sz: &dsz_sz::SzConfig,
@@ -248,10 +305,16 @@ fn encode_container(
 
     let mut reports = Vec::with_capacity(plan.layers.len());
     let mut total_dense = 0usize;
-    // v3 footer entries: (record offset, record len, data fnv, index fnv).
+    // v3/v4 footer entries: (record offset, record len, data fnv, index fnv).
     let mut footer: Vec<(usize, usize, u64, u64)> = Vec::new();
     for ((a, c), blob) in assessments.iter().zip(&plan.layers).zip(blobs) {
         let (data_blob, idx_blob) = blob?;
+        if version >= VERSION_V4 {
+            // Zero-pad so the record starts on a 64-byte boundary: the
+            // seekable reader's footer-driven slices become page-friendly
+            // and never split a record across an alignment unit head.
+            bytes.resize(bytes.len().div_ceil(RECORD_ALIGN) * RECORD_ALIGN, 0);
+        }
         let record_start = bytes.len();
         write_varint(&mut bytes, a.fc.name.len() as u64);
         bytes.extend_from_slice(a.fc.name.as_bytes());
@@ -289,20 +352,31 @@ fn encode_container(
         });
     }
     if version >= VERSION_V3 {
-        // Footer index (per-layer spans + blob checksums), then the fixed
+        // Footer index (per-layer spans + checksums), then the fixed
         // trailer: footer offset, whole-container FNV over every byte that
-        // precedes the checksum field, closing magic. See `docs/FORMAT.md`.
+        // precedes the checksum field, closing magic. v4 entries add a
+        // per-record digest over the record's full span (ordinal-tagged)
+        // so a seekable reader can verify one layer without touching the
+        // rest. See `docs/FORMAT.md`.
         let footer_start = bytes.len() as u64;
-        for (off, len, data_fnv, idx_fnv) in footer {
+        for (ordinal, (off, len, data_fnv, idx_fnv)) in footer.into_iter().enumerate() {
             write_varint(&mut bytes, off as u64);
             write_varint(&mut bytes, len as u64);
+            if version >= VERSION_V4 {
+                let rec_fnv = fnv1a_tagged(ordinal as u64, &bytes[off..off + len]);
+                bytes.extend_from_slice(&rec_fnv.to_le_bytes());
+            }
             bytes.extend_from_slice(&data_fnv.to_le_bytes());
             bytes.extend_from_slice(&idx_fnv.to_le_bytes());
         }
         bytes.extend_from_slice(&footer_start.to_le_bytes());
         let container_fnv = fnv1a(&bytes);
         bytes.extend_from_slice(&container_fnv.to_le_bytes());
-        bytes.extend_from_slice(TRAILER_MAGIC);
+        bytes.extend_from_slice(if version >= VERSION_V4 {
+            TRAILER_MAGIC_V4
+        } else {
+            TRAILER_MAGIC_V3
+        });
     }
     let total = bytes.len();
     Ok((
@@ -367,33 +441,122 @@ pub(crate) struct RawLayerRecord<'a> {
     pub(crate) idx_blob: &'a [u8],
 }
 
+/// Parses one layer record starting at `*pos` in `region`, advancing
+/// `*pos` past it. Shared by the sequential container walk below and the
+/// seekable reader (`crate::seek`), which hands in a single footer-sliced
+/// span — both paths must accept exactly the same bytes.
+pub(crate) fn parse_one_record<'a>(
+    region: &'a [u8],
+    pos: &mut usize,
+    version: u8,
+) -> Result<RawLayerRecord<'a>, DeepSzError> {
+    let name_len = read_varint_len(region, pos, "name length")?;
+    let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
+    let name = std::str::from_utf8(region.get(*pos..name_end).ok_or(CodecError::Truncated)?)
+        .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?;
+    *pos = name_end;
+    let layer_index = read_varint_len(region, pos, "layer index")?;
+    let rows = read_varint_len(region, pos, "row count")?;
+    let cols = read_varint_len(region, pos, "column count")?;
+    match rows.checked_mul(cols) {
+        Some(elems) if elems <= MAX_LAYER_ELEMS => {}
+        _ => {
+            return Err(corrupt(
+                name,
+                "validate",
+                format!("dims {rows}x{cols} overflow or exceed the {MAX_LAYER_ELEMS}-element cap"),
+            ))
+        }
+    }
+    let eb_end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+    let eb_bytes: [u8; 8] = region
+        .get(*pos..eb_end)
+        .ok_or(CodecError::Truncated)?
+        .try_into()
+        .map_err(|_| CodecError::Truncated)?;
+    let _eb = f64::from_le_bytes(eb_bytes);
+    *pos = eb_end;
+    let data_codec = if version >= VERSION_V2 {
+        let id = *region.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        DataCodecKind::from_id(id)?
+    } else {
+        DataCodecKind::Sz
+    };
+    let codec = LosslessKind::from_id(*region.get(*pos).ok_or(CodecError::Truncated)?)?;
+    *pos += 1;
+    let data_len = read_varint_len(region, pos, "data blob length")?;
+    let data_end = pos.checked_add(data_len).ok_or(CodecError::Truncated)?;
+    let data_blob = region.get(*pos..data_end).ok_or(CodecError::Truncated)?;
+    *pos = data_end;
+    let idx_len = read_varint_len(region, pos, "index blob length")?;
+    let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
+    let idx_blob = region.get(*pos..idx_end).ok_or(CodecError::Truncated)?;
+    *pos = idx_end;
+    Ok(RawLayerRecord {
+        name,
+        layer_index,
+        rows,
+        cols,
+        data_codec,
+        codec,
+        data_blob,
+        idx_blob,
+    })
+}
+
+/// Advances `pos` to the next [`RECORD_ALIGN`] boundary, requiring every
+/// skipped byte to be zero — the only thing allowed between v4 records.
+pub(crate) fn skip_record_padding(region: &[u8], pos: &mut usize) -> Result<(), DeepSzError> {
+    let aligned = pos
+        .checked_add(RECORD_ALIGN - 1)
+        .ok_or(CodecError::Truncated)?
+        / RECORD_ALIGN
+        * RECORD_ALIGN;
+    let pad = region.get(*pos..aligned).ok_or(CodecError::Truncated)?;
+    if pad.iter().any(|&b| b != 0) {
+        return Err(DeepSzError::BadContainer(
+            "nonzero bytes in record alignment padding".into(),
+        ));
+    }
+    *pos = aligned;
+    Ok(())
+}
+
 /// Parses the container framing into per-layer records without decoding
 /// any payload (shared by [`decode_model`] and the streaming loader).
 /// Dispatches on the container version byte: v1 records carry no data
 /// codec id (SZ is implied), v2 records name their codec, v3 appends a
 /// checksummed footer/trailer that is verified here — whole-container
 /// FNV first, then per-record spans and blob checksums — *before* any
-/// payload is handed to a decompressor (`docs/FORMAT.md`).
+/// payload is handed to a decompressor, and v4 additionally aligns each
+/// record to a 64-byte boundary and digests its full span
+/// (`docs/FORMAT.md`).
 pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, DeepSzError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(DeepSzError::BadContainer("bad magic".into()));
     }
     let version = bytes[4];
-    if !(VERSION_V1..=VERSION_V3).contains(&version) {
+    if !(VERSION_V1..=VERSION_V4).contains(&version) {
         return Err(DeepSzError::BadContainer("unsupported version".into()));
     }
 
-    // v3: authenticate the whole byte string before trusting any field in
-    // it. A container that fails here never reaches the record parser.
+    // v3/v4: authenticate the whole byte string before trusting any field
+    // in it. A container that fails here never reaches the record parser.
     let records_end = if version >= VERSION_V3 {
         let len = bytes.len();
         if len < 6 + TRAILER_LEN {
             return Err(DeepSzError::BadContainer(
-                "v3 container shorter than its trailer".into(),
+                "checksummed container shorter than its trailer".into(),
             ));
         }
-        if &bytes[len - 4..] != TRAILER_MAGIC {
-            return Err(DeepSzError::BadContainer("v3 trailer magic missing".into()));
+        let want_magic = if version >= VERSION_V4 {
+            TRAILER_MAGIC_V4
+        } else {
+            TRAILER_MAGIC_V3
+        };
+        if &bytes[len - 4..] != want_magic {
+            return Err(DeepSzError::BadContainer("trailer magic missing".into()));
         }
         let stored_fnv = read_u64_le(bytes, len - 12).ok_or(CodecError::Truncated)?;
         let actual_fnv = fnv1a(&bytes[..len - 12]);
@@ -419,7 +582,7 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
     let region = &bytes[..records_end];
 
     let mut pos = 5usize;
-    let n_layers = read_varint(region, &mut pos)? as usize;
+    let n_layers = read_varint_len(region, &mut pos, "layer count")?;
     // Each record occupies at least a dozen bytes; a count beyond the
     // container size is corrupt and must not size the allocation below.
     if n_layers > region.len() {
@@ -428,69 +591,19 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
         ));
     }
     let mut records = Vec::with_capacity(n_layers);
-    // v3 cross-check material: where each record actually landed.
+    // v3/v4 cross-check material: where each record actually landed.
     let mut spans: Vec<(usize, usize)> =
         Vec::with_capacity(if version >= VERSION_V3 { n_layers } else { 0 });
     for _ in 0..n_layers {
-        let record_start = pos;
-        let name_len = read_varint(region, &mut pos)? as usize;
-        let name_end = pos.checked_add(name_len).ok_or(CodecError::Truncated)?;
-        let name = std::str::from_utf8(region.get(pos..name_end).ok_or(CodecError::Truncated)?)
-            .map_err(|_| DeepSzError::BadContainer("bad layer name".into()))?;
-        pos = name_end;
-        let layer_index = read_varint(region, &mut pos)? as usize;
-        let rows = read_varint(region, &mut pos)? as usize;
-        let cols = read_varint(region, &mut pos)? as usize;
-        match rows.checked_mul(cols) {
-            Some(elems) if elems <= MAX_LAYER_ELEMS => {}
-            _ => {
-                return Err(corrupt(
-                    name,
-                    "validate",
-                    format!(
-                        "dims {rows}x{cols} overflow or exceed the {MAX_LAYER_ELEMS}-element cap"
-                    ),
-                ))
-            }
+        if version >= VERSION_V4 {
+            skip_record_padding(region, &mut pos)?;
         }
-        let eb_end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
-        let eb_bytes: [u8; 8] = region
-            .get(pos..eb_end)
-            .ok_or(CodecError::Truncated)?
-            .try_into()
-            .map_err(|_| CodecError::Truncated)?;
-        let _eb = f64::from_le_bytes(eb_bytes);
-        pos = eb_end;
-        let data_codec = if version >= VERSION_V2 {
-            let id = *region.get(pos).ok_or(CodecError::Truncated)?;
-            pos += 1;
-            DataCodecKind::from_id(id)?
-        } else {
-            DataCodecKind::Sz
-        };
-        let codec = LosslessKind::from_id(*region.get(pos).ok_or(CodecError::Truncated)?)?;
-        pos += 1;
-        let data_len = read_varint(region, &mut pos)? as usize;
-        let data_end = pos.checked_add(data_len).ok_or(CodecError::Truncated)?;
-        let data_blob = region.get(pos..data_end).ok_or(CodecError::Truncated)?;
-        pos = data_end;
-        let idx_len = read_varint(region, &mut pos)? as usize;
-        let idx_end = pos.checked_add(idx_len).ok_or(CodecError::Truncated)?;
-        let idx_blob = region.get(pos..idx_end).ok_or(CodecError::Truncated)?;
-        pos = idx_end;
+        let record_start = pos;
+        let record = parse_one_record(region, &mut pos, version)?;
         if version >= VERSION_V3 {
             spans.push((record_start, pos - record_start));
         }
-        records.push(RawLayerRecord {
-            name,
-            layer_index,
-            rows,
-            cols,
-            data_codec,
-            codec,
-            data_blob,
-            idx_blob,
-        });
+        records.push(record);
     }
 
     if version >= VERSION_V3 {
@@ -501,14 +614,22 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
                 "records do not end at the footer".into(),
             ));
         }
-        // Footer: per record `offset varint | len varint | data_fnv u64 |
-        // idx_fnv u64`, consumed exactly, cross-checked against where the
-        // records actually parsed and what their blobs hash to.
+        // Footer: per record `offset varint | len varint | {rec_fnv u64
+        // if v4} | data_fnv u64 | idx_fnv u64`, consumed exactly,
+        // cross-checked against where the records actually parsed and what
+        // their bytes hash to.
         let footer = &bytes[records_end..bytes.len() - TRAILER_LEN];
         let mut fpos = 0usize;
-        for (rec, &(start, len)) in records.iter().zip(&spans) {
-            let f_off = read_varint(footer, &mut fpos)? as usize;
-            let f_len = read_varint(footer, &mut fpos)? as usize;
+        for (ordinal, (rec, &(start, len))) in records.iter().zip(&spans).enumerate() {
+            let f_off = read_varint_len(footer, &mut fpos, "footer record offset")?;
+            let f_len = read_varint_len(footer, &mut fpos, "footer record length")?;
+            let f_rec_fnv = if version >= VERSION_V4 {
+                let v = read_u64_le(footer, fpos).ok_or(CodecError::Truncated)?;
+                fpos += 8;
+                Some(v)
+            } else {
+                None
+            };
             let f_data_fnv = read_u64_le(footer, fpos).ok_or(CodecError::Truncated)?;
             fpos += 8;
             let f_idx_fnv = read_u64_le(footer, fpos).ok_or(CodecError::Truncated)?;
@@ -521,6 +642,11 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
                         "footer span {f_off}+{f_len} disagrees with parsed record at {start}+{len}"
                     ),
                 ));
+            }
+            if let Some(want) = f_rec_fnv {
+                if want != fnv1a_tagged(ordinal as u64, &bytes[start..start + len]) {
+                    return Err(corrupt(rec.name, "checksum", "record span fnv mismatch"));
+                }
             }
             if f_data_fnv != fnv1a(rec.data_blob) {
                 return Err(corrupt(rec.name, "checksum", "data blob fnv mismatch"));

@@ -1,0 +1,377 @@
+//! Random-access container reading — the consumer the v3/v4 footer was
+//! designed for (`docs/FORMAT.md`, "Footer-driven random access").
+//!
+//! [`decode_model`](crate::pipeline::decode_model) walks a container
+//! sequentially and authenticates every byte before decoding anything.
+//! That is the right posture for a bulk decode, but edge serving (§6 of
+//! the paper) wants the opposite: open a multi-hundred-MB container in
+//! microseconds and decode *one* layer on demand without touching the
+//! rest. [`SeekableContainer`] does exactly that:
+//!
+//! * **Open** reads only the 5-byte header, the 20-byte trailer, the
+//!   layer-count varint, and the footer — O(layers), not O(bytes). The
+//!   footer's spans are validated structurally (monotonic, non-
+//!   overlapping, in bounds, v4-aligned) but no record byte is hashed.
+//! * **`layer(i)`** slices record `i` via its footer entry, verifies
+//!   *that record's* checksums lazily — the v4 ordinal-tagged full-span
+//!   FNV when present, always the per-blob FNVs — and decodes it through
+//!   the [`DataCodec`](crate::codec::DataCodec) registry.
+//!
+//! The byte source is abstracted behind [`ByteSource`] so the same
+//! reader serves borrowed in-memory bytes (zero-copy slicing, the
+//! mmap-style path) and an on-disk file ([`FileSource`], positional
+//! reads, no mmap dependency). What the lazy path does and does not
+//! guarantee per container version is spelled out in
+//! `docs/ROBUSTNESS.md` ("Lazy per-layer verification").
+
+// Containers are untrusted input: every malformed byte must surface as a
+// `DeepSzError`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::pipeline::{
+    corrupt, decode_record, fnv1a_tagged, parse_one_record, read_u64_le, read_varint_len,
+    DecodedLayer, MAGIC, RECORD_ALIGN, TRAILER_LEN, TRAILER_MAGIC_V3, TRAILER_MAGIC_V4, VERSION_V3,
+    VERSION_V4,
+};
+use crate::DeepSzError;
+use dsz_lossless::fnv1a;
+use std::borrow::Cow;
+use std::fs::File;
+use std::path::Path;
+
+/// Positional access to container bytes.
+///
+/// `read_at` returns exactly `len` bytes starting at `off` — borrowed
+/// when the source is already in memory (the `&[u8]` impl never copies),
+/// owned when it has to be fetched (files). Implementations must treat
+/// short reads as errors; the reader's bounds come from an untrusted
+/// footer, so "off the end" is a corruption signal, not EOF.
+pub trait ByteSource {
+    /// Total size of the container in bytes.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exactly `len` bytes starting at `off`.
+    fn read_at(&self, off: usize, len: usize) -> Result<Cow<'_, [u8]>, DeepSzError>;
+}
+
+impl ByteSource for &[u8] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn read_at(&self, off: usize, len: usize) -> Result<Cow<'_, [u8]>, DeepSzError> {
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| DeepSzError::BadContainer("read span overflows".into()))?;
+        self.get(off..end)
+            .map(Cow::Borrowed)
+            .ok_or_else(|| DeepSzError::BadContainer("read past end of container".into()))
+    }
+}
+
+/// A container file read with positional I/O (`pread`), so concurrent
+/// `layer(i)` calls need no seek coordination and nothing is mapped or
+/// buffered beyond the requested spans.
+#[derive(Debug)]
+pub struct FileSource {
+    file: File,
+    len: usize,
+}
+
+impl FileSource {
+    /// Opens `path` read-only and snapshots its length.
+    pub fn open(path: &Path) -> Result<Self, DeepSzError> {
+        let file = File::open(path)
+            .map_err(|e| DeepSzError::BadContainer(format!("open {}: {e}", path.display())))?;
+        let meta = file
+            .metadata()
+            .map_err(|e| DeepSzError::BadContainer(format!("stat {}: {e}", path.display())))?;
+        let len = usize::try_from(meta.len())
+            .map_err(|_| DeepSzError::BadContainer("container larger than address space".into()))?;
+        Ok(Self { file, len })
+    }
+}
+
+impl ByteSource for FileSource {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn read_at(&self, off: usize, len: usize) -> Result<Cow<'_, [u8]>, DeepSzError> {
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| DeepSzError::BadContainer("read span overflows".into()))?;
+        if end > self.len {
+            return Err(DeepSzError::BadContainer(
+                "read past end of container".into(),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        {
+            #[cfg(unix)]
+            {
+                use std::os::unix::fs::FileExt;
+                self.file
+                    .read_exact_at(&mut buf, off as u64)
+                    .map_err(|e| DeepSzError::BadContainer(format!("read at {off}: {e}")))?;
+            }
+            #[cfg(not(unix))]
+            {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut f = (&self.file)
+                    .try_clone()
+                    .map_err(|e| DeepSzError::BadContainer(format!("clone file handle: {e}")))?;
+                f.seek(SeekFrom::Start(off as u64))
+                    .and_then(|_| f.read_exact(&mut buf))
+                    .map_err(|e| DeepSzError::BadContainer(format!("read at {off}: {e}")))?;
+            }
+        }
+        Ok(Cow::Owned(buf))
+    }
+}
+
+/// One footer entry, resolved to native offsets at open time.
+#[derive(Debug, Clone, Copy)]
+struct FooterEntry {
+    off: usize,
+    len: usize,
+    /// v4 only: ordinal-tagged FNV over the record's full span.
+    rec_fnv: Option<u64>,
+    data_fnv: u64,
+    idx_fnv: u64,
+}
+
+/// A checksummed container opened for per-layer random access.
+///
+/// Open cost is O(layers); each [`layer`](Self::layer) call reads,
+/// verifies, and decodes exactly one record. Only v3 and v4 containers
+/// are seekable (v1/v2 have no footer index — use
+/// [`decode_model`](crate::decode_model) for those).
+#[derive(Debug)]
+pub struct SeekableContainer<S: ByteSource> {
+    source: S,
+    version: u8,
+    entries: Vec<FooterEntry>,
+}
+
+impl<'a> SeekableContainer<&'a [u8]> {
+    /// Opens a container borrowed in memory (the mmap-style zero-copy
+    /// path): record slices are served straight out of `bytes`.
+    pub fn open_slice(bytes: &'a [u8]) -> Result<Self, DeepSzError> {
+        Self::open(bytes)
+    }
+}
+
+impl SeekableContainer<FileSource> {
+    /// Opens a container file for positional-read random access.
+    pub fn open_file(path: &Path) -> Result<Self, DeepSzError> {
+        Self::open(FileSource::open(path)?)
+    }
+}
+
+impl<S: ByteSource> SeekableContainer<S> {
+    /// Validates the header, trailer, and footer index — and nothing
+    /// else. No record byte is read or hashed here; integrity of each
+    /// record is established lazily by [`layer`](Self::layer).
+    pub fn open(source: S) -> Result<Self, DeepSzError> {
+        let total = source.len();
+        if total < 5 + 1 + TRAILER_LEN {
+            return Err(DeepSzError::BadContainer(
+                "container shorter than header + trailer".into(),
+            ));
+        }
+        let header = source.read_at(0, 5)?;
+        if &header[..4] != MAGIC {
+            return Err(DeepSzError::BadContainer("bad magic".into()));
+        }
+        let version = header[4];
+        if !(VERSION_V3..=VERSION_V4).contains(&version) {
+            return Err(DeepSzError::BadContainer(
+                "container version has no footer index (only v3/v4 are seekable)".into(),
+            ));
+        }
+
+        let trailer = source.read_at(total - TRAILER_LEN, TRAILER_LEN)?;
+        let want_magic = if version >= VERSION_V4 {
+            TRAILER_MAGIC_V4
+        } else {
+            TRAILER_MAGIC_V3
+        };
+        if &trailer[TRAILER_LEN - 4..] != want_magic {
+            return Err(DeepSzError::BadContainer("trailer magic missing".into()));
+        }
+        let footer_start = read_u64_le(&trailer, 0)
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| DeepSzError::BadContainer("footer offset overflows".into()))?;
+        if footer_start < 6 || footer_start > total - TRAILER_LEN {
+            return Err(DeepSzError::BadContainer(
+                "footer offset out of bounds".into(),
+            ));
+        }
+
+        // Layer count: the varint straight after the header. At most 10
+        // bytes, clipped to the records region.
+        let count_span = (footer_start - 5).min(10);
+        let count_bytes = source.read_at(5, count_span)?;
+        let mut cpos = 0usize;
+        let n_layers = read_varint_len(&count_bytes, &mut cpos, "layer count")?;
+        if n_layers > total {
+            return Err(DeepSzError::BadContainer(
+                "layer count exceeds container size".into(),
+            ));
+        }
+        let records_start = 5 + cpos;
+
+        let footer = source.read_at(footer_start, total - TRAILER_LEN - footer_start)?;
+        let mut fpos = 0usize;
+        let mut entries = Vec::with_capacity(n_layers);
+        let mut prev_end = records_start;
+        for _ in 0..n_layers {
+            let off = read_varint_len(&footer, &mut fpos, "footer record offset")?;
+            let len = read_varint_len(&footer, &mut fpos, "footer record length")?;
+            let rec_fnv = if version >= VERSION_V4 {
+                let v = read_u64_le(&footer, fpos)
+                    .ok_or(DeepSzError::BadContainer("footer truncated".into()))?;
+                fpos += 8;
+                Some(v)
+            } else {
+                None
+            };
+            let data_fnv = read_u64_le(&footer, fpos)
+                .ok_or(DeepSzError::BadContainer("footer truncated".into()))?;
+            fpos += 8;
+            let idx_fnv = read_u64_le(&footer, fpos)
+                .ok_or(DeepSzError::BadContainer("footer truncated".into()))?;
+            fpos += 8;
+            // Spans must march strictly forward without overlap and stay
+            // inside the records region; v4 spans must be aligned. This
+            // (plus the ordinal tag inside `rec_fnv`) is what stops a
+            // spliced footer from serving record j as layer i.
+            let end = off
+                .checked_add(len)
+                .ok_or_else(|| DeepSzError::BadContainer("footer span overflows".into()))?;
+            if off < prev_end || end > footer_start || len == 0 {
+                return Err(DeepSzError::BadContainer(
+                    "footer spans out of order or out of bounds".into(),
+                ));
+            }
+            if version >= VERSION_V4 && off % RECORD_ALIGN != 0 {
+                return Err(DeepSzError::BadContainer(
+                    "v4 record not aligned to the record boundary".into(),
+                ));
+            }
+            prev_end = end;
+            entries.push(FooterEntry {
+                off,
+                len,
+                rec_fnv,
+                data_fnv,
+                idx_fnv,
+            });
+        }
+        if fpos != footer.len() {
+            return Err(DeepSzError::BadContainer(
+                "footer has trailing bytes".into(),
+            ));
+        }
+        if prev_end != footer_start && version < VERSION_V4 {
+            // v3 packs records back to back; v4 may end with alignment
+            // padding that `parse_records` (not this lazy path) verifies.
+            return Err(DeepSzError::BadContainer(
+                "records do not end at the footer".into(),
+            ));
+        }
+
+        Ok(Self {
+            source,
+            version,
+            entries,
+        })
+    }
+
+    /// Number of layer records in the container.
+    pub fn layer_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Container format version (3 or 4).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Reads, verifies, and decodes layer `i` — and only layer `i`.
+    ///
+    /// Verification order mirrors the sequential decoder's: the v4
+    /// full-span digest first (cheap, covers every header field), then
+    /// the record parse with exact-span consumption, then the per-blob
+    /// FNVs, and only then decompression. On v3 the span digest does not
+    /// exist on the wire, so corruption of non-blob header fields is
+    /// caught by parse/decode cross-checks rather than a checksum — see
+    /// `docs/ROBUSTNESS.md` for the exact guarantee ladder.
+    pub fn layer(&self, i: usize) -> Result<DecodedLayer, DeepSzError> {
+        let entry = *self.entries.get(i).ok_or_else(|| {
+            DeepSzError::BadContainer(format!(
+                "layer {i} out of range ({} layers)",
+                self.entries.len()
+            ))
+        })?;
+        let bytes = self.source.read_at(entry.off, entry.len)?;
+        let label = format!("<record {i}>");
+        if let Some(want) = entry.rec_fnv {
+            let got = fnv1a_tagged(i as u64, &bytes);
+            if got != want {
+                return Err(corrupt(&label, "checksum", "record span fnv mismatch"));
+            }
+        }
+        let mut pos = 0usize;
+        let record = parse_one_record(&bytes, &mut pos, self.version)?;
+        if pos != entry.len {
+            return Err(corrupt(
+                record.name,
+                "checksum",
+                "record does not fill its footer span",
+            ));
+        }
+        if fnv1a(record.data_blob) != entry.data_fnv {
+            return Err(corrupt(record.name, "checksum", "data blob fnv mismatch"));
+        }
+        if fnv1a(record.idx_blob) != entry.idx_fnv {
+            return Err(corrupt(record.name, "checksum", "index blob fnv mismatch"));
+        }
+        decode_record(&record).map(|(layer, _)| layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_source_is_zero_copy() {
+        let bytes = [1u8, 2, 3, 4];
+        let src: &[u8] = &bytes;
+        match src.read_at(1, 2).unwrap() {
+            Cow::Borrowed(s) => assert_eq!(s, &[2, 3]),
+            Cow::Owned(_) => panic!("slice source must borrow"),
+        }
+    }
+
+    #[test]
+    fn slice_source_rejects_out_of_bounds_reads() {
+        let bytes = [0u8; 8];
+        let src: &[u8] = &bytes;
+        assert!(src.read_at(4, 8).is_err());
+        assert!(src.read_at(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_at_open() {
+        assert!(SeekableContainer::open_slice(&[0u8; 64]).is_err());
+        assert!(SeekableContainer::open_slice(b"DSZM").is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! Quota-accounted disk spill for decoded dense layers.
+//!
+//! Streaming inference ([`crate::streaming`]) re-decodes a layer every
+//! forward pass; with a decoded-bytes budget it cannot even keep hot
+//! layers around. [`SpillCache`] completes the larger-than-RAM story:
+//! decoded layers live in an in-memory map bounded by a bytes quota, and
+//! when the quota forces an eviction the dense payload is written to
+//! disk — FNV-stamped — instead of being thrown away. The next access
+//! re-loads the spill file (one read + one hash, typically far cheaper
+//! than lossless + lossy decompression + reconstruction) rather than
+//! re-decoding.
+//!
+//! # Integrity
+//!
+//! A spill file is trusted exactly as much as a container record: not at
+//! all. Every file carries a header `"DSPL" | key u64 LE | element count
+//! u64 LE | payload FNV-1a u64 LE` followed by the raw little-endian f32
+//! payload, and is verified on read — a stomped, truncated, or swapped
+//! file surfaces as [`DeepSzError::Corrupt`] with stage `"spill"`, never
+//! as wrong weights (`docs/ROBUSTNESS.md`). Writes go to a temp file and
+//! are renamed into place so a crash mid-spill leaves no plausible file.
+//!
+//! # Accounting
+//!
+//! The quota bounds the *cached* live bytes. Callers that are about to
+//! materialize a layer call [`SpillCache::reserve`] first, so
+//! `executing + cached ≤ quota` holds throughout a forward pass (a
+//! single layer larger than the whole quota still has to materialize
+//! alone to execute — it just never parks in the cache). Eviction is
+//! LRU: the layer touched longest ago spills first.
+
+// Spill files are untrusted input: every malformed byte must surface as
+// a `DeepSzError`, never a panic (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::pipeline::{corrupt, read_u64_le};
+use crate::DeepSzError;
+use dsz_lossless::fnv1a;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const SPILL_MAGIC: &[u8; 4] = b"DSPL";
+const SPILL_HEADER_LEN: usize = 4 + 8 + 8 + 8;
+/// Hard cap on elements accepted from a spill-file header, mirroring the
+/// container's dims cap: a corrupt length field must not size an
+/// allocation.
+const MAX_SPILL_ELEMS: usize = 1 << 28;
+
+/// Counters describing what the cache did (monotonic since creation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Fetches served straight from the in-memory map.
+    pub live_hits: u64,
+    /// Fetches served by reading + verifying a spill file.
+    pub rehydrates: u64,
+    /// Evictions written to disk.
+    pub spills: u64,
+    /// Fetches that found nothing (caller must decode).
+    pub misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Decoded payloads resident in memory, keyed by layer index.
+    live: HashMap<usize, Vec<f32>>,
+    /// Keys in recency order, oldest first (entries may be stale; the
+    /// `live` map is authoritative).
+    lru: VecDeque<usize>,
+    live_bytes: usize,
+    /// Keys with a spill file on disk.
+    spilled: std::collections::HashSet<usize>,
+    stats: SpillStats,
+}
+
+/// An LRU cache of decoded dense layers that evicts to FNV-stamped disk
+/// files instead of discarding. See the module docs for the quota
+/// contract.
+#[derive(Debug)]
+pub struct SpillCache {
+    dir: PathBuf,
+    quota: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SpillCache {
+    /// Creates a cache spilling into `dir` (created if absent) with at
+    /// most `bytes_quota` bytes of decoded payloads held in memory.
+    pub fn new(dir: impl AsRef<Path>, bytes_quota: usize) -> Result<Self, DeepSzError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| DeepSzError::BadContainer(format!("spill dir {}: {e}", dir.display())))?;
+        Ok(Self {
+            dir,
+            quota: bytes_quota,
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// Bytes of decoded payloads currently held in memory (≤ quota).
+    pub fn live_bytes(&self) -> usize {
+        self.lock().live_bytes
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> SpillStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock can only come from a bug in this
+        // module, not from bad input; the data is still consistent enough
+        // to read, so recover rather than propagate the poison.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn file_for(&self, key: usize) -> PathBuf {
+        self.dir.join(format!("layer-{key}.dspill"))
+    }
+
+    /// Removes and returns the cached payload for `key`, if any — from
+    /// memory if live, else by reading and verifying its spill file. A
+    /// hit transfers ownership (and its bytes) to the caller; re-park it
+    /// with [`store`](Self::store) when done. Returns `Ok(None)` when the
+    /// layer was never stored (or its spill file was already consumed),
+    /// meaning the caller must decode from the container.
+    pub fn fetch(&self, key: usize) -> Result<Option<Vec<f32>>, DeepSzError> {
+        {
+            let mut inner = self.lock();
+            if let Some(payload) = inner.live.remove(&key) {
+                inner.live_bytes -= payload.len() * 4;
+                inner.stats.live_hits += 1;
+                return Ok(Some(payload));
+            }
+            if !inner.spilled.contains(&key) {
+                inner.stats.misses += 1;
+                return Ok(None);
+            }
+        }
+        // Rehydrate outside the lock; the file read dominates.
+        let payload = self.read_spill_file(key)?;
+        let mut inner = self.lock();
+        inner.spilled.remove(&key);
+        inner.stats.rehydrates += 1;
+        std::fs::remove_file(self.file_for(key)).ok();
+        Ok(Some(payload))
+    }
+
+    /// Evicts live entries (oldest first, spilling each to disk) until
+    /// `incoming` more bytes would fit under the quota. Call before
+    /// materializing a layer so `executing + cached` stays bounded.
+    pub fn reserve(&self, incoming: usize) -> Result<(), DeepSzError> {
+        loop {
+            let victim = {
+                let mut inner = self.lock();
+                if inner.live_bytes + incoming <= self.quota || inner.live.is_empty() {
+                    return Ok(());
+                }
+                loop {
+                    match inner.lru.pop_front() {
+                        Some(k) => {
+                            if let Some(payload) = inner.live.remove(&k) {
+                                inner.live_bytes -= payload.len() * 4;
+                                break Some((k, payload));
+                            }
+                            // Stale recency entry for a key already taken.
+                        }
+                        None => break None,
+                    }
+                }
+            };
+            match victim {
+                Some((key, payload)) => self.spill_to_disk(key, payload)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Parks a decoded payload in the cache under `key`, evicting (to
+    /// disk) as needed to respect the quota. A payload larger than the
+    /// whole quota bypasses memory and spills straight to disk.
+    pub fn store(&self, key: usize, payload: Vec<f32>) -> Result<(), DeepSzError> {
+        let bytes = payload.len() * 4;
+        if bytes > self.quota {
+            // Drop any stale in-memory copy so a later fetch cannot serve
+            // bytes that this store superseded.
+            let mut inner = self.lock();
+            if let Some(old) = inner.live.remove(&key) {
+                inner.live_bytes -= old.len() * 4;
+            }
+            drop(inner);
+            return self.spill_to_disk(key, payload);
+        }
+        self.reserve(bytes)?;
+        let mut inner = self.lock();
+        inner.spilled.remove(&key); // memory copy supersedes any old file
+        if let Some(old) = inner.live.insert(key, payload) {
+            inner.live_bytes -= old.len() * 4;
+        }
+        inner.live_bytes += bytes;
+        inner.lru.push_back(key);
+        Ok(())
+    }
+
+    fn spill_to_disk(&self, key: usize, payload: Vec<f32>) -> Result<(), DeepSzError> {
+        let mut bytes = Vec::with_capacity(SPILL_HEADER_LEN + payload.len() * 4);
+        bytes.extend_from_slice(SPILL_MAGIC);
+        bytes.extend_from_slice(&(key as u64).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut body = Vec::with_capacity(payload.len() * 4);
+        for v in &payload {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+
+        let path = self.file_for(key);
+        let tmp = self.dir.join(format!("layer-{key}.dspill.tmp"));
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|e| {
+                DeepSzError::BadContainer(format!("spill write {}: {e}", path.display()))
+            })?;
+        let mut inner = self.lock();
+        inner.spilled.insert(key);
+        inner.stats.spills += 1;
+        Ok(())
+    }
+
+    fn read_spill_file(&self, key: usize) -> Result<Vec<f32>, DeepSzError> {
+        let label = format!("<spill {key}>");
+        let path = self.file_for(key);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| corrupt(&label, "spill", format!("read {}: {e}", path.display())))?;
+        if bytes.len() < SPILL_HEADER_LEN || &bytes[..4] != SPILL_MAGIC {
+            return Err(corrupt(&label, "spill", "bad spill file header"));
+        }
+        let file_key =
+            read_u64_le(&bytes, 4).ok_or_else(|| corrupt(&label, "spill", "truncated"))?;
+        if file_key != key as u64 {
+            return Err(corrupt(
+                &label,
+                "spill",
+                format!("file stamped for layer {file_key}, expected {key}"),
+            ));
+        }
+        let elems = read_u64_le(&bytes, 12)
+            .and_then(|v| usize::try_from(v).ok())
+            .filter(|&n| n <= MAX_SPILL_ELEMS)
+            .ok_or_else(|| corrupt(&label, "spill", "element count out of range"))?;
+        let want_fnv =
+            read_u64_le(&bytes, 20).ok_or_else(|| corrupt(&label, "spill", "truncated"))?;
+        let body = &bytes[SPILL_HEADER_LEN..];
+        if body.len() != elems * 4 {
+            return Err(corrupt(
+                &label,
+                "spill",
+                format!(
+                    "payload is {} bytes, header declares {}",
+                    body.len(),
+                    elems * 4
+                ),
+            ));
+        }
+        if fnv1a(body) != want_fnv {
+            return Err(corrupt(&label, "spill", "payload fnv mismatch"));
+        }
+        let mut payload = Vec::with_capacity(elems);
+        for chunk in body.chunks_exact(4) {
+            let b: [u8; 4] = match chunk.try_into() {
+                Ok(b) => b,
+                Err(_) => return Err(corrupt(&label, "spill", "truncated payload")),
+            };
+            payload.push(f32::from_le_bytes(b));
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "dsz-spill-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn store_fetch_roundtrips_in_memory() {
+        let dir = test_dir("mem");
+        let cache = SpillCache::new(&dir, 1 << 20).unwrap();
+        let payload = vec![1.0f32, -2.5, 3.25];
+        cache.store(7, payload.clone()).unwrap();
+        assert_eq!(cache.live_bytes(), 12);
+        assert_eq!(cache.fetch(7).unwrap().unwrap(), payload);
+        assert_eq!(cache.live_bytes(), 0, "fetch transfers ownership");
+        assert_eq!(cache.stats().live_hits, 1);
+        assert_eq!(cache.stats().spills, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quota_forces_spill_and_rehydrate_is_bit_identical() {
+        let dir = test_dir("evict");
+        // Quota fits exactly one 4-element payload.
+        let cache = SpillCache::new(&dir, 16).unwrap();
+        let a: Vec<f32> = vec![0.1, 0.2, 0.3, 0.4];
+        let b: Vec<f32> = vec![9.0, 8.0, 7.0, 6.0];
+        cache.store(0, a.clone()).unwrap();
+        cache.store(1, b.clone()).unwrap(); // evicts 0 to disk
+        assert!(cache.live_bytes() <= 16);
+        assert_eq!(cache.stats().spills, 1);
+        let back = cache.fetch(0).unwrap().unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "rehydrated payload must be bit-identical"
+        );
+        assert_eq!(cache.stats().rehydrates, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_payload_spills_straight_to_disk() {
+        let dir = test_dir("oversize");
+        let cache = SpillCache::new(&dir, 8).unwrap();
+        let big: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        cache.store(3, big.clone()).unwrap();
+        assert_eq!(
+            cache.live_bytes(),
+            0,
+            "oversized payload must not park in memory"
+        );
+        assert_eq!(cache.fetch(3).unwrap().unwrap(), big);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_spill_file_is_rejected() {
+        let dir = test_dir("poison");
+        let cache = SpillCache::new(&dir, 8).unwrap();
+        cache
+            .store(5, (0..32).map(|i| i as f32 * 0.5).collect())
+            .unwrap();
+        let path = dir.join("layer-5.dspill");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40; // stomp a payload byte
+        std::fs::write(&path, &bytes).unwrap();
+        let err = cache.fetch(5).unwrap_err();
+        match err {
+            DeepSzError::Corrupt { stage, .. } => assert_eq!(stage, "spill"),
+            other => panic!("expected Corrupt at spill stage, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spill_file_for_wrong_layer_is_rejected() {
+        let dir = test_dir("swap");
+        let cache = SpillCache::new(&dir, 0).unwrap();
+        cache.store(1, vec![1.0f32; 8]).unwrap();
+        cache.store(2, vec![2.0f32; 8]).unwrap();
+        // Swap the files on disk: each now vouches for the other's key.
+        let p1 = dir.join("layer-1.dspill");
+        let p2 = dir.join("layer-2.dspill");
+        let b1 = std::fs::read(&p1).unwrap();
+        let b2 = std::fs::read(&p2).unwrap();
+        std::fs::write(&p1, &b2).unwrap();
+        std::fs::write(&p2, &b1).unwrap();
+        for key in [1usize, 2] {
+            match cache.fetch(key).unwrap_err() {
+                DeepSzError::Corrupt { stage, .. } => assert_eq!(stage, "spill"),
+                other => panic!("expected Corrupt at spill stage, got {other}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reserve_keeps_headroom_under_quota() {
+        let dir = test_dir("reserve");
+        let cache = SpillCache::new(&dir, 64).unwrap();
+        for k in 0..4 {
+            cache.store(k, vec![k as f32; 4]).unwrap(); // 16 bytes each
+        }
+        assert_eq!(cache.live_bytes(), 64);
+        cache.reserve(32).unwrap();
+        assert!(cache.live_bytes() + 32 <= 64, "reserve must make room");
+        assert!(cache.stats().spills >= 2);
+        // Everything evicted is still reachable.
+        for k in 0..4 {
+            assert_eq!(cache.fetch(k).unwrap().unwrap(), vec![k as f32; 4]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_quota_spills_everything_and_still_serves() {
+        let dir = test_dir("zero");
+        let cache = SpillCache::new(&dir, 0).unwrap();
+        for k in 0..3 {
+            cache.store(k, vec![k as f32 + 0.5; 16]).unwrap();
+        }
+        assert_eq!(cache.live_bytes(), 0);
+        assert_eq!(cache.stats().spills, 3);
+        for k in 0..3 {
+            assert_eq!(cache.fetch(k).unwrap().unwrap(), vec![k as f32 + 0.5; 16]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

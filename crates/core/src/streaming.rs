@@ -42,11 +42,14 @@ use crate::codec::DataCodecKind;
 use crate::pipeline::{
     decode_model, decode_record, parse_records, CompressedModel, DecodedLayer, RawLayerRecord,
 };
+use crate::spill::{SpillCache, SpillStats};
 use crate::DeepSzError;
 use dsz_lossless::LosslessKind;
 use dsz_nn::{Batch, Layer, Network};
 use dsz_tensor::pool;
 use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::Arc;
 
 /// What a forward pass (or [`CompressedFcModel::materialize`]) does when a
 /// layer's record fails to decode.
@@ -117,6 +120,9 @@ pub struct CompressedFcModel {
     decoded_bytes_budget: Option<usize>,
     /// What to do when a layer fails to decode.
     decode_policy: DecodePolicy,
+    /// Disk-backed cache for decoded layers ([`Self::with_spill_dir`]);
+    /// shared across clones so forwards reuse each other's spills.
+    spill: Option<Arc<SpillCache>>,
 }
 
 /// Memory accounting from a streaming forward pass.
@@ -179,6 +185,7 @@ impl CompressedFcModel {
             prefetch_depth: 1,
             decoded_bytes_budget: None,
             decode_policy: DecodePolicy::default(),
+            spill: None,
         })
     }
 
@@ -211,6 +218,28 @@ impl CompressedFcModel {
         self
     }
 
+    /// Attaches a disk spill cache: decoded layers are parked in memory up
+    /// to `bytes_quota` bytes, evicted layers are written FNV-stamped into
+    /// `dir` and re-loaded instead of re-decoded on the next use
+    /// ([`crate::spill`]). Forward passes run the serial path — the cache
+    /// itself bounds live dense bytes at `quota + executing layer`, which
+    /// is the point — and stay bit-identical to the in-RAM path
+    /// (spill files round-trip exact f32 bits). Typically paired with a
+    /// quota sized to the hot layers of a model larger than RAM.
+    pub fn with_spill_dir(
+        mut self,
+        dir: impl AsRef<Path>,
+        bytes_quota: usize,
+    ) -> Result<Self, DeepSzError> {
+        self.spill = Some(Arc::new(SpillCache::new(dir, bytes_quota)?));
+        Ok(self)
+    }
+
+    /// Activity counters of the attached spill cache, if any.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill.as_deref().map(SpillCache::stats)
+    }
+
     /// Error path of [`DecodePolicy::ReportBadLayers`]: given the first
     /// failure, decode every *other* layer (results discarded) and fold
     /// every failure into one [`DeepSzError::BadLayers`] report. Under
@@ -234,7 +263,11 @@ impl CompressedFcModel {
     /// Forward pass, materializing fc layers on demand. Returns the output
     /// batch and the memory accounting.
     pub fn forward(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
-        if self.prefetch_depth == 0 {
+        if let Some(cache) = self.spill.clone() {
+            // Spill implies the serial schedule: the cache, not prefetch,
+            // is what bounds live dense bytes.
+            self.forward_spill(x, &cache)
+        } else if self.prefetch_depth == 0 {
             self.forward_serial(x)
         } else {
             self.forward_prefetch(x)
@@ -274,6 +307,68 @@ impl CompressedFcModel {
                     live.w.data = decoded.dense;
                     let (next, _) = Layer::Dense(live).forward(&cur);
                     cur = next; // dense weights dropped here
+                }
+                other => {
+                    let (next, _) = other.forward(&cur);
+                    cur = next;
+                }
+            }
+        }
+        Ok((cur, stats))
+    }
+
+    /// Serial forward through the spill cache: each fc layer's dense
+    /// weights come from the cache when parked (in memory or as a
+    /// verified spill file) and from a container decode only on a true
+    /// miss; after its matmul the buffer is parked back, evicting older
+    /// layers to disk as the quota demands. Live dense bytes are thus
+    /// bounded by `quota + executing layer` at every instant, and repeat
+    /// forwards replace re-decoding with (much cheaper) file rehydration.
+    fn forward_spill(
+        &self,
+        x: &Batch,
+        cache: &SpillCache,
+    ) -> Result<(Batch, StreamingStats), DeepSzError> {
+        let mut stats = StreamingStats {
+            compressed_bytes: self
+                .layers
+                .iter()
+                .map(CompressedLayer::compressed_bytes)
+                .sum(),
+            ..Default::default()
+        };
+        let mut cur = x.clone();
+        for (i, layer) in self.skeleton.layers.iter().enumerate() {
+            match layer {
+                Layer::Dense(d) if d.w.data.is_empty() => {
+                    let c = self.compressed_for(i)?;
+                    // Make room for this layer before it materializes, so
+                    // cached + executing never exceeds quota + one layer.
+                    cache.reserve(c.dense_bytes())?;
+                    let dense = match cache.fetch(i)? {
+                        Some(parked) => parked,
+                        None => {
+                            self.compressed_for(i)?
+                                .decode()
+                                .map_err(|e| self.decode_failure(i, e))?
+                                .dense
+                        }
+                    };
+                    let dense_bytes = dense.len() * 4;
+                    stats.peak_dense_bytes =
+                        stats.peak_dense_bytes.max(dense_bytes + cache.live_bytes());
+                    stats.total_dense_bytes += dense_bytes;
+                    let mut live = d.clone();
+                    live.w.data = dense;
+                    let wrapped = Layer::Dense(live);
+                    let (next, _) = wrapped.forward(&cur);
+                    cur = next;
+                    // Recover the buffer from the wrapper and park it for
+                    // the next forward pass instead of dropping it.
+                    let Layer::Dense(spent) = wrapped else {
+                        unreachable!("constructed as Dense above")
+                    };
+                    cache.store(i, spent.w.data)?;
                 }
                 other => {
                     let (next, _) = other.forward(&cur);

@@ -1,7 +1,7 @@
 //! Deterministic fault-injection campaign over every serialized format
 //! generation (`docs/ROBUSTNESS.md`).
 //!
-//! For each generation — SZ streams v1–v4, DSZM containers v1–v3 — the
+//! For each generation — SZ streams v1–v4, DSZM containers v1–v4 — the
 //! harness takes a valid artifact, applies ≥ 1000 seeded mutations
 //! (bit-flips, byte stomps, truncations, splices, varint/length-field
 //! rewrites via [`dsz_datagen::corrupt::Corruptor`]), and decodes each
@@ -9,12 +9,15 @@
 //!
 //! * **No panics, ever.** Decoders return `Err` on malformed input; a
 //!   panic anywhere in the campaign fails the test.
-//! * **No silent success on v3.** The checksummed DSZM v3 container must
+//! * **No silent success on v3/v4.** The checksummed DSZM containers must
 //!   reject *every* mutant whose bytes differ from the original — a
 //!   corrupted artifact never decodes to plausible-but-wrong weights.
 //!   (v1/v2 and the SZ streams carry no integrity data, so a mutant that
 //!   happens to parse may legally decode there; they only promise not to
 //!   panic or over-allocate.)
+//!
+//! The *lazy* per-layer verification path (`SeekableContainer`) runs its
+//! own agreement campaign in `tests/seekable.rs`.
 //!
 //! Every mutation is a pure function of its seed, so a failure replays
 //! exactly from the seed in the panic message.
@@ -152,33 +155,101 @@ fn dszm_v1_v2_containers_never_panic() {
     }
 }
 
-/// DSZM v3: *every* changed-bytes mutant is rejected — the whole-container
-/// checksum leaves no silent-success path — and verification agrees with
-/// decode on each mutant.
+/// DSZM v3 and v4: *every* changed-bytes mutant is rejected — the
+/// whole-container checksum leaves no silent-success path — and
+/// verification agrees with decode on each mutant.
 #[test]
-fn dszm_v3_rejects_every_corruption() {
+fn dszm_v3_and_v4_reject_every_corruption() {
     let (assessments, plan) = fixture();
-    let (v3, _) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
-    assert_eq!(verify_container(&v3).unwrap(), 2, "intact v3 must verify");
-    campaign("DSZM v3", &v3.bytes, true, |mutant| {
-        let model = CompressedModel {
-            bytes: mutant.to_vec(),
-        };
-        let verified = verify_container(&model).is_ok();
-        let decoded = decode_model(&model).is_ok();
+    let (v3, _) = dsz_core::encode_with_plan_v3(&assessments, &plan, &pinned_sz()).unwrap();
+    let (v4, _) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+    assert_eq!(v4.bytes[4], 4, "default container must be v4");
+    for (model, name) in [(v3, "DSZM v3"), (v4, "DSZM v4")] {
         assert_eq!(
-            verified, decoded,
-            "verify_container and decode_model disagree on a mutant"
+            verify_container(&model).unwrap(),
+            2,
+            "intact {name} must verify"
         );
-        decoded
-    });
+        campaign(name, &model.bytes, true, |mutant| {
+            let model = CompressedModel {
+                bytes: mutant.to_vec(),
+            };
+            let verified = verify_container(&model).is_ok();
+            let decoded = decode_model(&model).is_ok();
+            assert_eq!(
+                verified, decoded,
+                "verify_container and decode_model disagree on a mutant"
+            );
+            decoded
+        });
+    }
 }
 
-/// An intact v3 container round-trips bit-identically regardless of the
-/// worker count (the tier-1 gate also runs this whole suite under
-/// `DSZ_THREADS=1` and `=4`).
+/// Satellite hardening: footer varints rewritten to adversarial values —
+/// a 10-byte `u64::MAX` offset and an 11-byte varint that overflows u64
+/// entirely — must come back as clean errors from both the sequential
+/// parser and the seekable open, never a panic or a wrapping `as` cast.
 #[test]
-fn dszm_v3_intact_roundtrip_is_bit_identical_across_workers() {
+fn overflowing_footer_varints_are_rejected() {
+    let (assessments, plan) = fixture();
+    let (v4, _) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
+    let len = v4.bytes.len();
+    let footer_start =
+        u64::from_le_bytes(v4.bytes[len - 20..len - 12].try_into().unwrap()) as usize;
+
+    // Generation 1: the first footer varint (record 0's offset) rewritten
+    // to u64::MAX — an offset no span check can accept.
+    let mut huge = v4.bytes.clone();
+    dsz_datagen::corrupt::rewrite_varint(&mut huge, footer_start, u64::MAX);
+    // Generation 2: an 11-byte varint (shift ≥ 64) spliced over the same
+    // field — `read_varint` itself must reject it.
+    let mut overlong = v4.bytes.clone();
+    overlong.splice(
+        footer_start..footer_start + 1,
+        std::iter::repeat(0xffu8).take(10).chain([0x01]),
+    );
+    // Generation 3: seeded sweep rewriting each footer entry's varints.
+    let mut seeded = Vec::new();
+    for seed in 0..64u64 {
+        let mut c = Corruptor::new(seed);
+        let mut m = v4.bytes.clone();
+        let off = footer_start + c.below(len - 20 - footer_start);
+        dsz_datagen::corrupt::rewrite_varint(&mut m, off, c.next_u64() | (1 << 63));
+        seeded.push(m);
+    }
+
+    for (i, mutant) in [huge, overlong].into_iter().chain(seeded).enumerate() {
+        let model = CompressedModel {
+            bytes: mutant.clone(),
+        };
+        assert!(
+            decode_model(&model).is_err(),
+            "mutant {i}: sequential decode accepted an overflowed footer varint"
+        );
+        // The seekable path trusts the footer *structurally* at open; it
+        // must reject these at open or on every layer access.
+        if let Ok(seek) = dsz_core::SeekableContainer::open_slice(&mutant) {
+            for li in 0..seek.layer_count() {
+                let authentic = dsz_core::SeekableContainer::open_slice(&v4.bytes)
+                    .unwrap()
+                    .layer(li)
+                    .unwrap();
+                if let Ok(l) = seek.layer(li) {
+                    assert_eq!(
+                        l.dense, authentic.dense,
+                        "mutant {i}: seekable served different weights for layer {li}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An intact default-version container round-trips bit-identically
+/// regardless of the worker count (the tier-1 gate also runs this whole
+/// suite under `DSZ_THREADS=1` and `=4`).
+#[test]
+fn dszm_intact_roundtrip_is_bit_identical_across_workers() {
     let (assessments, plan) = fixture();
     let (v3, _) = encode_with_plan_config(&assessments, &plan, &pinned_sz()).unwrap();
     let decode_bits = |workers: usize| {

@@ -203,7 +203,7 @@ fn mixed_codec_container_bytes_deterministic() {
     }
     assert_eq!(
         fnv(&reference),
-        0xb919_4735_a1b3_4c67, // DSZM v3 (checksummed footer) generation
+        0x83f0_a26f_cce2_68bf, // DSZM v4 (aligned records + per-record digests) generation
         "mixed-codec container bytes drifted (update the pin only on an \
          intentional format change)"
     );

@@ -1,0 +1,130 @@
+//! Regression suite for the thread-scaling fix: worker counts are
+//! clamped to the host's real parallelism, and — critically — the
+//! *layout* worker count that picks the adaptive SZ chunk geometry is
+//! the clamped one, so `DSZ_THREADS=4` on a 1-core host emits containers
+//! byte-identical to `DSZ_THREADS=1` instead of baking quarter-sized
+//! chunks (extra framing bytes) into the stream. `scripts/tier1.sh` runs
+//! this suite under both `DSZ_THREADS=1` and `DSZ_THREADS=4`.
+
+use dsz_core::optimizer::{ChosenLayer, Plan};
+use dsz_core::{encode_with_plan_config, DataCodecKind, LayerAssessment};
+use dsz_nn::FcLayerRef;
+use dsz_sparse::PairArray;
+use dsz_sz::{adaptive_chunk_elems, SzConfig};
+use dsz_tensor::parallel::{clamp_to_host, host_parallelism, layout_workers, with_workers};
+
+/// One fc layer big enough that the adaptive chunk size actually depends
+/// on the worker count (`n / (4·workers)` above the 16Ki floor), so the
+/// byte-equality assertions below would catch an unclamped layout.
+fn fixture() -> (Vec<LayerAssessment>, Plan, usize) {
+    let (rows, cols) = (512usize, 800usize);
+    let mut dense = dsz_datagen::weights::trained_fc_weights(rows, cols, 0xC1A);
+    dsz_prune::prune_to_density(&mut dense, 0.35);
+    let pair = PairArray::from_dense(&dense, rows, cols);
+    let n = pair.data.len();
+    let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
+    let fc = FcLayerRef {
+        layer_index: 0,
+        name: "fc0".to_string(),
+        rows,
+        cols,
+    };
+    let plan = Plan {
+        layers: vec![ChosenLayer {
+            fc: fc.clone(),
+            eb: 1e-3,
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            codec: DataCodecKind::Sz,
+            point_index: 0,
+        }],
+        predicted_loss: 0.0,
+        total_bytes: 0,
+    };
+    let assessments = vec![LayerAssessment {
+        fc,
+        pair,
+        index_codec,
+        index_bytes: index_blob.len(),
+        points: Vec::new(),
+    }];
+    (assessments, plan, n)
+}
+
+fn encode_bytes(sz: &SzConfig) -> Vec<u8> {
+    let (assessments, plan, _) = fixture();
+    encode_with_plan_config(&assessments, &plan, sz)
+        .unwrap()
+        .0
+        .bytes
+}
+
+/// The layout worker count is exactly the clamped request: `DSZ_THREADS`
+/// if set (clamped to the host), else the host's own parallelism.
+#[test]
+fn layout_workers_are_the_clamped_request() {
+    let requested = std::env::var("DSZ_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    assert_eq!(
+        layout_workers(),
+        clamp_to_host(requested.unwrap_or_else(host_parallelism))
+    );
+    assert!(layout_workers() <= host_parallelism());
+}
+
+/// Container bytes from the default adaptive config equal the bytes from
+/// an explicitly pinned chunk size computed with the *clamped* layout
+/// worker count — and on a 1-core host (where tier-1 runs this under
+/// both `DSZ_THREADS=1` and `DSZ_THREADS=4`) they equal the 1-worker
+/// geometry, which is the regression this suite pins: before the clamp,
+/// `DSZ_THREADS=4` shrank the adaptive chunks 4× and changed the bytes.
+#[test]
+fn default_container_bytes_use_clamped_layout_geometry() {
+    let (_, _, n) = fixture();
+    assert_ne!(
+        adaptive_chunk_elems(n, 1),
+        adaptive_chunk_elems(n, 4),
+        "fixture too small: adaptive geometry must be worker-sensitive \
+         for this test to mean anything"
+    );
+
+    let adaptive = encode_bytes(&SzConfig::default());
+    let pinned = encode_bytes(&SzConfig {
+        chunk_elems: adaptive_chunk_elems(n, layout_workers()),
+        ..SzConfig::default()
+    });
+    assert_eq!(
+        adaptive, pinned,
+        "adaptive layout no longer matches the clamped worker count"
+    );
+
+    if host_parallelism() == 1 {
+        let one_worker = encode_bytes(&SzConfig {
+            chunk_elems: adaptive_chunk_elems(n, 1),
+            ..SzConfig::default()
+        });
+        assert_eq!(
+            adaptive, one_worker,
+            "on a 1-core host every DSZ_THREADS value must emit the \
+             1-worker container bytes"
+        );
+    }
+}
+
+/// Execution-worker overrides never leak into the bytes: sweeping
+/// `with_workers` around a default (adaptive-geometry) encode produces
+/// identical containers, because layout reads the process budget, not
+/// the execution override.
+#[test]
+fn execution_worker_sweep_never_changes_container_bytes() {
+    let reference = with_workers(1, || encode_bytes(&SzConfig::default()));
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            with_workers(workers, || encode_bytes(&SzConfig::default())),
+            reference,
+            "container bytes drifted at {workers} execution workers"
+        );
+    }
+}

@@ -53,13 +53,43 @@ pub fn worker_count() -> usize {
     layout_workers()
 }
 
-/// Process-level worker budget: `DSZ_THREADS` if set, else
-/// `available_parallelism()` — ignoring any [`with_workers`] override.
+/// Hardware parallelism of this host, cached (the syscall sits on the
+/// matmul hot path via [`worker_count`] → [`layout_workers`]).
+pub fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Clamps a requested worker count to what the host can actually run
+/// concurrently: `[1, available_parallelism()]`.
+///
+/// Worker counts above the core count never help on the execution side —
+/// they only add queue wakeups and context switches (a measured 33 → 44 ms
+/// encode regression for `DSZ_THREADS=4` on a 1-core host) — and on the
+/// layout side they shrink the adaptive SZ chunk size, baking extra
+/// chunk-framing overhead into the container bytes. Both [`layout_workers`]
+/// and the pool-engagement decision in each helper below route through
+/// this clamp; the explicit [`with_workers`] *budget* is intentionally not
+/// clamped, so budget-nesting arithmetic (and the tests pinning it) stays
+/// host-independent.
+pub fn clamp_to_host(requested: usize) -> usize {
+    requested.clamp(1, host_parallelism())
+}
+
+/// Process-level worker budget: `DSZ_THREADS` if set (clamped to
+/// [`host_parallelism`]), else `available_parallelism()` — ignoring any
+/// [`with_workers`] override.
 ///
 /// Use this for **layout** decisions that must not vary with execution
 /// pinning (e.g. the SZ v3/v4 adaptive chunk size, which is baked into the
 /// container bytes): `with_workers` exists so tests and benches can sweep
-/// execution parallelism while the emitted bytes stay identical.
+/// execution parallelism while the emitted bytes stay identical. Clamping
+/// the env value means `DSZ_THREADS=4` on a 1-core host emits byte-identical
+/// containers to `DSZ_THREADS=1` instead of quarter-sized adaptive chunks.
 pub fn layout_workers() -> usize {
     // The env var cannot change mid-process in any supported way, so read
     // and parse it once; this sits on the matmul hot path via
@@ -70,11 +100,9 @@ pub fn layout_workers() -> usize {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
     }) {
-        return (*n).max(1);
+        return clamp_to_host(*n);
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    host_parallelism()
 }
 
 /// Runs `f` with the calling thread's worker count pinned to `n`.
@@ -148,7 +176,9 @@ where
         let items = &items;
         let next = &next;
         let fr = &f;
-        pool::run_batch(workers - 1, &move || {
+        // Engage only as many threads as the host has cores; the budget
+        // arithmetic above is deliberately unclamped (see `clamp_to_host`).
+        pool::run_batch(clamp_to_host(workers) - 1, &move || {
             with_workers(inner_budget, || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -193,7 +223,9 @@ where
         let slots = &slots;
         let next = &next;
         let fr = &f;
-        pool::run_batch(workers - 1, &move || {
+        // Engage only as many threads as the host has cores; the budget
+        // arithmetic above is deliberately unclamped (see `clamp_to_host`).
+        pool::run_batch(clamp_to_host(workers) - 1, &move || {
             with_workers(inner_budget, || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -270,7 +302,9 @@ where
         let fr = &f;
         let err_slots = &err_slots;
         let failed = &failed;
-        pool::run_batch(workers - 1, &move || {
+        // Engage only as many threads as the host has cores; the budget
+        // arithmetic above is deliberately unclamped (see `clamp_to_host`).
+        pool::run_batch(clamp_to_host(workers) - 1, &move || {
             with_workers(inner_budget, || loop {
                 if failed.load(Ordering::Relaxed) {
                     break;
@@ -482,6 +516,41 @@ mod tests {
         let base = layout_workers();
         with_workers(1, || assert_eq!(layout_workers(), base));
         with_workers(64, || assert_eq!(layout_workers(), base));
+    }
+
+    #[test]
+    fn clamp_to_host_bounds_requests() {
+        let host = host_parallelism();
+        assert!(host >= 1);
+        assert_eq!(clamp_to_host(0), 1);
+        assert_eq!(clamp_to_host(1), 1);
+        assert_eq!(clamp_to_host(host), host);
+        assert_eq!(clamp_to_host(host + 1), host);
+        assert_eq!(clamp_to_host(usize::MAX), host);
+        // On a 1-core host a 4-thread request collapses to 1 — the exact
+        // shape of the `DSZ_THREADS=4` encode regression this fixes.
+        assert_eq!(clamp_to_host(4), 4.min(host));
+    }
+
+    #[test]
+    fn layout_workers_never_exceed_host() {
+        // Whatever `DSZ_THREADS` the tier-1 sweep set for this process, the
+        // layout budget is host-clamped, so adaptive chunk geometry (and
+        // with it container bytes) cannot oversubscribe the host.
+        assert!(layout_workers() <= host_parallelism());
+    }
+
+    #[test]
+    fn oversubscribed_budget_still_runs_correctly() {
+        // A budget far beyond the host's cores must neither deadlock nor
+        // change results: the claim queue runs with at most
+        // `host_parallelism()` engaged threads, same outputs as 1 worker.
+        let items: Vec<usize> = (0..200).collect();
+        let want: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for budget in [host_parallelism() * 4, 64] {
+            let got = with_workers(budget, || parallel_map(&items, |&x| x * 3 + 1));
+            assert_eq!(got, want, "budget={budget}");
+        }
     }
 
     #[test]

@@ -31,6 +31,19 @@ const VERSION: u8 = 1;
 const Q: i32 = 40;
 /// Guard planes kept beyond the tolerance-implied cut to absorb transform
 /// amplification and fixed-point rounding.
+///
+/// Worst-case budget, in fixed-point units of `2^(e − Q)` per sample:
+/// truncating the negabinary planes below `pmin` perturbs each
+/// coefficient by `< 2^pmin` units, the 4-point inverse lift amplifies a
+/// coefficient-space error by at most ≈6.75× (`< 2^2.76`), and input
+/// rounding adds another 1/2 unit (the lift pair itself is exactly
+/// invertible, so rounding is not amplified). Reconstruction error is
+/// therefore `< 2^(pmin + 2.76) + 1/2` units, and the
+/// `pmin = floor(log2 tol) − (e − Q) − 1 − GUARD_PLANES` cut in
+/// [`min_plane`] bounds it by `tol · 2^-1.2` — under the tolerance with
+/// less than one bit plane to spare. The mapping is worst-case-tight,
+/// not off-by-scale; `dsz_core/tests/zfp_competition.rs` pins both sides
+/// (never above `tol`, never overachieving by more than a few planes).
 const GUARD_PLANES: i32 = 3;
 /// Total encoded planes span (negabinary of Q+2-bit ints).
 const TOP_PLANE: i32 = Q + 2;
@@ -103,10 +116,16 @@ fn block_exponent(block: &[f32; 4]) -> i32 {
 }
 
 /// Lowest encoded plane for a block with exponent `e` under tolerance `tol`.
+///
+/// Plane `p` carries `2^(p + e − Q)` per coefficient in sample space;
+/// the `− 1 − GUARD_PLANES` margin covers the worst-case truncation +
+/// inverse-lift analysis on [`GUARD_PLANES`]. Typical (non-worst-case)
+/// inputs land ~8–16× under the tolerance — that slack is what a
+/// *correct* fixed-accuracy mode costs, and it is why SZ, whose
+/// quantizer spends the entire bound, wins the per-layer size
+/// competition on fc weights (`zfp_win_layers: 0` in the bench output
+/// reproduces the paper's Fig. 2 finding rather than indicating a bug).
 fn min_plane(e: i32, tol: f64) -> i32 {
-    // Coefficient weight of plane p is 2^(p + e − Q); dropping planes below
-    // p accumulates < 2^(p+1+e−Q) error per coefficient before transform
-    // amplification. Keep GUARD_PLANES extra planes as margin.
     let cut = (tol.log2().floor() as i32) - (e - Q) - 1 - GUARD_PLANES;
     cut.clamp(0, TOP_PLANE)
 }

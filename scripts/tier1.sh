@@ -11,10 +11,20 @@ DSZ_THREADS=1 cargo test -q
 DSZ_THREADS=4 cargo test -q
 # Robustness gate (docs/ROBUSTNESS.md): the seeded fault-injection
 # campaign over every format generation must stay green — no panics
-# anywhere, no silent success on checksummed DSZM v3 containers. Already
-# part of the workspace sweeps above; run it by name so a failure here
-# is unmistakable in the log.
+# anywhere, no silent success on checksummed DSZM v3/v4 containers.
+# Already part of the workspace sweeps above; run it by name so a failure
+# here is unmistakable in the log.
 cargo test -q -p dsz_core --test fault_injection
+# Random-access + spill gate: the seekable reader's lazy-verify agreement
+# campaign and the disk-spill bit-identity/poisoned-file suites, under
+# both worker budgets (the spill path must be byte-stable regardless of
+# DSZ_THREADS, and the thread_clamp suite pins the container bytes both
+# ways).
+for t in 1 4; do
+  DSZ_THREADS=$t cargo test -q -p dsz_core --test seekable
+  DSZ_THREADS=$t cargo test -q -p dsz_core --test spill_streaming
+  DSZ_THREADS=$t cargo test -q -p dsz_core --test thread_clamp
+done
 # Smoke-test the full user-facing pipeline (train → prune → assess →
 # optimize → encode → decode) exactly as the README-level docs run it.
 cargo run --release --example quickstart >/dev/null
