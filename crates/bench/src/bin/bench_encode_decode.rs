@@ -13,9 +13,10 @@ use dsz_bench::tables::print_table;
 use dsz_bench::workloads::{paper_error_bounds, reduced_pruning_densities};
 use dsz_core::optimizer::{ChosenLayer, Plan};
 use dsz_core::{
-    assess_network, assess_network_full, decode_model, encode_with_plan, encode_with_plan_config,
-    encode_with_plan_v2, verify_container, AssessmentConfig, DataCodecKind, DatasetEvaluator,
-    LayerAssessment, SeekableContainer, SpillCache,
+    assess_network, assess_network_full, decode_model, encode_to_writer, encode_to_writer_config,
+    encode_with_plan, encode_with_plan_config, encode_with_plan_v2, verify_container,
+    AssessmentConfig, DataCodecKind, DatasetEvaluator, EncodeStreamConfig, LayerAssessment,
+    SeekableContainer, SpillCache,
 };
 use dsz_datagen::features;
 use dsz_nn::{zoo, Arch, DenseLayer, Layer, Network, Scale};
@@ -248,6 +249,46 @@ fn main() {
         });
     }
 
+    // Streaming operator-pipeline encode (docs/STREAMING_ENCODE.md):
+    // wall time of the direct-to-writer path, the buffer-ring ledger's
+    // peak for the materializing configuration (unbounded budget — what
+    // `encode_with_plan` holds) vs the tightest budget (one mandatory
+    // floor), and how much container-write time overlapped in-flight
+    // layer compression when streaming to a real file.
+    let streaming_encode_ms = median_ms(3, || {
+        let mut sink = Vec::with_capacity(model.bytes.len());
+        let _ = encode_to_writer(&assessments, &plan, &mut sink).expect("streaming encode");
+    });
+    let stream_path =
+        std::env::temp_dir().join(format!("dsz-bench-stream-{}.dszm", std::process::id()));
+    let stream_file =
+        std::io::BufWriter::new(std::fs::File::create(&stream_path).expect("bench stream file"));
+    let unbounded_report =
+        encode_to_writer(&assessments, &plan, stream_file).expect("streaming encode");
+    std::fs::remove_file(&stream_path).ok();
+    let tight_cfg = EncodeStreamConfig {
+        encode_bytes_budget: Some(1),
+    };
+    let tight_report = encode_to_writer_config(
+        &assessments,
+        &plan,
+        &SzConfig::default(),
+        &tight_cfg,
+        std::io::sink(),
+    )
+    .expect("bounded streaming encode");
+    let encode_peak_bytes_materializing = unbounded_report.peak_buffered_bytes;
+    let encode_peak_bytes_streaming = tight_report.peak_buffered_bytes;
+    let encode_io_overlap_ratio = unbounded_report.io_overlap_ratio;
+    println!(
+        "streaming encode: {:.1} ms to writer; peak buffered bytes {} materializing vs {} at the tightest budget ({:.2}x less); io overlap {:.2}",
+        streaming_encode_ms,
+        encode_peak_bytes_materializing,
+        encode_peak_bytes_streaming,
+        encode_peak_bytes_materializing as f64 / (encode_peak_bytes_streaming.max(1)) as f64,
+        encode_io_overlap_ratio
+    );
+
     // Random access through the seekable reader: open cost (trailer +
     // footer only, no payload work) and a single mid-stack layer decode,
     // vs the full sequential decode above. The half-decode acceptance
@@ -441,6 +482,22 @@ fn main() {
     json.push_str(&format!(
         "  \"spill_rehydrate_ms\": {:.3},\n",
         spill_rehydrate_ms
+    ));
+    json.push_str(&format!(
+        "  \"streaming_encode_ms\": {:.3},\n",
+        streaming_encode_ms
+    ));
+    json.push_str(&format!(
+        "  \"encode_peak_bytes_materializing\": {},\n",
+        encode_peak_bytes_materializing
+    ));
+    json.push_str(&format!(
+        "  \"encode_peak_bytes_streaming\": {},\n",
+        encode_peak_bytes_streaming
+    ));
+    json.push_str(&format!(
+        "  \"encode_io_overlap_ratio\": {:.3},\n",
+        encode_io_overlap_ratio
     ));
     json.push_str(&format!(
         "  \"codec_choice\": [{}],\n",

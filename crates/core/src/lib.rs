@@ -33,6 +33,7 @@
 
 pub mod assessment;
 pub mod codec;
+pub mod encode_stream;
 pub mod evaluator;
 pub mod linearity;
 pub mod optimizer;
@@ -45,6 +46,7 @@ pub use assessment::{
     assess_network, assess_network_full, AssessmentConfig, EbPoint, LayerAssessment,
 };
 pub use codec::{compete, DataCodec, DataCodecKind, SzCodec, ZfpCodec};
+pub use encode_stream::{encode_to_writer, encode_to_writer_config, EncodeStreamConfig};
 pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator, IncrementalEvaluator};
 pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
@@ -91,6 +93,10 @@ pub enum DeepSzError {
     BadLayers(Vec<DeepSzError>),
     /// No feasible configuration under the requested constraint.
     Infeasible(String),
+    /// The output writer failed while a container was being streamed to
+    /// it ([`encode_stream::encode_to_writer`]); the container is
+    /// incomplete and must be discarded.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for DeepSzError {
@@ -118,11 +124,18 @@ impl fmt::Display for DeepSzError {
                 Ok(())
             }
             DeepSzError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            DeepSzError::Io(e) => write!(f, "container write: {e}"),
         }
     }
 }
 
 impl std::error::Error for DeepSzError {}
+
+impl From<std::io::Error> for DeepSzError {
+    fn from(e: std::io::Error) -> Self {
+        DeepSzError::Io(e)
+    }
+}
 
 impl From<dsz_sz::SzError> for DeepSzError {
     fn from(e: dsz_sz::SzError) -> Self {

@@ -52,16 +52,15 @@ use crate::codec::DataCodecKind;
 use crate::optimizer::Plan;
 use crate::DeepSzError;
 use dsz_lossless::bits::{read_varint, write_varint};
-use dsz_lossless::{fnv1a, CodecError, LosslessKind};
+use dsz_lossless::{fnv1a, CodecError, Fnv1a, LosslessKind};
 use dsz_nn::Network;
 use dsz_sparse::PairArray;
-use dsz_sz::ErrorBound;
 use dsz_tensor::parallel::parallel_map;
 use std::time::Instant;
 
 pub(crate) const MAGIC: &[u8; 4] = b"DSZM";
-const VERSION_V1: u8 = 1;
-const VERSION_V2: u8 = 2;
+pub(crate) const VERSION_V1: u8 = 1;
+pub(crate) const VERSION_V2: u8 = 2;
 pub(crate) const VERSION_V3: u8 = 3;
 pub(crate) const VERSION_V4: u8 = 4;
 /// Closing magic of the v3/v4 trailer; its presence distinguishes "a
@@ -175,6 +174,17 @@ pub struct EncodeReport {
     /// Wall-clock time of final SZ compression (ms); layers compress in
     /// parallel, so this is less than the summed per-layer cost.
     pub compress_ms: f64,
+    /// Peak bytes the encode pipeline held in finished-but-unwritten
+    /// buffers (chunk slots, retained quantized units, assembled records),
+    /// by buffer-ring ledger accounting — the high-water mark of the
+    /// [`crate::encode_stream::EncodeStreamConfig::encode_bytes_budget`]
+    /// ledger (conservative reservations, so an upper bound on real heap
+    /// use by those buffers).
+    pub peak_buffered_bytes: usize,
+    /// Fraction of container-write time that overlapped layer compression
+    /// still in flight, in `[0, 1]`. Zero under serial execution or a
+    /// bounded budget (which serializes layers by design).
+    pub io_overlap_ratio: f64,
 }
 
 impl EncodeReport {
@@ -271,123 +281,189 @@ pub fn encode_with_plan_v1(
     encode_container(assessments, plan, &sz, VERSION_V1)
 }
 
+/// Every encoder version now routes through the streaming engine
+/// ([`crate::encode_stream`]) with an unbounded buffer budget, writing
+/// into a `Vec` — the "thin materializing wrapper". The container bytes
+/// are pinned bit-identical to the historical batch serializer by the
+/// golden-bytes tests for all four container versions.
 fn encode_container(
     assessments: &[LayerAssessment],
     plan: &Plan,
     sz: &dsz_sz::SzConfig,
     version: u8,
 ) -> Result<(CompressedModel, EncodeReport), DeepSzError> {
-    assert_eq!(
-        assessments.len(),
-        plan.layers.len(),
-        "plan/assessment mismatch"
-    );
-    let t0 = Instant::now();
+    let (bytes, report) = crate::encode_stream::encode_container_stream(
+        assessments,
+        plan,
+        sz,
+        &crate::encode_stream::EncodeStreamConfig::default(),
+        version,
+        Vec::new(),
+    )?;
+    Ok((CompressedModel { bytes }, report))
+}
 
-    let jobs: Vec<(&LayerAssessment, f64, DataCodecKind)> = assessments
-        .iter()
-        .zip(&plan.layers)
-        .map(|(a, c)| (a, c.eb, c.codec))
-        .collect();
-    type LayerBlobs = Result<(Vec<u8>, Vec<u8>), DeepSzError>;
-    let blobs: Vec<LayerBlobs> = parallel_map(&jobs, |&(a, eb, kind)| {
-        let data_blob = kind
-            .instance(sz)
-            .encode(&a.pair.data, ErrorBound::Abs(eb))?;
-        let idx_blob = a.index_codec.codec().compress(&a.pair.index);
-        Ok((data_blob, idx_blob))
-    });
+/// Zero padding source for v4 record alignment.
+const ZERO_PAD: [u8; RECORD_ALIGN] = [0; RECORD_ALIGN];
 
-    let mut bytes = Vec::new();
-    bytes.extend_from_slice(MAGIC);
-    bytes.push(version);
-    write_varint(&mut bytes, plan.layers.len() as u64);
+/// Metadata of one layer record — everything except the two blobs.
+pub(crate) struct RecordMeta<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) layer_index: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) eb: f64,
+    pub(crate) data_codec: DataCodecKind,
+    pub(crate) index_codec: LosslessKind,
+}
 
-    let mut reports = Vec::with_capacity(plan.layers.len());
-    let mut total_dense = 0usize;
-    // v3/v4 footer entries: (record offset, record len, data fnv, index fnv).
-    let mut footer: Vec<(usize, usize, u64, u64)> = Vec::new();
-    for ((a, c), blob) in assessments.iter().zip(&plan.layers).zip(blobs) {
-        let (data_blob, idx_blob) = blob?;
-        if version >= VERSION_V4 {
+/// Streams a DSZM container (any version) to a `std::io::Write`, with
+/// the footer/trailer checksums accumulated incrementally as bytes are
+/// emitted — no record `Vec` concatenation and no second pass over a
+/// materialized buffer. The byte sequence is exactly the historical
+/// batch serializer's: header, 64-byte-aligned records (v4), footer
+/// index with per-record ordinal-tagged digests (v4), fixed trailer
+/// (v3/v4). Memory held per record is only its two compressed blobs;
+/// the footer bookkeeping is O(layers).
+pub(crate) struct ContainerWriter<W: std::io::Write> {
+    w: W,
+    version: u8,
+    /// Bytes emitted so far — record offsets and the footer offset.
+    written: usize,
+    /// Running whole-container digest (v3/v4 trailer).
+    container_fnv: Fnv1a,
+    /// Running ordinal-tagged digest of the record being written (v4).
+    rec_fnv: Option<Fnv1a>,
+    /// Per-record footer entries: offset, len, record/data/index digests.
+    footer: Vec<(usize, usize, u64, u64, u64)>,
+    /// Reused buffer for record header fields and the footer.
+    scratch: Vec<u8>,
+}
+
+impl<W: std::io::Write> ContainerWriter<W> {
+    /// Writes the container header and returns the writer.
+    pub(crate) fn new(w: W, version: u8, n_layers: usize) -> Result<Self, DeepSzError> {
+        let mut cw = Self {
+            w,
+            version,
+            written: 0,
+            container_fnv: Fnv1a::new(),
+            rec_fnv: None,
+            footer: Vec::with_capacity(n_layers),
+            scratch: Vec::with_capacity(64),
+        };
+        let mut head = Vec::with_capacity(16);
+        head.extend_from_slice(MAGIC);
+        head.push(version);
+        write_varint(&mut head, n_layers as u64);
+        cw.emit(&head)?;
+        Ok(cw)
+    }
+
+    /// Emits bytes, folding them into the running digests.
+    fn emit(&mut self, bytes: &[u8]) -> Result<(), DeepSzError> {
+        self.container_fnv.update(bytes);
+        if let Some(h) = &mut self.rec_fnv {
+            h.update(bytes);
+        }
+        self.written += bytes.len();
+        self.w.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Writes one layer record (alignment padding included) and files its
+    /// footer entry. `data_fnv`/`idx_fnv` are the blob digests — computed
+    /// upstream (by the encode pipeline's FNV tap while the blob was
+    /// assembled) so the writer never re-walks blob bytes.
+    pub(crate) fn write_record(
+        &mut self,
+        meta: &RecordMeta<'_>,
+        data_blob: &[u8],
+        data_fnv: u64,
+        idx_blob: &[u8],
+        idx_fnv: u64,
+    ) -> Result<(), DeepSzError> {
+        if self.version >= VERSION_V4 {
             // Zero-pad so the record starts on a 64-byte boundary: the
             // seekable reader's footer-driven slices become page-friendly
             // and never split a record across an alignment unit head.
-            bytes.resize(bytes.len().div_ceil(RECORD_ALIGN) * RECORD_ALIGN, 0);
+            let pad = self.written.div_ceil(RECORD_ALIGN) * RECORD_ALIGN - self.written;
+            self.emit(&ZERO_PAD[..pad])?;
+            // The v4 per-record digest spans the record bytes (not the
+            // padding), tagged with the record's footer ordinal.
+            self.rec_fnv = Some(Fnv1a::with_tag(self.footer.len() as u64));
         }
-        let record_start = bytes.len();
-        write_varint(&mut bytes, a.fc.name.len() as u64);
-        bytes.extend_from_slice(a.fc.name.as_bytes());
-        write_varint(&mut bytes, a.fc.layer_index as u64);
-        write_varint(&mut bytes, a.pair.rows as u64);
-        write_varint(&mut bytes, a.pair.cols as u64);
-        bytes.extend_from_slice(&c.eb.to_le_bytes());
-        if version >= VERSION_V2 {
-            bytes.push(c.codec.id());
+        let record_start = self.written;
+        let mut head = std::mem::take(&mut self.scratch);
+        head.clear();
+        write_varint(&mut head, meta.name.len() as u64);
+        head.extend_from_slice(meta.name.as_bytes());
+        write_varint(&mut head, meta.layer_index as u64);
+        write_varint(&mut head, meta.rows as u64);
+        write_varint(&mut head, meta.cols as u64);
+        head.extend_from_slice(&meta.eb.to_le_bytes());
+        if self.version >= VERSION_V2 {
+            head.push(meta.data_codec.id());
         }
-        bytes.push(a.index_codec.id());
-        write_varint(&mut bytes, data_blob.len() as u64);
-        bytes.extend_from_slice(&data_blob);
-        write_varint(&mut bytes, idx_blob.len() as u64);
-        bytes.extend_from_slice(&idx_blob);
-        if version >= VERSION_V3 {
-            footer.push((
+        head.push(meta.index_codec.id());
+        write_varint(&mut head, data_blob.len() as u64);
+        self.emit(&head)?;
+        self.emit(data_blob)?;
+        head.clear();
+        write_varint(&mut head, idx_blob.len() as u64);
+        self.emit(&head)?;
+        self.emit(idx_blob)?;
+        self.scratch = head;
+        let rec_fnv = self.rec_fnv.take().map_or(0, |h| h.finish());
+        if self.version >= VERSION_V3 {
+            self.footer.push((
                 record_start,
-                bytes.len() - record_start,
-                fnv1a(&data_blob),
-                fnv1a(&idx_blob),
+                self.written - record_start,
+                rec_fnv,
+                data_fnv,
+                idx_fnv,
             ));
         }
+        Ok(())
+    }
 
-        total_dense += a.pair.dense_bytes();
-        reports.push(EncodedLayerReport {
-            name: a.fc.name.clone(),
-            eb: c.eb,
-            data_codec: c.codec,
-            index_codec: a.index_codec,
-            data_bytes: data_blob.len(),
-            index_bytes: idx_blob.len(),
-            dense_bytes: a.pair.dense_bytes(),
-            pair_bytes: a.pair.size_bytes(),
-        });
-    }
-    if version >= VERSION_V3 {
-        // Footer index (per-layer spans + checksums), then the fixed
-        // trailer: footer offset, whole-container FNV over every byte that
-        // precedes the checksum field, closing magic. v4 entries add a
-        // per-record digest over the record's full span (ordinal-tagged)
-        // so a seekable reader can verify one layer without touching the
-        // rest. See `docs/FORMAT.md`.
-        let footer_start = bytes.len() as u64;
-        for (ordinal, (off, len, data_fnv, idx_fnv)) in footer.into_iter().enumerate() {
-            write_varint(&mut bytes, off as u64);
-            write_varint(&mut bytes, len as u64);
-            if version >= VERSION_V4 {
-                let rec_fnv = fnv1a_tagged(ordinal as u64, &bytes[off..off + len]);
-                bytes.extend_from_slice(&rec_fnv.to_le_bytes());
+    /// Writes the footer + trailer (v3/v4) and returns the inner writer
+    /// and the total container length.
+    pub(crate) fn finish(mut self) -> Result<(W, usize), DeepSzError> {
+        if self.version >= VERSION_V3 {
+            // Footer index (per-layer spans + checksums), then the fixed
+            // trailer: footer offset, whole-container FNV over every byte
+            // that precedes the checksum field, closing magic. v4 entries
+            // add the per-record digest accumulated in `write_record` so
+            // a seekable reader can verify one layer without touching the
+            // rest. See `docs/FORMAT.md`.
+            let footer_start = self.written as u64;
+            let mut buf = std::mem::take(&mut self.scratch);
+            buf.clear();
+            for &(off, len, rec_fnv, data_fnv, idx_fnv) in &self.footer {
+                write_varint(&mut buf, off as u64);
+                write_varint(&mut buf, len as u64);
+                if self.version >= VERSION_V4 {
+                    buf.extend_from_slice(&rec_fnv.to_le_bytes());
+                }
+                buf.extend_from_slice(&data_fnv.to_le_bytes());
+                buf.extend_from_slice(&idx_fnv.to_le_bytes());
             }
-            bytes.extend_from_slice(&data_fnv.to_le_bytes());
-            bytes.extend_from_slice(&idx_fnv.to_le_bytes());
+            buf.extend_from_slice(&footer_start.to_le_bytes());
+            self.emit(&buf)?;
+            // The container digest covers everything before its own field.
+            let mut tail = [0u8; TRAILER_LEN - 8];
+            tail[..8].copy_from_slice(&self.container_fnv.finish().to_le_bytes());
+            tail[8..].copy_from_slice(if self.version >= VERSION_V4 {
+                TRAILER_MAGIC_V4
+            } else {
+                TRAILER_MAGIC_V3
+            });
+            self.emit(&tail)?;
         }
-        bytes.extend_from_slice(&footer_start.to_le_bytes());
-        let container_fnv = fnv1a(&bytes);
-        bytes.extend_from_slice(&container_fnv.to_le_bytes());
-        bytes.extend_from_slice(if version >= VERSION_V4 {
-            TRAILER_MAGIC_V4
-        } else {
-            TRAILER_MAGIC_V3
-        });
+        self.w.flush()?;
+        Ok((self.w, self.written))
     }
-    let total = bytes.len();
-    Ok((
-        CompressedModel { bytes },
-        EncodeReport {
-            layers: reports,
-            total_bytes: total,
-            total_dense_bytes: total_dense,
-            compress_ms: t0.elapsed().as_secs_f64() * 1e3,
-        },
-    ))
 }
 
 /// One decoded fc layer.

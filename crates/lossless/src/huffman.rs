@@ -337,6 +337,20 @@ pub fn accumulate_counts(counts: &mut Vec<u64>, symbols: &[u32]) {
     }
 }
 
+/// Folds one partial histogram into a running total (growing `total` to
+/// cover it) — per-symbol integer sums, so the result is independent of
+/// merge order. Shared-table encoders accumulate each unit's histogram
+/// into one total as units retire instead of holding every per-unit
+/// histogram live until a final merge.
+pub fn merge_counts(total: &mut Vec<u64>, hist: &[u64]) {
+    if total.len() < hist.len() {
+        total.resize(hist.len(), 0);
+    }
+    for (t, &c) in total.iter_mut().zip(hist) {
+        *t += c;
+    }
+}
+
 /// Appends the table-free encoded payload for `symbols`:
 /// `[payload bytes varint][bit payload]`. The code book and the symbol
 /// count are *not* written — the caller transmits them out of band (once
@@ -447,6 +461,22 @@ mod tests {
     #[test]
     fn empty_stream() {
         roundtrip(&[]);
+    }
+
+    #[test]
+    fn merge_counts_matches_pooled_accumulation() {
+        let streams: [&[u32]; 3] = [&[1, 2, 2, 9], &[], &[0, 9, 9, 3]];
+        let mut pooled = Vec::new();
+        for s in streams {
+            accumulate_counts(&mut pooled, s);
+        }
+        let mut merged = Vec::new();
+        for s in streams {
+            let mut hist = Vec::new();
+            accumulate_counts(&mut hist, s);
+            merge_counts(&mut merged, &hist);
+        }
+        assert_eq!(merged, pooled);
     }
 
     #[test]

@@ -63,16 +63,57 @@ impl std::error::Error for CodecError {}
 /// is amortized as usual).
 pub const MAX_PREALLOC: usize = 1 << 24;
 
-/// 64-bit FNV-1a over `bytes` — the integrity checksum of the DSZM v3
-/// container footer (`docs/FORMAT.md`). Not cryptographic: it detects
-/// storage/transport corruption, not adversarial collisions.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
+/// Incremental 64-bit FNV-1a — the integrity checksum of the DSZM v3/v4
+/// container footers (`docs/FORMAT.md`), exposed as a running hasher so
+/// a streaming container writer can fold bytes in as they are emitted
+/// instead of re-walking a materialized buffer. Feeding the same bytes
+/// through any split of `update` calls yields exactly [`fnv1a`] of their
+/// concatenation. Not cryptographic: it detects storage/transport
+/// corruption, not adversarial collisions.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    /// Fresh hasher with `tag` (little-endian) already folded in — the
+    /// v4 per-record digest's ordinal prefix.
+    pub fn with_tag(tag: u64) -> Self {
+        let mut h = Self::new();
+        h.update(&tag.to_le_bytes());
+        h
+    }
+
+    /// Folds `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    /// The digest over everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` in one call; see [`Fnv1a`].
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
 }
 
 /// A byte-oriented lossless codec.
@@ -244,6 +285,36 @@ pub fn best_fit(data: &[u8]) -> (LosslessKind, Vec<u8>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn incremental_fnv_matches_one_shot_for_any_split() {
+        let data: Vec<u8> = (0..251u32)
+            .map(|i| (i.wrapping_mul(97) >> 3) as u8)
+            .collect();
+        let want = fnv1a(&data);
+        for split in [0, 1, 7, 128, data.len()] {
+            let mut h = Fnv1a::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), want, "split at {split}");
+        }
+        let mut bytewise = Fnv1a::default();
+        for b in &data {
+            bytewise.update(std::slice::from_ref(b));
+        }
+        assert_eq!(bytewise.finish(), want);
+    }
+
+    #[test]
+    fn tagged_fnv_matches_tag_prefix() {
+        let tag = 0x1234_5678_9abc_def0u64;
+        let body = b"record bytes";
+        let mut concat = tag.to_le_bytes().to_vec();
+        concat.extend_from_slice(body);
+        let mut h = Fnv1a::with_tag(tag);
+        h.update(body);
+        assert_eq!(h.finish(), fnv1a(&concat));
+    }
 
     fn sample_index_array(n: usize, density: f64) -> Vec<u8> {
         // Geometric-ish gap distribution like a pruned layer's index array.

@@ -98,11 +98,11 @@ use dsz_lossless::{best_fit, rle, CodecError, LosslessKind};
 use dsz_tensor::parallel::{layout_workers, parallel_chunks, parallel_map};
 use std::cell::RefCell;
 
-const MAGIC: &[u8; 4] = b"SZ1D";
-const VERSION_V1: u8 = 1;
-const VERSION_V2: u8 = 2;
-const VERSION_V3: u8 = 3;
-const VERSION_V4: u8 = 4;
+pub(crate) const MAGIC: &[u8; 4] = b"SZ1D";
+pub(crate) const VERSION_V1: u8 = 1;
+pub(crate) const VERSION_V2: u8 = 2;
+pub(crate) const VERSION_V3: u8 = 3;
+pub(crate) const VERSION_V4: u8 = 4;
 
 /// Decode-side cap on elements per compressed byte, checked before the
 /// output buffer is allocated so a crafted header cannot demand absurd
@@ -156,7 +156,7 @@ pub enum EntropyStage {
 }
 
 impl EntropyStage {
-    fn id(self) -> u8 {
+    pub(crate) fn id(self) -> u8 {
         match self {
             EntropyStage::Huffman => 0,
             EntropyStage::Raw => 1,
@@ -380,19 +380,19 @@ fn simulate_block_cost(
 
 /// Resolved per-stream quantization parameters shared by every chunk.
 #[derive(Clone, Copy)]
-struct QuantParams {
-    abs_eb: f64,
-    two_eb: f64,
-    radius: u32,
-    block: usize,
+pub(crate) struct QuantParams {
+    pub(crate) abs_eb: f64,
+    pub(crate) two_eb: f64,
+    pub(crate) radius: u32,
+    pub(crate) block: usize,
 }
 
 /// Per-chunk encoder output counts (summed into [`CompressStats`]).
 #[derive(Default, Clone, Copy)]
-struct ChunkCounts {
-    unpredictable: usize,
-    regression_blocks: usize,
-    blocks: usize,
+pub(crate) struct ChunkCounts {
+    pub(crate) unpredictable: usize,
+    pub(crate) regression_blocks: usize,
+    pub(crate) blocks: usize,
 }
 
 impl SzConfig {
@@ -411,18 +411,7 @@ impl SzConfig {
         data: &[f32],
         bound: ErrorBound,
     ) -> Result<(Vec<u8>, CompressStats), SzError> {
-        let abs_eb = bound.resolve(data);
-        if !(abs_eb.is_finite() && abs_eb > 0.0) {
-            return Err(SzError::BadErrorBound(abs_eb));
-        }
-        let q = QuantParams {
-            abs_eb,
-            two_eb: 2.0 * abs_eb,
-            radius: self.radius.max(2),
-            // Clamped on both ends: ≥ 4 for the predictor, and small
-            // enough that chunk rounding arithmetic can never overflow.
-            block: self.block_size.clamp(4, 1 << 24),
-        };
+        let q = self.resolved_params(data, bound)?;
         match self.format {
             SzFormat::V1 => self.compress_v1(data, q),
             SzFormat::V2 => self.compress_v2(data, q),
@@ -431,9 +420,31 @@ impl SzConfig {
         }
     }
 
+    /// Validates `bound` against `data` and resolves the per-stream
+    /// quantization parameters — the shared front door of the batch and
+    /// streaming encoders, so their validation cannot diverge.
+    pub(crate) fn resolved_params(
+        &self,
+        data: &[f32],
+        bound: ErrorBound,
+    ) -> Result<QuantParams, SzError> {
+        let abs_eb = bound.resolve(data);
+        if !(abs_eb.is_finite() && abs_eb > 0.0) {
+            return Err(SzError::BadErrorBound(abs_eb));
+        }
+        Ok(QuantParams {
+            abs_eb,
+            two_eb: 2.0 * abs_eb,
+            radius: self.radius.max(2),
+            // Clamped on both ends: ≥ 4 for the predictor, and small
+            // enough that chunk rounding arithmetic can never overflow.
+            block: self.block_size.clamp(4, 1 << 24),
+        })
+    }
+
     /// Resolves the effective chunk length for the chunked formats:
     /// explicit `chunk_elems`, or the adaptive size for `0`.
-    fn resolve_chunk_len(&self, n: usize, block: usize) -> usize {
+    pub(crate) fn resolve_chunk_len(&self, n: usize, block: usize) -> usize {
         if self.chunk_elems == 0 {
             chunk_len(adaptive_chunk_elems(n, layout_workers()), block)
         } else {
@@ -442,7 +453,13 @@ impl SzConfig {
     }
 
     /// Serializes the header fields shared by both stream versions.
-    fn write_common_header(&self, out: &mut Vec<u8>, version: u8, n: usize, q: QuantParams) {
+    pub(crate) fn write_common_header(
+        &self,
+        out: &mut Vec<u8>,
+        version: u8,
+        n: usize,
+        q: QuantParams,
+    ) {
         out.extend_from_slice(MAGIC);
         out.push(version);
         write_varint(out, n as u64);
@@ -634,7 +651,7 @@ impl SzConfig {
     /// only when it is actually smaller; `None` means "store raw" (wire
     /// id 0xff). Shared by the v1 and v2 serializers so the fallback rule
     /// cannot diverge between formats.
-    fn backend_compress(&self, payload: &[u8]) -> Option<(u8, Vec<u8>)> {
+    pub(crate) fn backend_compress(&self, payload: &[u8]) -> Option<(u8, Vec<u8>)> {
         let kind = self.backend?;
         let comp = kind.codec().compress(payload);
         (comp.len() < payload.len()).then(|| (kind.id(), comp))
@@ -642,7 +659,7 @@ impl SzConfig {
 
     /// Appends `[backend_id u8][len varint][bytes]`, keeping whichever of
     /// the raw/compressed payload is smaller (0xff = stored raw).
-    fn append_backed_payload(&self, out: &mut Vec<u8>, payload: &[u8]) {
+    pub(crate) fn append_backed_payload(&self, out: &mut Vec<u8>, payload: &[u8]) {
         match self.backend_compress(payload) {
             Some((id, comp)) => {
                 out.push(id);
@@ -661,7 +678,7 @@ impl SzConfig {
     /// v2) into a self-contained payload: selector RLE, regression params,
     /// entropy-coded quantization codes (own code book), and verbatim
     /// values.
-    fn encode_unit(&self, data: &[f32], q: QuantParams) -> (Vec<u8>, ChunkCounts) {
+    pub(crate) fn encode_unit(&self, data: &[f32], q: QuantParams) -> (Vec<u8>, ChunkCounts) {
         let unit = self.quantize_unit(data, q);
         let payload = self.serialize_unit_own_table(&unit);
         (payload, unit.counts)
@@ -673,7 +690,7 @@ impl SzConfig {
     /// which is what makes units independent — and what lets the v3
     /// encoder pool the codes of all units into one histogram before any
     /// entropy coding happens.
-    fn quantize_unit(&self, data: &[f32], q: QuantParams) -> QuantizedUnit {
+    pub(crate) fn quantize_unit(&self, data: &[f32], q: QuantParams) -> QuantizedUnit {
         let n = data.len();
         let mut codes: Vec<u32> = Vec::with_capacity(n);
         let mut verbatim: Vec<f32> = Vec::new();
@@ -810,7 +827,11 @@ impl SzConfig {
     /// header, so the unit carries only the table-free bit payload (or raw
     /// varints), with the symbol count implied by the unit's element count.
     /// `enc` is `Some` exactly when the stage is Huffman.
-    fn serialize_unit_shared(&self, unit: &QuantizedUnit, enc: Option<&HuffmanEncoder>) -> Vec<u8> {
+    pub(crate) fn serialize_unit_shared(
+        &self,
+        unit: &QuantizedUnit,
+        enc: Option<&HuffmanEncoder>,
+    ) -> Vec<u8> {
         let mut payload = Vec::with_capacity(unit.codes.len() / 2 + 64);
         self.serialize_unit_prefix(unit, &mut payload);
         match enc {
@@ -834,7 +855,7 @@ impl SzConfig {
 /// behind the `0xff` flag. With the backend disabled (`backend: None`)
 /// the table is always stored raw, keeping such streams backend-free
 /// end to end.
-fn write_backed_table(out: &mut Vec<u8>, code: &HuffmanCode, backend_enabled: bool) {
+pub(crate) fn write_backed_table(out: &mut Vec<u8>, code: &HuffmanCode, backend_enabled: bool) {
     let mut raw = Vec::new();
     code.serialize(&mut raw);
     if backend_enabled {
@@ -892,16 +913,28 @@ fn read_backed_table(bytes: &[u8], pos: &mut usize) -> Result<HuffmanCode, SzErr
 }
 
 /// One compression unit's quantized-but-not-yet-entropy-coded streams.
-struct QuantizedUnit {
+pub(crate) struct QuantizedUnit {
     /// Quantization codes, one per element ([`ESCAPE`] marks verbatim).
-    codes: Vec<u32>,
+    pub(crate) codes: Vec<u32>,
     /// Values stored verbatim, in element order.
-    verbatim: Vec<f32>,
+    pub(crate) verbatim: Vec<f32>,
     /// Per-block predictor selectors (0 = Lorenzo, 1 = regression).
-    selectors: Vec<u8>,
+    pub(crate) selectors: Vec<u8>,
     /// Regression (a, b) per selector-1 block, in block order.
-    reg_params: Vec<(f32, f32)>,
-    counts: ChunkCounts,
+    pub(crate) reg_params: Vec<(f32, f32)>,
+    pub(crate) counts: ChunkCounts,
+}
+
+impl QuantizedUnit {
+    /// Heap bytes held by the unit's streams — what the streaming
+    /// encoder's retention ledger charges to keep a quantized chunk alive
+    /// between the two shared-table passes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.codes.len() * 4
+            + self.verbatim.len() * 4
+            + self.selectors.len()
+            + self.reg_params.len() * 8
+    }
 }
 
 /// Bounds for the adaptive chunk size (elements).

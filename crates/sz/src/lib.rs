@@ -36,10 +36,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod codec;
+mod stream;
 
 pub use codec::{
     adaptive_chunk_elems, CompressStats, EntropyStage, PredictorMode, SzConfig, SzFormat, SzInfo,
 };
+pub use stream::{chunk_slot_bytes, ChunkSink};
 
 use dsz_lossless::CodecError;
 pub use dsz_lossless::LosslessKind;

@@ -1,0 +1,386 @@
+//! Byte-budget ledger and the budget-gated ordered pipeline.
+//!
+//! The streaming encode path (`dsz_core::encode_stream`) and the SZ
+//! chunk emitter (`dsz_sz`) both bound their buffered bytes against one
+//! shared [`ByteBudget`]: a ledger of *reserved* bytes with a hard cap
+//! and a high-water mark. Charges are conservative reservations taken
+//! **before** a buffer exists and released when it is consumed, so the
+//! ledger's high-water mark is an upper bound on the bytes the pipeline
+//! ever held — the cap is enforced at reservation time, not observed
+//! after the fact.
+//!
+//! [`ordered_pipeline`] is the execution shape both layers of the encode
+//! path share: produce items `0..n` on pool workers with a bounded
+//! in-flight window, consume them on the calling thread in strict index
+//! order. Spawning item `i` requires its reservation to fit under the
+//! cap; when it does not, the caller retires in-flight items (join +
+//! consume + release) until it fits. The head-of-line item is exempt —
+//! a pipeline must always be allowed to hold the one item it is
+//! executing, so when nothing is in flight the reservation is charged
+//! unconditionally (the documented "mandatory floor", mirroring the
+//! decode-side `with_decoded_bytes_budget` semantics where the single
+//! layer being materialized is never refused). `docs/STREAMING_ENCODE.md`
+//! documents the model end to end.
+
+use crate::parallel::{clamp_to_host, with_workers, worker_count};
+use crate::pool;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A concurrent ledger of reserved bytes with an optional hard cap and a
+/// high-water mark.
+///
+/// `try_charge` is the gate: it atomically reserves `n` bytes only when
+/// the ledger stays at or under the cap, so a pipeline that only buffers
+/// after a successful `try_charge` can never exceed the cap. `charge` is
+/// the mandatory-floor escape hatch for head-of-line work that must
+/// proceed regardless; it is the only way the ledger can go over cap,
+/// and the high-water mark records it honestly.
+#[derive(Debug)]
+pub struct ByteBudget {
+    /// Cap in bytes; `usize::MAX` means unbounded.
+    cap: usize,
+    cur: AtomicUsize,
+    hwm: AtomicUsize,
+}
+
+impl ByteBudget {
+    /// A ledger with no cap: every `try_charge` succeeds, and the
+    /// high-water mark still tracks peak reserved bytes (this is how the
+    /// materializing encode path measures its peak).
+    pub fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// A ledger capped at `cap` bytes.
+    pub fn bounded(cap: usize) -> Self {
+        Self {
+            cap,
+            cur: AtomicUsize::new(0),
+            hwm: AtomicUsize::new(0),
+        }
+    }
+
+    /// `bounded(cap)` when `Some`, otherwise [`ByteBudget::unbounded`].
+    pub fn new(cap: Option<usize>) -> Self {
+        Self::bounded(cap.unwrap_or(usize::MAX))
+    }
+
+    /// The cap, or `None` when unbounded.
+    pub fn cap(&self) -> Option<usize> {
+        (self.cap != usize::MAX).then_some(self.cap)
+    }
+
+    /// Atomically reserves `n` bytes iff the ledger stays ≤ cap; returns
+    /// whether the reservation was taken.
+    pub fn try_charge(&self, n: usize) -> bool {
+        let mut cur = self.cur.load(Ordering::Relaxed);
+        loop {
+            if n > self.cap.saturating_sub(cur) {
+                return false;
+            }
+            match self
+                .cur
+                .compare_exchange_weak(cur, cur + n, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.bump_hwm(cur + n);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Reserves `n` bytes unconditionally (the mandatory floor for
+    /// head-of-line work). May push the ledger over cap; the high-water
+    /// mark records it.
+    pub fn charge(&self, n: usize) {
+        let cur = self.cur.fetch_add(n, Ordering::Relaxed);
+        self.bump_hwm(cur + n);
+    }
+
+    /// Releases a prior reservation of `n` bytes.
+    pub fn release(&self, n: usize) {
+        let prev = self.cur.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "budget release underflow");
+    }
+
+    /// Currently reserved bytes.
+    pub fn current(&self) -> usize {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// Peak reserved bytes over the ledger's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.hwm.load(Ordering::Relaxed)
+    }
+
+    fn bump_hwm(&self, candidate: usize) {
+        let mut hwm = self.hwm.load(Ordering::Relaxed);
+        while candidate > hwm {
+            match self.hwm.compare_exchange_weak(
+                hwm,
+                candidate,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => hwm = seen,
+            }
+        }
+    }
+}
+
+/// Wall-clock accounting returned by [`ordered_pipeline`], split so the
+/// caller can report how much of its consume stage (container writes, in
+/// the encode path) overlapped producer work still in flight.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Total time spent in the consume callback (ms).
+    pub consume_ms: f64,
+    /// Consume time during which at least one later item was still being
+    /// produced on a pool worker (ms). Zero in serial execution.
+    pub overlapped_consume_ms: f64,
+}
+
+impl PipelineStats {
+    /// Fraction of consume time overlapped with in-flight production, in
+    /// `[0, 1]`; `0` when nothing was consumed.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.consume_ms > 0.0 {
+            self.overlapped_consume_ms / self.consume_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Produces items `0..n` on pool workers and consumes them on the calling
+/// thread in strict index order, holding at most `max_inflight` items and
+/// never reserving more than the budget's cap (head-of-line item
+/// excepted — see the module docs).
+///
+/// * `reserve(i)` returns the bytes to reserve for item `i` before it is
+///   produced — a conservative upper bound on what `produce(i)` will
+///   buffer. The reservation is released right after `consume(i, ..)`
+///   returns; `produce` may take additional charges of its own on the
+///   same ledger (nested chunk pipelines do exactly that).
+/// * `produce(i)` runs on a pool worker (or inline) under a divided
+///   worker budget, so nested `parallel_*` calls compose without
+///   oversubscribing.
+/// * `consume(i, item)` always runs on the calling thread, in index
+///   order — byte-determinism of any serialized output is structural.
+///
+/// Errors surface in index order (the lowest-index failure wins) after
+/// in-flight work retires, from `produce` and `consume` alike.
+pub fn ordered_pipeline<R, E>(
+    n: usize,
+    budget: &ByteBudget,
+    max_inflight: usize,
+    reserve: impl Fn(usize) -> usize,
+    produce: impl Fn(usize) -> Result<R, E> + Sync,
+    mut consume: impl FnMut(usize, R) -> Result<(), E>,
+) -> Result<PipelineStats, E>
+where
+    R: Send,
+    E: Send,
+{
+    let mut stats = PipelineStats::default();
+    let window = max_inflight.max(1);
+    let workers = worker_count().max(1);
+    if workers <= 1 || window == 1 || n <= 1 {
+        // Serial degradation: same ledger accounting, no pool traffic.
+        for i in 0..n {
+            let cost = reserve(i);
+            budget.charge(cost);
+            let item = produce(i)?;
+            let t = Instant::now();
+            let out = consume(i, item);
+            stats.consume_ms += t.elapsed().as_secs_f64() * 1e3;
+            budget.release(cost);
+            out?;
+        }
+        return Ok(stats);
+    }
+
+    // Divide the worker budget across the window so nested parallelism in
+    // `produce` composes (mirrors `parallel_map`'s nesting rule).
+    let eff = workers.min(window).min(n).max(1);
+    let inner = (workers / eff).max(1);
+    // In-flight ring entry: item index, reserved ledger bytes, handle.
+    type Inflight<'scope, R, E> = VecDeque<(usize, usize, pool::TaskHandle<'scope, Result<R, E>>)>;
+    pool::scope(|s| {
+        let mut inflight: Inflight<'_, R, E> = VecDeque::new();
+        let produce = &produce;
+        let mut retire =
+            |inflight: &mut Inflight<'_, R, E>, stats: &mut PipelineStats| -> Result<(), E> {
+                let (idx, cost, handle) = match inflight.pop_front() {
+                    Some(front) => front,
+                    None => return Ok(()),
+                };
+                let item = handle.join();
+                let overlapped = !inflight.is_empty();
+                let out = item.and_then(|item| {
+                    let t = Instant::now();
+                    let out = consume(idx, item);
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    stats.consume_ms += ms;
+                    if overlapped {
+                        stats.overlapped_consume_ms += ms;
+                    }
+                    out
+                });
+                budget.release(cost);
+                out
+            };
+        for i in 0..n {
+            let cost = reserve(i);
+            loop {
+                if inflight.len() < window && budget.try_charge(cost) {
+                    break;
+                }
+                if inflight.is_empty() {
+                    // Mandatory floor: the pipeline always holds the item
+                    // it is about to execute.
+                    budget.charge(cost);
+                    break;
+                }
+                retire(&mut inflight, &mut stats)?;
+            }
+            let handle = s.spawn(move || with_workers(inner, || produce(i)));
+            inflight.push_back((i, cost, handle));
+        }
+        while !inflight.is_empty() {
+            retire(&mut inflight, &mut stats)?;
+        }
+        Ok(stats)
+    })
+}
+
+/// Suggested in-flight window for an ordered pipeline: roomy enough to
+/// keep `workers` busy through consume stalls without unbounded fan-out.
+pub fn default_window() -> usize {
+    clamp_to_host(worker_count()).max(1) * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::with_workers;
+
+    #[test]
+    fn try_charge_enforces_cap() {
+        let b = ByteBudget::bounded(100);
+        assert!(b.try_charge(60));
+        assert!(!b.try_charge(41));
+        assert!(b.try_charge(40));
+        assert_eq!(b.current(), 100);
+        assert!(!b.try_charge(1));
+        b.release(60);
+        assert!(b.try_charge(1));
+        assert_eq!(b.high_water(), 100);
+    }
+
+    #[test]
+    fn forced_charge_recorded_in_high_water() {
+        let b = ByteBudget::bounded(10);
+        b.charge(25);
+        assert_eq!(b.current(), 25);
+        assert_eq!(b.high_water(), 25);
+        b.release(25);
+        assert_eq!(b.current(), 0);
+        assert_eq!(b.high_water(), 25);
+    }
+
+    #[test]
+    fn unbounded_always_charges_and_tracks_peak() {
+        let b = ByteBudget::unbounded();
+        assert_eq!(b.cap(), None);
+        assert!(b.try_charge(1 << 40));
+        assert!(b.try_charge(1 << 40));
+        b.release(1 << 40);
+        assert_eq!(b.high_water(), 2 << 40);
+    }
+
+    fn run_pipeline(workers: usize, cap: Option<usize>, window: usize) -> (Vec<usize>, usize) {
+        let budget = ByteBudget::new(cap);
+        let mut order = Vec::new();
+        let stats: Result<PipelineStats, ()> = with_workers(workers, || {
+            ordered_pipeline(
+                17,
+                &budget,
+                window,
+                |_| 10,
+                |i| Ok(i * i),
+                |i, sq| {
+                    assert_eq!(sq, i * i);
+                    order.push(i);
+                    Ok(())
+                },
+            )
+        });
+        stats.unwrap();
+        assert_eq!(budget.current(), 0, "all reservations released");
+        (order, budget.high_water())
+    }
+
+    #[test]
+    fn consumes_in_index_order_any_workers() {
+        for workers in [1, 2, 4, 8] {
+            let (order, _) = run_pipeline(workers, None, 6);
+            assert_eq!(order, (0..17).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn cap_bounds_high_water_mark() {
+        for workers in [1, 3, 8] {
+            let (order, hwm) = run_pipeline(workers, Some(30), 8);
+            assert_eq!(order.len(), 17);
+            assert!(hwm <= 30, "hwm {hwm} exceeded cap");
+        }
+    }
+
+    #[test]
+    fn floor_item_always_proceeds_when_cap_too_small() {
+        // Cap below a single item's reservation: the head-of-line charge
+        // still goes through, one item at a time.
+        let (order, hwm) = run_pipeline(4, Some(3), 8);
+        assert_eq!(order, (0..17).collect::<Vec<_>>());
+        assert!(hwm <= 10 + 3, "only the floor may exceed the cap: {hwm}");
+    }
+
+    #[test]
+    fn produce_error_surfaces_lowest_index_first() {
+        let budget = ByteBudget::unbounded();
+        let err: Result<PipelineStats, usize> = with_workers(4, || {
+            ordered_pipeline(
+                9,
+                &budget,
+                4,
+                |_| 1,
+                |i| if i >= 3 { Err(i) } else { Ok(i) },
+                |_, _| Ok(()),
+            )
+        });
+        assert_eq!(err.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn consume_error_aborts() {
+        let budget = ByteBudget::unbounded();
+        let err: Result<PipelineStats, &'static str> = with_workers(4, || {
+            ordered_pipeline(
+                9,
+                &budget,
+                4,
+                |_| 1,
+                Ok,
+                |i, _| if i == 5 { Err("stop") } else { Ok(()) },
+            )
+        });
+        assert_eq!(err.unwrap_err(), "stop");
+    }
+}

@@ -12,6 +12,7 @@
 //! budgets nest by division so parallelism composes without multiplying
 //! threads. `docs/PARALLEL.md` documents the model end to end.
 
+pub mod budget;
 pub mod parallel;
 pub mod pool;
 

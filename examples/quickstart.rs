@@ -62,14 +62,24 @@ fn main() {
         );
     }
 
-    // 4. Generate the compressed model, then decode and verify.
-    let (model, report) = encode_with_plan(&assessments, &plan).expect("encode");
+    // 4. Stream the compressed model straight to a file — container bytes
+    //    are written while later layers are still compressing, so no
+    //    fully-materialized copy ever lives in memory — then read it back,
+    //    decode, and verify.
+    let path = std::env::temp_dir().join("deepsz_quickstart.dszm");
+    let file = std::io::BufWriter::new(std::fs::File::create(&path).expect("create container"));
+    let report = encode_to_writer(&assessments, &plan, file).expect("encode");
     println!(
-        "compressed {} of fc weights into {} bytes ({:.1}x)",
+        "compressed {} of fc weights into {} bytes ({:.1}x) at {}",
         report.total_dense_bytes,
         report.total_bytes,
-        report.ratio()
+        report.ratio(),
+        path.display()
     );
+    let model = deepsz::framework::CompressedModel {
+        bytes: std::fs::read(&path).expect("read container"),
+    };
+    let _ = std::fs::remove_file(&path);
     let (decoded, timing) = decode_model(&model).expect("decode");
     apply_decoded(&mut net, decoded).expect("apply");
     let after = {

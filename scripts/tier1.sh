@@ -25,6 +25,15 @@ for t in 1 4; do
   DSZ_THREADS=$t cargo test -q -p dsz_core --test spill_streaming
   DSZ_THREADS=$t cargo test -q -p dsz_core --test thread_clamp
 done
+# Streaming-encode gate (docs/STREAMING_ENCODE.md): the operator-pipeline
+# encoder must stay bit-identical to the materializing encoder at every
+# worker count and buffer budget, and the encode-bytes-budget high-water
+# mark must hold. The sz-level chunk streaming suite rides along under
+# the same sweep.
+for t in 1 4; do
+  DSZ_THREADS=$t cargo test -q -p dsz_core --test streaming_encode
+  DSZ_THREADS=$t cargo test -q -p dsz_sz stream
+done
 # Smoke-test the full user-facing pipeline (train → prune → assess →
 # optimize → encode → decode) exactly as the README-level docs run it.
 cargo run --release --example quickstart >/dev/null

@@ -49,9 +49,10 @@ pub mod prelude {
     pub use crate::datagen::{digits, features, weights};
     pub use crate::framework::{
         apply_decoded, assess_network, assess_network_full, cache_features, decode_model,
-        encode_with_plan, linearity_experiment, optimize_for_accuracy, optimize_for_size,
-        AccuracyEvaluator, AssessmentConfig, DataCodec, DataCodecKind, DatasetEvaluator,
-        IncrementalEvaluator, Plan, SzCodec, ZfpCodec,
+        encode_to_writer, encode_to_writer_config, encode_with_plan, linearity_experiment,
+        optimize_for_accuracy, optimize_for_size, AccuracyEvaluator, AssessmentConfig, DataCodec,
+        DataCodecKind, DatasetEvaluator, EncodeStreamConfig, IncrementalEvaluator, Plan, SzCodec,
+        ZfpCodec,
     };
     pub use crate::nn::{self, accuracy, zoo, Arch, Dataset, Network, Scale, TrainConfig};
     pub use crate::prune;
