@@ -16,7 +16,7 @@ use dsz_core::{
     assess_network, assess_network_full, decode_model, encode_to_writer, encode_to_writer_config,
     encode_with_plan, encode_with_plan_config, encode_with_plan_v2, verify_container,
     AssessmentConfig, DataCodecKind, DatasetEvaluator, EncodeStreamConfig, LayerAssessment,
-    SeekableContainer, SpillCache,
+    SeekableContainer, SharedLayerCache, SpillCache,
 };
 use dsz_datagen::features;
 use dsz_nn::{zoo, Arch, DenseLayer, Layer, Network, Scale};
@@ -322,6 +322,29 @@ fn main() {
     spill_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let spill_rehydrate_ms = spill_times[spill_times.len() / 2];
     std::fs::remove_dir_all(&spill_dir).ok();
+    // Shared decoded-layer cache (the serving layer's hot-path allocation,
+    // `docs/SERVING.md`): park the whole stack once, then a hot pass per
+    // layer — a hit is a pointer clone instead of a container decode. The
+    // hit rate comes from the same `CacheStats::hit_rate` plumbing
+    // `BENCH_serve.json` records, so the two benches track one metric.
+    let shared_cache = SharedLayerCache::new(n_weights * 4);
+    let cache_handle = shared_cache.handle();
+    let layer_fetch = |i: usize| {
+        cache_handle
+            .get_or_decode(i, i as u64, || seek.layer(i).map(|d| d.dense))
+            .expect("layer decode")
+    };
+    let t0 = Instant::now();
+    for i in 0..seek.layer_count() {
+        let _ = layer_fetch(i);
+    }
+    let shared_cache_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let shared_cache_hot_ms = median_ms(9, || {
+        for i in 0..seek.layer_count() {
+            let _ = layer_fetch(i);
+        }
+    });
+    let cache_hit_rate = shared_cache.stats().hit_rate();
     println!(
         "random access: seek open {:.3} ms, layer {}/{} decode {:.3} ms (full decode {:.1} ms); spill rehydrate {:.3} ms for {} weights",
         seek_open_ms,
@@ -331,6 +354,10 @@ fn main() {
         rows[0].decode_ms,
         spill_rehydrate_ms,
         spill_payload.len()
+    );
+    println!(
+        "shared layer cache: cold stack pass {:.3} ms, hot pass {:.3} ms, hit rate {:.3}",
+        shared_cache_cold_ms, shared_cache_hot_ms, cache_hit_rate
     );
 
     let base = &rows[0];
@@ -394,10 +421,11 @@ fn main() {
         println!("note: single-core host — speedups are expected to be ~1.0x here");
     }
 
-    // Pool-reuse benefit on spawn-overhead-dominated work. Pin 4 workers
-    // so the dispatch path is exercised even on single-core hosts (the old
-    // scoped implementation paid 4 thread spawns per call here).
-    let pool_bench_workers = 4;
+    // Pool-reuse benefit on spawn-overhead-dominated work. Request 4
+    // workers, clamped to the host's parallelism: oversubscribing a
+    // smaller host would measure scheduler churn, not pool reuse (the
+    // same clamp rule as the scaling rows above).
+    let pool_bench_workers = clamp_to_host(4);
     let (pooled_ms, scoped_ms) = pool_reuse_times(pool_bench_workers);
     let pool_reuse_speedup = scoped_ms / pooled_ms.max(1e-9);
     println!(
@@ -483,6 +511,15 @@ fn main() {
         "  \"spill_rehydrate_ms\": {:.3},\n",
         spill_rehydrate_ms
     ));
+    json.push_str(&format!(
+        "  \"shared_cache_cold_ms\": {:.3},\n",
+        shared_cache_cold_ms
+    ));
+    json.push_str(&format!(
+        "  \"shared_cache_hot_ms\": {:.3},\n",
+        shared_cache_hot_ms
+    ));
+    json.push_str(&format!("  \"cache_hit_rate\": {:.4},\n", cache_hit_rate));
     json.push_str(&format!(
         "  \"streaming_encode_ms\": {:.3},\n",
         streaming_encode_ms

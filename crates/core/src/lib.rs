@@ -35,6 +35,7 @@ pub mod assessment;
 pub mod codec;
 pub mod encode_stream;
 pub mod evaluator;
+pub mod layer_cache;
 pub mod linearity;
 pub mod optimizer;
 pub mod pipeline;
@@ -48,6 +49,7 @@ pub use assessment::{
 pub use codec::{compete, DataCodec, DataCodecKind, SzCodec, ZfpCodec};
 pub use encode_stream::{encode_to_writer, encode_to_writer_config, EncodeStreamConfig};
 pub use evaluator::{cache_features, AccuracyEvaluator, DatasetEvaluator, IncrementalEvaluator};
+pub use layer_cache::{CacheHandle, CacheStats, SharedLayerCache};
 pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{
@@ -93,6 +95,11 @@ pub enum DeepSzError {
     BadLayers(Vec<DeepSzError>),
     /// No feasible configuration under the requested constraint.
     Infeasible(String),
+    /// A cancellable forward pass observed its abort flag between layers
+    /// and stopped ([`streaming::CompressedFcModel::forward_cancellable`]);
+    /// no output was produced. The serving layer maps this to its own
+    /// cancellation error.
+    Cancelled,
     /// The output writer failed while a container was being streamed to
     /// it ([`encode_stream::encode_to_writer`]); the container is
     /// incomplete and must be discarded.
@@ -124,6 +131,7 @@ impl fmt::Display for DeepSzError {
                 Ok(())
             }
             DeepSzError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            DeepSzError::Cancelled => write!(f, "forward pass cancelled"),
             DeepSzError::Io(e) => write!(f, "container write: {e}"),
         }
     }

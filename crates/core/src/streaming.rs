@@ -39,17 +39,30 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::codec::DataCodecKind;
+use crate::layer_cache::CacheHandle;
 use crate::pipeline::{
     decode_model, decode_record, parse_records, CompressedModel, DecodedLayer, RawLayerRecord,
 };
 use crate::spill::{SpillCache, SpillStats};
 use crate::DeepSzError;
-use dsz_lossless::LosslessKind;
-use dsz_nn::{Batch, Layer, Network};
+use dsz_lossless::{Fnv1a, LosslessKind};
+use dsz_nn::{dense_forward_with_weights, Batch, Layer, Network};
 use dsz_tensor::pool;
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::Arc;
+
+/// Between-layer abort probe for [`CompressedFcModel::forward_cancellable`]
+/// — returns `true` when the pass should stop.
+pub type AbortFlag<'a> = &'a (dyn Fn() -> bool + Sync);
+
+/// `Err(Cancelled)` when the abort probe fires.
+fn check_abort(abort: Option<AbortFlag<'_>>) -> Result<(), DeepSzError> {
+    match abort {
+        Some(f) if f() => Err(DeepSzError::Cancelled),
+        _ => Ok(()),
+    }
+}
 
 /// What a forward pass (or [`CompressedFcModel::materialize`]) does when a
 /// layer's record fails to decode.
@@ -79,6 +92,10 @@ struct CompressedLayer {
     codec: LosslessKind,
     data_blob: Vec<u8>,
     idx_blob: Vec<u8>,
+    /// FNV-1a over `layer_index ‖ data_blob ‖ idx_blob` — the
+    /// content-addressed part of this layer's shared-cache key, computed
+    /// once at construction (`crate::layer_cache`).
+    record_fnv: u64,
 }
 
 impl CompressedLayer {
@@ -123,6 +140,10 @@ pub struct CompressedFcModel {
     /// Disk-backed cache for decoded layers ([`Self::with_spill_dir`]);
     /// shared across clones so forwards reuse each other's spills.
     spill: Option<Arc<SpillCache>>,
+    /// Handle into the process-wide decoded-layer cache
+    /// ([`Self::with_shared_cache`]); when set, forwards run the shared
+    /// serial schedule and hot layers decode once across all tenants.
+    shared: Option<CacheHandle>,
 }
 
 /// Memory accounting from a streaming forward pass.
@@ -146,15 +167,21 @@ impl CompressedFcModel {
         let mut skeleton = net.clone();
         let layers: Vec<CompressedLayer> = parse_records(&model.bytes)?
             .into_iter()
-            .map(|r| CompressedLayer {
-                name: r.name.to_string(),
-                layer_index: r.layer_index,
-                rows: r.rows,
-                cols: r.cols,
-                data_codec: r.data_codec,
-                codec: r.codec,
-                data_blob: r.data_blob.to_vec(),
-                idx_blob: r.idx_blob.to_vec(),
+            .map(|r| {
+                let mut fnv = Fnv1a::with_tag(r.layer_index as u64);
+                fnv.update(r.data_blob);
+                fnv.update(r.idx_blob);
+                CompressedLayer {
+                    name: r.name.to_string(),
+                    layer_index: r.layer_index,
+                    rows: r.rows,
+                    cols: r.cols,
+                    data_codec: r.data_codec,
+                    codec: r.codec,
+                    data_blob: r.data_blob.to_vec(),
+                    idx_blob: r.idx_blob.to_vec(),
+                    record_fnv: fnv.finish(),
+                }
             })
             .collect();
         for l in &layers {
@@ -186,6 +213,7 @@ impl CompressedFcModel {
             decoded_bytes_budget: None,
             decode_policy: DecodePolicy::default(),
             spill: None,
+            shared: None,
         })
     }
 
@@ -240,6 +268,27 @@ impl CompressedFcModel {
         self.spill.as_deref().map(SpillCache::stats)
     }
 
+    /// Attaches a handle into a process-wide
+    /// [`SharedLayerCache`](crate::layer_cache::SharedLayerCache):
+    /// forwards run the serial schedule and each fc layer's decoded
+    /// weights are looked up under `(model, layer, record_fnv)` — hot
+    /// layers decode **once across every model and request** sharing the
+    /// cache, cold layers fall back to the spill cache (when attached)
+    /// and then to a container decode. Results are bit-identical to the
+    /// uncached serial path at every quota, including 0 (the cache hands
+    /// back the same decoded bits or nothing). This is the constructor
+    /// the serving layer (`dsz_serve`) uses; `docs/SERVING.md` has the
+    /// quota semantics.
+    pub fn with_shared_cache(mut self, handle: CacheHandle) -> Self {
+        self.shared = Some(handle);
+        self
+    }
+
+    /// The shared-cache handle, if one is attached.
+    pub fn shared_cache(&self) -> Option<&CacheHandle> {
+        self.shared.as_ref()
+    }
+
     /// Error path of [`DecodePolicy::ReportBadLayers`]: given the first
     /// failure, decode every *other* layer (results discarded) and fold
     /// every failure into one [`DeepSzError::BadLayers`] report. Under
@@ -263,14 +312,40 @@ impl CompressedFcModel {
     /// Forward pass, materializing fc layers on demand. Returns the output
     /// batch and the memory accounting.
     pub fn forward(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
-        if let Some(cache) = self.spill.clone() {
+        self.forward_inner(x, None)
+    }
+
+    /// [`Self::forward`] with a between-layer abort probe: `abort` is
+    /// evaluated before each layer executes, and a `true` stops the pass
+    /// with [`DeepSzError::Cancelled`]. The serving layer's micro-batcher
+    /// passes "every request in this batch is cancelled" here, so a
+    /// batch whose tenants all hung up stops paying for decodes and
+    /// matmuls at the next layer boundary.
+    pub fn forward_cancellable(
+        &self,
+        x: &Batch,
+        abort: AbortFlag<'_>,
+    ) -> Result<(Batch, StreamingStats), DeepSzError> {
+        self.forward_inner(x, Some(abort))
+    }
+
+    fn forward_inner(
+        &self,
+        x: &Batch,
+        abort: Option<AbortFlag<'_>>,
+    ) -> Result<(Batch, StreamingStats), DeepSzError> {
+        if let Some(handle) = self.shared.clone() {
+            // Shared cache implies the serial schedule: cross-request
+            // reuse, not prefetch, is what hides decode latency here.
+            self.forward_shared(x, &handle, abort)
+        } else if let Some(cache) = self.spill.clone() {
             // Spill implies the serial schedule: the cache, not prefetch,
             // is what bounds live dense bytes.
-            self.forward_spill(x, &cache)
+            self.forward_spill(x, &cache, abort)
         } else if self.prefetch_depth == 0 {
-            self.forward_serial(x)
+            self.forward_serial(x, abort)
         } else {
-            self.forward_prefetch(x)
+            self.forward_prefetch(x, abort)
         }
     }
 
@@ -283,7 +358,11 @@ impl CompressedFcModel {
     }
 
     /// One-layer-at-a-time forward: strict `max(layer)` dense peak.
-    fn forward_serial(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
+    fn forward_serial(
+        &self,
+        x: &Batch,
+        abort: Option<AbortFlag<'_>>,
+    ) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
             compressed_bytes: self
                 .layers
@@ -294,6 +373,7 @@ impl CompressedFcModel {
         };
         let mut cur = x.clone();
         for (i, layer) in self.skeleton.layers.iter().enumerate() {
+            check_abort(abort)?;
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
                     let decoded = self
@@ -328,6 +408,7 @@ impl CompressedFcModel {
         &self,
         x: &Batch,
         cache: &SpillCache,
+        abort: Option<AbortFlag<'_>>,
     ) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
             compressed_bytes: self
@@ -339,6 +420,7 @@ impl CompressedFcModel {
         };
         let mut cur = x.clone();
         for (i, layer) in self.skeleton.layers.iter().enumerate() {
+            check_abort(abort)?;
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
                     let c = self.compressed_for(i)?;
@@ -379,11 +461,78 @@ impl CompressedFcModel {
         Ok((cur, stats))
     }
 
+    /// Serial forward through the process-wide shared layer cache: each
+    /// fc layer's dense weights come from the cache when resident (an
+    /// `Arc` clone — zero copy, shared with every other request holding
+    /// them), from the spill cache when attached and parked there, and
+    /// from a container decode on a true miss, after which they are
+    /// parked for the next tenant (quota permitting). The cache ledger
+    /// never exceeds the global quota; live dense bytes at any instant
+    /// are bounded by `quota + this pass's executing layer`
+    /// (`crate::layer_cache`).
+    fn forward_shared(
+        &self,
+        x: &Batch,
+        handle: &CacheHandle,
+        abort: Option<AbortFlag<'_>>,
+    ) -> Result<(Batch, StreamingStats), DeepSzError> {
+        let mut stats = StreamingStats {
+            compressed_bytes: self
+                .layers
+                .iter()
+                .map(CompressedLayer::compressed_bytes)
+                .sum(),
+            ..Default::default()
+        };
+        let mut cur = x.clone();
+        for (i, layer) in self.skeleton.layers.iter().enumerate() {
+            check_abort(abort)?;
+            match layer {
+                Layer::Dense(d) if d.w.data.is_empty() => {
+                    let c = self.compressed_for(i)?;
+                    let weights = handle.get_or_decode(
+                        i,
+                        c.record_fnv,
+                        || -> Result<Vec<f32>, DeepSzError> {
+                            // Cold layer: prefer a (cheap) spill
+                            // rehydrate over a container re-decode.
+                            if let Some(spill) = &self.spill {
+                                if let Some(parked) = spill.fetch(i)? {
+                                    return Ok(parked);
+                                }
+                            }
+                            c.decode()
+                                .map(|decoded| decoded.dense)
+                                .map_err(|e| self.decode_failure(i, e))
+                        },
+                    )?;
+                    let dense_bytes = weights.len() * 4;
+                    stats.peak_dense_bytes = stats
+                        .peak_dense_bytes
+                        .max(dense_bytes + handle.cache().live_bytes());
+                    stats.total_dense_bytes += dense_bytes;
+                    cur = dense_forward_with_weights(d, &weights, &cur);
+                    // `weights` drops here: cached layers stay resident
+                    // (one copy, shared), uncached ones free immediately.
+                }
+                other => {
+                    let (next, _) = other.forward(&cur);
+                    cur = next;
+                }
+            }
+        }
+        Ok((cur, stats))
+    }
+
     /// Pipelined forward: while layer *k*'s matmul runs, pool tasks decode
     /// up to `prefetch_depth` upcoming layers (lossless + lossy data via
     /// the layer's codec — SZ chunks additionally fan out internally —
     /// + reconstruction), bounded by the decoded-bytes budget.
-    fn forward_prefetch(&self, x: &Batch) -> Result<(Batch, StreamingStats), DeepSzError> {
+    fn forward_prefetch(
+        &self,
+        x: &Batch,
+        abort: Option<AbortFlag<'_>>,
+    ) -> Result<(Batch, StreamingStats), DeepSzError> {
         let mut stats = StreamingStats {
             compressed_bytes: self
                 .layers
@@ -419,7 +568,7 @@ impl CompressedFcModel {
         if budget < 2 {
             // No second thread to overlap with: honoring a 1-thread pin
             // means not running any concurrent decode at all.
-            return self.forward_serial(x);
+            return self.forward_serial(x, abort);
         }
         let depth = self.prefetch_depth;
         let bytes_budget = self.decoded_bytes_budget.unwrap_or(usize::MAX);
@@ -469,6 +618,7 @@ impl CompressedFcModel {
             let mut cur_ord = 0usize;
             let mut cur = x.clone();
             for layer in &self.skeleton.layers {
+                check_abort(abort)?;
                 match layer {
                     Layer::Dense(d) if d.w.data.is_empty() => {
                         let decoded = match pending.front() {

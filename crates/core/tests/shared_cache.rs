@@ -1,0 +1,293 @@
+//! Cross-model shared decoded-layer cache through the streaming forward
+//! pass (`CompressedFcModel::with_shared_cache`, `docs/SERVING.md`).
+//!
+//! The contract under test, end to end:
+//!
+//! * **Bit-identity at every quota** — a shared-cache forward returns
+//!   exactly the uncached serial path's bits whether the quota is 0
+//!   (nothing ever parks), smaller than one layer, exactly one layer, or
+//!   effectively unbounded; and repeat forwards (hits) return the same
+//!   bits again.
+//! * **Ledger safety** — the cache's `ByteBudget` high-water mark never
+//!   exceeds the global quota (the same assertion pattern
+//!   `streaming_encode.rs` pins for the encode-side ledger, here without
+//!   even a mandatory-floor allowance: insertion is `try_charge`-gated),
+//!   including under seeded multi-thread cross-model stress.
+//! * **Evict-then-refetch** — layers evicted under quota pressure and
+//!   later refetched decode bit-identical to the first decode.
+
+use dsz_core::optimizer::{ChosenLayer, Plan};
+use dsz_core::{
+    encode_with_plan_config, CompressedFcModel, CompressedModel, DataCodecKind, DeepSzError,
+    LayerAssessment, SharedLayerCache,
+};
+use dsz_nn::{Batch, FcLayerRef};
+use dsz_sparse::PairArray;
+use dsz_sz::SzConfig;
+use std::sync::Arc;
+
+/// Two chained fc layers (24×32 then 16×24): dense payloads of 3072 and
+/// 1536 bytes, small enough to sweep quotas around both sizes.
+fn fixture(seed: u64) -> (dsz_nn::Network, CompressedModel) {
+    let shapes = [(24usize, 32usize), (16, 24)];
+    let ebs = [1e-2f64, 1e-3];
+    let mut assessments = Vec::new();
+    let mut chosen = Vec::new();
+    let mut net = dsz_nn::Network {
+        input_shape: dsz_tensor::VolShape { c: 32, h: 1, w: 1 },
+        layers: Vec::new(),
+    };
+    for (li, &(rows, cols)) in shapes.iter().enumerate() {
+        let mut dense = dsz_datagen::weights::trained_fc_weights(rows, cols, seed + li as u64);
+        dsz_prune::prune_to_density(&mut dense, 0.35);
+        let pair = PairArray::from_dense(&dense, rows, cols);
+        let (index_codec, index_blob) = dsz_lossless::best_fit(&pair.index);
+        let fc = FcLayerRef {
+            layer_index: li,
+            name: format!("fc{li}"),
+            rows,
+            cols,
+        };
+        net.layers.push(dsz_nn::Layer::Dense(dsz_nn::DenseLayer {
+            name: fc.name.clone(),
+            w: dsz_tensor::Matrix {
+                rows,
+                cols,
+                data: dense,
+            },
+            b: vec![0.0; rows],
+        }));
+        chosen.push(ChosenLayer {
+            fc: fc.clone(),
+            eb: ebs[li],
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            codec: DataCodecKind::Sz,
+            point_index: 0,
+        });
+        assessments.push(LayerAssessment {
+            fc,
+            pair,
+            index_codec,
+            index_bytes: index_blob.len(),
+            points: Vec::new(),
+        });
+    }
+    let plan = Plan {
+        layers: chosen,
+        predicted_loss: 0.0,
+        total_bytes: 0,
+    };
+    let sz = SzConfig {
+        chunk_elems: 4096,
+        ..SzConfig::default()
+    };
+    let (model, _) = encode_with_plan_config(&assessments, &plan, &sz).unwrap();
+    (net, model)
+}
+
+fn probe(n: usize, seed: u64) -> Batch {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let data = (0..n * 32)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Batch::from_features(n, 32, data)
+}
+
+fn bits(b: &Batch) -> Vec<u32> {
+    b.data.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn shared_cache_forward_bit_identical_at_every_quota() {
+    let (net, model) = fixture(0x59A);
+    let x = probe(3, 0xCAFE);
+    let reference = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch(false)
+        .forward(&x)
+        .unwrap()
+        .0;
+    // 0 = never parks; 1000 < smaller layer; 1536/3072 = exactly one
+    // layer; then room for one, both, and everything.
+    for quota in [0usize, 1000, 1536, 3072, 4000, 4608, 1 << 20] {
+        let cache = SharedLayerCache::new(quota);
+        let streaming = CompressedFcModel::new(&net, &model)
+            .unwrap()
+            .with_shared_cache(cache.handle());
+        for pass in 0..3 {
+            let (out, stats) = streaming.forward(&x).unwrap();
+            assert_eq!(
+                bits(&out),
+                bits(&reference),
+                "quota {quota} pass {pass} diverged from the uncached serial path"
+            );
+            assert!(stats.peak_dense_bytes >= 3072, "executing layer counted");
+        }
+        let s = cache.stats();
+        assert!(
+            s.high_water <= quota,
+            "quota {quota}: ledger high-water {} exceeded the quota",
+            s.high_water
+        );
+        assert!(s.live_bytes <= quota);
+        if quota == 0 {
+            assert_eq!(s.hits, 0, "a zero quota can never hit");
+        }
+        if quota >= 4608 {
+            // Both layers fit: passes 2 and 3 are pure hits.
+            assert_eq!(s.hits, 4, "quota {quota}: expected 4 hits, got {}", s.hits);
+            assert_eq!(s.misses, 2);
+        }
+    }
+}
+
+#[test]
+fn evicted_then_refetched_layers_decode_bit_identical() {
+    let (net, model) = fixture(0x59A);
+    let x = probe(2, 0xBEEF);
+    // Quota fits the larger layer alone: every forward parks fc0 (3072 B),
+    // then must evict it to park fc1 (1536 B), so the next pass re-decodes
+    // fc0 — a continuous evict/refetch churn.
+    let cache = SharedLayerCache::new(3072);
+    let streaming = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_shared_cache(cache.handle());
+    let (first, _) = streaming.forward(&x).unwrap();
+    for _ in 0..4 {
+        let (again, _) = streaming.forward(&x).unwrap();
+        assert_eq!(bits(&again), bits(&first), "refetched layer changed bits");
+    }
+    let s = cache.stats();
+    assert!(s.evictions > 0, "quota pressure must have evicted");
+    assert!(s.high_water <= 3072);
+}
+
+#[test]
+fn cancelled_forward_stops_with_cancelled_error() {
+    let (net, model) = fixture(0x59A);
+    let x = probe(1, 1);
+    let cache = SharedLayerCache::new(1 << 20);
+    let streaming = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_shared_cache(cache.handle());
+    match streaming.forward_cancellable(&x, &|| true) {
+        Err(DeepSzError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // A probe that never fires must not change the result.
+    let (out, _) = streaming.forward_cancellable(&x, &|| false).unwrap();
+    let reference = CompressedFcModel::new(&net, &model)
+        .unwrap()
+        .with_prefetch(false)
+        .forward(&x)
+        .unwrap()
+        .0;
+    assert_eq!(bits(&out), bits(&reference));
+}
+
+/// Seeded multi-thread cross-model stress: 4 threads hammer two models
+/// through one tightly-quota'd cache. The ledger must never exceed the
+/// quota (checked live from a racing observer thread *and* via the
+/// high-water mark afterwards), and every forward must stay bit-identical
+/// to its model's uncached reference.
+#[test]
+fn concurrent_cross_model_stress_respects_quota_and_bits() {
+    let (net_a, model_a) = fixture(0x59A);
+    let (net_b, model_b) = fixture(0xB0B);
+    // Quota just over one large layer: continuous cross-model eviction.
+    let quota = 4000usize;
+    let cache = SharedLayerCache::new(quota);
+    let shared_a = Arc::new(
+        CompressedFcModel::new(&net_a, &model_a)
+            .unwrap()
+            .with_shared_cache(cache.handle()),
+    );
+    let shared_b = Arc::new(
+        CompressedFcModel::new(&net_b, &model_b)
+            .unwrap()
+            .with_shared_cache(cache.handle()),
+    );
+    let x = probe(2, 0x7E57);
+    let ref_a = bits(
+        &CompressedFcModel::new(&net_a, &model_a)
+            .unwrap()
+            .with_prefetch(false)
+            .forward(&x)
+            .unwrap()
+            .0,
+    );
+    let ref_b = bits(
+        &CompressedFcModel::new(&net_b, &model_b)
+            .unwrap()
+            .with_prefetch(false)
+            .forward(&x)
+            .unwrap()
+            .0,
+    );
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Racing observer: samples the live ledger while workers churn.
+        let observer = {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut peak = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    peak = peak.max(cache.live_bytes());
+                    std::thread::yield_now();
+                }
+                peak
+            })
+        };
+        let workers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let a = Arc::clone(&shared_a);
+                let b = Arc::clone(&shared_b);
+                let (x, ref_a, ref_b) = (x.clone(), ref_a.clone(), ref_b.clone());
+                s.spawn(move || {
+                    // Seeded per-thread model schedule.
+                    let mut seed = 0xD1CE ^ (t << 16);
+                    for i in 0..24 {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let (m, want) = if seed & 1 == 0 {
+                            (&a, &ref_a)
+                        } else {
+                            (&b, &ref_b)
+                        };
+                        let (out, _) = m.forward(&x).unwrap();
+                        assert_eq!(&bits(&out), want, "thread {t} iter {i} diverged");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let observed_peak = observer.join().unwrap();
+        assert!(
+            observed_peak <= quota,
+            "observer saw live bytes {observed_peak} over quota {quota}"
+        );
+    });
+    let s = cache.stats();
+    assert!(
+        s.high_water <= quota,
+        "ledger high-water {} exceeded global quota {quota}",
+        s.high_water
+    );
+    assert!(s.live_bytes <= quota);
+    assert!(s.hits + s.misses >= 4 * 24 * 2, "every layer was looked up");
+    // Purging one model leaves the other's entries intact and the ledger
+    // consistent.
+    shared_a.shared_cache().unwrap().purge();
+    assert!(cache.live_bytes() <= quota);
+}

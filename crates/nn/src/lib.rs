@@ -29,7 +29,7 @@ pub mod train;
 pub mod zoo;
 
 pub use incremental::{PrefixCache, SuffixScratch};
-pub use layers::{ConvLayer, DenseLayer, Layer, LayerGrad, PoolAux};
+pub use layers::{dense_forward_with_weights, ConvLayer, DenseLayer, Layer, LayerGrad, PoolAux};
 pub use train::{
     accuracy, count_topk_hits, softmax_xent, train, Dataset, Sgd, TrainConfig, TrainStats,
 };

@@ -1,0 +1,453 @@
+//! Count-bounded, caller-driven micro-batching (`docs/SERVING.md`).
+//!
+//! Single-sample requests for the same model coalesce into one batched
+//! forward pass — one `matmul_transb_into` per layer with `m = batch
+//! width` instead of `width` separate `m = 1` calls. Two design rules
+//! keep this deterministic:
+//!
+//! * **Batches are bounded by COUNT, never wall-clock.** A batch is
+//!   whatever is queued when a leader drains, capped at
+//!   [`BatchConfig::max_batch`]. No timers, no sleeps — tests construct
+//!   an exact batch by submitting k tickets and then waiting.
+//! * **Batch execution is caller-driven** (group commit): [`Ticket::wait`]
+//!   elects the first waiter as *leader*; the leader drains the queue,
+//!   runs the batched forward, delivers every member's slice, then steps
+//!   down and wakes the others. No background threads; a process with no
+//!   waiter blocked runs no serving code.
+//!
+//! Coalescing is *legal* because the dense kernel computes each output
+//! row as an independent sequential dot product — batched output is
+//! bit-identical to per-sample calls at every width and worker count
+//! (pinned by `crates/tensor/tests/batch_equivalence.rs`).
+//!
+//! Every request carries a [`CancelToken`]. Cancelled requests are
+//! dropped at drain time (their tickets resolve [`ServeError::Cancelled`]
+//! without costing a batch slot); a batch whose members *all* cancel
+//! mid-flight aborts its forward pass between layers via
+//! [`dsz_core::CompressedFcModel::forward_cancellable`]'s abort probe.
+
+use crate::registry::{ModelEntry, ModelRegistry};
+use dsz_core::DeepSzError;
+use dsz_nn::Batch;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Serving-layer failures, all values (never panics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model loaded under that id.
+    UnknownModel(String),
+    /// Request input length does not match the model's input shape.
+    ShapeMismatch {
+        /// Flat input length the model expects.
+        expected: usize,
+        /// Flat input length the request supplied.
+        got: usize,
+    },
+    /// The request's [`CancelToken`] fired before results were produced.
+    Cancelled,
+    /// Container bytes failed validation at [`ModelRegistry::load`].
+    Load(String),
+    /// The model's forward pass failed (e.g. a corrupt layer record);
+    /// every member of the affected batch receives the same report.
+    Model(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(id) => write!(f, "no model loaded under id {id:?}"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input length {got} does not match model input {expected}"
+                )
+            }
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::Load(m) => write!(f, "load: {m}"),
+            ServeError::Model(m) => write!(f, "model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Shared cancellation flag for one request. Cloning shares the flag;
+/// cancel from any clone, observe from any clone.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the flag. Idempotent. A request cancelled before its batch
+    /// drains resolves [`ServeError::Cancelled`] without executing; after
+    /// drain its slice is computed but discarded (and a fully-cancelled
+    /// batch aborts between layers).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Most requests one batched forward may serve. 1 disables
+    /// coalescing (every request runs alone — the unbatched baseline the
+    /// bench compares against).
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 8 }
+    }
+}
+
+/// Monotonic serving counters ([`Server::stats`]). Cache hit rates live
+/// with the cache: [`ModelRegistry::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Tickets accepted by [`Server::submit`].
+    pub submitted: u64,
+    /// Requests resolved with an output slice.
+    pub completed: u64,
+    /// Requests resolved [`ServeError::Cancelled`].
+    pub cancelled: u64,
+    /// Requests resolved with a model error.
+    pub failed: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Requests those batches served (∑ batch widths).
+    pub batched_samples: u64,
+    /// Widest batch executed.
+    pub max_batch_seen: u64,
+}
+
+impl ServeStats {
+    /// Mean batch width; 0.0 before any batch ran.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_samples as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_samples: self.batched_samples.load(Ordering::Relaxed),
+            max_batch_seen: self.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A request's result mailbox: written exactly once by whoever resolves
+/// the request, taken by its [`Ticket::wait`]. Wakeups ride the owning
+/// queue's condvar (the leader always notifies it after delivering).
+type Slot = Mutex<Option<Result<Vec<f32>, ServeError>>>;
+
+#[derive(Debug)]
+struct Pending {
+    input: Vec<f32>,
+    cancel: CancelToken,
+    slot: Arc<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct QState {
+    queue: VecDeque<Pending>,
+    /// Whether some waiter is currently executing a drained batch. At
+    /// most one leader per queue: batches for one model serialize (they
+    /// contend for the same layers anyway); distinct models batch
+    /// concurrently on their own queues.
+    leader_active: bool,
+}
+
+/// Per-model-generation request queue. Hot-swapping a model id installs
+/// a fresh queue, so every pending of one queue targets one generation.
+#[derive(Debug)]
+struct ModelQueue {
+    entry: Arc<ModelEntry>,
+    state: Mutex<QState>,
+    cv: Condvar,
+}
+
+impl ModelQueue {
+    fn lock(&self) -> MutexGuard<'_, QState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The micro-batching server: a [`ModelRegistry`] plus per-model request
+/// queues. Shareable across threads behind an `Arc`.
+#[derive(Debug)]
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    config: BatchConfig,
+    queues: Mutex<HashMap<String, Arc<ModelQueue>>>,
+    counters: Arc<Counters>,
+}
+
+impl Server {
+    /// A server over `registry` with the given batching knobs.
+    /// `max_batch` is clamped to at least 1.
+    pub fn new(registry: Arc<ModelRegistry>, config: BatchConfig) -> Self {
+        Self {
+            registry,
+            config: BatchConfig {
+                max_batch: config.max_batch.max(1),
+            },
+            queues: Mutex::new(HashMap::new()),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The registry this server serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.counters.snapshot()
+    }
+
+    /// The queue for `entry`'s generation, installing a fresh one if the
+    /// id is new or was hot-swapped. Old generations' queues live on via
+    /// their tickets' `Arc`s and drain against the old entry.
+    fn queue_for(&self, id: &str, entry: &Arc<ModelEntry>) -> Arc<ModelQueue> {
+        let mut queues = self.queues.lock().unwrap_or_else(|p| p.into_inner());
+        match queues.get(id) {
+            Some(q) if Arc::ptr_eq(&q.entry, entry) => Arc::clone(q),
+            _ => {
+                let q = Arc::new(ModelQueue {
+                    entry: Arc::clone(entry),
+                    state: Mutex::new(QState::default()),
+                    cv: Condvar::new(),
+                });
+                queues.insert(id.to_string(), Arc::clone(&q));
+                q
+            }
+        }
+    }
+
+    /// Enqueues a single-sample request for `model_id`. The request does
+    /// not execute until some ticket for this model calls
+    /// [`Ticket::wait`] — submission never blocks and never batches by
+    /// time. Shape is validated here so a malformed request fails before
+    /// it can poison a batch.
+    pub fn submit(&self, model_id: &str, input: Vec<f32>) -> Result<Ticket, ServeError> {
+        let entry = self
+            .registry
+            .get(model_id)
+            .ok_or_else(|| ServeError::UnknownModel(model_id.to_string()))?;
+        let expected = entry.input_features();
+        if input.len() != expected {
+            return Err(ServeError::ShapeMismatch {
+                expected,
+                got: input.len(),
+            });
+        }
+        let queue = self.queue_for(model_id, &entry);
+        let cancel = CancelToken::new();
+        let slot: Arc<Slot> = Arc::new(Mutex::new(None));
+        queue.lock().queue.push_back(Pending {
+            input,
+            cancel: cancel.clone(),
+            slot: Arc::clone(&slot),
+        });
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket {
+            queue,
+            slot,
+            cancel,
+            counters: Arc::clone(&self.counters),
+            max_batch: self.config.max_batch,
+        })
+    }
+
+    /// Submit + wait: the synchronous single-request entry point. The
+    /// calling thread drives (or joins) batch execution.
+    pub fn infer(&self, model_id: &str, input: Vec<f32>) -> Result<Vec<f32>, ServeError> {
+        self.submit(model_id, input)?.wait()
+    }
+}
+
+/// A pending request. [`Ticket::wait`] blocks until resolution —
+/// electing the caller as batch leader when no one else is executing —
+/// and consumes the ticket. Cancel via [`Ticket::cancel`] or a cloned
+/// [`Ticket::cancel_token`] from another thread.
+#[derive(Debug)]
+pub struct Ticket {
+    queue: Arc<ModelQueue>,
+    slot: Arc<Slot>,
+    cancel: CancelToken,
+    counters: Arc<Counters>,
+    max_batch: usize,
+}
+
+impl Ticket {
+    /// A clone of this request's cancellation flag (hand it to another
+    /// thread; the ticket itself stays waitable).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Fires this request's [`CancelToken`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    fn take_slot(&self) -> Option<Result<Vec<f32>, ServeError>> {
+        self.slot.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+
+    /// Blocks until this request resolves. Group-commit loop: if the
+    /// queue has work and no leader, become leader — drain up to
+    /// `max_batch` live requests, run the batched forward, deliver every
+    /// slice, step down, notify; otherwise sleep on the queue condvar
+    /// (the leader's epilogue always notifies it).
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        loop {
+            if let Some(result) = self.take_slot() {
+                return result;
+            }
+            let mut st = self.queue.lock();
+            if !st.leader_active && !st.queue.is_empty() {
+                st.leader_active = true;
+                let (batch, dropped) = drain(&mut st.queue, self.max_batch);
+                drop(st);
+                // Cancelled-before-drain requests resolve without costing
+                // a batch slot or a flop.
+                for p in dropped {
+                    deliver(&p.slot, Err(ServeError::Cancelled), &self.counters);
+                }
+                if !batch.is_empty() {
+                    execute(&self.queue.entry, &batch, &self.counters);
+                }
+                let mut st = self.queue.lock();
+                st.leader_active = false;
+                self.queue.cv.notify_all();
+                drop(st);
+                continue;
+            }
+            if st.leader_active {
+                // The leader's epilogue notifies after delivering.
+                let _st = self.queue.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            // Queue empty, no leader: our slot is delivered (or the
+            // deliverer is between writing it and notifying) — re-check.
+            drop(st);
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Splits the front of `queue` into (batch of live requests, cancelled
+/// requests passed over). Arrival order is preserved; cancelled entries
+/// do not count toward `max_batch`.
+fn drain(queue: &mut VecDeque<Pending>, max_batch: usize) -> (Vec<Pending>, Vec<Pending>) {
+    let mut batch = Vec::new();
+    let mut dropped = Vec::new();
+    while batch.len() < max_batch {
+        let Some(p) = queue.pop_front() else { break };
+        if p.cancel.is_cancelled() {
+            dropped.push(p);
+        } else {
+            batch.push(p);
+        }
+    }
+    (batch, dropped)
+}
+
+fn deliver(slot: &Slot, result: Result<Vec<f32>, ServeError>, counters: &Counters) {
+    let ctr = match &result {
+        Ok(_) => &counters.completed,
+        Err(ServeError::Cancelled) => &counters.cancelled,
+        Err(_) => &counters.failed,
+    };
+    ctr.fetch_add(1, Ordering::Relaxed);
+    *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+}
+
+/// One batched forward for `batch` (all same model generation): inputs
+/// concatenate sample-major, the kernel computes every sample's rows in
+/// one call per layer, outputs split back per request. Bit-identical to
+/// per-sample execution by the kernel's row-independence (see module
+/// docs).
+fn execute(entry: &Arc<ModelEntry>, batch: &[Pending], counters: &Counters) {
+    let k = batch.len();
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters
+        .batched_samples
+        .fetch_add(k as u64, Ordering::Relaxed);
+    counters
+        .max_batch_seen
+        .fetch_max(k as u64, Ordering::Relaxed);
+    let feats = entry.input_features();
+    let mut data = Vec::with_capacity(k * feats);
+    for p in batch {
+        data.extend_from_slice(&p.input);
+    }
+    let x = Batch {
+        n: k,
+        shape: entry.input_shape(),
+        data,
+    };
+    // Abort only when *every* member has cancelled: one live request
+    // keeps the batch running (its answer is still owed).
+    let all_cancelled = || batch.iter().all(|p| p.cancel.is_cancelled());
+    match entry.model().forward_cancellable(&x, &all_cancelled) {
+        Ok((out, _)) => {
+            for (i, p) in batch.iter().enumerate() {
+                let result = if p.cancel.is_cancelled() {
+                    Err(ServeError::Cancelled)
+                } else {
+                    Ok(out.sample(i).to_vec())
+                };
+                deliver(&p.slot, result, counters);
+            }
+        }
+        Err(DeepSzError::Cancelled) => {
+            for p in batch {
+                deliver(&p.slot, Err(ServeError::Cancelled), counters);
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for p in batch {
+                deliver(&p.slot, Err(ServeError::Model(msg.clone())), counters);
+            }
+        }
+    }
+}

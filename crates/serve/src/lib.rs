@@ -1,0 +1,39 @@
+//! Multi-tenant serving layer over DeepSZ-compressed models
+//! (`docs/SERVING.md`).
+//!
+//! DeepSZ's decompression is fast enough that compressed models can serve
+//! inference directly (§5.4 of the paper reports decompression at a small
+//! fraction of inference time). This crate turns that observation into a
+//! serving stack for *many* models on one node:
+//!
+//! * [`ModelRegistry`] — loads DSZM containers once (structural
+//!   validation via [`dsz_core::SeekableContainer`], one integrity parse
+//!   into a [`dsz_core::CompressedFcModel`]), keyed by model id, with
+//!   hot-swap and unload. Requests never re-parse container bytes.
+//! * A process-wide decoded-layer cache
+//!   ([`dsz_core::SharedLayerCache`]) — **one** global bytes quota shared
+//!   by every tenant, LRU across models, so the hottest layers anywhere
+//!   in the fleet stay resident while cold tails re-decode on demand.
+//! * [`Server`] — micro-batches concurrent single-sample requests for the
+//!   same model into one batched matmul per layer. Batches are bounded by
+//!   *count* ([`BatchConfig::max_batch`]), never by wall-clock, so
+//!   batching is deterministic and testable; the kernel-level
+//!   bit-identity that makes coalescing legal is pinned by
+//!   `crates/tensor/tests/batch_equivalence.rs`. Requests carry a
+//!   [`CancelToken`]; a batch whose members have all cancelled aborts its
+//!   forward pass between layers.
+//!
+//! Everything here is plain std concurrency — no async runtime, no
+//! background threads. Batch execution is *caller-driven* (the first
+//! waiter becomes the batch leader), so a process with no threads blocked
+//! in [`Ticket::wait`] runs no serving code at all.
+
+// Serving sits on the decode path for untrusted containers: failures
+// must surface as values, never panics (`docs/ROBUSTNESS.md`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod batch;
+pub mod registry;
+
+pub use batch::{BatchConfig, CancelToken, ServeError, ServeStats, Server, Ticket};
+pub use registry::{ModelEntry, ModelRegistry};

@@ -1,0 +1,178 @@
+//! Model registry: id → loaded compressed model, loaded once, served
+//! many times (`docs/SERVING.md`).
+//!
+//! Loading validates the container twice on purpose: a cheap
+//! [`SeekableContainer`] open checks the structural skeleton (footer
+//! index, record bounds) in O(layers), then [`CompressedFcModel::new`]
+//! performs the one full integrity parse — the right posture for
+//! untrusted uploads. After that, every request reuses the parsed model:
+//! **zero container re-parse on the request path**.
+//!
+//! Each loaded generation takes a fresh [`dsz_core::CacheHandle`] from the shared
+//! decoded-layer cache, so hot-swapping an id can never serve the old
+//! generation's weights: the old handle's entries are purged eagerly and
+//! its never-reused model id makes stale hits impossible even if purge
+//! raced a lookup.
+
+use dsz_core::{
+    CacheStats, CompressedFcModel, CompressedModel, DeepSzError, SeekableContainer,
+    SharedLayerCache,
+};
+use dsz_nn::Network;
+use dsz_tensor::VolShape;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::batch::ServeError;
+
+/// One loaded model generation. Immutable after load; requests share it
+/// by `Arc`, so an unload or hot-swap never invalidates in-flight work —
+/// the old generation simply drains and drops.
+#[derive(Debug)]
+pub struct ModelEntry {
+    id: String,
+    model: CompressedFcModel,
+    input_shape: VolShape,
+    layer_count: usize,
+    container_bytes: usize,
+}
+
+impl ModelEntry {
+    /// The registry id this entry was loaded under.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The parsed streaming model (shared-cache handle attached).
+    pub fn model(&self) -> &CompressedFcModel {
+        &self.model
+    }
+
+    /// Per-sample input shape the model expects.
+    pub fn input_shape(&self) -> VolShape {
+        self.input_shape
+    }
+
+    /// Flat per-sample input length (`input_shape().len()`).
+    pub fn input_features(&self) -> usize {
+        self.input_shape.len()
+    }
+
+    /// Compressed fc layers in the container.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// Size of the container this generation was loaded from.
+    pub fn container_bytes(&self) -> usize {
+        self.container_bytes
+    }
+
+    fn purge_cache(&self) {
+        if let Some(h) = self.model.shared_cache() {
+            h.purge();
+        }
+    }
+}
+
+/// Registry of loaded models sharing one decoded-layer cache.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    cache: Arc<SharedLayerCache>,
+    inner: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// A registry whose tenants share `cache_quota_bytes` of decoded
+    /// layers (see [`SharedLayerCache`] for the quota contract; 0 means
+    /// every request decodes uncached).
+    pub fn new(cache_quota_bytes: usize) -> Self {
+        Self {
+            cache: SharedLayerCache::new(cache_quota_bytes),
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<ModelEntry>>> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<ModelEntry>>> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Loads (or hot-swaps) `id` from DSZM container bytes. `net` is the
+    /// network skeleton the container compresses (fc weights are
+    /// discarded; shapes are cross-checked against the records). On
+    /// hot-swap the previous generation's cache entries are purged; its
+    /// in-flight requests finish on their own `Arc`.
+    pub fn load(
+        &self,
+        id: impl Into<String>,
+        net: &Network,
+        container: &[u8],
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        let id = id.into();
+        // Structural skeleton first (cheap, O(layers))...
+        let seek = SeekableContainer::open_slice(container)
+            .map_err(|e| ServeError::Load(format!("{id}: {e}")))?;
+        let layer_count = seek.layer_count();
+        // ...then the one-time full integrity parse.
+        let parsed = CompressedFcModel::new(
+            net,
+            &CompressedModel {
+                bytes: container.to_vec(),
+            },
+        )
+        .map_err(|e: DeepSzError| ServeError::Load(format!("{id}: {e}")))?;
+        let entry = Arc::new(ModelEntry {
+            id: id.clone(),
+            model: parsed.with_shared_cache(self.cache.handle()),
+            input_shape: net.input_shape,
+            layer_count,
+            container_bytes: container.len(),
+        });
+        let old = self.write().insert(id, Arc::clone(&entry));
+        if let Some(old) = old {
+            old.purge_cache();
+        }
+        Ok(entry)
+    }
+
+    /// Removes `id`, purging its cache entries. Returns whether it was
+    /// loaded. In-flight requests holding the entry's `Arc` finish
+    /// normally (their layers simply re-decode uncached from now on).
+    pub fn unload(&self, id: &str) -> bool {
+        let old = self.write().remove(id);
+        match old {
+            Some(e) => {
+                e.purge_cache();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The loaded entry for `id`, if any.
+    pub fn get(&self, id: &str) -> Option<Arc<ModelEntry>> {
+        self.read().get(id).cloned()
+    }
+
+    /// Loaded model ids, sorted (diagnostics).
+    pub fn models(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The shared decoded-layer cache.
+    pub fn cache(&self) -> &Arc<SharedLayerCache> {
+        &self.cache
+    }
+
+    /// Snapshot of the shared cache's counters — the hit-rate source for
+    /// `BENCH_serve.json`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}

@@ -1,0 +1,192 @@
+//! Micro-batch semantics: deterministic count-bounded coalescing,
+//! bit-identity of batched vs unbatched serving, drain-time cancellation
+//! inside a batch (`docs/SERVING.md`).
+//!
+//! Determinism is what makes these tests possible at all: submission
+//! never executes, so a test builds an exact batch by submitting k
+//! tickets and then waiting one — no timing, no sleeps.
+
+mod util;
+
+use dsz_serve::{BatchConfig, ModelRegistry, ServeError, Server};
+use std::sync::Arc;
+use util::{bits, fixture, probe, serial_reference};
+
+fn server(max_batch: usize) -> Server {
+    Server::new(
+        Arc::new(ModelRegistry::new(1 << 20)),
+        BatchConfig { max_batch },
+    )
+}
+
+#[test]
+fn submitted_tickets_coalesce_into_one_batch() {
+    let (net, container) = fixture(1);
+    let srv = server(8);
+    srv.registry().load("m", &net, &container).unwrap();
+    let inputs: Vec<Vec<f32>> = (0..5).map(|i| probe(0x51 + i)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| srv.submit("m", x.clone()).unwrap())
+        .collect();
+    // Nothing executes at submit time.
+    assert_eq!(srv.stats().batches, 0);
+    for (i, (t, x)) in tickets.into_iter().zip(&inputs).enumerate() {
+        let out = t.wait().unwrap();
+        assert_eq!(
+            bits(&out),
+            bits(&serial_reference(&net, &container, x)),
+            "request {i} diverged from its per-sample reference"
+        );
+    }
+    let stats = srv.stats();
+    // The first wait drained all five pending requests into one batch.
+    assert_eq!(stats.batches, 1, "expected one coalesced batch");
+    assert_eq!(stats.batched_samples, 5);
+    assert_eq!(stats.max_batch_seen, 5);
+    assert_eq!(stats.completed, 5);
+}
+
+#[test]
+fn batches_split_at_max_batch() {
+    let (net, container) = fixture(1);
+    let srv = server(4);
+    srv.registry().load("m", &net, &container).unwrap();
+    let tickets: Vec<_> = (0..10)
+        .map(|i| srv.submit("m", probe(0x900 + i)).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.batched_samples, 10);
+    assert_eq!(stats.batches, 3, "10 requests at max_batch 4 → 4+4+2");
+    assert_eq!(stats.max_batch_seen, 4, "cap respected");
+}
+
+#[test]
+fn batched_output_matches_unbatched_server_bit_for_bit() {
+    let (net, container) = fixture(1);
+    let inputs: Vec<Vec<f32>> = (0..6).map(|i| probe(0xB00 + i)).collect();
+
+    // Unbatched baseline: max_batch 1, every request runs alone.
+    let unbatched = server(1);
+    unbatched.registry().load("m", &net, &container).unwrap();
+    let baseline: Vec<Vec<u32>> = inputs
+        .iter()
+        .map(|x| bits(&unbatched.infer("m", x.clone()).unwrap()))
+        .collect();
+    assert_eq!(unbatched.stats().max_batch_seen, 1);
+
+    // Batched: all six coalesce.
+    let batched = server(8);
+    batched.registry().load("m", &net, &container).unwrap();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| batched.submit("m", x.clone()).unwrap())
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert_eq!(
+            bits(&t.wait().unwrap()),
+            baseline[i],
+            "batched request {i} != unbatched bits"
+        );
+    }
+    assert_eq!(batched.stats().batches, 1);
+    assert_eq!(batched.stats().batched_samples, 6);
+}
+
+#[test]
+fn cancelled_member_skips_batch_slot_others_unaffected() {
+    let (net, container) = fixture(1);
+    let srv = server(8);
+    srv.registry().load("m", &net, &container).unwrap();
+    let inputs: Vec<Vec<f32>> = (0..3).map(|i| probe(0xC0 + i)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| srv.submit("m", x.clone()).unwrap())
+        .collect();
+    tickets[1].cancel();
+    let mut results = Vec::new();
+    for t in tickets {
+        results.push(t.wait());
+    }
+    assert_eq!(results[1], Err(ServeError::Cancelled));
+    for (i, x) in inputs.iter().enumerate() {
+        if i == 1 {
+            continue;
+        }
+        assert_eq!(
+            bits(results[i].as_ref().unwrap()),
+            bits(&serial_reference(&net, &container, x)),
+            "live member {i} affected by a cancelled neighbour"
+        );
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(
+        stats.batched_samples, 2,
+        "the cancelled request must not cost a batch slot"
+    );
+}
+
+#[test]
+fn fully_cancelled_batch_aborts_without_results() {
+    let (net, container) = fixture(1);
+    let srv = server(8);
+    srv.registry().load("m", &net, &container).unwrap();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| srv.submit("m", probe(0xF0 + i)).unwrap())
+        .collect();
+    for t in &tickets {
+        t.cancel();
+    }
+    for t in tickets {
+        assert_eq!(t.wait(), Err(ServeError::Cancelled));
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.cancelled, 4);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.batches, 0, "nothing live → no forward executed");
+}
+
+#[test]
+fn concurrent_waiters_form_multi_request_batches() {
+    let (net, container) = fixture(1);
+    let srv = Arc::new(server(8));
+    srv.registry().load("m", &net, &container).unwrap();
+    let inputs: Vec<Vec<f32>> = (0..16).map(|i| probe(0xD000 + i)).collect();
+    let want: Vec<Vec<u32>> = inputs
+        .iter()
+        .map(|x| bits(&serial_reference(&net, &container, x)))
+        .collect();
+    // Submit everything first so concurrent waiters find a deep queue,
+    // then wait from 4 threads: leaders drain multi-request batches.
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| srv.submit("m", x.clone()).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let want = want[i].clone();
+            handles.push(s.spawn(move || {
+                assert_eq!(bits(&t.wait().unwrap()), want, "request {i} diverged");
+            }));
+            if handles.len() == 4 {
+                for h in handles.drain(..) {
+                    h.join().unwrap();
+                }
+            }
+        }
+    });
+    let stats = srv.stats();
+    assert_eq!(stats.completed, 16);
+    assert!(
+        stats.batches < 16,
+        "16 requests with a deep queue must coalesce at least once (got {} batches)",
+        stats.batches
+    );
+    assert!(stats.max_batch_seen >= 2);
+}

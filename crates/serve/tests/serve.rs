@@ -1,0 +1,207 @@
+//! Registry lifecycle, cross-model cache sharing, cancellation, and
+//! bit-identity of served results against the uncached serial path
+//! (`docs/SERVING.md`).
+
+mod util;
+
+use dsz_serve::{BatchConfig, ModelRegistry, ServeError, Server};
+use std::sync::Arc;
+use util::{bits, fixture, probe, serial_reference, FEATURES};
+
+fn server(quota: usize, max_batch: usize) -> Server {
+    Server::new(
+        Arc::new(ModelRegistry::new(quota)),
+        BatchConfig { max_batch },
+    )
+}
+
+#[test]
+fn registry_load_get_unload_lifecycle() {
+    let (net, container) = fixture(1);
+    let reg = ModelRegistry::new(1 << 20);
+    assert!(reg.get("m").is_none());
+    let entry = reg.load("m", &net, &container).unwrap();
+    assert_eq!(entry.id(), "m");
+    assert_eq!(entry.layer_count(), 2);
+    assert_eq!(entry.input_features(), FEATURES);
+    assert_eq!(entry.container_bytes(), container.len());
+    assert_eq!(reg.models(), vec!["m".to_string()]);
+    assert!(reg.unload("m"));
+    assert!(!reg.unload("m"), "second unload is a no-op");
+    assert!(reg.get("m").is_none());
+    assert_eq!(reg.cache_stats().live_bytes, 0, "unload released the cache");
+}
+
+#[test]
+fn load_rejects_garbage_container() {
+    let (net, _) = fixture(1);
+    let reg = ModelRegistry::new(0);
+    match reg.load("bad", &net, b"not a container") {
+        Err(ServeError::Load(_)) => {}
+        other => panic!("expected Load error, got {other:?}"),
+    }
+    assert!(reg.get("bad").is_none(), "failed load must not register");
+}
+
+#[test]
+fn served_results_bit_identical_at_every_quota() {
+    let (net, container) = fixture(1);
+    let input = probe(0xCAFE);
+    let want = bits(&serial_reference(&net, &container, &input));
+    // Including quota 0: the shared cache must be invisible to results.
+    for quota in [0usize, 1000, 3072, 1 << 20] {
+        let srv = server(quota, 4);
+        srv.registry().load("m", &net, &container).unwrap();
+        for pass in 0..3 {
+            let out = srv.infer("m", input.clone()).unwrap();
+            assert_eq!(
+                bits(&out),
+                want,
+                "quota {quota} pass {pass} diverged from the uncached serial path"
+            );
+        }
+        let hwm = srv.registry().cache_stats().high_water;
+        assert!(hwm <= quota, "quota {quota}: cache high-water {hwm} over");
+    }
+}
+
+#[test]
+fn unknown_model_and_shape_mismatch_are_values() {
+    let (net, container) = fixture(1);
+    let srv = server(1 << 20, 4);
+    srv.registry().load("m", &net, &container).unwrap();
+    assert_eq!(
+        srv.infer("ghost", probe(1)),
+        Err(ServeError::UnknownModel("ghost".to_string()))
+    );
+    assert_eq!(
+        srv.infer("m", vec![0.0; FEATURES + 1]),
+        Err(ServeError::ShapeMismatch {
+            expected: FEATURES,
+            got: FEATURES + 1
+        })
+    );
+}
+
+#[test]
+fn hot_swap_serves_new_weights_and_purges_old_entries() {
+    let (net, container_v1) = fixture(1);
+    let (_, container_v2) = fixture(2); // same shapes, different weights
+    let input = probe(0xABCD);
+    let want_v1 = bits(&serial_reference(&net, &container_v1, &input));
+    let want_v2 = bits(&serial_reference(&net, &container_v2, &input));
+    assert_ne!(want_v1, want_v2, "fixture seeds must differ");
+
+    let srv = server(1 << 20, 4);
+    srv.registry().load("m", &net, &container_v1).unwrap();
+    // Warm the cache on generation 1.
+    for _ in 0..2 {
+        assert_eq!(bits(&srv.infer("m", input.clone()).unwrap()), want_v1);
+    }
+    srv.registry().load("m", &net, &container_v2).unwrap();
+    // Every request after the swap sees generation 2 — a stale cache hit
+    // would reproduce want_v1.
+    for _ in 0..3 {
+        assert_eq!(
+            bits(&srv.infer("m", input.clone()).unwrap()),
+            want_v2,
+            "hot-swapped id served stale weights"
+        );
+    }
+}
+
+#[test]
+fn cross_model_cache_sharing_hits_after_warmup() {
+    let (net_a, container_a) = fixture(1);
+    let (net_b, container_b) = fixture(7);
+    let srv = server(1 << 20, 4); // ample: both models fit
+    srv.registry().load("a", &net_a, &container_a).unwrap();
+    srv.registry().load("b", &net_b, &container_b).unwrap();
+    let input = probe(3);
+    for _ in 0..4 {
+        srv.infer("a", input.clone()).unwrap();
+        srv.infer("b", input.clone()).unwrap();
+    }
+    let s = srv.registry().cache_stats();
+    // Pass 1 decodes both models' 2 layers (4 misses); passes 2–4 are
+    // pure hits (12) for both tenants out of one cache.
+    assert_eq!(s.misses, 4);
+    assert_eq!(s.hits, 12);
+    assert!(s.hit_rate() > 0.7, "hit rate {} too low", s.hit_rate());
+}
+
+#[test]
+fn cancel_before_wait_resolves_cancelled_without_executing() {
+    let (net, container) = fixture(1);
+    let srv = server(1 << 20, 4);
+    srv.registry().load("m", &net, &container).unwrap();
+    let ticket = srv.submit("m", probe(5)).unwrap();
+    ticket.cancel();
+    assert_eq!(ticket.wait(), Err(ServeError::Cancelled));
+    let stats = srv.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.batches, 0, "a lone cancelled request costs no batch");
+    // The server still serves afterwards.
+    let out = srv.infer("m", probe(5)).unwrap();
+    assert_eq!(
+        bits(&out),
+        bits(&serial_reference(&net, &container, &probe(5)))
+    );
+}
+
+#[test]
+fn cancel_token_fires_from_another_thread() {
+    let (net, container) = fixture(1);
+    let srv = server(1 << 20, 4);
+    srv.registry().load("m", &net, &container).unwrap();
+    let ticket = srv.submit("m", probe(9)).unwrap();
+    let token = ticket.cancel_token();
+    std::thread::scope(|s| {
+        s.spawn(move || token.cancel());
+    });
+    // The token fired before wait drained (the scope joins first), so the
+    // request resolves Cancelled.
+    assert_eq!(ticket.wait(), Err(ServeError::Cancelled));
+}
+
+#[test]
+fn concurrent_streams_match_serial_reference() {
+    let (net_a, container_a) = fixture(1);
+    let (net_b, container_b) = fixture(7);
+    // Tight quota (one large layer + slack): constant cross-model churn.
+    let srv = Arc::new(server(4000, 4));
+    srv.registry().load("a", &net_a, &container_a).unwrap();
+    srv.registry().load("b", &net_b, &container_b).unwrap();
+    let inputs: Vec<Vec<f32>> = (0..4).map(|i| probe(0x1000 + i)).collect();
+    let want_a: Vec<Vec<u32>> = inputs
+        .iter()
+        .map(|x| bits(&serial_reference(&net_a, &container_a, x)))
+        .collect();
+    let want_b: Vec<Vec<u32>> = inputs
+        .iter()
+        .map(|x| bits(&serial_reference(&net_b, &container_b, x)))
+        .collect();
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let srv = Arc::clone(&srv);
+            let (inputs, want_a, want_b) = (inputs.clone(), want_a.clone(), want_b.clone());
+            s.spawn(move || {
+                for i in 0..20 {
+                    let which = (t + i) % inputs.len();
+                    let (id, want) = if (t + i) % 2 == 0 {
+                        ("a", &want_a[which])
+                    } else {
+                        ("b", &want_b[which])
+                    };
+                    let out = srv.infer(id, inputs[which].clone()).unwrap();
+                    assert_eq!(&bits(&out), want, "stream {t} request {i} diverged");
+                }
+            });
+        }
+    });
+    let stats = srv.stats();
+    assert_eq!(stats.completed, 80);
+    assert_eq!(stats.failed, 0);
+    let cache = srv.registry().cache_stats();
+    assert!(cache.high_water <= 4000, "cache ledger exceeded quota");
+}

@@ -128,12 +128,31 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
 /// directly so repeated inference tests reuse one activation buffer. Both
 /// entry points share one loop, so their outputs are bit-identical.
 pub fn matmul_transb_into(a: &[f32], m: usize, k: usize, b: &Matrix, out: &mut Vec<f32>) {
-    assert_eq!(a.len(), m * k, "matmul_transb_into lhs shape mismatch");
     assert_eq!(b.cols, k, "matmul_transb_into inner dimension mismatch");
-    let n = b.rows;
+    matmul_transb_raw(a, m, k, &b.data, b.rows, out);
+}
+
+/// `C = A·Bᵀ` with both operands as raw row-major slices: `a` is `m×k`,
+/// `bdata` is `n×k`, and `out` is resized to `m·n`. This is the innermost
+/// kernel behind [`matmul_transb`] and [`matmul_transb_into`]; the serving
+/// layer calls it directly so weights shared out of the cross-model layer
+/// cache (`Arc<Vec<f32>>`) multiply without being copied into a `Matrix`.
+/// All entry points share this one loop, so outputs are bit-identical
+/// across them — and each output element is one sequential dot product,
+/// so results are also bit-identical across batch widths and worker
+/// counts (rows split across workers; the per-row loop never does).
+pub fn matmul_transb_raw(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    bdata: &[f32],
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "matmul_transb lhs shape mismatch");
+    assert_eq!(bdata.len(), n * k, "matmul_transb rhs shape mismatch");
     out.clear();
     out.resize(m * n, 0.0);
-    let bdata = &b.data;
     parallel_for_rows(m, out, n, |r0, rows_chunk| {
         for (ri, crow) in rows_chunk.chunks_exact_mut(n).enumerate() {
             let r = r0 + ri;

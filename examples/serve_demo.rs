@@ -1,0 +1,151 @@
+//! Multi-tenant serving demo (`docs/SERVING.md`): two compressed models
+//! behind one registry, one shared decoded-layer cache, and the
+//! count-bounded micro-batcher — load, serve, coalesce, hot-swap,
+//! cancel.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use deepsz::framework::optimizer::{ChosenLayer, Plan};
+use deepsz::framework::{encode_with_plan, DataCodecKind, LayerAssessment};
+use deepsz::prelude::*;
+use deepsz::serve::{ModelRegistry, ServeError, Server};
+use std::sync::Arc;
+
+/// A LeNet-300-100 (reduced) tenant with seed-distinct pruned weights,
+/// encoded into a DSZM container — no training loop needed for a demo.
+fn build_tenant(seed: u64) -> (Network, Vec<u8>) {
+    let net = zoo::build(Arch::LeNet300, Scale::Reduced, seed);
+    let mut assessments: Vec<LayerAssessment> = Vec::new();
+    let mut chosen: Vec<ChosenLayer> = Vec::new();
+    let densities = Arch::LeNet300.pruning_densities();
+    for (li, fc) in net.fc_layers().into_iter().enumerate() {
+        let mut dense = weights::trained_fc_weights(fc.rows, fc.cols, seed ^ (li as u64) << 8);
+        prune::prune_to_density(&mut dense, densities[li % densities.len()]);
+        let pair = PairArray::from_dense(&dense, fc.rows, fc.cols);
+        let (index_codec, index_blob) = deepsz::lossless::best_fit(&pair.index);
+        chosen.push(ChosenLayer {
+            fc: fc.clone(),
+            eb: 1e-3,
+            degradation: 0.0,
+            data_bytes: 0,
+            index_bytes: index_blob.len(),
+            codec: DataCodecKind::Sz,
+            point_index: 0,
+        });
+        assessments.push(LayerAssessment {
+            fc,
+            pair,
+            index_codec,
+            index_bytes: index_blob.len(),
+            points: Vec::new(),
+        });
+    }
+    let plan = Plan {
+        layers: chosen,
+        predicted_loss: 0.0,
+        total_bytes: 0,
+    };
+    let (model, _) = encode_with_plan(&assessments, &plan).expect("encode tenant");
+    (net, model.bytes)
+}
+
+fn probe(dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..dim)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn main() {
+    // One registry, one shared cache, one server. The 4 MiB quota fits
+    // both tenants' decoded stacks (fc1 alone is ~940 KB), so warm
+    // traffic turns into hits; shrink it to watch LRU churn instead.
+    let registry = Arc::new(ModelRegistry::new(4 << 20));
+    let server = Server::new(Arc::clone(&registry), BatchConfig::default());
+
+    let (net_a, container_a) = build_tenant(0xA11CE);
+    let (net_b, container_b) = build_tenant(0xB0B);
+    let a = registry
+        .load("captioner", &net_a, &container_a)
+        .expect("load a");
+    registry
+        .load("ranker", &net_b, &container_b)
+        .expect("load b");
+    println!(
+        "loaded {:?}: {} layers each, {} container bytes for {:?}",
+        registry.models(),
+        a.layer_count(),
+        a.container_bytes(),
+        a.id()
+    );
+
+    // Burst of requests: submission only enqueues (count-bounded, no
+    // timers), so the first wait drains one coalesced batch.
+    let dim = a.input_features();
+    let tickets: Vec<_> = (0..6)
+        .map(|i| server.submit("captioner", probe(dim, i)).expect("submit"))
+        .collect();
+    let mut outputs = Vec::new();
+    for t in tickets {
+        outputs.push(t.wait().expect("serve"));
+    }
+    let stats = server.stats();
+    println!(
+        "burst of 6: {} batch(es), widest {} — first output begins {:?}",
+        stats.batches,
+        stats.max_batch_seen,
+        &outputs[0][..3.min(outputs[0].len())]
+    );
+
+    // Both tenants share the cache: repeat traffic turns into hits.
+    for i in 0..4 {
+        server
+            .infer("captioner", probe(dim, 100 + i))
+            .expect("serve");
+        server.infer("ranker", probe(dim, 200 + i)).expect("serve");
+    }
+    let cache = registry.cache_stats();
+    println!(
+        "shared cache after warm traffic: hit rate {:.2}, {} bytes resident (quota {})",
+        cache.hit_rate(),
+        cache.live_bytes,
+        registry.cache().quota()
+    );
+
+    // Hot-swap "captioner" to a new generation: same id, new weights.
+    let before = server.infer("captioner", probe(dim, 7)).expect("serve");
+    let (net_a2, container_a2) = build_tenant(0xA2);
+    registry
+        .load("captioner", &net_a2, &container_a2)
+        .expect("hot-swap");
+    let after = server.infer("captioner", probe(dim, 7)).expect("serve");
+    println!(
+        "hot-swap: same request, output[0] {} -> {} (old generation purged, stale hits impossible)",
+        before[0], after[0]
+    );
+
+    // Cancellation: a token fired before the batch drains resolves
+    // without costing a batch slot or a flop.
+    let ticket = server.submit("ranker", probe(dim, 9)).expect("submit");
+    ticket.cancel();
+    match ticket.wait() {
+        Err(ServeError::Cancelled) => println!("cancelled request resolved as Cancelled"),
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+
+    let s = server.stats();
+    println!(
+        "served {} requests in {} batches (avg width {:.2}), {} cancelled",
+        s.completed,
+        s.batches,
+        s.avg_batch(),
+        s.cancelled
+    );
+}

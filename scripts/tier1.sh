@@ -34,15 +34,34 @@ for t in 1 4; do
   DSZ_THREADS=$t cargo test -q -p dsz_core --test streaming_encode
   DSZ_THREADS=$t cargo test -q -p dsz_sz stream
 done
+# Serving gate (docs/SERVING.md): the shared decoded-layer cache must
+# keep forwards bit-identical to the uncached serial path at every quota
+# (including 0) and never let the ledger exceed the quota; the batched
+# matmul must stay bit-identical to per-sample calls; and the registry /
+# micro-batch scheduler suites ride the same two worker budgets.
+for t in 1 4; do
+  DSZ_THREADS=$t cargo test -q -p dsz_core --test shared_cache
+  DSZ_THREADS=$t cargo test -q -p dsz_tensor --test batch_equivalence
+  DSZ_THREADS=$t cargo test -q -p dsz_serve --test serve
+  DSZ_THREADS=$t cargo test -q -p dsz_serve --test batching
+done
 # Smoke-test the full user-facing pipeline (train → prune → assess →
 # optimize → encode → decode) exactly as the README-level docs run it.
 cargo run --release --example quickstart >/dev/null
+# Smoke-run the multi-tenant serving demo (load → batch → hot-swap →
+# cancel against two tenants sharing one cache).
+cargo run --release --example serve_demo >/dev/null
 # Smoke-run the perf-trajectory bench: refreshes BENCH_encode_decode.json
 # (encode/decode scaling, pool reuse, and the incremental-vs-full
 # assessment speedup, which also re-proves the two engines agree).
 cargo run --release -p dsz_bench --bin bench_encode_decode >/dev/null
+# Smoke-run the serving bench: refreshes BENCH_serve.json (requests/sec,
+# tail latency, shared-cache hit rate, batched-vs-unbatched speedup in
+# warm and cold cache regimes).
+cargo run --release -p dsz_bench --bin bench_serve >/dev/null
 # This also enforces the panic-free-decode lints: the decode modules of
-# sz/lossless/zfp/sparse/core carry scoped in-source
+# sz/lossless/zfp/sparse/core (plus the whole dsz_serve crate and the
+# shared layer cache) carry scoped in-source
 # `deny(clippy::unwrap_used, clippy::expect_used)` attributes, so any new
 # unwrap/expect there fails this line.
 cargo clippy --workspace -q -- -D warnings

@@ -39,6 +39,7 @@ pub use dsz_datagen as datagen;
 pub use dsz_lossless as lossless;
 pub use dsz_nn as nn;
 pub use dsz_prune as prune;
+pub use dsz_serve as serve;
 pub use dsz_sparse as sparse;
 pub use dsz_sz as sz;
 pub use dsz_tensor as tensor;
@@ -56,6 +57,7 @@ pub mod prelude {
     };
     pub use crate::nn::{self, accuracy, zoo, Arch, Dataset, Network, Scale, TrainConfig};
     pub use crate::prune;
+    pub use crate::serve::{BatchConfig, ModelRegistry, Server};
     pub use crate::sparse::{Csr, PairArray};
     pub use crate::sz::{ErrorBound, SzConfig, SzFormat};
 }
