@@ -11,12 +11,15 @@
 
 use dsz_bench::workloads::{paper_error_bounds, reduced_pruning_densities};
 use dsz_core::optimizer::{ChosenLayer, Plan};
-use dsz_core::{encode_with_plan, DataCodecKind, LayerAssessment};
+use dsz_core::{encode_with_plan, rewrite_layer_data, DataCodecKind, ForwardHook, LayerAssessment};
 use dsz_nn::{zoo, Arch, Network, Scale};
-use dsz_serve::{BatchConfig, ModelRegistry, Server};
+use dsz_serve::{
+    BatchConfig, ChaosConfig, FaultPlan, ModelRegistry, RetryPolicy, ServeError, Server,
+    ServerConfig, ShedConfig, ShedPolicy, SubmitOptions,
+};
 use dsz_sparse::PairArray;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tenants sharing one registry/cache.
 const MODELS: usize = 2;
@@ -140,6 +143,147 @@ fn run_workload(server: &Arc<Server>, inputs: &[Vec<f32>]) -> WorkloadResult {
     }
 }
 
+struct ResilienceResult {
+    shed_rate: f64,
+    deadline_miss_rate: f64,
+    retry_success_rate: f64,
+    p99_ms: f64,
+}
+
+/// The resilience regime (`docs/ROBUSTNESS.md`): a seeded [`FaultPlan`]
+/// injects transient decode faults and slow layers while every request
+/// carries a deadline and a retry budget and the queue is bounded.
+/// Records how the server degrades — what fraction shed, missed, and
+/// recovered — rather than peak throughput.
+fn run_resilience(tenants: &[(Network, Vec<u8>, usize)], inputs: &[Vec<f32>]) -> ResilienceResult {
+    let quota: usize = tenants.iter().map(|t| t.2 * 2).sum();
+    let registry = Arc::new(ModelRegistry::new(quota));
+    let plan = FaultPlan::new(
+        0xC4A0_5EED,
+        ChaosConfig {
+            transient_decode_per_mille: 40,
+            slow_layer_per_mille: 20,
+            slow_layer_ms: 1,
+            ..ChaosConfig::default()
+        },
+    );
+    registry.set_forward_hook(Some(plan as Arc<dyn ForwardHook>));
+    for (m, (net, container, _)) in tenants.iter().enumerate() {
+        registry
+            .load(format!("m{m}"), net, container)
+            .expect("load tenant");
+    }
+    let server = Arc::new(Server::with_config(
+        Arc::clone(&registry),
+        ServerConfig {
+            batch: BatchConfig { max_batch: 8 },
+            shed: ShedConfig {
+                max_queue_depth: 4,
+                policy: ShedPolicy::RejectNew,
+            },
+            retry: RetryPolicy::default(),
+            quarantine_after: 0,
+        },
+    ));
+    // The deadline sits near the workload's fault-free p99, so misses
+    // happen (the metric is live) without dominating the outcome mix.
+    let opts = SubmitOptions {
+        deadline: Some(Duration::from_millis(6)),
+        retries: 2,
+    };
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..STREAMS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(REQUESTS_PER_STREAM);
+                    for i in 0..REQUESTS_PER_STREAM {
+                        let id = format!("m{}", (t + i) % MODELS);
+                        let input = inputs[(t * 31 + i * 7) % inputs.len()].clone();
+                        let r0 = Instant::now();
+                        // Every outcome is legal under fire; the server
+                        // must only resolve each request exactly once.
+                        let _ = server.infer_with(&id, input, opts);
+                        lats.push(r0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("stream thread"))
+            .collect()
+    });
+    let stats = server.stats();
+    let attempts = (STREAMS * REQUESTS_PER_STREAM) as f64;
+    ResilienceResult {
+        shed_rate: (stats.rejected + stats.shed) as f64 / attempts,
+        deadline_miss_rate: stats.deadline_misses as f64 / (stats.submitted.max(1)) as f64,
+        retry_success_rate: stats.retry_successes as f64 / (stats.retried.max(1)) as f64,
+        p99_ms: percentile(&mut latencies, 0.99),
+    }
+}
+
+/// One healthy and one degraded tenant side by side: the degraded model
+/// fails fast at submit (no forward pass), so its p99 should sit far
+/// below the healthy p99 — and healthy traffic should be unaffected.
+/// Returns `(healthy_p99_ms, degraded_p99_ms)`.
+fn run_degraded_split(tenants: &[(Network, Vec<u8>, usize)], inputs: &[Vec<f32>]) -> (f64, f64) {
+    let quota: usize = tenants.iter().map(|t| t.2 * 2).sum();
+    let registry = Arc::new(ModelRegistry::new(quota));
+    registry
+        .load("healthy", &tenants[0].0, &tenants[0].1)
+        .expect("load healthy tenant");
+    let bad = rewrite_layer_data(&tenants[1].1, 0, |data| {
+        data.truncate(data.len() / 2);
+    })
+    .expect("corrupt tenant container");
+    registry
+        .load_degraded("degraded", &tenants[1].0, &bad)
+        .expect("load degraded tenant");
+    let server = Arc::new(Server::new(
+        Arc::clone(&registry),
+        BatchConfig { max_batch: 8 },
+    ));
+    let lat_pairs: Vec<(Vec<f64>, Vec<f64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..STREAMS)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    let mut healthy = Vec::new();
+                    let mut degraded = Vec::new();
+                    for i in 0..REQUESTS_PER_STREAM {
+                        let input = inputs[(t * 31 + i * 7) % inputs.len()].clone();
+                        let r0 = Instant::now();
+                        if (t + i) % 2 == 0 {
+                            server.infer("healthy", input).expect("healthy infer");
+                            healthy.push(r0.elapsed().as_secs_f64() * 1e3);
+                        } else {
+                            match server.infer("degraded", input) {
+                                Err(ServeError::Degraded { .. }) => {}
+                                other => panic!("expected fast Degraded failure, got {other:?}"),
+                            }
+                            degraded.push(r0.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    (healthy, degraded)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream thread"))
+            .collect()
+    });
+    let mut healthy: Vec<f64> = lat_pairs.iter().flat_map(|p| p.0.iter().copied()).collect();
+    let mut degraded: Vec<f64> = lat_pairs.iter().flat_map(|p| p.1.iter().copied()).collect();
+    (
+        percentile(&mut healthy, 0.99),
+        percentile(&mut degraded, 0.99),
+    )
+}
+
 fn main() {
     let tenants: Vec<(Network, Vec<u8>, usize)> = (0..MODELS)
         .map(|m| build_tenant(0x7E4A_4711 + m as u64))
@@ -201,6 +345,20 @@ fn main() {
         warm_speedup, cold_speedup
     );
 
+    let resilience = run_resilience(&tenants, &inputs);
+    println!(
+        "resilience     (faults+deadlines+bounded queue): shed rate {:.3}, deadline miss rate {:.3}, retry success rate {:.3}, p99 {:.3} ms",
+        resilience.shed_rate,
+        resilience.deadline_miss_rate,
+        resilience.retry_success_rate,
+        resilience.p99_ms
+    );
+    let (healthy_p99, degraded_p99) = run_degraded_split(&tenants, &inputs);
+    println!(
+        "degraded split (healthy vs degraded tenant): healthy p99 {:.3} ms, degraded fast-fail p99 {:.3} ms",
+        healthy_p99, degraded_p99
+    );
+
     let mut json = String::from("{\n");
     json.push_str("  \"workload\": \"lenet300_full_multi_tenant\",\n");
     json.push_str(&format!("  \"models\": {MODELS},\n"));
@@ -225,8 +383,18 @@ fn main() {
         warm_speedup
     ));
     json.push_str(&format!(
-        "  \"batched_vs_unbatched_speedup\": {:.3}\n",
+        "  \"batched_vs_unbatched_speedup\": {:.3},\n",
         cold_speedup
+    ));
+    json.push_str(&format!(
+        "  \"shed_rate\": {:.4},\n  \"deadline_miss_rate\": {:.4},\n  \"retry_success_rate\": {:.4},\n  \"resilience_p99_ms\": {:.4},\n",
+        resilience.shed_rate,
+        resilience.deadline_miss_rate,
+        resilience.retry_success_rate,
+        resilience.p99_ms
+    ));
+    json.push_str(&format!(
+        "  \"healthy_p99_ms\": {healthy_p99:.4},\n  \"degraded_p99_ms\": {degraded_p99:.4}\n"
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

@@ -151,6 +151,13 @@ impl SharedLayerCache {
         self.budget.current()
     }
 
+    /// Resident bytes as a fraction of the quota, in `[0, 1]`; `0.0`
+    /// for a zero quota (nothing can ever park). A cheap load watermark
+    /// for serving dashboards and shed heuristics.
+    pub fn utilization(&self) -> f64 {
+        self.budget.utilization()
+    }
+
     /// Snapshot of the activity counters and ledger state.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -417,5 +424,21 @@ mod tests {
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn fresh_cache_reports_zero_hit_rate_and_utilization() {
+        // The zero-lookup edge through a *live* cache (not a synthetic
+        // stats struct): no division by zero, no NaN leaking into the
+        // bench JSON.
+        let cache = SharedLayerCache::new(64);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert_eq!(cache.utilization(), 0.0);
+        assert!(cache.stats().hit_rate().is_finite());
+        // Inserts alone (no lookups) still report a 0.0 hit rate.
+        let h = cache.handle();
+        assert!(cache.insert((h.model(), 0, 1), payload(4, 1.0)));
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert!((cache.utilization() - 0.25).abs() < 1e-12);
     }
 }

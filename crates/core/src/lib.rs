@@ -54,12 +54,12 @@ pub use linearity::{linearity_experiment, LinearityPoint};
 pub use optimizer::{optimize_for_accuracy, optimize_for_size, ChosenLayer, Plan};
 pub use pipeline::{
     apply_decoded, decode_model, encode_with_plan, encode_with_plan_config, encode_with_plan_v1,
-    encode_with_plan_v2, encode_with_plan_v3, verify_container, CompressedModel, DecodeTiming,
-    DecodedLayer, EncodeReport,
+    encode_with_plan_v2, encode_with_plan_v3, rewrite_layer_data, verify_container,
+    CompressedModel, DecodeTiming, DecodedLayer, EncodeReport,
 };
 pub use seek::{ByteSource, FileSource, SeekableContainer};
 pub use spill::{SpillCache, SpillStats};
-pub use streaming::{CompressedFcModel, DecodePolicy, StreamingStats};
+pub use streaming::{CompressedFcModel, DecodePolicy, ForwardHook, StreamingStats};
 
 use std::fmt;
 
@@ -134,6 +134,37 @@ impl fmt::Display for DeepSzError {
             DeepSzError::Cancelled => write!(f, "forward pass cancelled"),
             DeepSzError::Io(e) => write!(f, "container write: {e}"),
         }
+    }
+}
+
+impl DeepSzError {
+    /// Whether retrying the failed operation could plausibly succeed
+    /// without any external repair — the serving layer's retry gate
+    /// (`docs/ROBUSTNESS.md` has the full classification table).
+    ///
+    /// Transient today:
+    /// * [`DeepSzError::Corrupt`] at stage `"spill"` — a damaged on-disk
+    ///   spill file. [`spill::SpillCache::fetch`] deletes the poisoned
+    ///   file on the way out, so the retry decodes from the (verified)
+    ///   container instead of re-reading the bad file.
+    /// * [`DeepSzError::Cancelled`] — a cooperative abort, not a fault;
+    ///   a live request caught in a batch whose *other* members all hung
+    ///   up may legitimately re-run.
+    ///
+    /// Everything else (container corruption, codec failures, shape
+    /// mismatches, I/O) is deterministic against the same bytes and
+    /// retrying cannot help.
+    pub fn transient(&self) -> bool {
+        matches!(
+            self,
+            DeepSzError::Corrupt { stage: "spill", .. } | DeepSzError::Cancelled
+        )
+    }
+
+    /// `!self.transient()` — retrying is pointless; the input itself is
+    /// bad.
+    pub fn permanent(&self) -> bool {
+        !self.transient()
     }
 }
 

@@ -511,6 +511,10 @@ pub(crate) struct RawLayerRecord<'a> {
     pub(crate) layer_index: usize,
     pub(crate) rows: usize,
     pub(crate) cols: usize,
+    /// Error bound the layer was encoded at. Metadata only — decode
+    /// never consults it — but a re-serialization ([`rewrite_layer_data`])
+    /// must carry it through unchanged.
+    pub(crate) eb: f64,
     pub(crate) data_codec: DataCodecKind,
     pub(crate) codec: LosslessKind,
     pub(crate) data_blob: &'a [u8],
@@ -550,7 +554,7 @@ pub(crate) fn parse_one_record<'a>(
         .ok_or(CodecError::Truncated)?
         .try_into()
         .map_err(|_| CodecError::Truncated)?;
-    let _eb = f64::from_le_bytes(eb_bytes);
+    let eb = f64::from_le_bytes(eb_bytes);
     *pos = eb_end;
     let data_codec = if version >= VERSION_V2 {
         let id = *region.get(*pos).ok_or(CodecError::Truncated)?;
@@ -574,6 +578,7 @@ pub(crate) fn parse_one_record<'a>(
         layer_index,
         rows,
         cols,
+        eb,
         data_codec,
         codec,
         data_blob,
@@ -748,6 +753,55 @@ pub(crate) fn parse_records(bytes: &[u8]) -> Result<Vec<RawLayerRecord<'_>>, Dee
 /// bytes; the bench reports it as `checksum_verify_ms`.
 pub fn verify_container(model: &CompressedModel) -> Result<usize, DeepSzError> {
     parse_records(&model.bytes).map(|r| r.len())
+}
+
+/// Re-serializes `container` with record `ordinal`'s **data blob**
+/// replaced by `mutate`'s output, recomputing every checksum (per-blob
+/// FNVs, v4 record-span digests, the whole-container trailer FNV) so the
+/// result is *authentically* corrupt: its framing and checksums verify,
+/// but the stomped blob fails to decode. This is the fixture generator
+/// for degraded-mode and chaos tests — naive byte-stomping of a v3/v4
+/// container trips the trailer FNV in [`parse_records`] and never reaches
+/// the decoder, which is exactly the wrong failure to exercise.
+///
+/// The rewritten container keeps the input's version byte and record
+/// order; every other record is carried through bit-identically.
+pub fn rewrite_layer_data(
+    container: &[u8],
+    ordinal: usize,
+    mutate: impl FnOnce(&mut Vec<u8>),
+) -> Result<Vec<u8>, DeepSzError> {
+    let records = parse_records(container)?;
+    if ordinal >= records.len() {
+        return Err(DeepSzError::BadContainer(format!(
+            "rewrite target ordinal {ordinal} out of range ({} records)",
+            records.len()
+        )));
+    }
+    // parse_records validated the header, so the version byte is present.
+    let version = container[4];
+    let mut w = ContainerWriter::new(Vec::new(), version, records.len())?;
+    let mut mutate = Some(mutate);
+    for (i, r) in records.iter().enumerate() {
+        let mut data = r.data_blob.to_vec();
+        if i == ordinal {
+            if let Some(m) = mutate.take() {
+                m(&mut data);
+            }
+        }
+        let meta = RecordMeta {
+            name: r.name,
+            layer_index: r.layer_index,
+            rows: r.rows,
+            cols: r.cols,
+            eb: r.eb,
+            data_codec: r.data_codec,
+            index_codec: r.codec,
+        };
+        w.write_record(&meta, &data, fnv1a(&data), r.idx_blob, fnv1a(r.idx_blob))?;
+    }
+    let (bytes, _) = w.finish()?;
+    Ok(bytes)
 }
 
 /// Decodes one parsed record through the three stages, returning the layer

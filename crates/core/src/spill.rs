@@ -59,6 +59,13 @@ pub struct SpillStats {
     pub spills: u64,
     /// Fetches that found nothing (caller must decode).
     pub misses: u64,
+    /// Spill files that failed verification on read. The bad file is
+    /// deleted and its key unregistered on the way out, so the *next*
+    /// fetch is a clean miss and the caller's retry decodes from the
+    /// container — which is what makes a spill-stage
+    /// [`DeepSzError::Corrupt`] transient
+    /// ([`DeepSzError::transient`](crate::DeepSzError::transient)).
+    pub poisoned: u64,
 }
 
 #[derive(Debug, Default)]
@@ -139,7 +146,21 @@ impl SpillCache {
             }
         }
         // Rehydrate outside the lock; the file read dominates.
-        let payload = self.read_spill_file(key)?;
+        let payload = match self.read_spill_file(key) {
+            Ok(p) => p,
+            Err(e) => {
+                // Self-heal: a poisoned file would fail identically on
+                // every future read, so delete it and forget the key.
+                // The error still surfaces (the caller's current fetch
+                // *did* fail), but a retry now misses cleanly and
+                // decodes from the verified container instead.
+                std::fs::remove_file(self.file_for(key)).ok();
+                let mut inner = self.lock();
+                inner.spilled.remove(&key);
+                inner.stats.poisoned += 1;
+                return Err(e);
+            }
+        };
         let mut inner = self.lock();
         inner.spilled.remove(&key);
         inner.stats.rehydrates += 1;
@@ -359,6 +380,28 @@ mod tests {
             DeepSzError::Corrupt { stage, .. } => assert_eq!(stage, "spill"),
             other => panic!("expected Corrupt at spill stage, got {other}"),
         }
+        assert!(err.transient(), "spill corruption is the retryable kind");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_spill_file_self_heals_to_a_clean_miss() {
+        let dir = test_dir("heal");
+        let cache = SpillCache::new(&dir, 8).unwrap();
+        cache
+            .store(5, (0..32).map(|i| i as f32 * 0.5).collect())
+            .unwrap();
+        let path = dir.join("layer-5.dspill");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.fetch(5).is_err(), "first fetch reports the damage");
+        assert_eq!(cache.stats().poisoned, 1);
+        assert!(!path.exists(), "the bad file must be deleted");
+        // The retry is a clean miss: the caller re-decodes from the
+        // container rather than re-reading a file that can never verify.
+        assert_eq!(cache.fetch(5).unwrap(), None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -64,6 +64,22 @@ fn check_abort(abort: Option<AbortFlag<'_>>) -> Result<(), DeepSzError> {
     }
 }
 
+/// Test/harness instrumentation point on the forward path: probed once
+/// per fc layer, right before that layer's weights are resolved, on
+/// every forward schedule (serial, spill, shared-cache, prefetch). An
+/// `Err` aborts the pass with that error, exactly as a real decode
+/// failure at that layer would — which is the point: a seeded fault plan
+/// (`dsz_serve::chaos`) implements this trait to inject decode errors,
+/// slow layers, and mid-batch cancellations deterministically, without
+/// touching container bytes. Production models simply leave the hook
+/// unset ([`CompressedFcModel::with_forward_hook`]); the happy path pays
+/// one `Option` check per layer.
+pub trait ForwardHook: std::fmt::Debug + Send + Sync {
+    /// Called before skeleton layer `layer_index` executes. Returning an
+    /// `Err` fails the forward pass with it.
+    fn before_layer(&self, layer_index: usize) -> Result<(), DeepSzError>;
+}
+
 /// What a forward pass (or [`CompressedFcModel::materialize`]) does when a
 /// layer's record fails to decode.
 ///
@@ -88,6 +104,8 @@ struct CompressedLayer {
     layer_index: usize,
     rows: usize,
     cols: usize,
+    /// Error bound the layer was encoded at (metadata; decode ignores it).
+    eb: f64,
     data_codec: DataCodecKind,
     codec: LosslessKind,
     data_blob: Vec<u8>,
@@ -107,6 +125,7 @@ impl CompressedLayer {
             layer_index: self.layer_index,
             rows: self.rows,
             cols: self.cols,
+            eb: self.eb,
             data_codec: self.data_codec,
             codec: self.codec,
             data_blob: &self.data_blob,
@@ -144,6 +163,9 @@ pub struct CompressedFcModel {
     /// ([`Self::with_shared_cache`]); when set, forwards run the shared
     /// serial schedule and hot layers decode once across all tenants.
     shared: Option<CacheHandle>,
+    /// Test/harness fault-injection hook, probed once per fc layer on
+    /// every forward schedule ([`Self::with_forward_hook`]).
+    hook: Option<Arc<dyn ForwardHook>>,
 }
 
 /// Memory accounting from a streaming forward pass.
@@ -176,6 +198,7 @@ impl CompressedFcModel {
                     layer_index: r.layer_index,
                     rows: r.rows,
                     cols: r.cols,
+                    eb: r.eb,
                     data_codec: r.data_codec,
                     codec: r.codec,
                     data_blob: r.data_blob.to_vec(),
@@ -214,6 +237,7 @@ impl CompressedFcModel {
             decode_policy: DecodePolicy::default(),
             spill: None,
             shared: None,
+            hook: None,
         })
     }
 
@@ -287,6 +311,26 @@ impl CompressedFcModel {
     /// The shared-cache handle, if one is attached.
     pub fn shared_cache(&self) -> Option<&CacheHandle> {
         self.shared.as_ref()
+    }
+
+    /// Attaches (or with `None`, detaches) a [`ForwardHook`] — the
+    /// deterministic fault-injection point the chaos harness uses.
+    /// Clones share the hook; a model loaded for production leaves it
+    /// unset.
+    pub fn with_forward_hook(mut self, hook: Option<Arc<dyn ForwardHook>>) -> Self {
+        self.hook = hook;
+        self
+    }
+
+    /// Probes the attached hook for layer `i`; a hook error fails the
+    /// pass exactly as a decode failure at that layer would (it does
+    /// *not* route through [`Self::decode_failure`] — the injected error
+    /// is the report).
+    fn probe_hook(&self, i: usize) -> Result<(), DeepSzError> {
+        match &self.hook {
+            Some(h) => h.before_layer(i),
+            None => Ok(()),
+        }
     }
 
     /// Error path of [`DecodePolicy::ReportBadLayers`]: given the first
@@ -376,6 +420,7 @@ impl CompressedFcModel {
             check_abort(abort)?;
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
+                    self.probe_hook(i)?;
                     let decoded = self
                         .compressed_for(i)?
                         .decode()
@@ -423,6 +468,7 @@ impl CompressedFcModel {
             check_abort(abort)?;
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
+                    self.probe_hook(i)?;
                     let c = self.compressed_for(i)?;
                     // Make room for this layer before it materializes, so
                     // cached + executing never exceeds quota + one layer.
@@ -489,6 +535,7 @@ impl CompressedFcModel {
             check_abort(abort)?;
             match layer {
                 Layer::Dense(d) if d.w.data.is_empty() => {
+                    self.probe_hook(i)?;
                     let c = self.compressed_for(i)?;
                     let weights = handle.get_or_decode(
                         i,
@@ -621,6 +668,7 @@ impl CompressedFcModel {
                 check_abort(abort)?;
                 match layer {
                     Layer::Dense(d) if d.w.data.is_empty() => {
+                        self.probe_hook(order[cur_ord])?;
                         let decoded = match pending.front() {
                             Some(&(ord, _, _)) if ord == cur_ord => {
                                 let Some((_, handle, bytes)) = pending.pop_front() else {

@@ -58,7 +58,16 @@ impl BitWriter {
             let free = 8 - self.used;
             let take = free.min(n);
             let Some(last) = self.buf.last_mut() else {
-                unreachable!("buffer non-empty: pushed above when used == 0")
+                // Proof the buffer is non-empty here: `used == 0` pushed a
+                // byte just above, and `used != 0` means a prior call left
+                // a partially-filled final byte in `buf` (nothing ever
+                // pops). The entropy coders sit on the panic-free policy
+                // (`docs/ROBUSTNESS.md`), so if the invariant were ever
+                // broken we realign and re-enter the loop (which pushes a
+                // fresh byte) instead of aborting the process.
+                debug_assert!(false, "BitWriter: empty buffer with used != 0");
+                self.used = 0;
+                continue;
             };
             *last |= ((value & ((1u64 << take) - 1)) as u8) << self.used;
             self.used = (self.used + take) % 8;

@@ -1,0 +1,282 @@
+//! Deterministic chaos harness for the request path
+//! (`docs/ROBUSTNESS.md`, "Serving resilience" — replay instructions).
+//!
+//! PR 6 proved the *container* path panic-free with a seeded
+//! `Corruptor` mutating bytes; this module applies the same philosophy
+//! to the *serving* path, where the interesting failures are not byte
+//! flips but decode faults, slow layers, and cancellations landing
+//! mid-batch. A [`FaultPlan`] is a seeded SplitMix64 stream attached to
+//! every loaded model's forward pass through the
+//! [`ForwardHook`](dsz_core::ForwardHook) probe (one draw per fc
+//! layer): each draw lands in a per-mille band of the [`ChaosConfig`]
+//! and injects
+//!
+//! * a **permanent decode fault** — `Corrupt` at stage `"lossy-data"`,
+//!   the shape of a genuinely bad record; never retried,
+//! * a **transient decode fault** — `Corrupt` at stage `"spill"`, the
+//!   shape of a poisoned spill read; eligible for server-side retry,
+//! * a **slow layer** — a bounded sleep, standing in for a cold page or
+//!   an oversubscribed core; what deadlines exist to absorb,
+//! * a **mid-batch cancellation** — fires one of the
+//!   [`CancelToken`]s registered with the plan, from *inside* a forward
+//!   pass, the worst possible moment.
+//!
+//! # Determinism and replay
+//!
+//! The draw *sequence* is fully determined by the seed. Which forward
+//! call consumes which draw depends on thread interleaving, so a
+//! multi-threaded schedule is seed-deterministic in *fault mix*, not in
+//! per-request assignment — the chaos campaign therefore asserts only
+//! interleaving-independent invariants (no panics, exactly-once
+//! resolution, bit-identical successes, ledger bounds). To replay a
+//! failing schedule, re-run its test binary filtered to the campaign
+//! test with the same `DSZ_THREADS`; the per-schedule seed is printed
+//! in the panic message.
+
+use crate::batch::CancelToken;
+use dsz_core::{DeepSzError, ForwardHook};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// SplitMix64 — the same constants as `dsz_datagen`'s `Corruptor`
+/// (Steele et al.), reimplemented here because `dsz_datagen` is a
+/// dev-dependency of this crate. Advances `state` and returns the next
+/// draw.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-mille fault rates drawn once per fc layer, per forward pass.
+/// Bands are cumulative and checked in field order; their sum should
+/// stay ≤ 1000 (the remainder is the no-fault band).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// ‰ of layer probes that inject a permanent decode fault
+    /// (`Corrupt` at `"lossy-data"`).
+    pub permanent_decode_per_mille: u16,
+    /// ‰ of layer probes that inject a transient decode fault
+    /// (`Corrupt` at `"spill"` — the retryable class).
+    pub transient_decode_per_mille: u16,
+    /// ‰ of layer probes that sleep before the layer runs.
+    pub slow_layer_per_mille: u16,
+    /// Upper bound on one injected sleep, in milliseconds (the actual
+    /// sleep is seeded-jittered in `[ms/2, ms]`).
+    pub slow_layer_ms: u64,
+    /// ‰ of layer probes that fire one registered [`CancelToken`]
+    /// (oldest first) — a caller hanging up mid-batch.
+    pub cancel_per_mille: u16,
+}
+
+/// What a [`FaultPlan`] actually injected (monotonic counters) — the
+/// campaign's coverage proof that faults really fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Permanent decode faults injected.
+    pub permanent_decode: u64,
+    /// Transient decode faults injected.
+    pub transient_decode: u64,
+    /// Slow-layer sleeps injected.
+    pub slow_layers: u64,
+    /// Cancel tokens fired mid-forward.
+    pub cancels: u64,
+    /// Layer probes that drew the no-fault band.
+    pub clean: u64,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    rng: u64,
+    /// Tokens eligible for a mid-batch cancellation, oldest first.
+    tokens: Vec<CancelToken>,
+}
+
+/// A seeded fault schedule implementing
+/// [`ForwardHook`](dsz_core::ForwardHook). Attach it to a registry with
+/// [`ModelRegistry::set_forward_hook`](crate::ModelRegistry::set_forward_hook)
+/// *before* loading models; every subsequent forward pass consumes
+/// draws from the plan's stream.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: ChaosConfig,
+    state: Mutex<PlanState>,
+    permanent: AtomicU64,
+    transient: AtomicU64,
+    slow: AtomicU64,
+    cancels: AtomicU64,
+    clean: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan drawing from `seed` with the given fault bands.
+    pub fn new(seed: u64, config: ChaosConfig) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            state: Mutex::new(PlanState {
+                rng: seed,
+                tokens: Vec::new(),
+            }),
+            permanent: AtomicU64::new(0),
+            transient: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
+            clean: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a request's token as a mid-batch cancellation target.
+    pub fn register(&self, token: CancelToken) {
+        self.lock().tokens.push(token);
+    }
+
+    /// Snapshot of what the plan has injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            permanent_decode: self.permanent.load(Ordering::Relaxed),
+            transient_decode: self.transient.load(Ordering::Relaxed),
+            slow_layers: self.slow.load(Ordering::Relaxed),
+            cancels: self.cancels.load(Ordering::Relaxed),
+            clean: self.clean.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PlanState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl ForwardHook for FaultPlan {
+    fn before_layer(&self, layer_index: usize) -> Result<(), DeepSzError> {
+        let c = self.config;
+        // Two draws per probe — band selection and intra-band jitter —
+        // taken under one lock acquisition so concurrent forwards
+        // interleave at probe granularity, never mid-probe.
+        let (draw, jitter) = {
+            let mut st = self.lock();
+            (splitmix64(&mut st.rng) % 1000, splitmix64(&mut st.rng))
+        };
+        let mut band = u64::from(c.permanent_decode_per_mille);
+        if draw < band {
+            self.permanent.fetch_add(1, Ordering::Relaxed);
+            return Err(DeepSzError::Corrupt {
+                layer: format!("<chaos layer {layer_index}>"),
+                stage: "lossy-data",
+                detail: "injected permanent decode fault".into(),
+            });
+        }
+        band += u64::from(c.transient_decode_per_mille);
+        if draw < band {
+            self.transient.fetch_add(1, Ordering::Relaxed);
+            return Err(DeepSzError::Corrupt {
+                layer: format!("<chaos layer {layer_index}>"),
+                stage: "spill",
+                detail: "injected transient decode fault".into(),
+            });
+        }
+        band += u64::from(c.slow_layer_per_mille);
+        if draw < band {
+            self.slow.fetch_add(1, Ordering::Relaxed);
+            let ms = c.slow_layer_ms.max(1);
+            // Seeded jitter in [ms/2, ms] — bounded, so deadline
+            // overshoot stays bounded by one layer's worth of sleep.
+            let micros = ms * 500 + jitter % (ms * 500 + 1);
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+            return Ok(());
+        }
+        band += u64::from(c.cancel_per_mille);
+        if draw < band {
+            let victim = {
+                let mut st = self.lock();
+                if st.tokens.is_empty() {
+                    None
+                } else {
+                    Some(st.tokens.remove(0))
+                }
+            };
+            if let Some(t) = victim {
+                self.cancels.fetch_add(1, Ordering::Relaxed);
+                t.cancel();
+            }
+            return Ok(());
+        }
+        self.clean.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_stream() {
+        // First outputs for seed 0 (Steele et al. reference values).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut s), 0x6e78_9e6a_a1b9_65f4);
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic() {
+        let cfg = ChaosConfig {
+            permanent_decode_per_mille: 100,
+            transient_decode_per_mille: 200,
+            slow_layer_per_mille: 0,
+            slow_layer_ms: 0,
+            cancel_per_mille: 0,
+        };
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed, cfg);
+            (0..64).map(|i| plan.before_layer(i).is_err()).collect()
+        };
+        assert_eq!(outcomes(42), outcomes(42));
+        assert_ne!(outcomes(42), outcomes(43), "distinct seeds diverge");
+    }
+
+    #[test]
+    fn injected_faults_have_the_right_classification() {
+        let always_permanent = FaultPlan::new(
+            1,
+            ChaosConfig {
+                permanent_decode_per_mille: 1000,
+                ..ChaosConfig::default()
+            },
+        );
+        let e = always_permanent.before_layer(0).unwrap_err();
+        assert!(e.permanent());
+        let always_transient = FaultPlan::new(
+            1,
+            ChaosConfig {
+                transient_decode_per_mille: 1000,
+                ..ChaosConfig::default()
+            },
+        );
+        let e = always_transient.before_layer(0).unwrap_err();
+        assert!(e.transient());
+        assert_eq!(always_transient.counts().transient_decode, 1);
+    }
+
+    #[test]
+    fn cancel_band_fires_registered_tokens_oldest_first() {
+        let plan = FaultPlan::new(
+            7,
+            ChaosConfig {
+                cancel_per_mille: 1000,
+                ..ChaosConfig::default()
+            },
+        );
+        let (a, b) = (CancelToken::new(), CancelToken::new());
+        plan.register(a.clone());
+        plan.register(b.clone());
+        assert!(plan.before_layer(0).is_ok());
+        assert!(a.is_cancelled() && !b.is_cancelled());
+        assert!(plan.before_layer(1).is_ok());
+        assert!(b.is_cancelled());
+        // No tokens left: the band is a no-op, never an error.
+        assert!(plan.before_layer(2).is_ok());
+        assert_eq!(plan.counts().cancels, 2);
+    }
+}

@@ -27,13 +27,31 @@
 //! background threads. Batch execution is *caller-driven* (the first
 //! waiter becomes the batch leader), so a process with no threads blocked
 //! in [`Ticket::wait`] runs no serving code at all.
+//!
+//! The request path is *resilient by construction*
+//! (`docs/ROBUSTNESS.md`, "Serving resilience"): per-request deadlines
+//! and retry budgets ([`SubmitOptions`]), bounded queues with load
+//! shedding ([`ShedConfig`]), deterministic jittered retry backoff
+//! ([`RetryPolicy`]), degraded-mode loads with bad-layer attribution and
+//! safe hot-swap ([`ModelRegistry::load_checked`]), serve-time
+//! quarantine of repeatedly-corrupt generations, and a seeded chaos
+//! harness ([`FaultPlan`]) that injects decode faults, slow layers, and
+//! mid-batch cancellations to prove all of the above under fire.
 
 // Serving sits on the decode path for untrusted containers: failures
 // must surface as values, never panics (`docs/ROBUSTNESS.md`).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
+pub mod chaos;
 pub mod registry;
+pub mod retry;
+pub mod shed;
 
-pub use batch::{BatchConfig, CancelToken, ServeError, ServeStats, Server, Ticket};
-pub use registry::{ModelEntry, ModelRegistry};
+pub use batch::{
+    BatchConfig, CancelToken, ServeError, ServeStats, Server, ServerConfig, SubmitOptions, Ticket,
+};
+pub use chaos::{ChaosConfig, FaultCounts, FaultPlan};
+pub use registry::{ModelEntry, ModelHealth, ModelRegistry};
+pub use retry::RetryPolicy;
+pub use shed::{QueueStats, ShedConfig, ShedPolicy};

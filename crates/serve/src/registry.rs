@@ -13,21 +13,61 @@
 //! generation's weights: the old handle's entries are purged eagerly and
 //! its never-reused model id makes stale hits impossible even if purge
 //! raced a lookup.
+//!
+//! # Health, degraded mode, quarantine (`docs/ROBUSTNESS.md`)
+//!
+//! The structural parse cannot see *payload* corruption (a flipped bit
+//! inside a record's blob only surfaces when that layer decodes). Three
+//! load flavors handle that spectrum:
+//!
+//! * [`ModelRegistry::load`] — parse-only, the fast path for trusted
+//!   containers. Health is [`ModelHealth::Healthy`]; payload corruption,
+//!   if any, surfaces on the request path and feeds the quarantine
+//!   counter.
+//! * [`ModelRegistry::load_checked`] — additionally *decodes every
+//!   layer* under [`DecodePolicy::ReportBadLayers`] before installing.
+//!   Any bad layer rejects the load with full attribution and **leaves
+//!   the previous generation serving** — the safe hot-swap.
+//! * [`ModelRegistry::load_degraded`] — same probe, but a model with bad
+//!   layers installs anyway in [`ModelHealth::Degraded`] state: every
+//!   request fails fast with the bad-layer list instead of burning a
+//!   forward pass to rediscover it, and *other* models are unaffected.
+//!
+//! At serve time, repeated permanent integrity failures quarantine a
+//! generation (see [`ServerConfig::quarantine_after`](crate::ServerConfig));
+//! the flags live on the [`ModelEntry`] so they die with the generation —
+//! reloading the id starts clean.
 
 use dsz_core::{
-    CacheStats, CompressedFcModel, CompressedModel, DeepSzError, SeekableContainer,
-    SharedLayerCache,
+    CacheStats, CompressedFcModel, CompressedModel, DecodePolicy, DeepSzError, ForwardHook,
+    SeekableContainer, SharedLayerCache,
 };
 use dsz_nn::Network;
 use dsz_tensor::VolShape;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::batch::ServeError;
 
-/// One loaded model generation. Immutable after load; requests share it
-/// by `Arc`, so an unload or hot-swap never invalidates in-flight work —
-/// the old generation simply drains and drops.
+/// Decode health of a loaded generation, fixed at load time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelHealth {
+    /// No known-bad layers (either unprobed — [`ModelRegistry::load`] —
+    /// or probed clean).
+    Healthy,
+    /// The probe found corrupt records; requests fail fast with
+    /// [`ServeError::Degraded`] carrying this attribution.
+    Degraded {
+        /// Names of the layers whose records failed to decode.
+        bad_layers: Vec<String>,
+    },
+}
+
+/// One loaded model generation. Immutable after load (health is fixed;
+/// only the quarantine flag and its failure counter mutate); requests
+/// share it by `Arc`, so an unload or hot-swap never invalidates
+/// in-flight work — the old generation simply drains and drops.
 #[derive(Debug)]
 pub struct ModelEntry {
     id: String,
@@ -35,6 +75,9 @@ pub struct ModelEntry {
     input_shape: VolShape,
     layer_count: usize,
     container_bytes: usize,
+    health: ModelHealth,
+    quarantined: AtomicBool,
+    integrity_failures: AtomicU32,
 }
 
 impl ModelEntry {
@@ -68,6 +111,38 @@ impl ModelEntry {
         self.container_bytes
     }
 
+    /// Decode health fixed at load time.
+    pub fn health(&self) -> &ModelHealth {
+        &self.health
+    }
+
+    /// Whether serve-time integrity failures quarantined this
+    /// generation. Sticky until the id is reloaded.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Consecutive permanent integrity failures observed at serve time
+    /// (resets on any successful batch).
+    pub fn integrity_failures(&self) -> u32 {
+        self.integrity_failures.load(Ordering::Relaxed)
+    }
+
+    /// Counts one permanent integrity failure; returns the new count.
+    pub(crate) fn record_integrity_failure(&self) -> u32 {
+        self.integrity_failures.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Marks the generation quarantined (sticky).
+    pub(crate) fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Relaxed);
+    }
+
+    /// A successful batch: the failure streak resets.
+    pub(crate) fn note_success(&self) {
+        self.integrity_failures.store(0, Ordering::Relaxed);
+    }
+
     fn purge_cache(&self) {
         if let Some(h) = self.model.shared_cache() {
             h.purge();
@@ -75,11 +150,24 @@ impl ModelEntry {
     }
 }
 
+/// How a load call probes payload integrity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeMode {
+    /// Structural parse only.
+    None,
+    /// Full-decode probe; bad layers reject the load (previous
+    /// generation keeps serving).
+    RejectBad,
+    /// Full-decode probe; bad layers install a degraded generation.
+    Tolerate,
+}
+
 /// Registry of loaded models sharing one decoded-layer cache.
 #[derive(Debug)]
 pub struct ModelRegistry {
     cache: Arc<SharedLayerCache>,
     inner: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    hook: Mutex<Option<Arc<dyn ForwardHook>>>,
 }
 
 impl ModelRegistry {
@@ -90,7 +178,19 @@ impl ModelRegistry {
         Self {
             cache: SharedLayerCache::new(cache_quota_bytes),
             inner: RwLock::new(HashMap::new()),
+            hook: Mutex::new(None),
         }
+    }
+
+    /// Installs (or clears) a [`ForwardHook`] that every *subsequently
+    /// loaded* generation probes once per fc layer on its forward path.
+    /// Test-only plumbing in spirit — the chaos harness's
+    /// [`FaultPlan`](crate::FaultPlan) attaches here — but safe in
+    /// production (a `None` hook costs one branch per layer). Load-time
+    /// integrity probes run hook-free, so an injected fault can never
+    /// misclassify a healthy container.
+    pub fn set_forward_hook(&self, hook: Option<Arc<dyn ForwardHook>>) {
+        *self.hook.lock().unwrap_or_else(|p| p.into_inner()) = hook;
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<ModelEntry>>> {
@@ -105,14 +205,55 @@ impl ModelRegistry {
     /// network skeleton the container compresses (fc weights are
     /// discarded; shapes are cross-checked against the records). On
     /// hot-swap the previous generation's cache entries are purged; its
-    /// in-flight requests finish on their own `Arc`.
+    /// in-flight requests finish on their own `Arc`. Structural parse
+    /// only — payload corruption surfaces at serve time (see
+    /// [`Self::load_checked`] for the paranoid flavor).
     pub fn load(
         &self,
         id: impl Into<String>,
         net: &Network,
         container: &[u8],
     ) -> Result<Arc<ModelEntry>, ServeError> {
-        let id = id.into();
+        self.load_inner(id.into(), net, container, ProbeMode::None)
+    }
+
+    /// [`Self::load`] plus a full-decode integrity probe: every layer is
+    /// decoded once (under [`DecodePolicy::ReportBadLayers`], so *all*
+    /// failures are gathered in one pass) before the generation
+    /// installs. Any bad layer returns [`ServeError::Degraded`] with the
+    /// attribution and changes nothing — **the previous generation, if
+    /// any, keeps serving**. O(model) work at load time; the probe's
+    /// decodes do not touch the shared cache.
+    pub fn load_checked(
+        &self,
+        id: impl Into<String>,
+        net: &Network,
+        container: &[u8],
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        self.load_inner(id.into(), net, container, ProbeMode::RejectBad)
+    }
+
+    /// [`Self::load_checked`], except a container with bad layers still
+    /// installs — in [`ModelHealth::Degraded`] state, where every submit
+    /// fails fast with the bad-layer list. Use when a known-damaged
+    /// model should *hold its id* (answering "what is wrong with it"
+    /// cheaply) without affecting any other tenant.
+    pub fn load_degraded(
+        &self,
+        id: impl Into<String>,
+        net: &Network,
+        container: &[u8],
+    ) -> Result<Arc<ModelEntry>, ServeError> {
+        self.load_inner(id.into(), net, container, ProbeMode::Tolerate)
+    }
+
+    fn load_inner(
+        &self,
+        id: String,
+        net: &Network,
+        container: &[u8],
+        probe: ProbeMode,
+    ) -> Result<Arc<ModelEntry>, ServeError> {
         // Structural skeleton first (cheap, O(layers))...
         let seek = SeekableContainer::open_slice(container)
             .map_err(|e| ServeError::Load(format!("{id}: {e}")))?;
@@ -125,12 +266,41 @@ impl ModelRegistry {
             },
         )
         .map_err(|e: DeepSzError| ServeError::Load(format!("{id}: {e}")))?;
+        // Payload probe, if asked for: decode every layer, hook-free and
+        // cache-free (`parsed` has neither attached yet).
+        let health = if probe == ProbeMode::None {
+            ModelHealth::Healthy
+        } else {
+            match parsed
+                .clone()
+                .with_decode_policy(DecodePolicy::ReportBadLayers)
+                .materialize()
+            {
+                Ok(_) => ModelHealth::Healthy,
+                Err(e) => {
+                    let bad_layers = bad_layer_names(&e);
+                    if probe == ProbeMode::RejectBad {
+                        return Err(ServeError::Degraded {
+                            model: id,
+                            bad_layers,
+                        });
+                    }
+                    ModelHealth::Degraded { bad_layers }
+                }
+            }
+        };
+        let hook = self.hook.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let entry = Arc::new(ModelEntry {
             id: id.clone(),
-            model: parsed.with_shared_cache(self.cache.handle()),
+            model: parsed
+                .with_shared_cache(self.cache.handle())
+                .with_forward_hook(hook),
             input_shape: net.input_shape,
             layer_count,
             container_bytes: container.len(),
+            health,
+            quarantined: AtomicBool::new(false),
+            integrity_failures: AtomicU32::new(0),
         });
         let old = self.write().insert(id, Arc::clone(&entry));
         if let Some(old) = old {
@@ -174,5 +344,17 @@ impl ModelRegistry {
     /// `BENCH_serve.json`.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+}
+
+/// Layer attribution out of a probe failure: unwraps
+/// [`DeepSzError::BadLayers`] into the corrupt layers' names. A failure
+/// that is not layer-shaped (e.g. an I/O error mid-probe) renders
+/// whole-error so the attribution is never silently empty.
+fn bad_layer_names(e: &DeepSzError) -> Vec<String> {
+    match e {
+        DeepSzError::BadLayers(errs) => errs.iter().flat_map(bad_layer_names).collect(),
+        DeepSzError::Corrupt { layer, .. } => vec![layer.clone()],
+        other => vec![other.to_string()],
     }
 }

@@ -1,0 +1,114 @@
+//! Deterministic jittered backoff for transient serving failures
+//! (`docs/ROBUSTNESS.md`, "Serving resilience").
+//!
+//! When a batch fails with a *transient* error (see
+//! [`DeepSzError::transient`](dsz_core::DeepSzError::transient) — today
+//! a poisoned spill read or a cooperative abort that caught a live
+//! member), the batch leader re-enqueues each member that still has
+//! retry budget ([`SubmitOptions::retries`](crate::SubmitOptions)),
+//! stamped with a *not-before* instant computed here. The delay is
+//! capped exponential backoff times a jitter factor in `[0.5, 1.0)` —
+//! and the jitter is a **pure function** of `(seed, request id,
+//! attempt)` via SplitMix64, the same generator discipline as
+//! `dsz_datagen`'s `Corruptor`, so there is no wall-clock randomness
+//! anywhere: a chaos schedule that retried at attempt 2 retries with
+//! the same delay on every replay.
+//!
+//! Tests that want retries without sleeping set `base` to zero: every
+//! delay collapses to `Duration::ZERO` and retried work re-drains on
+//! the next leader pass.
+
+use crate::chaos::splitmix64;
+use std::time::Duration;
+
+/// Backoff schedule for server-side retries of transient failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry delay before jitter. `Duration::ZERO` disables
+    /// waiting entirely (every retry is immediately drainable) — the
+    /// deterministic-test mode.
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay however many attempts have
+    /// failed.
+    pub cap: Duration,
+    /// Jitter seed. Two servers with the same seed produce the same
+    /// delay for the same `(request id, attempt)`.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            seed: 0x005E_ED0F_BACC_0FF5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based: the first
+    /// retry is attempt 1) of request `request_id`: `min(base·2^(a-1),
+    /// cap)` scaled by a seeded jitter factor in `[0.5, 1.0)`. Pure —
+    /// no clocks, no global state.
+    pub fn delay(&self, request_id: u64, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = attempt.saturating_sub(1).min(20);
+        let exp = self
+            .base
+            .saturating_mul(1u32 << doublings.min(20))
+            .min(self.cap);
+        let mut state = self
+            .seed
+            .wrapping_add(request_id.rotate_left(17))
+            .wrapping_add(u64::from(attempt) << 40);
+        let z = splitmix64(&mut state);
+        // Top 53 bits → uniform in [0,1); fold into [0.5, 1.0).
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + unit * 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_deterministic_and_jittered() {
+        let p = RetryPolicy::default();
+        let a = p.delay(7, 1);
+        assert_eq!(a, p.delay(7, 1), "pure function of (seed, id, attempt)");
+        assert_ne!(a, p.delay(8, 1), "distinct requests decorrelate");
+        // Jitter stays inside [base/2, base) for attempt 1.
+        assert!(a >= p.base / 2 && a < p.base);
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(10),
+            seed: 1,
+        };
+        for attempt in 1..=8 {
+            let d = p.delay(3, attempt);
+            assert!(d < p.cap, "jittered delay stays under the cap: {d:?}");
+        }
+        // Attempt 30 must not overflow the doubling.
+        assert!(p.delay(3, 30) < p.cap);
+    }
+
+    #[test]
+    fn zero_base_means_no_waiting() {
+        let p = RetryPolicy {
+            base: Duration::ZERO,
+            cap: Duration::from_secs(1),
+            seed: 9,
+        };
+        for attempt in 1..5 {
+            assert_eq!(p.delay(42, attempt), Duration::ZERO);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Admission control and load shedding for the request path
+//! (`docs/SERVING.md`, failure-modes table).
+//!
+//! An unbounded queue converts overload into unbounded latency: every
+//! request is eventually served, long after its caller stopped caring.
+//! Bounding the per-model queue converts the same overload into a fast,
+//! structured [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+//! at submit time — cheap for the server (no ticket, no queue entry) and
+//! actionable for the caller (back off or divert). [`ShedPolicy`] picks
+//! *which* request eats the overload:
+//!
+//! * [`ShedPolicy::RejectNew`] — the arriving request is refused. FIFO
+//!   fairness: whoever queued first keeps their slot. The default.
+//! * [`ShedPolicy::DropOldest`] — the *oldest* queued request is
+//!   resolved [`Overloaded`](crate::ServeError::Overloaded) and the
+//!   arriving one takes its place. Freshness-first: right for workloads
+//!   where a stale answer is worthless (the oldest entry is the one
+//!   most likely past its caller's patience anyway).
+//!
+//! Watermarks ([`QueueStats`]) expose queue depth, its high-water mark,
+//! and the age of the oldest waiter so operators can see saturation
+//! *before* the shed counters start moving.
+
+use std::time::Duration;
+
+/// Which request is sacrificed when a queue is at its depth limit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the arriving request (FIFO fairness; the default).
+    #[default]
+    RejectNew,
+    /// Resolve the oldest queued request `Overloaded` and admit the
+    /// arriving one (freshness first).
+    DropOldest,
+}
+
+/// Admission-control knobs for every per-model queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Most requests one model's queue may hold. A submit that would
+    /// exceed it triggers the [`ShedPolicy`]. `usize::MAX` (the
+    /// default) restores the unbounded PR-9 behavior.
+    pub max_queue_depth: usize,
+    /// What to shed at the limit.
+    pub policy: ShedPolicy,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        Self {
+            max_queue_depth: usize::MAX,
+            policy: ShedPolicy::default(),
+        }
+    }
+}
+
+/// Point-in-time observability snapshot of one model's queue
+/// ([`Server::queue_stats`](crate::Server::queue_stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests currently queued (excluding any executing batch).
+    pub depth: usize,
+    /// Deepest the queue has ever been.
+    pub depth_high_water: usize,
+    /// How long the oldest queued request has been waiting since its
+    /// submit; `None` when the queue is empty.
+    pub oldest_age: Option<Duration>,
+}

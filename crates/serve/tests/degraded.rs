@@ -1,0 +1,224 @@
+//! Degraded-mode loads, safe hot-swap rollback, and serve-time
+//! quarantine (`docs/ROBUSTNESS.md`, "Serving resilience").
+//!
+//! Corruption here is *authentic*: [`dsz_core::rewrite_layer_data`]
+//! mutates one record's payload and re-seals the container (fresh
+//! record and container checksums), so the damage survives the
+//! structural parse and only surfaces when the layer decodes — exactly
+//! the failure a bit flip inside a blob produces in the field.
+
+mod util;
+
+use dsz_core::{rewrite_layer_data, DeepSzError, ForwardHook};
+use dsz_serve::{BatchConfig, ModelHealth, ModelRegistry, ServeError, Server, ServerConfig};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use util::{bits, fixture, probe, serial_reference};
+
+/// Truncates layer `ordinal`'s data blob to half length and re-seals
+/// the container: structurally valid, payload-corrupt.
+fn corrupt_layer(container: &[u8], ordinal: usize) -> Vec<u8> {
+    rewrite_layer_data(container, ordinal, |data| {
+        data.truncate(data.len() / 2);
+    })
+    .unwrap()
+}
+
+/// Re-armable hook injecting *permanent* decode faults (the corrupt
+/// record shape) for the next `remaining` layer probes.
+#[derive(Debug, Default)]
+struct ArmedFaults {
+    remaining: AtomicU32,
+}
+
+impl ArmedFaults {
+    fn arm(&self, n: u32) {
+        self.remaining.store(n, Ordering::Relaxed);
+    }
+}
+
+impl ForwardHook for ArmedFaults {
+    fn before_layer(&self, layer_index: usize) -> Result<(), DeepSzError> {
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.remaining.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Err(DeepSzError::Corrupt {
+                        layer: format!("fc{layer_index}"),
+                        stage: "lossy-data",
+                        detail: "injected permanent fault".into(),
+                    })
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn load_degraded_attributes_bad_layers_and_fails_fast() {
+    let (net, container) = fixture(1);
+    let bad = corrupt_layer(&container, 1);
+    let reg = Arc::new(ModelRegistry::new(1 << 20));
+    let entry = reg.load_degraded("m", &net, &bad).unwrap();
+    match entry.health() {
+        ModelHealth::Degraded { bad_layers } => {
+            assert_eq!(bad_layers, &["fc1".to_string()], "wrong attribution")
+        }
+        h => panic!("expected Degraded health, got {h:?}"),
+    }
+    let srv = Server::new(Arc::clone(&reg), BatchConfig::default());
+    match srv.submit("m", probe(1)) {
+        Err(ServeError::Degraded { model, bad_layers }) => {
+            assert_eq!(model, "m");
+            assert_eq!(bad_layers, vec!["fc1".to_string()]);
+        }
+        other => panic!("expected fast Degraded failure, got {other:?}"),
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.fast_failed, 1);
+    assert_eq!(stats.submitted, 0, "fast-fail never mints a ticket");
+    assert_eq!(stats.batches, 0, "degraded model never burns a forward");
+}
+
+#[test]
+fn degraded_neighbor_leaves_healthy_traffic_unaffected() {
+    let (net_a, container_a) = fixture(1);
+    let (net_b, container_b) = fixture(7);
+    let reg = Arc::new(ModelRegistry::new(1 << 20));
+    reg.load("a", &net_a, &container_a).unwrap();
+    reg.load_degraded("b", &net_b, &corrupt_layer(&container_b, 0))
+        .unwrap();
+    let srv = Server::new(Arc::clone(&reg), BatchConfig::default());
+    let input = probe(0xBEEF);
+    let want = bits(&serial_reference(&net_a, &container_a, &input));
+    for _ in 0..3 {
+        assert!(
+            matches!(
+                srv.submit("b", input.clone()),
+                Err(ServeError::Degraded { .. })
+            ),
+            "degraded tenant must fail fast"
+        );
+        assert_eq!(
+            bits(&srv.infer("a", input.clone()).unwrap()),
+            want,
+            "healthy tenant degraded by its neighbor"
+        );
+    }
+}
+
+#[test]
+fn load_checked_accepts_clean_containers() {
+    let (net, container) = fixture(1);
+    let reg = ModelRegistry::new(1 << 20);
+    let entry = reg.load_checked("m", &net, &container).unwrap();
+    assert_eq!(entry.health(), &ModelHealth::Healthy);
+}
+
+#[test]
+fn failed_checked_hot_swap_leaves_previous_generation_serving() {
+    let (net, container) = fixture(1);
+    let (net2, container2) = fixture(2);
+    let reg = Arc::new(ModelRegistry::new(1 << 20));
+    let v1 = reg.load_checked("m", &net, &container).unwrap();
+    let bad = corrupt_layer(&container2, 0);
+    match reg.load_checked("m", &net2, &bad) {
+        Err(ServeError::Degraded { bad_layers, .. }) => {
+            assert_eq!(bad_layers, vec!["fc0".to_string()]);
+        }
+        other => panic!("corrupt swap must be rejected, got {other:?}"),
+    }
+    let cur = reg.get("m").unwrap();
+    assert!(
+        Arc::ptr_eq(&cur, &v1),
+        "failed hot-swap must leave the previous generation installed"
+    );
+    let srv = Server::new(Arc::clone(&reg), BatchConfig::default());
+    let input = probe(0xD0);
+    assert_eq!(
+        bits(&srv.infer("m", input.clone()).unwrap()),
+        bits(&serial_reference(&net, &container, &input)),
+        "previous generation no longer serves correct bits"
+    );
+}
+
+#[test]
+fn repeated_integrity_failures_quarantine_the_generation() {
+    let (net, container) = fixture(1);
+    let reg = Arc::new(ModelRegistry::new(1 << 20));
+    let hook = Arc::new(ArmedFaults::default());
+    hook.arm(u32::MAX);
+    reg.set_forward_hook(Some(Arc::clone(&hook) as Arc<dyn ForwardHook>));
+    reg.load("m", &net, &container).unwrap();
+    let srv = Server::with_config(
+        Arc::clone(&reg),
+        ServerConfig {
+            quarantine_after: 2,
+            ..ServerConfig::default()
+        },
+    );
+    for k in 0..2u64 {
+        match srv.infer("m", probe(k)) {
+            Err(ServeError::Model {
+                transient: false, ..
+            }) => {}
+            other => panic!("expected permanent Model error, got {other:?}"),
+        }
+    }
+    let entry = reg.get("m").unwrap();
+    assert!(entry.is_quarantined(), "threshold reached, not quarantined");
+    match srv.infer("m", probe(9)) {
+        Err(ServeError::Quarantined { model }) => assert_eq!(model, "m"),
+        other => panic!("expected fast Quarantined failure, got {other:?}"),
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.fast_failed, 1);
+    // Reloading the id mints a fresh generation with a clean record.
+    reg.set_forward_hook(None);
+    reg.load("m", &net, &container).unwrap();
+    let input = probe(3);
+    assert_eq!(
+        bits(&srv.infer("m", input.clone()).unwrap()),
+        bits(&serial_reference(&net, &container, &input)),
+        "reloaded generation must serve again"
+    );
+}
+
+#[test]
+fn a_successful_batch_resets_the_integrity_streak() {
+    let (net, container) = fixture(1);
+    let reg = Arc::new(ModelRegistry::new(1 << 20));
+    let hook = Arc::new(ArmedFaults::default());
+    reg.set_forward_hook(Some(Arc::clone(&hook) as Arc<dyn ForwardHook>));
+    reg.load("m", &net, &container).unwrap();
+    let entry = reg.get("m").unwrap();
+    let srv = Server::with_config(
+        Arc::clone(&reg),
+        ServerConfig {
+            quarantine_after: 2,
+            ..ServerConfig::default()
+        },
+    );
+    hook.arm(1);
+    assert!(srv.infer("m", probe(1)).is_err());
+    assert_eq!(entry.integrity_failures(), 1);
+    // A clean pass resets the streak...
+    assert!(srv.infer("m", probe(2)).is_ok());
+    assert_eq!(entry.integrity_failures(), 0);
+    // ...so a later isolated failure does not cross the threshold.
+    hook.arm(1);
+    assert!(srv.infer("m", probe(3)).is_err());
+    assert_eq!(entry.integrity_failures(), 1);
+    assert!(
+        !entry.is_quarantined(),
+        "isolated failures separated by successes must not quarantine"
+    );
+}

@@ -4,8 +4,14 @@
 
 mod util;
 
-use dsz_serve::{BatchConfig, ModelRegistry, ServeError, Server};
+use dsz_core::{DeepSzError, ForwardHook};
+use dsz_serve::{
+    BatchConfig, ModelRegistry, RetryPolicy, ServeError, ServeStats, Server, ServerConfig,
+    ShedConfig, ShedPolicy, SubmitOptions,
+};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use util::{bits, fixture, probe, serial_reference, FEATURES};
 
 fn server(quota: usize, max_batch: usize) -> Server {
@@ -204,4 +210,275 @@ fn concurrent_streams_match_serial_reference() {
     assert_eq!(stats.failed, 0);
     let cache = srv.registry().cache_stats();
     assert!(cache.high_water <= 4000, "cache ledger exceeded quota");
+}
+
+/// Test hook: fails the first `remaining` layer probes with a
+/// *transient* fault (the poisoned-spill shape), then passes forever.
+#[derive(Debug)]
+struct FailFirst {
+    remaining: AtomicU32,
+}
+
+impl FailFirst {
+    fn new(n: u32) -> Arc<Self> {
+        Arc::new(Self {
+            remaining: AtomicU32::new(n),
+        })
+    }
+}
+
+impl ForwardHook for FailFirst {
+    fn before_layer(&self, layer_index: usize) -> Result<(), DeepSzError> {
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.remaining.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Err(DeepSzError::Corrupt {
+                        layer: format!("fc{layer_index}"),
+                        stage: "spill",
+                        detail: "injected transient fault".into(),
+                    })
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn zero_deadline_resolves_deadline_exceeded_without_executing() {
+    let (net, container) = fixture(1);
+    let srv = server(1 << 20, 4);
+    srv.registry().load("m", &net, &container).unwrap();
+    let ticket = srv
+        .submit_with(
+            "m",
+            probe(1),
+            SubmitOptions {
+                deadline: Some(Duration::ZERO),
+                retries: 0,
+            },
+        )
+        .unwrap();
+    match ticket.wait() {
+        Err(ServeError::DeadlineExceeded { elapsed, budget }) => {
+            assert_eq!(budget, Duration::ZERO);
+            assert!(elapsed >= budget);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.deadline_misses, 1);
+    assert_eq!(stats.submitted, 1, "a miss is still an admitted request");
+    assert_eq!(stats.batches, 0, "dead-on-arrival never costs a forward");
+    // The server still serves afterwards.
+    assert!(srv.infer("m", probe(2)).is_ok());
+}
+
+#[test]
+fn reject_new_sheds_arrivals_at_the_depth_limit() {
+    let (net, container) = fixture(1);
+    let srv = Server::with_config(
+        Arc::new(ModelRegistry::new(1 << 20)),
+        ServerConfig {
+            batch: BatchConfig { max_batch: 4 },
+            shed: ShedConfig {
+                max_queue_depth: 2,
+                policy: ShedPolicy::RejectNew,
+            },
+            ..ServerConfig::default()
+        },
+    );
+    srv.registry().load("m", &net, &container).unwrap();
+    let t1 = srv.submit("m", probe(1)).unwrap();
+    let t2 = srv.submit("m", probe(2)).unwrap();
+    match srv.submit("m", probe(3)) {
+        Err(e @ ServeError::Overloaded { depth, limit }) => {
+            assert_eq!((depth, limit), (2, 2));
+            assert!(e.transient(), "overload is retryable by nature");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(t1.wait().is_ok());
+    assert!(t2.wait().is_ok());
+    let stats = srv.stats();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.submitted, 2, "a rejected submit never got a ticket");
+    assert_eq!(stats.completed, 2);
+    let q = srv.queue_stats("m").unwrap();
+    assert_eq!(q.depth, 0, "queue drained");
+    assert_eq!(q.depth_high_water, 2);
+}
+
+#[test]
+fn drop_oldest_evicts_the_stalest_request() {
+    let (net, container) = fixture(1);
+    let srv = Server::with_config(
+        Arc::new(ModelRegistry::new(1 << 20)),
+        ServerConfig {
+            batch: BatchConfig { max_batch: 1 },
+            shed: ShedConfig {
+                max_queue_depth: 1,
+                policy: ShedPolicy::DropOldest,
+            },
+            ..ServerConfig::default()
+        },
+    );
+    srv.registry().load("m", &net, &container).unwrap();
+    let t1 = srv.submit("m", probe(1)).unwrap();
+    let t2 = srv.submit("m", probe(2)).unwrap(); // evicts t1
+    assert_eq!(
+        t1.wait(),
+        Err(ServeError::Overloaded { depth: 1, limit: 1 }),
+        "the oldest queued request eats the overload"
+    );
+    assert!(t2.wait().is_ok(), "the fresh request takes the slot");
+    let stats = srv.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.submitted, 2, "both requests were admitted");
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn transient_faults_retry_to_success_with_zero_backoff() {
+    let (net, container) = fixture(1);
+    let srv = Server::with_config(
+        Arc::new(ModelRegistry::new(1 << 20)),
+        ServerConfig {
+            batch: BatchConfig { max_batch: 2 },
+            retry: RetryPolicy {
+                base: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    srv.registry().set_forward_hook(Some(FailFirst::new(2)));
+    srv.registry().load("m", &net, &container).unwrap();
+    let input = probe(0xFEED);
+    let want = bits(&serial_reference(&net, &container, &input));
+    let out = srv
+        .infer_with(
+            "m",
+            input.clone(),
+            SubmitOptions {
+                deadline: None,
+                retries: 3,
+            },
+        )
+        .unwrap();
+    assert_eq!(bits(&out), want, "retried result must stay bit-identical");
+    let stats = srv.stats();
+    assert_eq!(stats.retries, 2, "two failed attempts re-enqueued");
+    assert_eq!(stats.retried, 1);
+    assert_eq!(stats.retry_successes, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn transient_failure_without_budget_reports_transient_model_error() {
+    let (net, container) = fixture(1);
+    let srv = server(1 << 20, 4);
+    srv.registry()
+        .set_forward_hook(Some(FailFirst::new(u32::MAX)));
+    srv.registry().load("m", &net, &container).unwrap();
+    match srv.infer("m", probe(1)) {
+        Err(
+            e @ ServeError::Model {
+                transient: true, ..
+            },
+        ) => assert!(e.transient()),
+        other => panic!("expected transient Model error, got {other:?}"),
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.retries, 0, "no budget, no server-side retry");
+}
+
+fn counters_leq(a: &ServeStats, b: &ServeStats) -> bool {
+    a.submitted <= b.submitted
+        && a.completed <= b.completed
+        && a.cancelled <= b.cancelled
+        && a.failed <= b.failed
+        && a.deadline_misses <= b.deadline_misses
+        && a.shed <= b.shed
+        && a.rejected <= b.rejected
+        && a.fast_failed <= b.fast_failed
+        && a.retries <= b.retries
+        && a.retried <= b.retried
+        && a.retry_successes <= b.retry_successes
+        && a.batches <= b.batches
+        && a.batched_samples <= b.batched_samples
+        && a.max_batch_seen <= b.max_batch_seen
+}
+
+#[test]
+fn serve_stats_are_monotonic_under_concurrent_submitters() {
+    let (net, container) = fixture(1);
+    let srv = Arc::new(server(1 << 20, 4));
+    srv.registry().load("m", &net, &container).unwrap();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|outer| {
+        // Observer: every snapshot must dominate the previous one.
+        let srv_obs = Arc::clone(&srv);
+        let done = &done;
+        outer.spawn(move || {
+            let mut prev = ServeStats::default();
+            while !done.load(Ordering::Relaxed) {
+                let cur = srv_obs.stats();
+                assert!(
+                    counters_leq(&prev, &cur),
+                    "counters went backwards: {prev:?} -> {cur:?}"
+                );
+                prev = cur;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        // Submitters run (and join) in an inner scope; only then does
+        // the observer stand down.
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let srv = Arc::clone(&srv);
+                s.spawn(move || {
+                    for i in 0..30u64 {
+                        let input = probe(t * 100 + i);
+                        if i % 7 == 0 {
+                            // Guaranteed deadline miss.
+                            let _ = srv.infer_with(
+                                "m",
+                                input,
+                                SubmitOptions {
+                                    deadline: Some(Duration::ZERO),
+                                    retries: 0,
+                                },
+                            );
+                        } else if i % 5 == 0 {
+                            // Cancel racing the drain: either outcome is fine.
+                            if let Ok(ticket) = srv.submit("m", input) {
+                                ticket.cancel();
+                                let _ = ticket.wait();
+                            }
+                        } else {
+                            assert!(srv.infer("m", input).is_ok());
+                        }
+                    }
+                });
+            }
+        });
+        done.store(true, Ordering::Relaxed);
+    });
+    let stats = srv.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.cancelled + stats.failed + stats.deadline_misses + stats.shed,
+        "quiescence invariant: every admitted ticket resolves exactly once"
+    );
+    assert_eq!(stats.deadline_misses, 15, "3 threads x 5 forced misses");
 }

@@ -117,6 +117,18 @@ impl ByteBudget {
         self.hwm.load(Ordering::Relaxed)
     }
 
+    /// Current reservations as a fraction of the cap, in `[0, 1]` under
+    /// normal operation (a forced [`ByteBudget::charge`] can push it
+    /// past 1). `0.0` for an unbounded or zero-cap ledger — there is no
+    /// meaningful fullness to report. This is the load-watermark the
+    /// serving layer exports for its shed decisions.
+    pub fn utilization(&self) -> f64 {
+        match self.cap() {
+            Some(cap) if cap > 0 => self.current() as f64 / cap as f64,
+            _ => 0.0,
+        }
+    }
+
     fn bump_hwm(&self, candidate: usize) {
         let mut hwm = self.hwm.load(Ordering::Relaxed);
         while candidate > hwm {
@@ -292,6 +304,19 @@ mod tests {
         b.release(25);
         assert_eq!(b.current(), 0);
         assert_eq!(b.high_water(), 25);
+    }
+
+    #[test]
+    fn utilization_tracks_cap_fraction() {
+        let b = ByteBudget::bounded(200);
+        assert_eq!(b.utilization(), 0.0);
+        assert!(b.try_charge(50));
+        assert!((b.utilization() - 0.25).abs() < 1e-12);
+        b.charge(250); // forced floor may pass the cap
+        assert!(b.utilization() > 1.0, "forced charges report honestly");
+        // Degenerate ledgers have no meaningful fullness.
+        assert_eq!(ByteBudget::unbounded().utilization(), 0.0);
+        assert_eq!(ByteBudget::bounded(0).utilization(), 0.0);
     }
 
     #[test]

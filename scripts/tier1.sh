@@ -39,11 +39,19 @@ done
 # (including 0) and never let the ledger exceed the quota; the batched
 # matmul must stay bit-identical to per-sample calls; and the registry /
 # micro-batch scheduler suites ride the same two worker budgets.
+# Resilience gate (docs/ROBUSTNESS.md, "Serving resilience"): the seeded
+# chaos campaign (injected decode faults, slow layers, mid-batch cancels
+# under deadlines, retries, and bounded queues) and the degraded-load /
+# quarantine / hot-swap-rollback suites must stay green under both
+# worker budgets — no panics, exactly-once ticket resolution,
+# bit-identical successes.
 for t in 1 4; do
   DSZ_THREADS=$t cargo test -q -p dsz_core --test shared_cache
   DSZ_THREADS=$t cargo test -q -p dsz_tensor --test batch_equivalence
   DSZ_THREADS=$t cargo test -q -p dsz_serve --test serve
   DSZ_THREADS=$t cargo test -q -p dsz_serve --test batching
+  DSZ_THREADS=$t cargo test -q -p dsz_serve --test chaos
+  DSZ_THREADS=$t cargo test -q -p dsz_serve --test degraded
 done
 # Smoke-test the full user-facing pipeline (train → prune → assess →
 # optimize → encode → decode) exactly as the README-level docs run it.
@@ -57,7 +65,8 @@ cargo run --release --example serve_demo >/dev/null
 cargo run --release -p dsz_bench --bin bench_encode_decode >/dev/null
 # Smoke-run the serving bench: refreshes BENCH_serve.json (requests/sec,
 # tail latency, shared-cache hit rate, batched-vs-unbatched speedup in
-# warm and cold cache regimes).
+# warm and cold cache regimes, plus the resilience regime: shed /
+# deadline-miss / retry-success rates and degraded-vs-healthy p99).
 cargo run --release -p dsz_bench --bin bench_serve >/dev/null
 # This also enforces the panic-free-decode lints: the decode modules of
 # sz/lossless/zfp/sparse/core (plus the whole dsz_serve crate and the

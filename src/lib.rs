@@ -57,7 +57,9 @@ pub mod prelude {
     };
     pub use crate::nn::{self, accuracy, zoo, Arch, Dataset, Network, Scale, TrainConfig};
     pub use crate::prune;
-    pub use crate::serve::{BatchConfig, ModelRegistry, Server};
+    pub use crate::serve::{
+        BatchConfig, ModelRegistry, ServeError, Server, ServerConfig, SubmitOptions,
+    };
     pub use crate::sparse::{Csr, PairArray};
     pub use crate::sz::{ErrorBound, SzConfig, SzFormat};
 }
